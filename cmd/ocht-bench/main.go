@@ -1,0 +1,47 @@
+// Command ocht-bench regenerates the tables and figures of the paper's
+// evaluation (Section V). Each experiment prints the same rows/series the
+// paper reports, at a configurable laptop-friendly scale.
+//
+// Usage:
+//
+//	ocht-bench -exp fig4            # one experiment
+//	ocht-bench -exp all -sf 0.05    # everything, larger TPC-H scale
+//	ocht-bench -list                # list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ocht/internal/bench"
+)
+
+func main() {
+	cfg := bench.DefaultConfig()
+	exp := flag.String("exp", "all", "experiment to run (see -list)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Float64Var(&cfg.TPCHSF, "sf", cfg.TPCHSF, "TPC-H scale factor")
+	flag.IntVar(&cfg.BIRows, "birows", cfg.BIRows, "BI workload rows")
+	flag.IntVar(&cfg.Reps, "reps", cfg.Reps, "repetitions (fastest run reported)")
+	flag.IntVar(&cfg.MaxCard, "maxcard", cfg.MaxCard, "Fig 8 maximum build cardinality")
+	flag.Int64Var(&cfg.Seed, "seed", cfg.Seed, "generator seed")
+	flag.Parse()
+
+	if *list {
+		for _, name := range bench.RunnerNames {
+			fmt.Println(name)
+		}
+		return
+	}
+	if *exp == "all" {
+		bench.All(os.Stdout, cfg)
+		return
+	}
+	run, ok := bench.Runners[*exp]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
+		os.Exit(1)
+	}
+	run(os.Stdout, cfg)
+}

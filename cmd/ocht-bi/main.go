@@ -1,0 +1,60 @@
+// Command ocht-bi generates the CommonGovernment-like Public-BI workload
+// and runs its 20 queries vanilla vs USSR, printing the Table III columns.
+//
+// Usage:
+//
+//	ocht-bi -rows 200000
+//	ocht-bi -rows 200000 -q 6 -show
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"ocht/internal/bi"
+	"ocht/internal/core"
+	"ocht/internal/exec"
+)
+
+func main() {
+	rows := flag.Int("rows", 100_000, "contracts rows")
+	qn := flag.Int("q", 0, "query number (0 = all 20)")
+	show := flag.Bool("show", false, "print query results")
+	seed := flag.Int64("seed", 42, "generator seed")
+	flag.Parse()
+
+	fmt.Printf("generating BI workload, %d rows (seed %d)...\n", *rows, *seed)
+	cat := bi.Gen(*rows, *seed)
+
+	queries := []int{*qn}
+	if *qn == 0 {
+		queries = queries[:0]
+		for q := 1; q <= bi.NumQueries; q++ {
+			queries = append(queries, q)
+		}
+	}
+	fmt.Printf("%-5s %10s %10s %8s %10s %7s %9s\n",
+		"query", "vanilla", "ussr", "speedup", "ussr(kB)", "rej(%)", "#strings")
+	for _, q := range queries {
+		vq := exec.NewQCtx(core.Vanilla())
+		start := time.Now()
+		tRes := bi.Q(q, cat, vq)
+		vTime := time.Since(start)
+
+		uq := exec.NewQCtx(core.Flags{UseUSSR: true})
+		start = time.Now()
+		uRes := bi.Q(q, cat, uq)
+		uTime := time.Since(start)
+		st := uq.Store.U.Stats()
+
+		fmt.Printf("Q%-4d %10v %10v %7.2fx %10.1f %7.1f %9d\n",
+			q, vTime.Round(time.Microsecond), uTime.Round(time.Microsecond),
+			float64(vTime)/float64(uTime), float64(st.SizeBytes)/1024,
+			st.RejectionRatio(), st.Count)
+		if *show {
+			fmt.Print(uRes)
+		}
+		_ = tRes
+	}
+}

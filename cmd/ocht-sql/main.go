@@ -1,0 +1,114 @@
+// Command ocht-sql is an interactive SQL shell over a generated dataset:
+// TPC-H, the BI workload, or both. Queries run under a selectable engine
+// configuration; \timing and \flags expose the paper's techniques at the
+// prompt.
+//
+// Usage:
+//
+//	ocht-sql -data tpch -sf 0.01
+//	ocht-sql -data bi -rows 100000
+//	echo "SELECT COUNT(*) FROM lineitem" | ocht-sql -data tpch
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"ocht/internal/bi"
+	"ocht/internal/core"
+	"ocht/internal/exec"
+	"ocht/internal/sql"
+	"ocht/internal/storage"
+	"ocht/internal/tpch"
+)
+
+func main() {
+	data := flag.String("data", "tpch", "dataset: tpch | bi | both")
+	sf := flag.Float64("sf", 0.01, "TPC-H scale factor")
+	rows := flag.Int("rows", 50_000, "BI workload rows")
+	seed := flag.Int64("seed", 42, "generator seed")
+	load := flag.String("load", "", "load a saved dataset directory (see ocht-dbgen) instead of generating")
+	flag.Parse()
+
+	if *load != "" {
+		loaded, err := storage.LoadCatalog(*load)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		repl(loaded)
+		return
+	}
+	cat := storage.NewCatalog()
+	add := func(src *storage.Catalog, names ...string) {
+		for _, n := range names {
+			cat.Add(src.Table(n))
+		}
+	}
+	if *data == "tpch" || *data == "both" {
+		fmt.Fprintf(os.Stderr, "generating TPC-H SF %g...\n", *sf)
+		add(tpch.Gen(*sf, *seed), "region", "nation", "supplier", "customer",
+			"part", "partsupp", "orders", "lineitem")
+	}
+	if *data == "bi" || *data == "both" {
+		fmt.Fprintf(os.Stderr, "generating BI workload (%d rows)...\n", *rows)
+		add(bi.Gen(*rows, *seed), "contracts", "vendors")
+	}
+	repl(cat)
+}
+
+// repl reads statements from stdin and executes them against cat.
+func repl(cat *storage.Catalog) {
+	flags := core.All()
+	timing := true
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+	fmt.Fprintln(os.Stderr, `ready. \flags vanilla|ussr|cht|all, \timing on|off, \q to quit`)
+	for {
+		fmt.Fprint(os.Stderr, "ocht> ")
+		if !in.Scan() {
+			return
+		}
+		line := strings.TrimSpace(in.Text())
+		switch {
+		case line == "":
+			continue
+		case line == `\q`:
+			return
+		case strings.HasPrefix(line, `\timing`):
+			timing = !strings.HasSuffix(line, "off")
+			continue
+		case strings.HasPrefix(line, `\flags`):
+			switch strings.TrimSpace(strings.TrimPrefix(line, `\flags`)) {
+			case "vanilla":
+				flags = core.Vanilla()
+			case "ussr":
+				flags = core.Flags{UseUSSR: true}
+			case "cht":
+				flags = core.Flags{Compress: true}
+			case "all":
+				flags = core.All()
+			default:
+				fmt.Fprintln(os.Stderr, "unknown flags; use vanilla|ussr|cht|all")
+			}
+			continue
+		}
+		qc := exec.NewQCtx(flags)
+		start := time.Now()
+		res, err := sql.Run(line, cat, qc)
+		el := time.Since(start)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			continue
+		}
+		fmt.Print(res)
+		if timing {
+			fmt.Fprintf(os.Stderr, "(%d rows, %v, hash tables %d bytes)\n",
+				len(res.Rows), el.Round(time.Microsecond), qc.HashTableBytes())
+		}
+	}
+}

@@ -1,0 +1,44 @@
+// Quickstart: build a small table, run a grouped aggregation under the
+// vanilla baseline and under all three paper techniques, and compare the
+// hash-table footprints.
+package main
+
+import (
+	"fmt"
+
+	"ocht"
+)
+
+func main() {
+	db := ocht.NewDB()
+	b := db.CreateTable("orders",
+		ocht.ColStr("status"),
+		ocht.ColInt32("store"),
+		ocht.ColInt64("price"),
+		ocht.ColInt32("quantity"),
+	)
+	statuses := []string{"OPEN", "SHIPPED", "DELIVERED", "RETURNED"}
+	for i := 0; i < 100_000; i++ {
+		b.Row(statuses[i%4], int32(i%5000), int64(i%9973)+100, int32(i%50)+1)
+	}
+	b.Finish()
+
+	for _, cfg := range []struct {
+		name  string
+		flags ocht.Flags
+	}{
+		{"vanilla", ocht.Vanilla()},
+		{"optimistically compressed", ocht.All()},
+	} {
+		q := db.Query(cfg.flags).
+			Scan("orders").
+			GroupBy("status", "store").
+			Agg(ocht.Sum("price"), ocht.Avg("quantity"), ocht.CountAll()).
+			OrderBy(2, true). // by sum_price, descending
+			Limit(3)
+		res := q.Run()
+		fmt.Printf("--- %s (hash tables: %d bytes total, %d bytes hot) ---\n",
+			cfg.name, q.HashTableBytes(), q.HashTableHotBytes())
+		fmt.Print(res)
+	}
+}

@@ -1,0 +1,54 @@
+// TPC-H example: generate the benchmark database at a small scale factor
+// and run queries under the vanilla baseline and the fully optimized
+// configuration, reporting runtimes and hash-table footprints — a
+// miniature of the paper's Figure 4 / Figure 5 experiment.
+//
+// Usage: go run ./examples/tpch [-sf 0.01] [-q 5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"ocht/internal/core"
+	"ocht/internal/exec"
+	"ocht/internal/tpch"
+)
+
+func main() {
+	sf := flag.Float64("sf", 0.01, "scale factor")
+	qn := flag.Int("q", 0, "query number (0 = all 22)")
+	flag.Parse()
+
+	fmt.Printf("generating TPC-H SF %g...\n", *sf)
+	cat := tpch.Gen(*sf, 42)
+
+	queries := []int{*qn}
+	if *qn == 0 {
+		queries = queries[:0]
+		for q := 1; q <= 22; q++ {
+			queries = append(queries, q)
+		}
+	}
+	fmt.Printf("%-5s %12s %12s %9s %12s %12s\n",
+		"query", "vanilla", "optimized", "speedup", "HT vanilla", "HT optimized")
+	for _, q := range queries {
+		vq := exec.NewQCtx(core.Vanilla())
+		start := time.Now()
+		vres := tpch.Q(q, cat, vq)
+		vTime := time.Since(start)
+
+		oq := exec.NewQCtx(core.All())
+		start = time.Now()
+		ores := tpch.Q(q, cat, oq)
+		oTime := time.Since(start)
+
+		if len(vres.Rows) != len(ores.Rows) {
+			panic(fmt.Sprintf("Q%d: result mismatch", q))
+		}
+		fmt.Printf("Q%-4d %12v %12v %8.2fx %12d %12d\n",
+			q, vTime.Round(time.Microsecond), oTime.Round(time.Microsecond),
+			float64(vTime)/float64(oTime), vq.HashTableBytes(), oq.HashTableBytes())
+	}
+}

@@ -1,0 +1,3 @@
+module ocht
+
+go 1.22

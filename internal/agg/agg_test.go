@@ -1,0 +1,374 @@
+package agg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ocht/internal/core"
+	"ocht/internal/domain"
+	"ocht/internal/i128"
+	"ocht/internal/strs"
+	"ocht/internal/vec"
+)
+
+func TestOpSumMatchesFullSum(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const groups, n = 16, 50_000
+	common := make([]uint64, groups)
+	except := make([]int64, groups)
+	full := make([]i128.Int, groups)
+	g := make([]int32, n)
+	v := make([]int64, n)
+	for i := 0; i < n; i++ {
+		g[i] = int32(rng.Intn(groups))
+		// Large magnitudes provoke plenty of carries/borrows.
+		v[i] = rng.Int63() - rng.Int63()
+		if rng.Intn(4) == 0 {
+			v[i] = math.MaxInt64 - int64(rng.Intn(5))
+		}
+	}
+	OpSum(common, except, g, v)
+	FullSum(full, g, v)
+	for i := 0; i < groups; i++ {
+		if CombineOpSum(common[i], except[i]) != full[i] {
+			t.Errorf("group %d: optimistic %v != full %v",
+				i, CombineOpSum(common[i], except[i]), full[i])
+		}
+	}
+}
+
+func TestOpSumPosMatchesFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const groups, n = 8, 50_000
+	common := make([]uint64, groups)
+	except := make([]int64, groups)
+	full := make([]i128.Int, groups)
+	g := make([]int32, n)
+	v := make([]int64, n)
+	for i := 0; i < n; i++ {
+		g[i] = int32(rng.Intn(groups))
+		v[i] = rng.Int63() // non-negative, near 2^62: frequent carries
+	}
+	OpSumPos(common, except, g, v)
+	FullSumPos(full, g, v)
+	for i := 0; i < groups; i++ {
+		if CombineOpSum(common[i], except[i]) != full[i] {
+			t.Errorf("group %d mismatch", i)
+		}
+	}
+}
+
+func TestOpCount16(t *testing.T) {
+	const groups = 3
+	common := make([]uint16, groups)
+	except := make([]uint64, groups)
+	g := make([]int32, 0, 200_000)
+	want := [groups]int64{}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200_000; i++ {
+		k := int32(rng.Intn(groups))
+		g = append(g, k)
+		want[k]++
+	}
+	OpCount16(common, except, g)
+	for i := 0; i < groups; i++ {
+		if got := CombineOpCount(common[i], except[i]); got != want[i] {
+			t.Errorf("group %d: got %d want %d", i, got, want[i])
+		}
+	}
+}
+
+func TestOpMinMaxMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	const groups, n = 32, 20_000
+	domMin := int64(-1000)
+	minB := make([]uint32, groups)
+	minE := make([]int64, groups)
+	maxB := make([]uint32, groups)
+	maxE := make([]int64, groups)
+	for i := range minB {
+		minB[i], minE[i] = MinInitBound, MinInitExcept
+		maxB[i], maxE[i] = MaxInitBound, MaxInitExcept
+	}
+	g := make([]int32, n)
+	v := make([]int64, n)
+	wantMin := make([]int64, groups)
+	wantMax := make([]int64, groups)
+	for i := range wantMin {
+		wantMin[i], wantMax[i] = math.MaxInt64, math.MinInt64
+	}
+	for i := 0; i < n; i++ {
+		g[i] = int32(rng.Intn(groups))
+		v[i] = domMin + rng.Int63n(1<<40) // exceeds the 32-bit bound range
+		if wantMin[g[i]] > v[i] {
+			wantMin[g[i]] = v[i]
+		}
+		if wantMax[g[i]] < v[i] {
+			wantMax[g[i]] = v[i]
+		}
+	}
+	OpMin(minB, minE, g, v, domMin)
+	OpMax(maxB, maxE, g, v, domMin)
+	for i := 0; i < groups; i++ {
+		if minE[i] != wantMin[i] {
+			t.Errorf("min group %d: got %d want %d", i, minE[i], wantMin[i])
+		}
+		if maxE[i] != wantMax[i] {
+			t.Errorf("max group %d: got %d want %d", i, maxE[i], wantMax[i])
+		}
+	}
+}
+
+func TestBoundOfOrderPreserving(t *testing.T) {
+	domMin := int64(-50)
+	prev := uint32(0)
+	for _, v := range []int64{-50, -1, 0, 1, 1 << 20, 1 << 31, 1 << 33, math.MaxInt64} {
+		b := boundOf(v, domMin)
+		if b < prev {
+			t.Errorf("boundOf not monotone at %d", v)
+		}
+		prev = b
+	}
+	if boundOf(math.MaxInt64, domMin) != 0xFFFFFFFF {
+		t.Error("saturation")
+	}
+	if boundOf(-51, domMin) != 0 {
+		t.Error("below-domain clamp")
+	}
+}
+
+// aggHarness runs a grouped aggregation over a core.Table with the given
+// flags and returns per-key results.
+func aggHarness(t *testing.T, flags core.Flags, specs []Spec, keys []int64, vals []int64, keyDom domain.D) (map[int64][]i128.Int, *core.Table, *Aggregator) {
+	t.Helper()
+	store := strs.NewStore(flags.UseUSSR)
+	schema, err := core.NewKeySchema(flags, []core.KeyCol{{Name: "k", Type: vec.I64, Dom: keyDom}}, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ag := NewAggregator(flags, specs)
+	tab := core.NewTable(schema, ag.HotBytes, ag.ColdBytes, 16)
+	for start := 0; start < len(keys); start += vec.Size {
+		end := start + vec.Size
+		if end > len(keys) {
+			end = len(keys)
+		}
+		n := end - start
+		kv := vec.New(vec.I64, n)
+		vv := vec.New(vec.I64, n)
+		copy(kv.I64, keys[start:end])
+		copy(vv.I64, vals[start:end])
+		rows := make([]int32, n)
+		for i := range rows {
+			rows[i] = int32(i)
+		}
+		p := schema.Prepare([]*vec.Vector{kv}, rows)
+		hashes := make([]uint64, n)
+		schema.Hash(p, rows, hashes)
+		recs := make([]int32, n)
+		_, newRecs := tab.FindOrInsert(p, hashes, rows, recs)
+		ag.Init(tab, newRecs)
+		for ai := range specs {
+			ag.Update(tab, ai, recs, rows, vv)
+		}
+	}
+	// Extract results keyed by the reconstructed group key.
+	nG := tab.Len()
+	recIdx := make([]int32, nG)
+	rows := make([]int32, nG)
+	for i := range recIdx {
+		recIdx[i], rows[i] = int32(i), int32(i)
+	}
+	keyOut := vec.New(vec.I64, nG)
+	tab.LoadKey(0, recIdx, keyOut, rows)
+	res := map[int64][]i128.Int{}
+	for ai := range specs {
+		out := vec.New(ag.ResultType(ai), nG)
+		ag.Result(tab, ai, recIdx, out, rows)
+		for i := 0; i < nG; i++ {
+			k := keyOut.I64[i]
+			for len(res[k]) <= ai {
+				res[k] = append(res[k], i128.Int{})
+			}
+			if out.Typ == vec.I128 {
+				res[k][ai] = out.I128[i]
+			} else {
+				res[k][ai] = i128.FromInt64(out.I64[i])
+			}
+		}
+	}
+	return res, tab, ag
+}
+
+func TestAggregatorEndToEndAllFlagCombos(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	const n = 30_000
+	keys := make([]int64, n)
+	vals := make([]int64, n)
+	for i := range keys {
+		keys[i] = int64(rng.Intn(100))
+		vals[i] = rng.Int63n(1<<50) - 1<<49
+	}
+	valDom := domain.New(-(1 << 49), 1<<49-1)
+	specs := []Spec{
+		{Func: Sum, InType: vec.I64, InDom: valDom, MaxRows: 1 << 40}, // forces 128-bit
+		{Func: Count, InType: vec.I64, InDom: valDom, MaxRows: n},
+		{Func: Min, InType: vec.I64, InDom: valDom, MaxRows: n},
+		{Func: Max, InType: vec.I64, InDom: valDom, MaxRows: n},
+	}
+	// Oracle.
+	type acc struct {
+		sum      i128.Int
+		cnt      int64
+		min, max int64
+	}
+	oracle := map[int64]*acc{}
+	for i := range keys {
+		a, ok := oracle[keys[i]]
+		if !ok {
+			a = &acc{min: math.MaxInt64, max: math.MinInt64}
+			oracle[keys[i]] = a
+		}
+		a.sum = i128.AddInt64(a.sum, vals[i])
+		a.cnt++
+		if vals[i] < a.min {
+			a.min = vals[i]
+		}
+		if vals[i] > a.max {
+			a.max = vals[i]
+		}
+	}
+	combos := []core.Flags{
+		{}, {Split: true}, {Compress: true}, {Compress: true, Split: true}, core.All(),
+	}
+	for _, flags := range combos {
+		res, _, _ := aggHarness(t, flags, specs, keys, vals, domain.New(0, 99))
+		if len(res) != len(oracle) {
+			t.Fatalf("flags %+v: %d groups, want %d", flags, len(res), len(oracle))
+		}
+		for k, a := range oracle {
+			r, ok := res[k]
+			if !ok {
+				t.Fatalf("flags %+v: group %d missing", flags, k)
+			}
+			if r[0] != a.sum {
+				t.Errorf("flags %+v group %d: sum %v want %v", flags, k, r[0], a.sum)
+			}
+			if r[1].Int64() != a.cnt {
+				t.Errorf("flags %+v group %d: count %d want %d", flags, k, r[1].Int64(), a.cnt)
+			}
+			if r[2].Int64() != a.min || r[3].Int64() != a.max {
+				t.Errorf("flags %+v group %d: min/max mismatch", flags, k)
+			}
+		}
+	}
+}
+
+func TestSumWidthDecision(t *testing.T) {
+	small := Spec{Func: Sum, InType: vec.I32, InDom: domain.New(0, 1000), MaxRows: 1 << 20}
+	big := Spec{Func: Sum, InType: vec.I64, InDom: domain.New(0, 1<<40), MaxRows: 1 << 40}
+
+	opt := NewAggregator(core.Flags{Compress: true, Split: true}, []Spec{small, big})
+	if opt.layouts[0].kind != kSumI64 {
+		t.Error("provably-fitting sum must use 64 bits")
+	}
+	if opt.layouts[1].kind != kSumSplitPos {
+		t.Error("non-negative overflowing sum must use the positive optimistic kind")
+	}
+
+	van := NewAggregator(core.Vanilla(), []Spec{small, big})
+	if van.layouts[0].kind != kSumI64 {
+		t.Error("vanilla i32 sum uses 64 bits")
+	}
+	if van.layouts[1].kind != kSumFull128 {
+		t.Error("vanilla wide sum must use the full 128-bit aggregate")
+	}
+
+	neg := Spec{Func: Sum, InType: vec.I64, InDom: domain.New(-(1 << 40), 1<<40), MaxRows: 1 << 40}
+	split := NewAggregator(core.Flags{Split: true}, []Spec{neg})
+	if split.layouts[0].kind != kSumSplit {
+		t.Error("signed overflowing sum must use the generic optimistic kind")
+	}
+}
+
+func TestHotColdWidths(t *testing.T) {
+	specs := []Spec{
+		{Func: Sum, InType: vec.I64, InDom: domain.New(0, 1<<40), MaxRows: 1 << 40},
+		{Func: Count, InType: vec.I64, MaxRows: 1 << 40},
+		{Func: Min, InType: vec.I64, InDom: domain.New(0, 1<<40), MaxRows: 1 << 40},
+	}
+	full := NewAggregator(core.Vanilla(), specs)
+	split := NewAggregator(core.Flags{Split: true}, specs)
+	// Full: 16 (sum128) + 8 (count) + 8 (min) = 32 hot, 0 cold.
+	if full.HotBytes != 32 || full.ColdBytes != 0 {
+		t.Errorf("full widths: hot=%d cold=%d", full.HotBytes, full.ColdBytes)
+	}
+	// Split: 8 (sum) + 2 (count16) + 4 (min bound) = 14 hot, 24 cold.
+	if split.HotBytes != 14 || split.ColdBytes != 24 {
+		t.Errorf("split widths: hot=%d cold=%d", split.HotBytes, split.ColdBytes)
+	}
+	if split.HotBytes >= full.HotBytes {
+		t.Error("splitting must shrink the hot working set")
+	}
+}
+
+func TestCountSplitLongRun(t *testing.T) {
+	// Push a single group past multiple 16-bit flushes through the
+	// table-integrated path.
+	flags := core.Flags{Split: true}
+	const n = 300_000
+	keys := make([]int64, n)
+	vals := make([]int64, n)
+	res, _, _ := aggHarness(t, flags,
+		[]Spec{{Func: CountStar, InType: vec.I64, MaxRows: n}},
+		keys, vals, domain.Const(0))
+	if got := res[0][0].Int64(); got != n {
+		t.Errorf("count = %d, want %d", got, n)
+	}
+}
+
+func TestOpSumPosVectorMatchesFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const groups = 8
+	common := make([]uint64, groups)
+	except := make([]int64, groups)
+	full := make([]i128.Int, groups)
+	// Many batches with values near 2^61: the fast path must hand over to
+	// the checked path before any overflow is possible.
+	const maxVal = int64(1) << 61
+	for batch := 0; batch < 64; batch++ {
+		g := make([]int32, 1024)
+		v := make([]int64, 1024)
+		for i := range g {
+			g[i] = int32(rng.Intn(groups))
+			v[i] = rng.Int63n(maxVal + 1)
+		}
+		OpSumPosVector(common, except, g, v, maxVal)
+		FullSumPos(full, g, v)
+	}
+	for i := 0; i < groups; i++ {
+		if CombineOpSum(common[i], except[i]) != full[i] {
+			t.Errorf("group %d: vector-checked %v != full %v",
+				i, CombineOpSum(common[i], except[i]), full[i])
+		}
+	}
+}
+
+func TestOpSumPosVectorWorstCaseWrap(t *testing.T) {
+	// A batch whose worst-case product wraps uint64 must take the checked
+	// path and still be correct.
+	common := make([]uint64, 1)
+	except := make([]int64, 1)
+	full := make([]i128.Int, 1)
+	g := make([]int32, 4096)
+	v := make([]int64, 4096)
+	for i := range v {
+		v[i] = math.MaxInt64
+	}
+	OpSumPosVector(common, except, g, v, math.MaxInt64)
+	FullSumPos(full, g, v)
+	if CombineOpSum(common[0], except[0]) != full[0] {
+		t.Error("wrap-guard failed")
+	}
+}

@@ -1,0 +1,187 @@
+// Package agg implements the paper's aggregation kernels: the full-width
+// 128-bit SUM baseline and the Optimistic Aggregates of Section III-A
+// (Table I), which split each aggregate into a small frequently-accessed
+// common case and a rarely-accessed exception.
+//
+// This file holds the columnar kernels exactly mirroring the paper's
+// opsum pseudo-code; aggregator.go integrates the same logic into the
+// NSM hot/cold records of the optimistically compressed hash table.
+package agg
+
+import "ocht/internal/i128"
+
+// OpSum is the paper's opsum: a 64-bit unsigned common-case addition with
+// a carry exception counter. It handles positive as well as negative
+// values. common[g] accumulates the low 64 bits; except[g] counts carries
+// (positive) and borrows (negative), so the true sum is
+// except[g]*2^64 + common[g] in two's complement.
+func OpSum(common []uint64, except []int64, groups []int32, values []int64) {
+	for i, g := range groups {
+		v := values[i]
+		old := common[g]
+		common[g] = old + uint64(v)
+		// Rare: handle overflows.
+		overflow := common[g] < uint64(v)
+		positive := v >= 0
+		if overflow == positive { // !(overflow ^ positive)
+			if positive {
+				except[g]++
+			} else {
+				except[g]--
+			}
+		}
+	}
+}
+
+// OpSumPos is the positive-only variant: when Min/Max information proves
+// the absence of negative values the overflow test simplifies, which the
+// paper's micro-benchmarks show is the fastest flavour for values up to
+// 2^61 (Figure 11).
+func OpSumPos(common []uint64, except []int64, groups []int32, values []int64) {
+	for i, g := range groups {
+		v := uint64(values[i])
+		old := common[g]
+		sum := old + v
+		common[g] = sum
+		if sum < old { // carry
+			except[g]++
+		}
+	}
+}
+
+// FullSum is the baseline: every update reads, widens and writes a full
+// 128-bit aggregate.
+func FullSum(aggs []i128.Int, groups []int32, values []int64) {
+	for i, g := range groups {
+		aggs[g] = i128.AddInt64(aggs[g], values[i])
+	}
+}
+
+// FullSumPos is the baseline restricted to non-negative inputs; the
+// sign-extension disappears but the 128-bit read-modify-write remains.
+func FullSumPos(aggs []i128.Int, groups []int32, values []int64) {
+	for i, g := range groups {
+		a := aggs[g]
+		lo := a.Lo + uint64(values[i])
+		if lo < a.Lo {
+			a.Hi++
+		}
+		a.Lo = lo
+		aggs[g] = a
+	}
+}
+
+// CombineOpSum reconstructs the exact 128-bit sum of a split aggregate.
+func CombineOpSum(common uint64, except int64) i128.Int {
+	return i128.Int{Hi: except, Lo: common}
+}
+
+// OpCount16 is the optimistic COUNT: a 16-bit common-case counter flushed
+// into the 64-bit exception after 2^16-1 iterations (Table I).
+func OpCount16(common []uint16, except []uint64, groups []int32) {
+	for _, g := range groups {
+		common[g]++
+		if common[g] == 0xFFFF {
+			except[g] += 0xFFFF
+			common[g] = 0
+		}
+	}
+}
+
+// CombineOpCount reconstructs the exact count of a split counter.
+func CombineOpCount(common uint16, except uint64) int64 {
+	return int64(except + uint64(common))
+}
+
+// OpMin is the optimistic MIN of Table I: bounds[g] holds a saturating
+// 32-bit upper bound on the true minimum (relative to domMin), and the
+// full minimum lives in the exception area. Values whose bound exceeds
+// the stored bound cannot become the new minimum and never touch the
+// exception (cold) side.
+func OpMin(bounds []uint32, except []int64, groups []int32, values []int64, domMin int64) {
+	for i, g := range groups {
+		v := values[i]
+		bv := boundOf(v, domMin)
+		if bv > bounds[g] {
+			continue // cannot become the new minimum
+		}
+		if v < except[g] {
+			except[g] = v
+			bounds[g] = boundOf(v, domMin)
+		}
+	}
+}
+
+// OpMax is the symmetric optimistic MAX: bounds[g] is a saturating lower
+// bound on the true maximum.
+func OpMax(bounds []uint32, except []int64, groups []int32, values []int64, domMin int64) {
+	for i, g := range groups {
+		v := values[i]
+		bv := boundOf(v, domMin)
+		if bv < bounds[g] {
+			continue // cannot become the new maximum
+		}
+		if v > except[g] {
+			except[g] = v
+			bounds[g] = boundOf(v, domMin)
+		}
+	}
+}
+
+// boundOf maps a value to its saturating 32-bit order-preserving code
+// relative to the domain minimum: v1 <= v2 implies boundOf(v1) <=
+// boundOf(v2), with ties only at the saturation point.
+func boundOf(v, domMin int64) uint32 {
+	d := uint64(v) - uint64(domMin) // v >= domMin by domain derivation
+	if v < domMin {                 // defensive: clamp below-domain outliers
+		return 0
+	}
+	if d > 0xFFFFFFFF {
+		return 0xFFFFFFFF
+	}
+	return uint32(d)
+}
+
+// MinInitBound and MinInitExcept are the initial state of an OpMin group:
+// the bound is saturated high so the first value always passes, and the
+// exception starts at +infinity.
+const (
+	MinInitBound  = uint32(0xFFFFFFFF)
+	MinInitExcept = int64(1<<63 - 1)
+	MaxInitBound  = uint32(0)
+	MaxInitExcept = int64(-1 << 63)
+)
+
+// OpSumPosVector is the paper's deferred future-work idea (Section III-B):
+// "for aggregates with few groups ... keep more aggressive overflow bounds
+// that guarantee that a batch of aggregate updates cannot overflow the
+// partial aggregate. This way, overflow checking could be done once per
+// vector, rather than for every tuple."
+//
+// Before each batch it checks every group's headroom against the batch's
+// worst case (len(values) * maxVal); if no group can overflow, it runs a
+// check-free addition loop. Inputs must be non-negative and bounded by
+// maxVal. Only profitable for small group counts, where the pre-check is
+// cheap relative to the batch.
+func OpSumPosVector(common []uint64, except []int64, groups []int32, values []int64, maxVal int64) {
+	worst := uint64(len(values)) * uint64(maxVal)
+	// Detect wrap-around of the worst-case product itself.
+	safe := maxVal >= 0 && (maxVal == 0 || worst/uint64(maxVal) == uint64(len(values)))
+	if safe {
+		limit := ^uint64(0) - worst
+		for _, c := range common {
+			if c > limit {
+				safe = false
+				break
+			}
+		}
+	}
+	if safe {
+		// Check-free fast path: no per-tuple overflow handling at all.
+		for i, g := range groups {
+			common[g] += uint64(values[i])
+		}
+		return
+	}
+	OpSumPos(common, except, groups, values)
+}

@@ -1,0 +1,105 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"ocht/internal/bi"
+	"ocht/internal/core"
+	"ocht/internal/exec"
+	"ocht/internal/storage"
+	"ocht/internal/ussr"
+)
+
+var (
+	biMu      sync.Mutex
+	biRowsKey int
+	biCatVal  *storage.Catalog
+)
+
+func biCatalog(cfg Config) *storage.Catalog {
+	biMu.Lock()
+	defer biMu.Unlock()
+	if biCatVal == nil || biRowsKey != cfg.BIRows {
+		biCatVal = bi.Gen(cfg.BIRows, cfg.Seed)
+		biRowsKey = cfg.BIRows
+	}
+	return biCatVal
+}
+
+// Table3 prints the BI workload speedups and USSR statistics of Table III
+// for the CommonGovernment-like workbook: per query the USSR-alone speedup
+// over vanilla, the USSR fill size, rejection statistics, resident string
+// count, average string length, and the baseline runtime and hash-table
+// size.
+func Table3(w io.Writer, cfg Config) {
+	cat := biCatalog(cfg)
+	header(w, fmt.Sprintf("Table III: CommonGovernment-like workbook, %d rows", cfg.BIRows))
+	fmt.Fprintf(w, "%-5s %8s %10s %8s %9s %11s %9s %7s %10s %9s\n",
+		"query", "speedup", "ussr(kB)", "rej(%)", "#rejected",
+		"#candidates", "#strings", "avglen", "base(ms)", "baseHT")
+	for q := 1; q <= bi.NumQueries; q++ {
+		baseline := best(cfg.Reps, func() time.Duration {
+			qc := exec.NewQCtx(core.Vanilla())
+			start := time.Now()
+			bi.Q(q, cat, qc)
+			return time.Since(start)
+		})
+		var htBytes int
+		{
+			qc := exec.NewQCtx(core.Vanilla())
+			bi.Q(q, cat, qc)
+			htBytes = qc.HashTableBytes()
+		}
+		var stats ussr.Stats
+		withU := best(cfg.Reps, func() time.Duration {
+			qc := exec.NewQCtx(core.Flags{UseUSSR: true})
+			start := time.Now()
+			bi.Q(q, cat, qc)
+			el := time.Since(start)
+			stats = qc.Store.U.Stats()
+			return el
+		})
+		speedup := float64(baseline) / float64(withU)
+		fmt.Fprintf(w, "Q%-4d %7.1fx %10.1f %8.1f %9d %11d %9d %7.0f %10.2f %9s\n",
+			q, speedup, float64(stats.SizeBytes)/1024, stats.RejectionRatio(),
+			stats.Rejected, stats.Candidates, stats.Count, stats.AvgLen(),
+			float64(baseline.Microseconds())/1000, humanBytes(htBytes))
+	}
+}
+
+// Fig6 prints the per-primitive query time breakdown of Figure 6 for BI
+// Q1, Q2 and Q4, vanilla vs USSR.
+func Fig6(w io.Writer, cfg Config) {
+	cat := biCatalog(cfg)
+	header(w, "Figure 6: query time breakdown (vanilla vs USSR)")
+	buckets := []string{
+		exec.StatScan, exec.StatHash, exec.StatLookup,
+		exec.StatAggregate, exec.StatOther,
+	}
+	for _, q := range []int{1, 2, 4} {
+		for _, mode := range []struct {
+			name  string
+			flags core.Flags
+		}{{"vanilla", core.Vanilla()}, {"ussr", core.Flags{UseUSSR: true}}} {
+			qc := exec.NewQCtx(mode.flags)
+			start := time.Now()
+			bi.Q(q, cat, qc)
+			total := time.Since(start)
+			fmt.Fprintf(w, "Q%d %-8s total=%-12v", q, mode.name, total.Round(time.Microsecond))
+			accounted := time.Duration(0)
+			for _, b := range buckets[:4] {
+				d := qc.Stats.Get(b)
+				accounted += d
+				fmt.Fprintf(w, " %s=%v", b, d.Round(time.Microsecond))
+			}
+			rest := total - accounted
+			if rest < 0 {
+				rest = 0
+			}
+			fmt.Fprintf(w, " %s=%v\n", exec.StatOther, rest.Round(time.Microsecond))
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"ocht/internal/agg"
+	"ocht/internal/core"
+	"ocht/internal/exec"
+	"ocht/internal/storage"
+	"ocht/internal/strs"
+	"ocht/internal/vec"
+)
+
+// Fig7 reproduces the group-by-on-string-keys micro-benchmark: a
+// SELECT COUNT(*) FROM T GROUP BY s query over 10 unique strings of equal
+// length, for lengths 2..512. It reports the USSR speedup of the string
+// comparison, the hash computation and the whole query (the paper sees
+// 2-50x, 4-80x and up to ~25x respectively, growing with length).
+func Fig7(w io.Writer, cfg Config) {
+	header(w, "Figure 7: group-by on string keys, speedup vs string length")
+	line(w, "length", "compare", "hash", "whole query")
+	const nRows = 200_000
+	for _, length := range []int{2, 4, 8, 16, 32, 64, 128, 256, 512} {
+		words := make([]string, 10)
+		for i := range words {
+			base := fmt.Sprintf("s%02d", i)
+			words[i] = (base + strings.Repeat("x", length))[:length]
+		}
+		col := storage.NewColumn("s", vec.Str, false)
+		for i := 0; i < nRows; i++ {
+			col.AppendString(words[i%10])
+		}
+		tab := storage.NewTable("t", col)
+		tab.Seal()
+
+		// Whole query.
+		run := func(flags core.Flags) time.Duration {
+			return best(cfg.Reps, func() time.Duration {
+				qc := exec.NewQCtx(flags)
+				s := exec.NewScan(tab, "s")
+				m := s.Meta()
+				h := exec.NewHashAgg(s, []string{"s"}, []*exec.Expr{exec.Col(m, "s")},
+					[]exec.AggExpr{{Func: agg.CountStar, Name: "cnt"}})
+				start := time.Now()
+				exec.Run(qc, h)
+				return time.Since(start)
+			})
+		}
+		vanilla := run(core.Vanilla())
+		withU := run(core.Flags{UseUSSR: true})
+
+		// Isolated hash and compare primitives over the two backings.
+		cmpSpeed, hashSpeed := stringPrimitiveSpeedups(words, cfg.Reps)
+		fmt.Fprintf(w, "%-6d %7.1fx %7.1fx %7.1fx\n",
+			length, cmpSpeed, hashSpeed, float64(vanilla)/float64(withU))
+	}
+}
+
+// stringPrimitiveSpeedups measures Store.Equal and Store.Hash over
+// heap-backed vs USSR-backed references for the given distinct strings.
+func stringPrimitiveSpeedups(words []string, reps int) (cmp, hash float64) {
+	const n = 1 << 15
+	heap := strs.NewStore(false)
+	fast := strs.NewStore(true)
+	hRefs := make([]vec.StrRef, n)
+	uRefs := make([]vec.StrRef, n)
+	for i := 0; i < n; i++ {
+		hRefs[i] = heap.Intern(words[i%len(words)])
+		uRefs[i] = fast.Intern(words[i%len(words)])
+	}
+	timeEqual := func(st *strs.Store, refs []vec.StrRef) time.Duration {
+		return best(reps, func() time.Duration {
+			start := time.Now()
+			acc := 0
+			for i := 0; i < n-1; i++ {
+				if st.Equal(refs[i], refs[i+1]) {
+					acc++
+				}
+			}
+			sink = acc
+			return time.Since(start)
+		})
+	}
+	timeHash := func(st *strs.Store, refs []vec.StrRef) time.Duration {
+		return best(reps, func() time.Duration {
+			start := time.Now()
+			var acc uint64
+			for i := 0; i < n; i++ {
+				acc ^= st.Hash(refs[i])
+			}
+			sinkU = acc
+			return time.Since(start)
+		})
+	}
+	cmp = float64(timeEqual(heap, hRefs)) / float64(timeEqual(fast, uRefs))
+	hash = float64(timeHash(heap, hRefs)) / float64(timeHash(fast, uRefs))
+	return cmp, hash
+}
+
+// sink variables defeat dead-code elimination in the micro loops.
+var (
+	sink  int
+	sinkU uint64
+)

@@ -1,0 +1,24 @@
+package bench
+
+import (
+	"ocht/internal/agg"
+	"ocht/internal/i128"
+)
+
+// Thin aliases binding Figure 11 to the aggregation kernels.
+
+func fullSumLoop(aggs []i128.Int, groups []int32, vals []int64) {
+	agg.FullSum(aggs, groups, vals)
+}
+
+func fullSumPosLoop(aggs []i128.Int, groups []int32, vals []int64) {
+	agg.FullSumPos(aggs, groups, vals)
+}
+
+func optSumLoop(common []uint64, except []int64, groups []int32, vals []int64) {
+	agg.OpSum(common, except, groups, vals)
+}
+
+func optSumPosLoop(common []uint64, except []int64, groups []int32, vals []int64) {
+	agg.OpSumPos(common, except, groups, vals)
+}

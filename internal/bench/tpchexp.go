@@ -1,0 +1,175 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"ocht/internal/core"
+	"ocht/internal/exec"
+	"ocht/internal/storage"
+	"ocht/internal/tpch"
+)
+
+// tpchConfig names one engine configuration of the TPC-H experiments.
+type tpchConfig struct {
+	name  string
+	flags core.Flags
+}
+
+var tpchConfigs = []tpchConfig{
+	{"vanilla", core.Vanilla()},
+	{"ussr", core.Flags{UseUSSR: true}},
+	{"cht", core.Flags{Compress: true}},
+	{"all", core.All()},
+}
+
+// numTPCHConfigs must match len(tpchConfigs).
+const numTPCHConfigs = 4
+
+// tpchRun caches one full power run per configuration.
+type tpchRun struct {
+	times    [numTPCHConfigs][22]time.Duration
+	htBytes  [numTPCHConfigs][22]int
+	hotBytes [numTPCHConfigs][22]int
+}
+
+var (
+	tpchMu     sync.Mutex
+	tpchCatSF  float64
+	tpchCatVal *storage.Catalog
+	tpchRunKey Config
+	tpchRunVal *tpchRun
+)
+
+func tpchCatalog(cfg Config) *storage.Catalog {
+	tpchMu.Lock()
+	defer tpchMu.Unlock()
+	if tpchCatVal == nil || tpchCatSF != cfg.TPCHSF {
+		tpchCatVal = tpch.Gen(cfg.TPCHSF, cfg.Seed)
+		tpchCatSF = cfg.TPCHSF
+	}
+	return tpchCatVal
+}
+
+// runTPCH executes the TPC-H power run under every configuration,
+// measuring per-query hot runtime and hash-table footprints.
+func runTPCH(cfg Config) *tpchRun {
+	cat := tpchCatalog(cfg)
+	tpchMu.Lock()
+	if tpchRunVal != nil && tpchRunKey == cfg {
+		r := tpchRunVal
+		tpchMu.Unlock()
+		return r
+	}
+	tpchMu.Unlock()
+
+	r := &tpchRun{}
+	for ci := range tpchConfigs {
+		for q := 0; q < 22; q++ {
+			r.times[ci][q] = time.Duration(1<<63 - 1)
+		}
+	}
+	// Interleave configurations within each repetition so that machine
+	// noise hits all of them alike; keep the fastest (hot) run per
+	// configuration, the paper's measurement discipline.
+	for rep := 0; rep < cfg.Reps+1; rep++ {
+		for q := 1; q <= 22; q++ {
+			for ci, c := range tpchConfigs {
+				qc := exec.NewQCtx(c.flags)
+				start := time.Now()
+				tpch.Q(q, cat, qc)
+				el := time.Since(start)
+				if rep == 0 {
+					// Warm-up round: record footprints only.
+					r.htBytes[ci][q-1] = qc.HashTableBytes()
+					r.hotBytes[ci][q-1] = qc.HashTableHotBytes()
+					continue
+				}
+				if el < r.times[ci][q-1] {
+					r.times[ci][q-1] = el
+				}
+			}
+		}
+	}
+	tpchMu.Lock()
+	tpchRunKey, tpchRunVal = cfg, r
+	tpchMu.Unlock()
+	return r
+}
+
+func configIndex(name string) int {
+	for i, c := range tpchConfigs {
+		if c.name == name {
+			return i
+		}
+	}
+	panic("bench: unknown config " + name)
+}
+
+// Fig4 prints the hash-table footprint shrinking factors of Figure 4:
+// "CHT alone" (total footprint under compression) and "CHT + Optimistic
+// (hot area)" against the vanilla baseline, with the absolute vanilla
+// footprint per query.
+func Fig4(w io.Writer, cfg Config) {
+	r := runTPCH(cfg)
+	van, cht, all := configIndex("vanilla"), configIndex("cht"), configIndex("all")
+	header(w, fmt.Sprintf("Figure 4: hash table footprint shrinking factor, TPC-H SF %g", cfg.TPCHSF))
+	line(w, "query", "baseline", "CHT alone", "CHT+Optimistic(hot)")
+	for q := 0; q < 22; q++ {
+		base := r.htBytes[van][q]
+		f1 := factor(base, r.htBytes[cht][q])
+		f2 := factor(base, r.hotBytes[all][q])
+		fmt.Fprintf(w, "Q%-4d %10s %10.2fx %10.2fx\n", q+1, humanBytes(base), f1, f2)
+	}
+}
+
+// Table2 prints the total (hot+cold) footprint reduction of Table II.
+func Table2(w io.Writer, cfg Config) {
+	r := runTPCH(cfg)
+	van, all := configIndex("vanilla"), configIndex("all")
+	header(w, "Table II: total footprint reduction, vanilla vs CHT+Optimistic+USSR")
+	fmt.Fprint(w, "query:  ")
+	for q := 0; q < 22; q++ {
+		fmt.Fprintf(w, "%5d", q+1)
+	}
+	fmt.Fprint(w, "\nfactor: ")
+	for q := 0; q < 22; q++ {
+		fmt.Fprintf(w, "%5.1f", factor(r.htBytes[van][q], r.htBytes[all][q]))
+	}
+	fmt.Fprintln(w)
+}
+
+// Fig5 prints the per-query runtime improvement of Figure 5 for the three
+// configurations (USSR alone, CHT alone, all three), with the baseline
+// runtime per query.
+func Fig5(w io.Writer, cfg Config) {
+	r := runTPCH(cfg)
+	van := configIndex("vanilla")
+	header(w, fmt.Sprintf("Figure 5: %% improvement over TPC-H power run, SF %g", cfg.TPCHSF))
+	line(w, "query", "baseline", "USSR alone", "CHT alone", "CHT+Opt+USSR")
+	for q := 0; q < 22; q++ {
+		base := r.times[van][q]
+		fmt.Fprintf(w, "Q%-4d %10v", q+1, base.Round(time.Microsecond))
+		for _, name := range []string{"ussr", "cht", "all"} {
+			d := r.times[configIndex(name)][q]
+			fmt.Fprintf(w, " %9.1f%%", improvement(base, d))
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func factor(base, v int) float64 {
+	if v == 0 {
+		return 0
+	}
+	return float64(base) / float64(v)
+}
+
+func improvement(base, v time.Duration) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * (1 - float64(v)/float64(base))
+}

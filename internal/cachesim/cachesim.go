@@ -1,0 +1,101 @@
+// Package cachesim models a set-associative LRU cache. The paper explains
+// the Figure 8 probe speedups through hardware LLC-miss counters; pure Go
+// cannot read those, so the benchmark harness replays the hash-table
+// access pattern of each probe against this model, sized like the paper's
+// Xeon Gold 6126 L3 (19.25 MB), to regenerate the miss curves.
+package cachesim
+
+// Cache is a set-associative cache with LRU replacement and a
+// write-allocate policy (reads and writes are both plain accesses).
+type Cache struct {
+	sets     [][]uint64 // per set: line tags in LRU order (front = MRU)
+	ways     int
+	lineBits uint
+	setMask  uint64
+
+	Accesses uint64
+	Misses   uint64
+}
+
+// New creates a cache of the given total size, associativity and line
+// size. Sizes are rounded down to powers of two of sets.
+func New(sizeBytes, ways, lineBytes int) *Cache {
+	if ways <= 0 {
+		ways = 8
+	}
+	if lineBytes <= 0 {
+		lineBytes = 64
+	}
+	lineBits := uint(0)
+	for 1<<(lineBits+1) <= lineBytes {
+		lineBits++
+	}
+	nSets := sizeBytes / (ways * (1 << lineBits))
+	// Round down to a power of two.
+	p := 1
+	for p*2 <= nSets {
+		p *= 2
+	}
+	if p < 1 {
+		p = 1
+	}
+	c := &Cache{
+		sets:     make([][]uint64, p),
+		ways:     ways,
+		lineBits: lineBits,
+		setMask:  uint64(p - 1),
+	}
+	return c
+}
+
+// Access touches one byte address.
+func (c *Cache) Access(addr uint64) {
+	c.Accesses++
+	line := addr >> c.lineBits
+	set := line & c.setMask
+	s := c.sets[set]
+	for i, tag := range s {
+		if tag == line {
+			// Hit: move to MRU.
+			copy(s[1:i+1], s[:i])
+			s[0] = line
+			return
+		}
+	}
+	c.Misses++
+	if len(s) < c.ways {
+		s = append(s, 0)
+	}
+	copy(s[1:], s)
+	s[0] = line
+	c.sets[set] = s
+}
+
+// AccessRange touches n consecutive bytes starting at addr.
+func (c *Cache) AccessRange(addr uint64, n int) {
+	first := addr >> c.lineBits
+	last := (addr + uint64(n) - 1) >> c.lineBits
+	for line := first; line <= last; line++ {
+		c.Access(line << c.lineBits)
+	}
+}
+
+// MissRatio returns Misses/Accesses.
+func (c *Cache) MissRatio() float64 {
+	if c.Accesses == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(c.Accesses)
+}
+
+// Reset clears contents and counters.
+func (c *Cache) Reset() {
+	for i := range c.sets {
+		c.sets[i] = c.sets[i][:0]
+	}
+	c.Accesses, c.Misses = 0, 0
+}
+
+// ResetCounters clears the counters but keeps cache contents (to measure
+// a hot phase after warmup).
+func (c *Cache) ResetCounters() { c.Accesses, c.Misses = 0, 0 }

@@ -1,0 +1,88 @@
+package cachesim
+
+import "testing"
+
+func TestHitAfterMiss(t *testing.T) {
+	c := New(1<<20, 8, 64)
+	c.Access(0x1000)
+	if c.Misses != 1 {
+		t.Fatal("first access must miss")
+	}
+	c.Access(0x1000)
+	c.Access(0x1010) // same line
+	if c.Misses != 1 {
+		t.Fatalf("same-line accesses must hit, misses=%d", c.Misses)
+	}
+	if c.Accesses != 3 {
+		t.Fatalf("accesses=%d", c.Accesses)
+	}
+}
+
+func TestWorkingSetFitsNoSteadyMisses(t *testing.T) {
+	// A working set half the cache size must converge to zero misses.
+	c := New(1<<20, 8, 64)
+	const ws = 1 << 19
+	for pass := 0; pass < 2; pass++ {
+		if pass == 1 {
+			c.ResetCounters()
+		}
+		for a := uint64(0); a < ws; a += 64 {
+			c.Access(a)
+		}
+	}
+	if c.Misses != 0 {
+		t.Errorf("steady-state misses on a fitting working set: %d", c.Misses)
+	}
+}
+
+func TestWorkingSetExceedsThrashes(t *testing.T) {
+	// A sequential sweep over 4x the cache size must miss every line.
+	c := New(1<<16, 8, 64)
+	const ws = 1 << 18
+	for pass := 0; pass < 2; pass++ {
+		if pass == 1 {
+			c.ResetCounters()
+		}
+		for a := uint64(0); a < ws; a += 64 {
+			c.Access(a)
+		}
+	}
+	if c.MissRatio() < 0.99 {
+		t.Errorf("sequential over-capacity sweep should thrash, ratio=%f", c.MissRatio())
+	}
+}
+
+func TestAssociativityConflicts(t *testing.T) {
+	// More distinct lines mapping to one set than ways must evict.
+	c := New(1<<12, 2, 64) // 32 sets, 2 ways
+	stride := uint64(32 * 64)
+	for i := uint64(0); i < 3; i++ {
+		c.Access(i * stride) // all map to set 0
+	}
+	c.ResetCounters()
+	c.Access(0) // evicted by the third line
+	if c.Misses != 1 {
+		t.Error("LRU eviction expected in a 2-way set")
+	}
+}
+
+func TestAccessRangeSpansLines(t *testing.T) {
+	c := New(1<<20, 8, 64)
+	c.AccessRange(60, 8) // crosses a line boundary
+	if c.Accesses != 2 {
+		t.Errorf("expected 2 line touches, got %d", c.Accesses)
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := New(1<<16, 4, 64)
+	c.Access(0)
+	c.Reset()
+	if c.Accesses != 0 || c.Misses != 0 {
+		t.Error("counters after reset")
+	}
+	c.Access(0)
+	if c.Misses != 1 {
+		t.Error("contents must be dropped by Reset")
+	}
+}

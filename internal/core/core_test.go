@@ -1,0 +1,421 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ocht/internal/domain"
+	"ocht/internal/strs"
+	"ocht/internal/vec"
+)
+
+var allFlagCombos = []Flags{
+	{},
+	{Compress: true},
+	{UseUSSR: true},
+	{Split: true},
+	{Compress: true, Split: true},
+	{Compress: true, UseUSSR: true},
+	{UseUSSR: true, Split: true},
+	{Compress: true, Split: true, UseUSSR: true},
+}
+
+func flagName(f Flags) string {
+	return fmt.Sprintf("compress=%v,split=%v,ussr=%v", f.Compress, f.Split, f.UseUSSR)
+}
+
+// buildIntBatch builds two int key columns with values in small domains.
+func buildIntBatch(n int, rng *rand.Rand) (cols []*vec.Vector, rows []int32) {
+	a := vec.New(vec.I64, n)
+	b := vec.New(vec.I32, n)
+	for i := 0; i < n; i++ {
+		a.I64[i] = int64(rng.Intn(47)) - 4
+		b.I32[i] = int32(rng.Intn(998)) + 3
+	}
+	rows = make([]int32, n)
+	for i := range rows {
+		rows[i] = int32(i)
+	}
+	return []*vec.Vector{a, b}, rows
+}
+
+func intKeyCols() []KeyCol {
+	return []KeyCol{
+		{Name: "a", Type: vec.I64, Dom: domain.New(-4, 42)},
+		{Name: "b", Type: vec.I32, Dom: domain.New(3, 1000)},
+	}
+}
+
+func TestGroupByAllFlagCombos(t *testing.T) {
+	for _, flags := range allFlagCombos {
+		t.Run(flagName(flags), func(t *testing.T) {
+			store := strs.NewStore(flags.UseUSSR)
+			schema, err := NewKeySchema(flags, intKeyCols(), store)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tab := NewTable(schema, 8, 0, 16)
+			rng := rand.New(rand.NewSource(3))
+			oracle := map[[2]int64]int32{}
+			for batch := 0; batch < 8; batch++ {
+				cols, rows := buildIntBatch(512, rng)
+				p := schema.Prepare(cols, rows)
+				hashes := make([]uint64, 512)
+				schema.Hash(p, rows, hashes)
+				recOut := make([]int32, 512)
+				tab.FindOrInsert(p, hashes, rows, recOut)
+				for _, r := range rows {
+					key := [2]int64{cols[0].I64[r], int64(cols[1].I32[r])}
+					if prev, ok := oracle[key]; ok {
+						if prev != recOut[r] {
+							t.Fatalf("key %v mapped to records %d and %d", key, prev, recOut[r])
+						}
+					} else {
+						oracle[key] = recOut[r]
+					}
+				}
+			}
+			if tab.Len() != len(oracle) {
+				t.Fatalf("table has %d groups, oracle %d", tab.Len(), len(oracle))
+			}
+			// Reconstruct keys and compare against the oracle inverse.
+			recIdx := make([]int32, tab.Len())
+			rows := make([]int32, tab.Len())
+			for i := range recIdx {
+				recIdx[i] = int32(i)
+				rows[i] = int32(i)
+			}
+			outA := vec.New(vec.I64, tab.Len())
+			outB := vec.New(vec.I32, tab.Len())
+			tab.LoadKey(0, recIdx, outA, rows)
+			tab.LoadKey(1, recIdx, outB, rows)
+			for i := 0; i < tab.Len(); i++ {
+				key := [2]int64{outA.I64[i], int64(outB.I32[i])}
+				rec, ok := oracle[key]
+				if !ok || rec != int32(i) {
+					t.Fatalf("record %d reconstructs to unknown key %v", i, key)
+				}
+			}
+		})
+	}
+}
+
+func TestCompressedFootprintSmaller(t *testing.T) {
+	mk := func(flags Flags) *Table {
+		store := strs.NewStore(flags.UseUSSR)
+		schema, err := NewKeySchema(flags, intKeyCols(), store)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tab := NewTable(schema, 0, 0, 16)
+		rng := rand.New(rand.NewSource(5))
+		for batch := 0; batch < 16; batch++ {
+			cols, rows := buildIntBatch(1024, rng)
+			p := schema.Prepare(cols, rows)
+			hashes := make([]uint64, 1024)
+			schema.Hash(p, rows, hashes)
+			recOut := make([]int32, 1024)
+			tab.FindOrInsert(p, hashes, rows, recOut)
+		}
+		return tab
+	}
+	vanilla := mk(Vanilla())
+	comp := mk(Flags{Compress: true})
+	if vanilla.Len() != comp.Len() {
+		t.Fatalf("group counts differ: %d vs %d", vanilla.Len(), comp.Len())
+	}
+	// Keys: i64+i32 = 12 bytes vanilla vs 16 bits packed = 4 bytes (32-bit word).
+	if comp.HotWidth() >= vanilla.HotWidth() {
+		t.Errorf("compressed record %dB should be below vanilla %dB",
+			comp.HotWidth(), vanilla.HotWidth())
+	}
+	if comp.MemoryBytes() >= vanilla.MemoryBytes() {
+		t.Errorf("compressed table %dB should undercut vanilla %dB",
+			comp.MemoryBytes(), vanilla.MemoryBytes())
+	}
+}
+
+func TestStringKeysAllFlagCombos(t *testing.T) {
+	words := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta"}
+	for _, flags := range allFlagCombos {
+		t.Run(flagName(flags), func(t *testing.T) {
+			store := strs.NewStore(flags.UseUSSR)
+			cols := []KeyCol{{Name: "s", Type: vec.Str}}
+			schema, err := NewKeySchema(flags, cols, store)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tab := NewTable(schema, 0, 0, 16)
+			rng := rand.New(rand.NewSource(9))
+			const n = 1024
+			for batch := 0; batch < 4; batch++ {
+				v := vec.New(vec.Str, n)
+				// Intern per occurrence: without the USSR this makes
+				// non-canonical heap refs, the tricky case.
+				for i := 0; i < n; i++ {
+					v.Str[i] = store.Intern(words[rng.Intn(len(words))])
+				}
+				rows := make([]int32, n)
+				for i := range rows {
+					rows[i] = int32(i)
+				}
+				p := schema.Prepare([]*vec.Vector{v}, rows)
+				hashes := make([]uint64, n)
+				schema.Hash(p, rows, hashes)
+				recOut := make([]int32, n)
+				tab.FindOrInsert(p, hashes, rows, recOut)
+			}
+			if tab.Len() != len(words) {
+				t.Fatalf("expected %d groups, got %d", len(words), tab.Len())
+			}
+			// Reconstruct and verify the strings.
+			recIdx := make([]int32, tab.Len())
+			rows := make([]int32, tab.Len())
+			for i := range recIdx {
+				recIdx[i], rows[i] = int32(i), int32(i)
+			}
+			out := vec.New(vec.Str, tab.Len())
+			tab.LoadKey(0, recIdx, out, rows)
+			got := map[string]bool{}
+			for i := 0; i < tab.Len(); i++ {
+				got[store.Get(out.Str[i])] = true
+			}
+			for _, w := range words {
+				if !got[w] {
+					t.Errorf("group %q lost", w)
+				}
+			}
+		})
+	}
+}
+
+func TestStringExceptionPath(t *testing.T) {
+	// Fill the USSR so some strings become exceptions (slot code 0),
+	// then group over a mix of resident and exception strings.
+	flags := All()
+	store := strs.NewStore(true)
+	for i := 0; i < 40_000; i++ {
+		store.Intern(fmt.Sprintf("fill-%06d-abcdefghijklmnop", i))
+	}
+	schema, err := NewKeySchema(flags, []KeyCol{{Name: "s", Type: vec.Str}}, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := NewTable(schema, 0, 0, 16)
+	const n = 600
+	v := vec.New(vec.Str, n)
+	distinct := map[string]bool{}
+	exceptions := 0
+	for i := 0; i < n; i++ {
+		s := fmt.Sprintf("key-%d", i%200) // 200 distinct, 3 occurrences each
+		v.Str[i] = store.Intern(s)
+		if !v.Str[i].InUSSR() {
+			exceptions++
+		}
+		distinct[s] = true
+	}
+	if exceptions == 0 {
+		t.Fatal("test setup: expected some exception strings")
+	}
+	rows := make([]int32, n)
+	for i := range rows {
+		rows[i] = int32(i)
+	}
+	p := schema.Prepare([]*vec.Vector{v}, rows)
+	hashes := make([]uint64, n)
+	schema.Hash(p, rows, hashes)
+	recOut := make([]int32, n)
+	tab.FindOrInsert(p, hashes, rows, recOut)
+	if tab.Len() != len(distinct) {
+		t.Fatalf("expected %d groups, got %d (exception grouping broken)", len(distinct), tab.Len())
+	}
+	// Reconstruct all keys, including cold exception refs.
+	recIdx := make([]int32, tab.Len())
+	outRows := make([]int32, tab.Len())
+	for i := range recIdx {
+		recIdx[i], outRows[i] = int32(i), int32(i)
+	}
+	out := vec.New(vec.Str, tab.Len())
+	tab.LoadKey(0, recIdx, out, outRows)
+	for i := 0; i < tab.Len(); i++ {
+		s := store.Get(out.Str[i])
+		if !distinct[s] {
+			t.Errorf("reconstructed unknown key %q", s)
+		}
+	}
+}
+
+func TestJoinBuildProbe(t *testing.T) {
+	for _, flags := range []Flags{Vanilla(), {Compress: true}, All()} {
+		t.Run(flagName(flags), func(t *testing.T) {
+			store := strs.NewStore(flags.UseUSSR)
+			schema, err := NewKeySchema(flags, intKeyCols(), store)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tab := NewTable(schema, 0, 0, 16)
+			// Build side: keys (i, i%37+3), one duplicate pair per i%3==0.
+			const nb = 500
+			a := vec.New(vec.I64, nb)
+			b := vec.New(vec.I32, nb)
+			for i := 0; i < nb; i++ {
+				a.I64[i] = int64(i%47) - 4
+				b.I32[i] = int32(i%37) + 3
+			}
+			rows := make([]int32, nb)
+			for i := range rows {
+				rows[i] = int32(i)
+			}
+			p := schema.Prepare([]*vec.Vector{a, b}, rows)
+			hashes := make([]uint64, nb)
+			schema.Hash(p, rows, hashes)
+			recOut := make([]int32, nb)
+			tab.InsertBatch(p, hashes, rows, recOut)
+			if tab.Len() != nb {
+				t.Fatalf("build inserted %d", tab.Len())
+			}
+
+			// Probe with a known key and count matches against a scan.
+			pa := vec.New(vec.I64, 1)
+			pb := vec.New(vec.I32, 1)
+			pa.I64[0] = 10
+			pb.I32[0] = 20
+			prows := []int32{0}
+			pp := schema.Prepare([]*vec.Vector{pa, pb}, prows)
+			ph := make([]uint64, 1)
+			schema.Hash(pp, prows, ph)
+			mrows, mrecs := tab.ProbeChains(pp, ph, prows, nil, nil)
+			want := 0
+			for i := 0; i < nb; i++ {
+				if int64(i%47)-4 == 10 && i%37+3 == 20 {
+					want++
+				}
+			}
+			if len(mrows) != want || len(mrecs) != want {
+				t.Errorf("probe found %d matches, want %d", len(mrows), want)
+			}
+
+			// A key outside the build domain must not match (and must not
+			// crash the compressed comparison).
+			pa.I64[0] = 1 << 40
+			pp = schema.Prepare([]*vec.Vector{pa, pb}, prows)
+			schema.Hash(pp, prows, ph)
+			mrows, _ = tab.ProbeChains(pp, ph, prows, nil, nil)
+			if len(mrows) != 0 {
+				t.Error("out-of-domain probe matched")
+			}
+		})
+	}
+}
+
+func TestHotColdSeparation(t *testing.T) {
+	flags := All()
+	store := strs.NewStore(true)
+	schema, err := NewKeySchema(flags, []KeyCol{{Name: "s", Type: vec.Str}}, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hot record: one 32- or 64-bit word holding the 16-bit slot code.
+	if schema.KeyBytes() > 8 {
+		t.Errorf("slot-coded string key area is %dB; expected at most one word", schema.KeyBytes())
+	}
+	if schema.ColdBytes() != 8 {
+		t.Errorf("cold exception ref must be 8B, got %d", schema.ColdBytes())
+	}
+	tab := NewTable(schema, 4, 2, 16)
+	if tab.HotWidth() != schema.KeyBytes()+4 {
+		t.Error("hot extra accounting")
+	}
+	if tab.ColdWidth() != 10 {
+		t.Error("cold extra accounting")
+	}
+}
+
+func TestHotColdRowAccess(t *testing.T) {
+	store := strs.NewStore(false)
+	schema, _ := NewKeySchema(Vanilla(), intKeyCols(), store)
+	tab := NewTable(schema, 8, 16, 4)
+	cols, rows := buildIntBatch(4, rand.New(rand.NewSource(1)))
+	p := schema.Prepare(cols, rows)
+	hashes := make([]uint64, 4)
+	schema.Hash(p, rows, hashes)
+	recOut := make([]int32, 4)
+	tab.InsertBatch(p, hashes, rows, recOut)
+	hr := tab.HotRow(recOut[0])
+	if len(hr) != 8 {
+		t.Fatalf("hot row len %d", len(hr))
+	}
+	hr[0] = 0xAB
+	if tab.HotRow(recOut[0])[0] != 0xAB {
+		t.Error("hot row writes must persist")
+	}
+	cr := tab.ColdRow(recOut[0])
+	if len(cr) != 16 {
+		t.Fatalf("cold row len %d", len(cr))
+	}
+	cr[15] = 0xCD
+	if tab.ColdRow(recOut[0])[15] != 0xCD {
+		t.Error("cold row writes must persist")
+	}
+}
+
+func TestDirectoryGrowth(t *testing.T) {
+	store := strs.NewStore(false)
+	schema, _ := NewKeySchema(Flags{Compress: true}, []KeyCol{
+		{Name: "k", Type: vec.I64, Dom: domain.New(0, 1<<20)},
+	}, store)
+	tab := NewTable(schema, 0, 0, 4)
+	const n = 20_000
+	for start := 0; start < n; start += 1000 {
+		v := vec.New(vec.I64, 1000)
+		for i := range v.I64 {
+			v.I64[i] = int64(start + i)
+		}
+		rows := make([]int32, 1000)
+		for i := range rows {
+			rows[i] = int32(i)
+		}
+		p := schema.Prepare([]*vec.Vector{v}, rows)
+		hashes := make([]uint64, 1000)
+		schema.Hash(p, rows, hashes)
+		recOut := make([]int32, 1000)
+		tab.FindOrInsert(p, hashes, rows, recOut)
+	}
+	if tab.Len() != n {
+		t.Fatalf("lost groups across growth: %d", tab.Len())
+	}
+	// Everything must still be findable after rehashes.
+	v := vec.New(vec.I64, 1)
+	v.I64[0] = 12345
+	rows := []int32{0}
+	p := schema.Prepare([]*vec.Vector{v}, rows)
+	hashes := make([]uint64, 1)
+	schema.Hash(p, rows, hashes)
+	recOut := make([]int32, 1)
+	newRows, _ := tab.FindOrInsert(p, hashes, rows, recOut)
+	if len(newRows) != 0 {
+		t.Error("existing key re-inserted after growth")
+	}
+}
+
+func TestGlobalAggregateNoKeys(t *testing.T) {
+	store := strs.NewStore(false)
+	schema, err := NewKeySchema(All(), nil, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := NewTable(schema, 8, 0, 4)
+	rows := []int32{0, 1, 2}
+	p := schema.Prepare(nil, rows)
+	hashes := make([]uint64, 3)
+	schema.Hash(p, rows, hashes)
+	recOut := make([]int32, 3)
+	tab.FindOrInsert(p, hashes, rows, recOut)
+	if tab.Len() != 1 {
+		t.Fatalf("global aggregate must have exactly one group, got %d", tab.Len())
+	}
+	if recOut[0] != recOut[2] {
+		t.Error("all rows must map to the single group")
+	}
+}

@@ -1,0 +1,43 @@
+// Package cycles converts wall-clock measurements into nominal CPU cycles
+// so the benchmark harness can print figures in the paper's units
+// (cycles/value, MCycles, GCycles). The paper reads rdtsc; Go has no
+// portable equivalent, so a nominal clock of 3 GHz stands in. Only
+// relative comparisons matter for every reproduced figure.
+package cycles
+
+import "time"
+
+// NominalGHz is the assumed clock rate for cycle conversion.
+const NominalGHz = 3.0
+
+// FromDuration converts a duration to nominal cycles.
+func FromDuration(d time.Duration) float64 {
+	return d.Seconds() * NominalGHz * 1e9
+}
+
+// PerItem converts a duration over n items to nominal cycles per item.
+func PerItem(d time.Duration, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return FromDuration(d) / float64(n)
+}
+
+// Measure runs f and returns its duration.
+func Measure(f func()) time.Duration {
+	start := time.Now()
+	f()
+	return time.Since(start)
+}
+
+// MeasureBest runs f `reps` times and returns the fastest run, the
+// hot-run discipline of the paper's experiments.
+func MeasureBest(reps int, f func()) time.Duration {
+	best := time.Duration(1<<63 - 1)
+	for i := 0; i < reps; i++ {
+		if d := Measure(f); d < best {
+			best = d
+		}
+	}
+	return best
+}

@@ -1,0 +1,47 @@
+package cycles
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFromDuration(t *testing.T) {
+	if got := FromDuration(time.Second); got != NominalGHz*1e9 {
+		t.Errorf("1s = %f cycles", got)
+	}
+	if got := FromDuration(time.Microsecond); got != NominalGHz*1e3 {
+		t.Errorf("1us = %f cycles", got)
+	}
+}
+
+func TestPerItem(t *testing.T) {
+	if got := PerItem(time.Microsecond, 1000); got != NominalGHz {
+		t.Errorf("PerItem = %f", got)
+	}
+	if PerItem(time.Second, 0) != 0 {
+		t.Error("zero items")
+	}
+}
+
+func TestMeasure(t *testing.T) {
+	d := Measure(func() { time.Sleep(time.Millisecond) })
+	if d < time.Millisecond {
+		t.Errorf("measured %v", d)
+	}
+}
+
+func TestMeasureBestTakesMin(t *testing.T) {
+	calls := 0
+	d := MeasureBest(3, func() {
+		calls++
+		if calls == 1 {
+			time.Sleep(5 * time.Millisecond)
+		}
+	})
+	if calls != 3 {
+		t.Errorf("calls = %d", calls)
+	}
+	if d >= 5*time.Millisecond {
+		t.Errorf("best should skip the slow first run: %v", d)
+	}
+}

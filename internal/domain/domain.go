@@ -1,0 +1,240 @@
+// Package domain implements value-domain derivation (Section II-A of the
+// paper). A domain is a [Min, Max] interval on int64. Domains originate
+// from per-block zone maps at table scans and propagate bottom-up through
+// expression trees under worst-case assumptions, allowing the engine to
+// choose minimal bit widths and to prove the absence of overflow or of
+// negative values.
+package domain
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"ocht/internal/i128"
+)
+
+// D is a value domain: every value of the expression is known to lie in
+// [Min, Max]. The zero value is an invalid (unknown/unbounded) domain.
+type D struct {
+	Min, Max int64
+	Valid    bool
+}
+
+// New returns the domain [min, max].
+func New(min, max int64) D {
+	if min > max {
+		min, max = max, min
+	}
+	return D{Min: min, Max: max, Valid: true}
+}
+
+// Const returns the singleton domain {v}.
+func Const(v int64) D { return D{Min: v, Max: v, Valid: true} }
+
+// Unknown is the unbounded domain.
+var Unknown = D{}
+
+// ForType returns the full domain of an integer type of the given bit
+// width (8, 16, 32 or 64).
+func ForType(bitWidth int) D {
+	switch bitWidth {
+	case 8:
+		return New(math.MinInt8, math.MaxInt8)
+	case 16:
+		return New(math.MinInt16, math.MaxInt16)
+	case 32:
+		return New(math.MinInt32, math.MaxInt32)
+	case 64:
+		return New(math.MinInt64, math.MaxInt64)
+	default:
+		return Unknown
+	}
+}
+
+// String renders the domain.
+func (d D) String() string {
+	if !d.Valid {
+		return "[?]"
+	}
+	return fmt.Sprintf("[%d,%d]", d.Min, d.Max)
+}
+
+// Contains reports whether v lies in the domain. The unknown domain
+// contains everything.
+func (d D) Contains(v int64) bool {
+	return !d.Valid || (v >= d.Min && v <= d.Max)
+}
+
+// Cardinality returns max-min+1 as an unsigned count; 0 means 2^64 (the
+// full unknown domain).
+func (d D) Cardinality() uint64 {
+	if !d.Valid {
+		return 0
+	}
+	return uint64(d.Max) - uint64(d.Min) + 1
+}
+
+// BitWidth returns the number of bits required to represent any value of
+// the domain as a non-negative offset from Min:
+// ceil(log2(max-min+1)). The unknown domain needs 64 bits. A singleton
+// domain needs 0 bits.
+func (d D) BitWidth() int {
+	if !d.Valid {
+		return 64
+	}
+	c := d.Cardinality()
+	if c == 0 { // full 2^64 range
+		return 64
+	}
+	return bits.Len64(c - 1)
+}
+
+// NonNegative reports whether the domain proves all values are >= 0,
+// enabling the positive-only Optimistic SUM fast path (Section III-A).
+func (d D) NonNegative() bool { return d.Valid && d.Min >= 0 }
+
+// Union returns the smallest domain containing both a and b.
+func Union(a, b D) D {
+	if !a.Valid || !b.Valid {
+		return Unknown
+	}
+	return D{Min: min64(a.Min, b.Min), Max: max64(a.Max, b.Max), Valid: true}
+}
+
+// Intersect returns the intersection; if disjoint, the result collapses to
+// an empty-ish singleton at the boundary (callers treat Min>Max as empty
+// via New's normalization, so we keep the raw interval and mark invalid
+// when disjoint).
+func Intersect(a, b D) D {
+	if !a.Valid {
+		return b
+	}
+	if !b.Valid {
+		return a
+	}
+	lo, hi := max64(a.Min, b.Min), min64(a.Max, b.Max)
+	if lo > hi {
+		return Unknown
+	}
+	return D{Min: lo, Max: hi, Valid: true}
+}
+
+// Add derives the domain of a+b under worst-case bounds:
+// [aMin+bMin, aMax+bMax]. If the bound computation overflows int64 the
+// result is Unknown (the value must be widened past 64 bits).
+func Add(a, b D) D {
+	if !a.Valid || !b.Valid {
+		return Unknown
+	}
+	lo, ok1 := addChecked(a.Min, b.Min)
+	hi, ok2 := addChecked(a.Max, b.Max)
+	if !ok1 || !ok2 {
+		return Unknown
+	}
+	return D{Min: lo, Max: hi, Valid: true}
+}
+
+// Sub derives the domain of a-b: [aMin-bMax, aMax-bMin].
+func Sub(a, b D) D {
+	if !a.Valid || !b.Valid {
+		return Unknown
+	}
+	lo, ok1 := subChecked(a.Min, b.Max)
+	hi, ok2 := subChecked(a.Max, b.Min)
+	if !ok1 || !ok2 {
+		return Unknown
+	}
+	return D{Min: lo, Max: hi, Valid: true}
+}
+
+// Mul derives the domain of a*b by taking the extrema of the four corner
+// products.
+func Mul(a, b D) D {
+	if !a.Valid || !b.Valid {
+		return Unknown
+	}
+	corners := [4]i128.Int{
+		i128.MulInt64(a.Min, b.Min),
+		i128.MulInt64(a.Min, b.Max),
+		i128.MulInt64(a.Max, b.Min),
+		i128.MulInt64(a.Max, b.Max),
+	}
+	lo, hi := corners[0], corners[0]
+	for _, c := range corners[1:] {
+		if i128.Cmp(c, lo) < 0 {
+			lo = c
+		}
+		if i128.Cmp(c, hi) > 0 {
+			hi = c
+		}
+	}
+	if !lo.IsInt64() || !hi.IsInt64() {
+		return Unknown
+	}
+	return D{Min: lo.Int64(), Max: hi.Int64(), Valid: true}
+}
+
+// Neg derives the domain of -a.
+func Neg(a D) D {
+	if !a.Valid || a.Min == math.MinInt64 {
+		return Unknown
+	}
+	return D{Min: -a.Max, Max: -a.Min, Valid: true}
+}
+
+// SumBound derives the worst-case bounds of SUM over at most n values from
+// domain d, as 128-bit numbers (Section III-A: a SUM of up to 2^48 values
+// from an 18-bit domain would overflow 64 bits).
+func SumBound(d D, n int64) (lo, hi i128.Int, ok bool) {
+	if !d.Valid || n < 0 {
+		return i128.Int{}, i128.Int{}, false
+	}
+	lo = i128.MulInt64(d.Min, n)
+	hi = i128.MulInt64(d.Max, n)
+	if d.Min > 0 {
+		lo = i128.Int{} // the empty sum (0) can be smaller
+	}
+	if d.Max < 0 {
+		hi = i128.Int{}
+	}
+	return lo, hi, true
+}
+
+// SumFitsInt64 reports whether a SUM of at most n values from domain d is
+// provably representable in 64 bits, allowing the engine to skip the
+// 128-bit aggregate entirely.
+func SumFitsInt64(d D, n int64) bool {
+	lo, hi, ok := SumBound(d, n)
+	return ok && lo.IsInt64() && hi.IsInt64()
+}
+
+func addChecked(a, b int64) (int64, bool) {
+	s := a + b
+	if (a > 0 && b > 0 && s < 0) || (a < 0 && b < 0 && s >= 0) {
+		return 0, false
+	}
+	return s, true
+}
+
+func subChecked(a, b int64) (int64, bool) {
+	s := a - b
+	if (a >= 0 && b < 0 && s < 0) || (a < 0 && b > 0 && s >= 0) {
+		return 0, false
+	}
+	return s, true
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

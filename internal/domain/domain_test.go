@@ -1,0 +1,181 @@
+package domain
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitWidth(t *testing.T) {
+	cases := []struct {
+		d    D
+		want int
+	}{
+		{Const(7), 0},
+		{New(0, 1), 1},
+		{New(-4, 42), 6},   // the paper's Figure 2 example: 47 values -> 6 bits
+		{New(3, 1000), 10}, // Figure 2 column B: 998 values -> 10 bits
+		{New(0, 255), 8},
+		{New(0, 256), 9},
+		{New(1, 23), 5},
+		{Unknown, 64},
+		{New(math.MinInt64, math.MaxInt64), 64},
+	}
+	for _, c := range cases {
+		if got := c.d.BitWidth(); got != c.want {
+			t.Errorf("BitWidth(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}
+
+func TestAddExample(t *testing.T) {
+	// Section II-A: rmin = amin+bmin, rmax = amax+bmax.
+	a, b := New(-4, 42), New(3, 23)
+	r := Add(a, b)
+	if r != New(-1, 65) {
+		t.Errorf("Add = %v", r)
+	}
+}
+
+func TestAddOverflowWidens(t *testing.T) {
+	a := New(0, math.MaxInt64)
+	if Add(a, Const(1)).Valid {
+		t.Error("overflowing add bound must yield Unknown (widen past 64 bits)")
+	}
+	if Sub(New(math.MinInt64, 0), Const(1)).Valid {
+		t.Error("overflowing sub bound must yield Unknown")
+	}
+}
+
+func TestAddSoundness(t *testing.T) {
+	f := func(aMin, aMax, bMin, bMax, x, y int32) bool {
+		a := New(int64(aMin), int64(aMax))
+		b := New(int64(bMin), int64(bMax))
+		r := Add(a, b)
+		// Pick witnesses inside the input domains.
+		vx := clamp(int64(x), a)
+		vy := clamp(int64(y), b)
+		return r.Contains(vx + vy)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSubSoundness(t *testing.T) {
+	f := func(aMin, aMax, bMin, bMax, x, y int32) bool {
+		a := New(int64(aMin), int64(aMax))
+		b := New(int64(bMin), int64(bMax))
+		r := Sub(a, b)
+		vx := clamp(int64(x), a)
+		vy := clamp(int64(y), b)
+		return r.Contains(vx - vy)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulSoundness(t *testing.T) {
+	f := func(aMin, aMax, bMin, bMax, x, y int32) bool {
+		a := New(int64(aMin), int64(aMax))
+		b := New(int64(bMin), int64(bMax))
+		r := Mul(a, b)
+		vx := clamp(int64(x), a)
+		vy := clamp(int64(y), b)
+		return r.Contains(vx * vy)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulOverflow(t *testing.T) {
+	big := New(0, math.MaxInt64)
+	if Mul(big, Const(3)).Valid {
+		t.Error("overflowing mul bound must yield Unknown")
+	}
+}
+
+func TestUnionIntersect(t *testing.T) {
+	a, b := New(0, 10), New(5, 20)
+	if Union(a, b) != New(0, 20) {
+		t.Error("union")
+	}
+	if Intersect(a, b) != New(5, 10) {
+		t.Error("intersect")
+	}
+	if Intersect(New(0, 1), New(5, 6)).Valid {
+		t.Error("disjoint intersect should be invalid")
+	}
+	if Union(a, Unknown).Valid {
+		t.Error("union with unknown")
+	}
+	if Intersect(a, Unknown) != a {
+		t.Error("intersect with unknown keeps the known side")
+	}
+}
+
+func TestNeg(t *testing.T) {
+	if Neg(New(-3, 7)) != New(-7, 3) {
+		t.Error("neg")
+	}
+	if Neg(New(math.MinInt64, 0)).Valid {
+		t.Error("neg of MinInt64 must widen")
+	}
+}
+
+func TestSumBound(t *testing.T) {
+	// 18-bit domain summed 2^48 times: must NOT fit in 64 bits (the
+	// paper's Section III-A example).
+	d := New(0, 1<<18-1)
+	if SumFitsInt64(d, 1<<48) {
+		t.Error("2^48 x 18-bit values must require 128 bits")
+	}
+	// A small number of small values fits easily.
+	if !SumFitsInt64(New(-100, 100), 1_000_000) {
+		t.Error("1M x [-100,100] fits in 64 bits")
+	}
+	// Empty-sum zero must be inside the bounds even for all-positive domains.
+	lo, _, ok := SumBound(New(5, 10), 100)
+	if !ok || lo.Sign() > 0 {
+		t.Error("sum lower bound must include the empty sum 0")
+	}
+}
+
+func TestNonNegative(t *testing.T) {
+	if !New(0, 5).NonNegative() || New(-1, 5).NonNegative() || Unknown.NonNegative() {
+		t.Error("NonNegative")
+	}
+}
+
+func TestForType(t *testing.T) {
+	if ForType(8) != New(math.MinInt8, math.MaxInt8) {
+		t.Error("ForType(8)")
+	}
+	if ForType(64).BitWidth() != 64 {
+		t.Error("ForType(64) width")
+	}
+	if ForType(7).Valid {
+		t.Error("ForType(7) should be unknown")
+	}
+}
+
+func TestCardinality(t *testing.T) {
+	if New(-4, 42).Cardinality() != 47 {
+		t.Error("cardinality of [-4,42]")
+	}
+	if Const(9).Cardinality() != 1 {
+		t.Error("singleton cardinality")
+	}
+}
+
+func clamp(v int64, d D) int64 {
+	if v < d.Min {
+		return d.Min
+	}
+	if v > d.Max {
+		return d.Max
+	}
+	return v
+}

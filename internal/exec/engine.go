@@ -1,0 +1,244 @@
+// Package exec implements the vectorized query engine the three paper
+// techniques are integrated into: pull-based operators exchanging batches
+// of 1024 values with selection vectors, expression evaluation with
+// bottom-up domain derivation, and hash join / hash aggregation on
+// optimistically compressed hash tables.
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ocht/internal/core"
+	"ocht/internal/i128"
+	"ocht/internal/strs"
+	"ocht/internal/vec"
+)
+
+// nullStrRef marks SQL NULL string values in-flight.
+const nullStrRef = strs.NullRef
+
+// QCtx is the per-query execution context: technique flags, the query's
+// string store (heap + USSR), the primitive-time breakdown, and the
+// registry of hash tables for footprint accounting.
+type QCtx struct {
+	Flags core.Flags
+	Store *strs.Store
+	Stats *Stats
+
+	tables []*core.Table
+}
+
+// NewQCtx creates a query context under the given flags.
+func NewQCtx(flags core.Flags) *QCtx {
+	return &QCtx{Flags: flags, Store: strs.NewStore(flags.UseUSSR), Stats: NewStats()}
+}
+
+func (qc *QCtx) register(t *core.Table) { qc.tables = append(qc.tables, t) }
+
+// HashTableBytes returns the summed footprint of all hash tables built by
+// the query (Figure 4's baseline measurements).
+func (qc *QCtx) HashTableBytes() int {
+	n := 0
+	for _, t := range qc.tables {
+		n += t.MemoryBytes()
+	}
+	return n
+}
+
+// HashTableHotBytes returns the summed hot-area footprint.
+func (qc *QCtx) HashTableHotBytes() int {
+	n := 0
+	for _, t := range qc.tables {
+		n += t.HotAreaBytes()
+	}
+	return n
+}
+
+// PeakMemoryBytes approximates the query's peak memory: hash tables plus
+// string memory.
+func (qc *QCtx) PeakMemoryBytes() int {
+	return qc.HashTableBytes() + qc.Store.MemoryBytes()
+}
+
+// Op is a vectorized pull-based operator.
+type Op interface {
+	// Meta describes the output columns.
+	Meta() []Meta
+	// MaxRows is a worst-case bound on the number of output rows,
+	// saturating at rowsCap. It drives aggregate width derivation.
+	MaxRows() int64
+	// Open prepares the operator tree for execution.
+	Open(qc *QCtx)
+	// Next returns the next batch, or nil when exhausted. The batch is
+	// owned by the operator and valid until the next call.
+	Next(qc *QCtx) *vec.Batch
+}
+
+// rowsCap saturates cardinality estimates.
+const rowsCap = int64(1) << 62
+
+// CompressMinBuildRows is the optimizer threshold below which hash tables
+// are left uncompressed: Domain-Guided Prefix Suppression "does not make
+// sense for CPU cache-resident hash tables, so we do not enable it if the
+// hash table is small, based on optimizer estimates" (Section V-A). The
+// estimate compared against it is the table's worst-case row bound.
+var CompressMinBuildRows = int64(2048)
+
+func satMul(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	if a > rowsCap/b {
+		return rowsCap
+	}
+	return a * b
+}
+
+// Value is one result cell.
+type Value struct {
+	Typ  vec.Type
+	Null bool
+	I    int64
+	F    float64
+	S    string
+	I128 i128.Int
+}
+
+// String renders the value.
+func (v Value) String() string {
+	if v.Null {
+		return "NULL"
+	}
+	switch v.Typ {
+	case vec.F64:
+		return fmt.Sprintf("%.4f", v.F)
+	case vec.Str:
+		return v.S
+	case vec.I128:
+		return v.I128.String()
+	default:
+		return fmt.Sprintf("%d", v.I)
+	}
+}
+
+// Less orders two values of the same type.
+func (v Value) Less(o Value) bool {
+	if v.Null != o.Null {
+		return v.Null // NULLs first
+	}
+	switch v.Typ {
+	case vec.F64:
+		return v.F < o.F
+	case vec.Str:
+		return v.S < o.S
+	case vec.I128:
+		return i128.Cmp(v.I128, o.I128) < 0
+	default:
+		return v.I < o.I
+	}
+}
+
+// Result is a fully materialized query result.
+type Result struct {
+	Names []string
+	Types []vec.Type
+	Rows  [][]Value
+}
+
+// Run executes the operator tree to completion and materializes the
+// result.
+func Run(qc *QCtx, root Op) *Result {
+	root.Open(qc)
+	meta := root.Meta()
+	res := &Result{}
+	for _, m := range meta {
+		res.Names = append(res.Names, m.Name)
+		res.Types = append(res.Types, m.Type)
+	}
+	for {
+		b := root.Next(qc)
+		if b == nil {
+			break
+		}
+		for _, r := range b.Rows() {
+			row := make([]Value, len(meta))
+			for ci, m := range meta {
+				row[ci] = cellValue(qc, b.Vecs[ci], m.Type, int(r))
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res
+}
+
+func cellValue(qc *QCtx, v *vec.Vector, t vec.Type, i int) Value {
+	val := Value{Typ: t}
+	if v.IsNull(i) {
+		val.Null = true
+		return val
+	}
+	switch t {
+	case vec.F64:
+		val.F = v.F64[i]
+	case vec.Str:
+		if v.Str[i] == nullStrRef {
+			val.Null = true
+			return val
+		}
+		val.S = qc.Store.Get(v.Str[i])
+	case vec.I128:
+		val.I128 = v.I128[i]
+	default:
+		val.I = v.Int64At(i)
+	}
+	return val
+}
+
+// SortKey orders a result column.
+type SortKey struct {
+	Col  int
+	Desc bool
+}
+
+// OrderBy sorts the result rows in place.
+func (r *Result) OrderBy(keys ...SortKey) *Result {
+	sort.SliceStable(r.Rows, func(i, j int) bool {
+		for _, k := range keys {
+			a, b := r.Rows[i][k.Col], r.Rows[j][k.Col]
+			if a.Less(b) {
+				return !k.Desc
+			}
+			if b.Less(a) {
+				return k.Desc
+			}
+		}
+		return false
+	})
+	return r
+}
+
+// Limit truncates the result to the first n rows.
+func (r *Result) Limit(n int) *Result {
+	if len(r.Rows) > n {
+		r.Rows = r.Rows[:n]
+	}
+	return r
+}
+
+// String renders the result as an aligned text table.
+func (r *Result) String() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(r.Names, " | "))
+	b.WriteByte('\n')
+	for _, row := range r.Rows {
+		cells := make([]string, len(row))
+		for i, v := range row {
+			cells[i] = v.String()
+		}
+		b.WriteString(strings.Join(cells, " | "))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,336 @@
+package exec
+
+import (
+	"ocht/internal/vec"
+)
+
+// ensureBuf (re)allocates the expression's output buffer.
+func (e *Expr) ensureBuf(t vec.Type, n int) *vec.Vector {
+	if e.buf == nil || e.buf.Typ != t || e.buf.Len() < n {
+		e.buf = vec.New(t, n)
+	}
+	if e.buf.Nulls != nil {
+		for i := range e.buf.Nulls {
+			e.buf.Nulls[i] = false
+		}
+	}
+	return e.buf
+}
+
+func physOf(b *vec.Batch) int {
+	n := 0
+	for _, v := range b.Vecs {
+		if l := v.Len(); l > n {
+			n = l
+		}
+	}
+	if b.Sel != nil {
+		for _, r := range b.Sel[:b.N] {
+			if int(r)+1 > n {
+				n = int(r) + 1
+			}
+		}
+	} else if b.N > n {
+		n = b.N
+	}
+	return n
+}
+
+// Eval computes the expression for the active rows of b. The returned
+// vector is owned by the expression and valid until its next Eval.
+func (e *Expr) Eval(qc *QCtx, b *vec.Batch) *vec.Vector {
+	rows := b.Rows()
+	phys := physOf(b)
+	switch e.kind {
+	case eCol:
+		return b.Vecs[e.col]
+
+	case eConstInt:
+		out := e.ensureBuf(vec.I64, phys)
+		for _, r := range rows {
+			out.I64[r] = e.cInt
+		}
+		return out
+
+	case eConstF64:
+		out := e.ensureBuf(vec.F64, phys)
+		for _, r := range rows {
+			out.F64[r] = e.cF64
+		}
+		return out
+
+	case eConstStr:
+		out := e.ensureBuf(vec.Str, phys)
+		ref := vec.StrRef(e.cInt)
+		for _, r := range rows {
+			out.Str[r] = ref
+		}
+		return out
+
+	case eAdd, eSub, eMul, eDiv, eMod:
+		l := e.l.Eval(qc, b)
+		r := e.r.Eval(qc, b)
+		out := e.ensureBuf(e.typ, phys)
+		if e.typ == vec.F64 {
+			for _, i := range rows {
+				a, bb := asF64(l, int(i)), asF64(r, int(i))
+				var v float64
+				switch e.kind {
+				case eAdd:
+					v = a + bb
+				case eSub:
+					v = a - bb
+				case eMul:
+					v = a * bb
+				case eDiv:
+					if bb != 0 {
+						v = a / bb
+					}
+				}
+				out.F64[i] = v
+			}
+		} else {
+			for _, i := range rows {
+				a, bb := l.Int64At(int(i)), r.Int64At(int(i))
+				var v int64
+				switch e.kind {
+				case eAdd:
+					v = a + bb
+				case eSub:
+					v = a - bb
+				case eMul:
+					v = a * bb
+				case eDiv:
+					if bb != 0 {
+						v = a / bb
+					}
+				case eMod:
+					if bb != 0 {
+						v = a % bb
+					}
+				}
+				out.I64[i] = v
+			}
+		}
+		propagateNulls(out, rows, e.l.nullable, l, e.r.nullable, r)
+		return out
+
+	case eF64:
+		l := e.l.Eval(qc, b)
+		out := e.ensureBuf(vec.F64, phys)
+		switch l.Typ {
+		case vec.F64:
+			for _, i := range rows {
+				out.F64[i] = l.F64[i]
+			}
+		case vec.I128:
+			for _, i := range rows {
+				x := l.I128[i]
+				out.F64[i] = float64(x.Hi)*(1<<32)*(1<<32) + float64(x.Lo)
+			}
+		default:
+			for _, i := range rows {
+				out.F64[i] = float64(l.Int64At(int(i)))
+			}
+		}
+		propagateNulls(out, rows, e.l.nullable, l, false, nil)
+		return out
+
+	case eCmp:
+		l := e.l.Eval(qc, b)
+		r := e.r.Eval(qc, b)
+		out := e.ensureBuf(vec.Bool, phys)
+		e.evalCmp(qc, l, r, rows, out)
+		return out
+
+	case eAnd:
+		l := e.l.Eval(qc, b)
+		r := e.r.Eval(qc, b)
+		out := e.ensureBuf(vec.Bool, phys)
+		for _, i := range rows {
+			out.Bool[i] = l.Bool[i] && r.Bool[i]
+		}
+		return out
+
+	case eOr:
+		l := e.l.Eval(qc, b)
+		r := e.r.Eval(qc, b)
+		out := e.ensureBuf(vec.Bool, phys)
+		for _, i := range rows {
+			out.Bool[i] = l.Bool[i] || r.Bool[i]
+		}
+		return out
+
+	case eNot:
+		l := e.l.Eval(qc, b)
+		out := e.ensureBuf(vec.Bool, phys)
+		for _, i := range rows {
+			out.Bool[i] = !l.Bool[i]
+		}
+		return out
+
+	case eIsNull, eNotNull:
+		l := e.l.Eval(qc, b)
+		out := e.ensureBuf(vec.Bool, phys)
+		want := e.kind == eIsNull
+		for _, i := range rows {
+			null := l.IsNull(int(i)) || (l.Typ == vec.Str && l.Str[i] == nullStrRef)
+			out.Bool[i] = null == want
+		}
+		return out
+
+	case eLike, eNotLike:
+		l := e.l.Eval(qc, b)
+		out := e.ensureBuf(vec.Bool, phys)
+		want := e.kind == eLike
+		if e.scratch == nil {
+			e.scratch = make([]byte, 0, 64)
+		}
+		for _, i := range rows {
+			if l.IsNull(int(i)) || l.Str[i] == nullStrRef {
+				out.Bool[i] = false
+				continue
+			}
+			var raw []byte
+			raw, e.scratch = qc.Store.Raw(l.Str[i], e.scratch)
+			out.Bool[i] = e.like.match(raw) == want
+		}
+		return out
+
+	case eSubstr:
+		l := e.l.Eval(qc, b)
+		out := e.ensureBuf(vec.Str, phys)
+		for _, i := range rows {
+			if l.IsNull(int(i)) || l.Str[i] == nullStrRef {
+				out.Str[i] = nullStrRef
+				continue
+			}
+			s := qc.Store.Get(l.Str[i])
+			if int64(len(s)) > e.cInt {
+				s = s[:e.cInt]
+			}
+			out.Str[i] = qc.Store.Intern(s)
+		}
+		return out
+
+	case eCase:
+		cond := e.r.Eval(qc, b)
+		then := e.l.Eval(qc, b)
+		els := e.el.Eval(qc, b)
+		out := e.ensureBuf(e.typ, phys)
+		if e.typ == vec.F64 {
+			for _, i := range rows {
+				if cond.Bool[i] {
+					out.F64[i] = asF64(then, int(i))
+				} else {
+					out.F64[i] = asF64(els, int(i))
+				}
+			}
+		} else {
+			for _, i := range rows {
+				if cond.Bool[i] {
+					out.SetInt64(int(i), then.Int64At(int(i)))
+				} else {
+					out.SetInt64(int(i), els.Int64At(int(i)))
+				}
+			}
+		}
+		return out
+	}
+	panic("exec: unhandled expression kind")
+}
+
+func (e *Expr) evalCmp(qc *QCtx, l, r *vec.Vector, rows []int32, out *vec.Vector) {
+	nullFalse := func(i int32) bool {
+		return l.IsNull(int(i)) || r.IsNull(int(i)) ||
+			(l.Typ == vec.Str && l.Str[i] == nullStrRef) ||
+			(r.Typ == vec.Str && r.Str[i] == nullStrRef)
+	}
+	switch {
+	case l.Typ == vec.Str:
+		st := qc.Store
+		for _, i := range rows {
+			if nullFalse(i) {
+				out.Bool[i] = false
+				continue
+			}
+			var v bool
+			switch e.op {
+			case opEQ:
+				v = st.Equal(l.Str[i], r.Str[i])
+			case opNE:
+				v = !st.Equal(l.Str[i], r.Str[i])
+			default:
+				c := st.Compare(l.Str[i], r.Str[i])
+				v = cmpHolds(e.op, c)
+			}
+			out.Bool[i] = v
+		}
+	case l.Typ == vec.F64 || r.Typ == vec.F64:
+		for _, i := range rows {
+			if nullFalse(i) {
+				out.Bool[i] = false
+				continue
+			}
+			a, b := asF64(l, int(i)), asF64(r, int(i))
+			var c int
+			if a < b {
+				c = -1
+			} else if a > b {
+				c = 1
+			}
+			out.Bool[i] = cmpHolds(e.op, c)
+		}
+	default:
+		for _, i := range rows {
+			if nullFalse(i) {
+				out.Bool[i] = false
+				continue
+			}
+			a, b := l.Int64At(int(i)), r.Int64At(int(i))
+			var c int
+			if a < b {
+				c = -1
+			} else if a > b {
+				c = 1
+			}
+			out.Bool[i] = cmpHolds(e.op, c)
+		}
+	}
+}
+
+func cmpHolds(op cmpOp, c int) bool {
+	switch op {
+	case opEQ:
+		return c == 0
+	case opNE:
+		return c != 0
+	case opLT:
+		return c < 0
+	case opLE:
+		return c <= 0
+	case opGT:
+		return c > 0
+	case opGE:
+		return c >= 0
+	}
+	return false
+}
+
+func asF64(v *vec.Vector, i int) float64 {
+	if v.Typ == vec.F64 {
+		return v.F64[i]
+	}
+	return float64(v.Int64At(i))
+}
+
+func propagateNulls(out *vec.Vector, rows []int32, ln bool, l *vec.Vector, rn bool, r *vec.Vector) {
+	if !ln && !rn {
+		return
+	}
+	for _, i := range rows {
+		if (ln && l.IsNull(int(i))) || (rn && r != nil && r.IsNull(int(i))) {
+			out.SetNull(int(i))
+		}
+	}
+}

@@ -1,0 +1,389 @@
+package exec
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"ocht/internal/agg"
+	"ocht/internal/core"
+	"ocht/internal/storage"
+	"ocht/internal/vec"
+)
+
+var allFlags = []core.Flags{
+	{},
+	{Compress: true},
+	{UseUSSR: true},
+	{Split: true},
+	{Compress: true, Split: true},
+	core.All(),
+}
+
+func flagName(f core.Flags) string {
+	return fmt.Sprintf("c%v-s%v-u%v", f.Compress, f.Split, f.UseUSSR)
+}
+
+// fixtures
+
+func salesTable(n int) *storage.Table {
+	region := storage.NewColumn("region", vec.Str, false)
+	qty := storage.NewColumn("qty", vec.I32, false)
+	price := storage.NewColumn("price", vec.I64, false)
+	note := storage.NewColumn("note", vec.Str, true)
+	regions := []string{"north", "south", "east", "west"}
+	rng := rand.New(rand.NewSource(77))
+	for i := 0; i < n; i++ {
+		region.AppendString(regions[i%len(regions)])
+		qty.AppendInt(int64(rng.Intn(50)) + 1)
+		price.AppendInt(int64(rng.Intn(10000)) + 100)
+		if i%7 == 0 {
+			note.AppendNull()
+		} else {
+			note.AppendString(fmt.Sprintf("note-%d", i%10))
+		}
+	}
+	t := storage.NewTable("sales", region, qty, price, note)
+	t.Seal()
+	return t
+}
+
+func runAll(t *testing.T, build func() Op) map[string]*Result {
+	t.Helper()
+	results := map[string]*Result{}
+	for _, f := range allFlags {
+		qc := NewQCtx(f)
+		res := Run(qc, build())
+		results[flagName(f)] = res
+	}
+	return results
+}
+
+// sortedRows renders rows as sorted strings for order-insensitive
+// comparison.
+func sortedRows(r *Result) []string {
+	out := make([]string, len(r.Rows))
+	for i, row := range r.Rows {
+		s := ""
+		for _, v := range row {
+			s += v.String() + "|"
+		}
+		out[i] = s
+	}
+	sort.Strings(out)
+	return out
+}
+
+func assertAllEqual(t *testing.T, results map[string]*Result) {
+	t.Helper()
+	var ref []string
+	var refName string
+	for name, r := range results {
+		got := sortedRows(r)
+		if ref == nil {
+			ref, refName = got, name
+			continue
+		}
+		if !reflect.DeepEqual(ref, got) {
+			t.Fatalf("results differ between %s and %s:\n%v\nvs\n%v", refName, name, ref, got)
+		}
+	}
+}
+
+func TestScanFilterProject(t *testing.T) {
+	tab := salesTable(5000)
+	results := runAll(t, func() Op {
+		scan := NewScan(tab, "region", "qty", "price")
+		m := scan.Meta()
+		f := NewFilter(scan, And(Gt(Col(m, "qty"), Int(25)), Eq(Col(m, "region"), Str("north"))))
+		return NewProject(f, []string{"qty", "revenue"}, []*Expr{
+			Col(m, "qty"),
+			Mul(Col(m, "qty"), Col(m, "price")),
+		})
+	})
+	assertAllEqual(t, results)
+	// Spot-check against a scalar reimplementation.
+	r := results["c%v-s%v-u%v"]
+	_ = r
+	any := results[flagName(core.All())]
+	if len(any.Rows) == 0 {
+		t.Fatal("filter killed everything")
+	}
+	for _, row := range any.Rows {
+		if row[0].I <= 25 {
+			t.Fatal("filter violated")
+		}
+	}
+}
+
+func TestGroupByStringKey(t *testing.T) {
+	tab := salesTable(20_000)
+	results := runAll(t, func() Op {
+		scan := NewScan(tab, "region", "qty")
+		m := scan.Meta()
+		return NewHashAgg(scan,
+			[]string{"region"}, []*Expr{Col(m, "region")},
+			[]AggExpr{
+				{Func: agg.Sum, Arg: Col(m, "qty"), Name: "sum_qty"},
+				{Func: agg.CountStar, Name: "cnt"},
+				{Func: agg.Min, Arg: Col(m, "qty"), Name: "min_qty"},
+				{Func: agg.Max, Arg: Col(m, "qty"), Name: "max_qty"},
+				{Func: Avg, Arg: Col(m, "qty"), Name: "avg_qty"},
+			})
+	})
+	assertAllEqual(t, results)
+	r := results[flagName(core.Flags{})]
+	if len(r.Rows) != 4 {
+		t.Fatalf("expected 4 regions, got %d", len(r.Rows))
+	}
+	var total int64
+	for _, row := range r.Rows {
+		total += row[2].I // cnt
+	}
+	if total != 20_000 {
+		t.Fatalf("counts sum to %d", total)
+	}
+}
+
+func TestGroupByNullableKey(t *testing.T) {
+	tab := salesTable(10_000)
+	results := runAll(t, func() Op {
+		scan := NewScan(tab, "note")
+		m := scan.Meta()
+		return NewHashAgg(scan,
+			[]string{"note"}, []*Expr{Col(m, "note")},
+			[]AggExpr{{Func: agg.CountStar, Name: "cnt"}})
+	})
+	assertAllEqual(t, results)
+	r := results[flagName(core.All())]
+	// 10 distinct notes + the NULL group.
+	if len(r.Rows) != 11 {
+		t.Fatalf("expected 11 groups, got %d:\n%s", len(r.Rows), r)
+	}
+	nullCnt := int64(0)
+	for _, row := range r.Rows {
+		if row[0].Null {
+			nullCnt = row[1].I
+		}
+	}
+	// i%7==0 for i in [0,10000): 1429 rows.
+	if nullCnt != 1429 {
+		t.Fatalf("NULL group count %d", nullCnt)
+	}
+}
+
+func TestNullableIntKeyAndAggregateSkipsNulls(t *testing.T) {
+	v := storage.NewColumn("v", vec.I64, true)
+	k := storage.NewColumn("k", vec.I64, true)
+	// k: 0,1,NULL cycling; v: NULL every 4th.
+	for i := 0; i < 1200; i++ {
+		switch i % 3 {
+		case 2:
+			k.AppendNull()
+		default:
+			k.AppendInt(int64(i % 3))
+		}
+		if i%4 == 0 {
+			v.AppendNull()
+		} else {
+			v.AppendInt(1)
+		}
+	}
+	tab := storage.NewTable("t", k, v)
+	tab.Seal()
+	results := runAll(t, func() Op {
+		scan := NewScan(tab, "k", "v")
+		m := scan.Meta()
+		return NewHashAgg(scan,
+			[]string{"k"}, []*Expr{Col(m, "k")},
+			[]AggExpr{
+				{Func: agg.Count, Arg: Col(m, "v"), Name: "cnt_v"},
+				{Func: agg.CountStar, Name: "cnt"},
+			})
+	})
+	assertAllEqual(t, results)
+	r := results[flagName(core.Flags{Compress: true})]
+	if len(r.Rows) != 3 {
+		t.Fatalf("expected 3 groups (0, 1, NULL), got %d:\n%s", len(r.Rows), r)
+	}
+	for _, row := range r.Rows {
+		if row[1].I >= row[2].I {
+			t.Fatalf("COUNT(v) must be below COUNT(*) (NULLs skipped): %s", r)
+		}
+	}
+}
+
+func buildJoinTables() (*storage.Table, *storage.Table) {
+	// dim: 100 rows (id, name); fact: 5000 rows (fk, val), fk in [0,150)
+	// so ~1/3 of fact rows miss.
+	id := storage.NewColumn("id", vec.I64, false)
+	name := storage.NewColumn("name", vec.Str, false)
+	for i := 0; i < 100; i++ {
+		id.AppendInt(int64(i))
+		name.AppendString(fmt.Sprintf("dim-%02d", i))
+	}
+	dim := storage.NewTable("dim", id, name)
+	dim.Seal()
+
+	fk := storage.NewColumn("fk", vec.I64, false)
+	val := storage.NewColumn("val", vec.I64, false)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 5000; i++ {
+		fk.AppendInt(int64(rng.Intn(150)))
+		val.AppendInt(int64(i))
+	}
+	fact := storage.NewTable("fact", fk, val)
+	fact.Seal()
+	return dim, fact
+}
+
+func TestHashJoinInner(t *testing.T) {
+	dim, fact := buildJoinTables()
+	results := runAll(t, func() Op {
+		return NewHashJoin(Inner,
+			NewScan(fact, "fk", "val"),
+			NewScan(dim, "id", "name"),
+			[]string{"fk"}, []string{"id"}, []string{"name"})
+	})
+	assertAllEqual(t, results)
+	r := results[flagName(core.All())]
+	// Expected matches: fact rows with fk < 100.
+	want := 0
+	qc := NewQCtx(core.Vanilla())
+	full := Run(qc, NewScan(fact, "fk"))
+	for _, row := range full.Rows {
+		if row[0].I < 100 {
+			want++
+		}
+	}
+	if len(r.Rows) != want {
+		t.Fatalf("join found %d rows, want %d", len(r.Rows), want)
+	}
+	for _, row := range r.Rows {
+		wantName := fmt.Sprintf("dim-%02d", row[0].I)
+		if row[2].S != wantName {
+			t.Fatalf("payload %q for fk %d", row[2].S, row[0].I)
+		}
+	}
+}
+
+func TestHashJoinSemiAnti(t *testing.T) {
+	dim, fact := buildJoinTables()
+	semi := runAll(t, func() Op {
+		return NewHashJoin(Semi,
+			NewScan(fact, "fk", "val"),
+			NewScan(dim, "id"),
+			[]string{"fk"}, []string{"id"}, nil)
+	})
+	assertAllEqual(t, semi)
+	anti := runAll(t, func() Op {
+		return NewHashJoin(Anti,
+			NewScan(fact, "fk", "val"),
+			NewScan(dim, "id"),
+			[]string{"fk"}, []string{"id"}, nil)
+	})
+	assertAllEqual(t, anti)
+	nSemi := len(semi[flagName(core.All())].Rows)
+	nAnti := len(anti[flagName(core.All())].Rows)
+	if nSemi+nAnti != 5000 {
+		t.Fatalf("semi %d + anti %d != 5000", nSemi, nAnti)
+	}
+	if nSemi == 0 || nAnti == 0 {
+		t.Fatal("both sides must be non-empty")
+	}
+}
+
+func TestHashJoinLeftOuter(t *testing.T) {
+	dim, fact := buildJoinTables()
+	results := runAll(t, func() Op {
+		return NewHashJoin(LeftOuter,
+			NewScan(fact, "fk", "val"),
+			NewScan(dim, "id", "name"),
+			[]string{"fk"}, []string{"id"}, []string{"name"})
+	})
+	assertAllEqual(t, results)
+	r := results[flagName(core.Flags{Compress: true})]
+	if len(r.Rows) != 5000 {
+		t.Fatalf("left outer must keep all %d probe rows, got %d", 5000, len(r.Rows))
+	}
+	nulls := 0
+	for _, row := range r.Rows {
+		if row[2].Null {
+			nulls++
+			if row[0].I < 100 {
+				t.Fatal("matched row emitted with NULL payload")
+			}
+		}
+	}
+	if nulls == 0 {
+		t.Fatal("expected NULL payloads for fk >= 100")
+	}
+}
+
+func TestLikeAndCase(t *testing.T) {
+	tab := salesTable(2000)
+	results := runAll(t, func() Op {
+		scan := NewScan(tab, "region", "qty")
+		m := scan.Meta()
+		proj := NewProject(scan, []string{"is_no", "qty2"}, []*Expr{
+			Like(Col(m, "region"), "no%"),
+			Case(Eq(Col(m, "region"), Str("north")), Col(m, "qty"), Int(0)),
+		})
+		pm := proj.Meta()
+		return NewHashAgg(proj, nil, nil, []AggExpr{
+			{Func: agg.Sum, Arg: Col(pm, "qty2"), Name: "north_qty"},
+			{Func: agg.CountStar, Name: "cnt"},
+		})
+	})
+	assertAllEqual(t, results)
+}
+
+func TestResultOrderLimit(t *testing.T) {
+	tab := salesTable(1000)
+	qc := NewQCtx(core.All())
+	scan := NewScan(tab, "region", "qty")
+	m := scan.Meta()
+	h := NewHashAgg(scan, []string{"region"}, []*Expr{Col(m, "region")},
+		[]AggExpr{{Func: agg.Sum, Arg: Col(m, "qty"), Name: "s"}})
+	r := Run(qc, h).OrderBy(SortKey{Col: 1, Desc: true}).Limit(2)
+	if len(r.Rows) != 2 {
+		t.Fatal("limit")
+	}
+	if r.Rows[0][1].Less(r.Rows[1][1]) {
+		t.Fatal("descending order violated")
+	}
+}
+
+func TestFootprintReductionEndToEnd(t *testing.T) {
+	tab := salesTable(60_000)
+	mk := func(flags core.Flags) *QCtx {
+		qc := NewQCtx(flags)
+		scan := NewScan(tab, "qty", "price")
+		m := scan.Meta()
+		h := NewHashAgg(scan,
+			[]string{"qty", "price"}, []*Expr{Col(m, "qty"), Col(m, "price")},
+			[]AggExpr{{Func: agg.Sum, Arg: Mul(Col(m, "qty"), Col(m, "price")), Name: "rev"}})
+		Run(qc, h)
+		return qc
+	}
+	vanilla := mk(core.Vanilla())
+	opt := mk(core.Flags{Compress: true, Split: true})
+	if opt.HashTableBytes() >= vanilla.HashTableBytes() {
+		t.Errorf("optimized table %dB must undercut vanilla %dB",
+			opt.HashTableBytes(), vanilla.HashTableBytes())
+	}
+}
+
+func TestStatsCollected(t *testing.T) {
+	tab := salesTable(5000)
+	qc := NewQCtx(core.All())
+	scan := NewScan(tab, "region")
+	m := scan.Meta()
+	Run(qc, NewHashAgg(scan, []string{"region"}, []*Expr{Col(m, "region")},
+		[]AggExpr{{Func: agg.CountStar, Name: "c"}}))
+	if qc.Stats.Get(StatScan) == 0 || qc.Stats.Get(StatHash) == 0 || qc.Stats.Get(StatLookup) == 0 {
+		t.Errorf("missing stats buckets:\n%s", qc.Stats)
+	}
+}

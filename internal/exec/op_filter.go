@@ -1,0 +1,114 @@
+package exec
+
+import "ocht/internal/vec"
+
+// Filter keeps the rows satisfying a boolean predicate, narrowing the
+// selection vector (never copying data).
+type Filter struct {
+	Child Op
+	Pred  *Expr
+
+	sel []int32
+	out vec.Batch
+}
+
+// NewFilter wraps child with a predicate.
+func NewFilter(child Op, pred *Expr) *Filter {
+	return &Filter{Child: child, Pred: pred}
+}
+
+// Meta implements Op.
+func (f *Filter) Meta() []Meta { return f.Child.Meta() }
+
+// MaxRows implements Op.
+func (f *Filter) MaxRows() int64 { return f.Child.MaxRows() }
+
+// Open implements Op.
+func (f *Filter) Open(qc *QCtx) {
+	f.Child.Open(qc)
+	f.Pred.intern(qc.Store)
+	if f.sel == nil {
+		f.sel = make([]int32, 0, vec.Size)
+	}
+}
+
+// Next implements Op.
+func (f *Filter) Next(qc *QCtx) *vec.Batch {
+	for {
+		b := f.Child.Next(qc)
+		if b == nil {
+			return nil
+		}
+		pred := f.Pred.Eval(qc, b)
+		f.sel = f.sel[:0]
+		for _, r := range b.Rows() {
+			if pred.Bool[r] {
+				f.sel = append(f.sel, r)
+			}
+		}
+		if len(f.sel) == 0 {
+			continue
+		}
+		f.out.Vecs = b.Vecs
+		f.out.Sel = f.sel
+		f.out.N = len(f.sel)
+		return &f.out
+	}
+}
+
+// Project computes one output column per expression.
+type Project struct {
+	Child Op
+	Exprs []*Expr
+	Names []string
+
+	meta []Meta
+	out  vec.Batch
+}
+
+// NewProject wraps child with computed columns.
+func NewProject(child Op, names []string, exprs []*Expr) *Project {
+	return &Project{Child: child, Exprs: exprs, Names: names}
+}
+
+// Meta implements Op.
+func (p *Project) Meta() []Meta {
+	if p.meta == nil {
+		for i, e := range p.Exprs {
+			p.meta = append(p.meta, Meta{
+				Name:     p.Names[i],
+				Type:     e.Type(),
+				Dom:      e.Dom(),
+				Nullable: e.Nullable(),
+			})
+		}
+	}
+	return p.meta
+}
+
+// MaxRows implements Op.
+func (p *Project) MaxRows() int64 { return p.Child.MaxRows() }
+
+// Open implements Op.
+func (p *Project) Open(qc *QCtx) {
+	p.Child.Open(qc)
+	for _, e := range p.Exprs {
+		e.intern(qc.Store)
+	}
+	p.Meta()
+	p.out.Vecs = make([]*vec.Vector, len(p.Exprs))
+}
+
+// Next implements Op.
+func (p *Project) Next(qc *QCtx) *vec.Batch {
+	b := p.Child.Next(qc)
+	if b == nil {
+		return nil
+	}
+	for i, e := range p.Exprs {
+		p.out.Vecs[i] = e.Eval(qc, b)
+	}
+	p.out.Sel = b.Sel
+	p.out.N = b.N
+	return &p.out
+}

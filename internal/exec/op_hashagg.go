@@ -1,0 +1,405 @@
+package exec
+
+import (
+	"math"
+	"time"
+
+	"ocht/internal/agg"
+	"ocht/internal/core"
+	"ocht/internal/domain"
+	"ocht/internal/i128"
+	"ocht/internal/vec"
+)
+
+// Avg marks an AVG aggregate; the operator rewrites it into SUM and COUNT
+// (Table I) and finalizes the division at emission.
+const Avg = agg.Func(100)
+
+// AggExpr is one aggregate of a HashAgg.
+type AggExpr struct {
+	Func agg.Func
+	Arg  *Expr // nil for CountStar
+	Name string
+}
+
+// HashAgg groups the child's rows by key expressions and maintains
+// aggregates in an optimistically compressed hash table: prefix-suppressed
+// keys, USSR slot codes for string keys, and hot/cold-split aggregate
+// state, all depending on the query flags.
+type HashAgg struct {
+	Child    Op
+	Keys     []*Expr
+	KeyNames []string
+	Aggs     []AggExpr
+
+	meta     []Meta
+	keyCols  []core.KeyCol
+	nullCode []int64 // per key: NULL code for int keys, math.MinInt64 = none
+	schema   *core.KeySchema
+	ag       *agg.Aggregator
+	tab      *core.Table
+
+	specs   []agg.Spec
+	specOf  []aggMap // output aggregate -> internal spec(s)
+	scratch struct {
+		keys   []*vec.Vector
+		hashes []uint64
+		recs   []int32
+		subset []int32
+	}
+	emit int
+	out  vec.Batch
+}
+
+type aggMap struct {
+	spec  int // internal spec index (sum for AVG)
+	cnt   int // count spec index for AVG, else -1
+	isAvg bool
+}
+
+// NewHashAgg builds a grouped aggregation.
+func NewHashAgg(child Op, keyNames []string, keys []*Expr, aggs []AggExpr) *HashAgg {
+	return &HashAgg{Child: child, Keys: keys, KeyNames: keyNames, Aggs: aggs}
+}
+
+// Meta implements Op. Aggregate output types are flag-independent so that
+// vanilla and optimized plans produce comparable results: SUM emits a
+// 128-bit integer unless the domain proves 64 bits suffice.
+func (h *HashAgg) Meta() []Meta {
+	if h.meta != nil {
+		return h.meta
+	}
+	for i, k := range h.Keys {
+		h.meta = append(h.meta, Meta{
+			Name:     h.KeyNames[i],
+			Type:     k.Type(),
+			Dom:      k.Dom(),
+			Nullable: k.Nullable(),
+		})
+	}
+	maxRows := h.Child.MaxRows()
+	for _, a := range h.Aggs {
+		m := Meta{Name: a.Name}
+		switch a.Func {
+		case Avg:
+			m.Type = vec.F64
+			m.Dom = domain.Unknown
+		case agg.Sum:
+			if domain.SumFitsInt64(a.Arg.Dom(), maxRows) {
+				m.Type = vec.I64
+				lo, hi, _ := domain.SumBound(a.Arg.Dom(), maxRows)
+				m.Dom = domain.New(lo.Int64(), hi.Int64())
+			} else {
+				m.Type = vec.I128
+				m.Dom = domain.Unknown
+			}
+		case agg.Count, agg.CountStar:
+			m.Type = vec.I64
+			m.Dom = domain.New(0, maxRows)
+		case agg.Min, agg.Max:
+			if a.Arg.Type() == vec.Str {
+				m.Type = vec.Str
+				m.Nullable = true // all-NULL groups yield NULL
+			} else {
+				m.Type = vec.I64
+				m.Dom = a.Arg.Dom()
+			}
+		}
+		h.meta = append(h.meta, m)
+	}
+	return h.meta
+}
+
+// MaxRows implements Op.
+func (h *HashAgg) MaxRows() int64 {
+	n := h.Child.MaxRows()
+	// The number of groups is bounded by the product of key domain
+	// cardinalities when known.
+	prod := int64(1)
+	for _, k := range h.Keys {
+		c := k.Dom().Cardinality()
+		if c == 0 || c > uint64(rowsCap) {
+			return n
+		}
+		prod = satMul(prod, int64(c)+1) // +1 for a possible NULL group
+	}
+	if prod < n {
+		return prod
+	}
+	return n
+}
+
+// Open implements Op: it drains the child and builds the table.
+func (h *HashAgg) Open(qc *QCtx) {
+	h.Child.Open(qc)
+	for _, k := range h.Keys {
+		k.intern(qc.Store)
+	}
+	for _, a := range h.Aggs {
+		if a.Arg != nil {
+			a.Arg.intern(qc.Store)
+		}
+	}
+	h.Meta()
+
+	// Resolve key columns with NULL codes folded into the domain.
+	h.keyCols = h.keyCols[:0]
+	h.nullCode = h.nullCode[:0]
+	for i, k := range h.Keys {
+		kc := core.KeyCol{Name: h.KeyNames[i], Type: k.Type(), Dom: k.Dom()}
+		code := int64(math.MinInt64) // no remapping
+		if k.Nullable() && k.Type() != vec.Str {
+			if kc.Dom.Valid && kc.Dom.Max < math.MaxInt64 {
+				code = kc.Dom.Max + 1
+				kc.Dom = domain.New(kc.Dom.Min, code)
+			} else {
+				// Unknown domain: use an improbable sentinel.
+				code = math.MinInt64 + 1
+			}
+		}
+		if k.Type() == vec.Str {
+			// Arithmetic never produces Str, so key vectors keep their
+			// source type; NULL strings are remapped to the null ref.
+		} else if !k.Type().IsInt() && k.Type() != vec.Bool {
+			kc.Type = vec.F64
+		}
+		h.nullCode = append(h.nullCode, code)
+		h.keyCols = append(h.keyCols, kc)
+	}
+
+	// Internal aggregate specs (AVG -> SUM + COUNT).
+	maxRows := h.Child.MaxRows()
+	h.specs = h.specs[:0]
+	h.specOf = h.specOf[:0]
+	for _, a := range h.Aggs {
+		mk := func(f agg.Func, arg *Expr) int {
+			s := agg.Spec{Func: f, MaxRows: maxRows}
+			if arg != nil {
+				s.InType = arg.Type()
+				s.InDom = arg.Dom()
+			}
+			h.specs = append(h.specs, s)
+			return len(h.specs) - 1
+		}
+		switch a.Func {
+		case Avg:
+			si := mk(agg.Sum, a.Arg)
+			ci := mk(agg.Count, a.Arg)
+			h.specOf = append(h.specOf, aggMap{spec: si, cnt: ci, isAvg: true})
+		default:
+			h.specOf = append(h.specOf, aggMap{spec: mk(a.Func, a.Arg), cnt: -1})
+		}
+	}
+
+	// The paper does not enable compression for hash tables that are
+	// small (CPU-cache-resident) based on optimizer estimates
+	// (Section V-A, limitation (c)); the group-count bound is that
+	// estimate here.
+	flags := qc.Flags
+	if flags.Compress && h.MaxRows() < CompressMinBuildRows {
+		flags.Compress = false
+	}
+	var err error
+	h.schema, err = core.NewKeySchema(flags, h.keyCols, qc.Store)
+	if err != nil {
+		panic(err)
+	}
+	h.ag = agg.NewAggregator(flags, h.specs)
+	hint := h.MaxRows()
+	if hint > 1<<12 {
+		hint = 1 << 12 // the directory grows with the table
+	}
+	h.tab = core.NewTable(h.schema, h.ag.HotBytes, h.ag.ColdBytes, int(hint))
+	qc.register(h.tab)
+
+	h.scratch.keys = make([]*vec.Vector, len(h.Keys))
+	h.scratch.hashes = make([]uint64, vec.Size)
+	h.scratch.recs = make([]int32, vec.Size)
+	h.scratch.subset = make([]int32, 0, vec.Size)
+	h.build(qc)
+	h.emit = 0
+	h.prepareOut()
+}
+
+func (h *HashAgg) build(qc *QCtx) {
+	for {
+		b := h.Child.Next(qc)
+		if b == nil {
+			return
+		}
+		rows := b.Rows()
+		phys := physOf(b)
+		if phys > len(h.scratch.hashes) {
+			h.scratch.hashes = make([]uint64, phys)
+			h.scratch.recs = make([]int32, phys)
+		}
+
+		// Evaluate and NULL-remap the key columns.
+		for i, k := range h.Keys {
+			v := k.Eval(qc, b)
+			h.scratch.keys[i] = h.remapKey(i, k, v, rows, phys)
+		}
+
+		p := h.schema.Prepare(h.scratch.keys, rows)
+		start := time.Now()
+		h.schema.Hash(p, rows, h.scratch.hashes)
+		qc.Stats.Add(StatHash, time.Since(start))
+
+		start = time.Now()
+		_, newRecs := h.tab.FindOrInsert(p, h.scratch.hashes, rows, h.scratch.recs)
+		qc.Stats.Add(StatLookup, time.Since(start))
+		h.ag.Init(h.tab, newRecs)
+
+		for si, spec := range h.specs {
+			var arg *vec.Vector
+			var argExpr *Expr
+			for oi, m := range h.specOf {
+				if m.spec == si || m.cnt == si {
+					argExpr = h.Aggs[oi].Arg
+				}
+			}
+			updateRows := rows
+			if argExpr != nil {
+				arg = argExpr.Eval(qc, b)
+				// SQL semantics: NULL inputs do not contribute.
+				if argExpr.Nullable() && arg.Nulls != nil {
+					h.scratch.subset = h.scratch.subset[:0]
+					for _, r := range rows {
+						if !arg.Nulls[r] {
+							h.scratch.subset = append(h.scratch.subset, r)
+						}
+					}
+					updateRows = h.scratch.subset
+				}
+			} else if spec.Func == agg.Count {
+				// COUNT over a NULL-free column behaves like COUNT(*).
+			}
+			start = time.Now()
+			h.ag.Update(h.tab, si, h.scratch.recs, updateRows, arg)
+			qc.Stats.Add(StatAggregate, time.Since(start))
+		}
+	}
+}
+
+// remapKey folds SQL NULLs into the key coding: integer NULLs become the
+// extended domain code, string NULLs the null reference.
+func (h *HashAgg) remapKey(i int, k *Expr, v *vec.Vector, rows []int32, phys int) *vec.Vector {
+	if !k.Nullable() {
+		return v
+	}
+	out := vec.New(v.Typ, phys)
+	if v.Typ == vec.Str {
+		for _, r := range rows {
+			if v.IsNull(int(r)) {
+				out.Str[r] = nullStrRef
+			} else {
+				out.Str[r] = v.Str[r]
+			}
+		}
+		return out
+	}
+	code := h.nullCode[i]
+	for _, r := range rows {
+		if v.IsNull(int(r)) {
+			out.SetInt64(int(r), code)
+		} else {
+			out.SetInt64(int(r), v.Int64At(int(r)))
+		}
+	}
+	return out
+}
+
+func (h *HashAgg) prepareOut() {
+	h.out.Vecs = make([]*vec.Vector, len(h.meta))
+	for i, m := range h.meta {
+		h.out.Vecs[i] = vec.New(m.Type, vec.Size)
+	}
+}
+
+// Next implements Op: emits the group results.
+func (h *HashAgg) Next(qc *QCtx) *vec.Batch {
+	if h.emit >= h.tab.Len() {
+		return nil
+	}
+	n := h.tab.Len() - h.emit
+	if n > vec.Size {
+		n = vec.Size
+	}
+	recIdx := make([]int32, n)
+	rows := make([]int32, n)
+	for i := 0; i < n; i++ {
+		recIdx[i] = int32(h.emit + i)
+		rows[i] = int32(i)
+	}
+
+	for ci := range h.Keys {
+		out := h.out.Vecs[ci]
+		h.tab.LoadKey(ci, recIdx, out, rows)
+		// Remap NULL codes back to SQL NULLs.
+		if h.Keys[ci].Nullable() {
+			if out.Nulls == nil {
+				out.Nulls = make([]bool, out.Len())
+			}
+			for i := 0; i < n; i++ {
+				if out.Typ == vec.Str {
+					out.Nulls[i] = out.Str[i] == nullStrRef
+				} else {
+					out.Nulls[i] = out.Int64At(i) == h.nullCode[ci]
+				}
+			}
+		}
+	}
+
+	for oi, m := range h.specOf {
+		out := h.out.Vecs[len(h.Keys)+oi]
+		if m.isAvg {
+			sum := vec.New(h.ag.ResultType(m.spec), n)
+			cnt := vec.New(vec.I64, n)
+			h.ag.Result(h.tab, m.spec, recIdx, sum, rows)
+			h.ag.Result(h.tab, m.cnt, recIdx, cnt, rows)
+			for i := 0; i < n; i++ {
+				c := cnt.I64[i]
+				if c == 0 {
+					out.F64[i] = 0
+					continue
+				}
+				out.F64[i] = sumAsF64(sum, i) / float64(c)
+			}
+			continue
+		}
+		want := h.meta[len(h.Keys)+oi].Type
+		got := h.ag.ResultType(m.spec)
+		if want == got {
+			h.ag.Result(h.tab, m.spec, recIdx, out, rows)
+			continue
+		}
+		// Storage kind differs from the declared output type (e.g. an
+		// optimistic 128-bit sum emitted where vanilla declared I64, or
+		// vice versa): convert through a temporary.
+		tmp := vec.New(got, n)
+		h.ag.Result(h.tab, m.spec, recIdx, tmp, rows)
+		for i := 0; i < n; i++ {
+			if want == vec.I128 {
+				out.I128[i] = i128.FromInt64(tmp.I64[i])
+			} else {
+				out.I64[i] = tmp.I128[i].Int64()
+			}
+		}
+	}
+
+	h.emit += n
+	h.out.Sel = nil
+	h.out.N = n
+	return &h.out
+}
+
+// Table exposes the aggregation hash table for footprint experiments.
+func (h *HashAgg) Table() *core.Table { return h.tab }
+
+func sumAsF64(v *vec.Vector, i int) float64 {
+	if v.Typ == vec.I64 {
+		return float64(v.I64[i])
+	}
+	x := v.I128[i]
+	return float64(x.Hi)*math.Pow(2, 64) + float64(x.Lo)
+}

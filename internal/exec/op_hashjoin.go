@@ -1,0 +1,425 @@
+package exec
+
+import (
+	"time"
+
+	"ocht/internal/core"
+	"ocht/internal/join"
+	"ocht/internal/vec"
+)
+
+// JoinKind selects the join semantics.
+type JoinKind uint8
+
+// Join kinds.
+const (
+	Inner     JoinKind = iota
+	Semi               // EXISTS: emit probe rows with at least one match
+	Anti               // NOT EXISTS: emit probe rows with no match
+	LeftOuter          // emit all probe rows; NULL payload on misses
+)
+
+// HashJoin joins Probe (outer/left) against Build (inner/right) on equal
+// keys, materializing the build side into an optimistically compressed
+// hash table. Payload lists the build columns carried to the output.
+type HashJoin struct {
+	Build, Probe Op
+	BuildKeys    []string
+	ProbeKeys    []string
+	Payload      []string
+	Kind         JoinKind
+	// Selective hints that most probes miss; with Optimistic Splitting
+	// the payload then moves to the cold area (Section III-B).
+	Selective bool
+
+	meta       []Meta
+	buildIdx   []int
+	probeIdx   []int
+	payloadIdx []int
+	j          *join.Join
+
+	// Emission state for chunking inner/outer matches.
+	curBatch  *vec.Batch
+	matchRows []int32
+	matchRecs []int32
+	matchPos  int
+	sel       []int32
+	matched   []bool // per physical row, reused across batches
+	keyVecs   []*vec.Vector
+	out       vec.Batch
+	outBufs   []*vec.Vector
+}
+
+// matchedMask returns a cleared per-row mask of at least n entries.
+func (h *HashJoin) matchedMask(n int) []bool {
+	if len(h.matched) < n {
+		h.matched = make([]bool, n)
+	}
+	m := h.matched[:n]
+	for i := range m {
+		m[i] = false
+	}
+	return m
+}
+
+// NewHashJoin constructs a join.
+func NewHashJoin(kind JoinKind, probe, build Op, probeKeys, buildKeys, payload []string) *HashJoin {
+	return &HashJoin{
+		Build: build, Probe: probe,
+		BuildKeys: buildKeys, ProbeKeys: probeKeys,
+		Payload: payload, Kind: kind,
+	}
+}
+
+func colIndex(meta []Meta, name string) int {
+	for i, m := range meta {
+		if m.Name == name {
+			return i
+		}
+	}
+	panic("exec: join references unknown column " + name)
+}
+
+// Meta implements Op: probe columns, then payload columns (for Inner and
+// LeftOuter).
+func (h *HashJoin) Meta() []Meta {
+	if h.meta != nil {
+		return h.meta
+	}
+	h.meta = append(h.meta, h.Probe.Meta()...)
+	if h.Kind == Inner || h.Kind == LeftOuter {
+		bm := h.Build.Meta()
+		for _, name := range h.Payload {
+			m := bm[colIndex(bm, name)]
+			if h.Kind == LeftOuter {
+				m.Nullable = true
+			}
+			h.meta = append(h.meta, m)
+		}
+	}
+	return h.meta
+}
+
+// MaxRows implements Op.
+func (h *HashJoin) MaxRows() int64 {
+	switch h.Kind {
+	case Semi, Anti:
+		return h.Probe.MaxRows()
+	case LeftOuter:
+		return satMul(h.Probe.MaxRows(), h.Build.MaxRows())
+	default:
+		return satMul(h.Probe.MaxRows(), h.Build.MaxRows())
+	}
+}
+
+// Open implements Op: drains the build side into the hash table.
+func (h *HashJoin) Open(qc *QCtx) {
+	h.Build.Open(qc)
+	h.Probe.Open(qc)
+	h.Meta()
+
+	bm := h.Build.Meta()
+	pm := h.Probe.Meta()
+	h.buildIdx = h.buildIdx[:0]
+	for _, k := range h.BuildKeys {
+		h.buildIdx = append(h.buildIdx, colIndex(bm, k))
+	}
+	h.probeIdx = h.probeIdx[:0]
+	for _, k := range h.ProbeKeys {
+		h.probeIdx = append(h.probeIdx, colIndex(pm, k))
+	}
+	h.payloadIdx = h.payloadIdx[:0]
+	for _, p := range h.Payload {
+		h.payloadIdx = append(h.payloadIdx, colIndex(bm, p))
+	}
+
+	// Key columns: the stored keys take the build-side domains. The
+	// compressed probe comparison filters probe values outside them
+	// (Section II-D).
+	var keyCols []core.KeyCol
+	for i, bi := range h.buildIdx {
+		m := bm[bi]
+		keyCols = append(keyCols, core.KeyCol{Name: h.BuildKeys[i], Type: m.Type, Dom: m.Dom})
+	}
+	var payloadCols []join.PayloadCol
+	for _, pi := range h.payloadIdx {
+		m := bm[pi]
+		payloadCols = append(payloadCols, join.PayloadCol{Name: m.Name, Type: m.Type, Dom: m.Dom})
+	}
+	hint := h.Build.MaxRows()
+	if hint > 1<<12 {
+		hint = 1 << 12 // the directory grows with the table
+	}
+	// Small build sides stay uncompressed, mirroring the paper's
+	// optimizer gating for cache-resident hash tables (Section V-A).
+	flags := qc.Flags
+	if flags.Compress && h.Build.MaxRows() < CompressMinBuildRows {
+		flags.Compress = false
+	}
+	var err error
+	h.j, err = join.New(flags, keyCols, payloadCols, qc.Store,
+		join.Options{Selective: h.Selective || h.Kind == Semi || h.Kind == Anti, CapacityHint: int(hint)})
+	if err != nil {
+		panic(err)
+	}
+	qc.register(h.j.Table())
+
+	// Drain the build side.
+	keyVecs := make([]*vec.Vector, len(h.buildIdx))
+	plVecs := make([]*vec.Vector, len(h.payloadIdx))
+	var sel []int32
+	for {
+		b := h.Build.Next(qc)
+		if b == nil {
+			break
+		}
+		for i, bi := range h.buildIdx {
+			keyVecs[i] = b.Vecs[bi]
+		}
+		for i, pi := range h.payloadIdx {
+			plVecs[i] = b.Vecs[pi]
+		}
+		rows := b.Rows()
+		// SQL: NULL keys never join; drop them at build.
+		rows, sel = dropNullKeyRows(rows, keyVecs, sel)
+		if len(rows) == 0 {
+			continue
+		}
+		start := time.Now()
+		h.j.Build(keyVecs, plVecs, rows)
+		qc.Stats.Add(StatLookup, time.Since(start))
+	}
+
+	h.outBufs = make([]*vec.Vector, len(h.meta))
+	for i, m := range h.meta {
+		h.outBufs[i] = vec.New(m.Type, vec.Size)
+	}
+	h.curBatch = nil
+	h.matchPos = 0
+}
+
+func dropNullKeyRows(rows []int32, keys []*vec.Vector, sel []int32) ([]int32, []int32) {
+	any := false
+	for _, k := range keys {
+		if k.Nulls != nil || k.Typ == vec.Str {
+			any = true
+		}
+	}
+	if !any {
+		return rows, sel
+	}
+	sel = sel[:0]
+	for _, r := range rows {
+		null := false
+		for _, k := range keys {
+			if k.IsNull(int(r)) || (k.Typ == vec.Str && k.Str[r] == nullStrRef) {
+				null = true
+				break
+			}
+		}
+		if !null {
+			sel = append(sel, r)
+		}
+	}
+	return sel, sel
+}
+
+// Next implements Op.
+func (h *HashJoin) Next(qc *QCtx) *vec.Batch {
+	switch h.Kind {
+	case Semi, Anti:
+		return h.nextSemiAnti(qc)
+	default:
+		return h.nextInner(qc)
+	}
+}
+
+// nextInner emits (probe row, payload) pairs, chunking when one probe
+// batch yields more than a vector of matches. For LeftOuter, unmatched
+// probe rows are emitted with NULL payloads.
+func (h *HashJoin) nextInner(qc *QCtx) *vec.Batch {
+	for {
+		if h.curBatch != nil && h.matchPos < len(h.matchRows) {
+			return h.emitChunk(qc)
+		}
+		b := h.Probe.Next(qc)
+		if b == nil {
+			return nil
+		}
+		rows := b.Rows()
+		if h.keyVecs == nil {
+			h.keyVecs = make([]*vec.Vector, len(h.probeIdx))
+		}
+		for i, pi := range h.probeIdx {
+			h.keyVecs[i] = b.Vecs[pi]
+		}
+		probeRows, _ := dropNullKeyRows(rows, h.keyVecs, h.sel)
+		var mr, mc []int32
+		if len(probeRows) > 0 {
+			start := time.Now()
+			mr, mc = h.j.Probe(h.keyVecs, probeRows)
+			qc.Stats.Add(StatLookup, time.Since(start))
+		}
+		if h.Kind == LeftOuter {
+			matched := h.matchedMask(physOf(b))
+			for _, r := range mr {
+				matched[r] = true
+			}
+			for _, r := range rows {
+				if !matched[r] {
+					mr = append(mr, r)
+					mc = append(mc, -1) // NULL payload marker
+				}
+			}
+		}
+		if len(mr) == 0 {
+			continue
+		}
+		h.curBatch = b
+		h.matchRows, h.matchRecs = mr, mc
+		h.matchPos = 0
+	}
+}
+
+func (h *HashJoin) emitChunk(qc *QCtx) *vec.Batch {
+	n := len(h.matchRows) - h.matchPos
+	if n > vec.Size {
+		n = vec.Size
+	}
+	mr := h.matchRows[h.matchPos : h.matchPos+n]
+	mc := h.matchRecs[h.matchPos : h.matchPos+n]
+	h.matchPos += n
+
+	pm := h.Probe.Meta()
+	// Gather probe columns.
+	for ci := range pm {
+		src := h.curBatch.Vecs[ci]
+		dst := h.outBufs[ci]
+		gather(dst, src, mr)
+	}
+	// Fetch build payloads; rows with record -1 (outer misses) get NULL.
+	outRows := make([]int32, 0, n)
+	recs := make([]int32, 0, n)
+	var nullRows []int32
+	for i, rec := range mc {
+		if rec < 0 {
+			nullRows = append(nullRows, int32(i))
+			continue
+		}
+		outRows = append(outRows, int32(i))
+		recs = append(recs, rec)
+	}
+	for pi := range h.payloadIdx {
+		dst := h.outBufs[len(pm)+pi]
+		if dst.Nulls != nil {
+			for i := range dst.Nulls {
+				dst.Nulls[i] = false
+			}
+		}
+		h.j.FetchPayload(pi, recs, dst, outRows)
+		for _, i := range nullRows {
+			dst.SetNull(int(i))
+		}
+	}
+	h.out.Vecs = h.outBufs
+	h.out.Sel = nil
+	h.out.N = n
+	return &h.out
+}
+
+// nextSemiAnti emits probe rows filtered by match existence, reusing the
+// probe batch with a narrowed selection (no copying).
+func (h *HashJoin) nextSemiAnti(qc *QCtx) *vec.Batch {
+	for {
+		b := h.Probe.Next(qc)
+		if b == nil {
+			return nil
+		}
+		rows := b.Rows()
+		if h.keyVecs == nil {
+			h.keyVecs = make([]*vec.Vector, len(h.probeIdx))
+		}
+		for i, pi := range h.probeIdx {
+			h.keyVecs[i] = b.Vecs[pi]
+		}
+		probeRows, _ := dropNullKeyRows(rows, h.keyVecs, nil)
+		matched := h.matchedMask(physOf(b))
+		if len(probeRows) > 0 {
+			start := time.Now()
+			mr, _ := h.j.Probe(h.keyVecs, probeRows)
+			qc.Stats.Add(StatLookup, time.Since(start))
+			for _, r := range mr {
+				matched[r] = true
+			}
+		}
+		h.sel = h.sel[:0]
+		for _, r := range rows {
+			if matched[r] == (h.Kind == Semi) {
+				h.sel = append(h.sel, r)
+			}
+		}
+		if len(h.sel) == 0 {
+			continue
+		}
+		h.out.Vecs = h.curVecs(b)
+		h.out.Sel = h.sel
+		h.out.N = len(h.sel)
+		return &h.out
+	}
+}
+
+func (h *HashJoin) curVecs(b *vec.Batch) []*vec.Vector { return b.Vecs }
+
+// Table exposes the join hash table for footprint experiments.
+func (h *HashJoin) Table() *core.Table { return h.j.Table() }
+
+// gather copies src values at the given physical rows densely into
+// dst[0:len(rows)].
+func gather(dst, src *vec.Vector, rows []int32) {
+	if src.Nulls != nil {
+		if dst.Nulls == nil {
+			dst.Nulls = make([]bool, dst.Len())
+		}
+		for i, r := range rows {
+			dst.Nulls[i] = src.Nulls[r]
+		}
+	} else if dst.Nulls != nil {
+		for i := range rows {
+			dst.Nulls[i] = false
+		}
+	}
+	switch src.Typ {
+	case vec.Bool:
+		for i, r := range rows {
+			dst.Bool[i] = src.Bool[r]
+		}
+	case vec.I8:
+		for i, r := range rows {
+			dst.I8[i] = src.I8[r]
+		}
+	case vec.I16:
+		for i, r := range rows {
+			dst.I16[i] = src.I16[r]
+		}
+	case vec.I32:
+		for i, r := range rows {
+			dst.I32[i] = src.I32[r]
+		}
+	case vec.I64:
+		for i, r := range rows {
+			dst.I64[i] = src.I64[r]
+		}
+	case vec.I128:
+		for i, r := range rows {
+			dst.I128[i] = src.I128[r]
+		}
+	case vec.F64:
+		for i, r := range rows {
+			dst.F64[i] = src.F64[r]
+		}
+	case vec.Str:
+		for i, r := range rows {
+			dst.Str[i] = src.Str[r]
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package exec
+
+import (
+	"time"
+
+	"ocht/internal/storage"
+	"ocht/internal/vec"
+)
+
+// Scan reads a stored table block by block, decompressing per-block string
+// dictionaries through the query's string store (priming the USSR,
+// Section IV-D) and deriving column domains from the out-of-band zone maps
+// (Section II-A).
+type Scan struct {
+	Table   *storage.Table
+	Columns []string
+
+	cols     []*storage.Column
+	meta     []Meta
+	bufs     []*vec.Vector
+	out      *vec.Batch
+	block    int
+	blockLen int
+	pos      int
+}
+
+// NewScan creates a scan over the named columns (all columns when nil).
+func NewScan(t *storage.Table, columns ...string) *Scan {
+	if len(columns) == 0 {
+		for _, c := range t.Cols {
+			columns = append(columns, c.Name)
+		}
+	}
+	return &Scan{Table: t, Columns: columns}
+}
+
+// Meta implements Op.
+func (s *Scan) Meta() []Meta {
+	if s.meta == nil {
+		for _, name := range s.Columns {
+			c := s.Table.Col(name)
+			s.meta = append(s.meta, Meta{
+				Name:     name,
+				Type:     c.Type,
+				Dom:      c.TotalDomain(),
+				Nullable: c.Nullable,
+			})
+		}
+	}
+	return s.meta
+}
+
+// MaxRows implements Op.
+func (s *Scan) MaxRows() int64 { return int64(s.Table.Rows()) }
+
+// Open implements Op.
+func (s *Scan) Open(qc *QCtx) {
+	s.Meta()
+	s.cols = s.cols[:0]
+	s.bufs = s.bufs[:0]
+	for _, name := range s.Columns {
+		c := s.Table.Col(name)
+		s.cols = append(s.cols, c)
+		buf := vec.New(c.Type, storage.BlockRows)
+		if c.Nullable {
+			buf.Nulls = make([]bool, storage.BlockRows)
+		}
+		s.bufs = append(s.bufs, buf)
+	}
+	s.out = &vec.Batch{Vecs: make([]*vec.Vector, len(s.cols))}
+	s.block, s.blockLen, s.pos = 0, 0, 0
+}
+
+// Next implements Op.
+func (s *Scan) Next(qc *QCtx) *vec.Batch {
+	if s.pos >= s.blockLen {
+		if len(s.cols) == 0 || s.block >= s.cols[0].Blocks() {
+			return nil
+		}
+		start := time.Now()
+		for i, c := range s.cols {
+			s.blockLen = c.ScanBlock(s.block, s.bufs[i], qc.Store)
+		}
+		qc.Stats.Add(StatScan, time.Since(start))
+		s.block++
+		s.pos = 0
+	}
+	n := s.blockLen - s.pos
+	if n > vec.Size {
+		n = vec.Size
+	}
+	for i, buf := range s.bufs {
+		s.out.Vecs[i] = viewOf(buf, s.pos, n)
+	}
+	s.out.Sel = nil
+	s.out.N = n
+	s.pos += n
+	return s.out
+}
+
+// viewOf returns a window [pos, pos+n) of v without copying.
+func viewOf(v *vec.Vector, pos, n int) *vec.Vector {
+	out := &vec.Vector{Typ: v.Typ}
+	if v.Nulls != nil {
+		out.Nulls = v.Nulls[pos : pos+n]
+	}
+	switch v.Typ {
+	case vec.Bool:
+		out.Bool = v.Bool[pos : pos+n]
+	case vec.I8:
+		out.I8 = v.I8[pos : pos+n]
+	case vec.I16:
+		out.I16 = v.I16[pos : pos+n]
+	case vec.I32:
+		out.I32 = v.I32[pos : pos+n]
+	case vec.I64:
+		out.I64 = v.I64[pos : pos+n]
+	case vec.I128:
+		out.I128 = v.I128[pos : pos+n]
+	case vec.F64:
+		out.F64 = v.F64[pos : pos+n]
+	case vec.Str:
+		out.Str = v.Str[pos : pos+n]
+	}
+	return out
+}

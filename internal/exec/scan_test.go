@@ -1,0 +1,102 @@
+package exec
+
+import (
+	"testing"
+
+	"ocht/internal/agg"
+	"ocht/internal/core"
+	"ocht/internal/storage"
+	"ocht/internal/vec"
+)
+
+// TestMultiBlockScan pushes a table across multiple storage blocks and
+// checks that scans, filters and aggregations see every row exactly once,
+// including the partial last block.
+func TestMultiBlockScan(t *testing.T) {
+	n := storage.BlockRows*2 + 777
+	c := storage.NewColumn("v", vec.I64, false)
+	s := storage.NewColumn("s", vec.Str, false)
+	for i := 0; i < n; i++ {
+		c.AppendInt(int64(i % 1000))
+		s.AppendString([]string{"x", "y", "z"}[i%3])
+	}
+	tab := storage.NewTable("big", c, s)
+	tab.Seal()
+	if tab.Cols[0].Blocks() != 3 {
+		t.Fatalf("expected 3 blocks, got %d", tab.Cols[0].Blocks())
+	}
+
+	for _, flags := range []core.Flags{core.Vanilla(), core.All()} {
+		qc := NewQCtx(flags)
+		scan := NewScan(tab, "v", "s")
+		m := scan.Meta()
+		h := NewHashAgg(scan,
+			[]string{"s"}, []*Expr{Col(m, "s")},
+			[]AggExpr{
+				{Func: agg.CountStar, Name: "cnt"},
+				{Func: agg.Sum, Arg: Col(m, "v"), Name: "sum"},
+			})
+		res := Run(qc, h)
+		if len(res.Rows) != 3 {
+			t.Fatalf("groups: %d", len(res.Rows))
+		}
+		var total int64
+		for _, row := range res.Rows {
+			total += row[1].I
+		}
+		if total != int64(n) {
+			t.Fatalf("flags %+v: counted %d rows, want %d", flags, total, n)
+		}
+	}
+}
+
+// TestScanColumnSubset checks that scans project only the requested
+// columns and derive their domains from the zone maps.
+func TestScanColumnSubset(t *testing.T) {
+	a := storage.NewColumn("a", vec.I64, false)
+	b := storage.NewColumn("b", vec.I32, false)
+	for i := 0; i < 100; i++ {
+		a.AppendInt(int64(i + 10))
+		b.AppendInt(int64(i % 7))
+	}
+	tab := storage.NewTable("t", a, b)
+	tab.Seal()
+	scan := NewScan(tab, "b")
+	m := scan.Meta()
+	if len(m) != 1 || m[0].Name != "b" {
+		t.Fatalf("meta: %v", m)
+	}
+	if !m[0].Dom.Valid || m[0].Dom.Min != 0 || m[0].Dom.Max != 6 {
+		t.Errorf("zone-map domain: %v", m[0].Dom)
+	}
+	if scan.MaxRows() != 100 {
+		t.Errorf("MaxRows %d", scan.MaxRows())
+	}
+}
+
+// TestFilterSelectivityChain stacks filters and checks selection vectors
+// compose without copying data.
+func TestFilterSelectivityChain(t *testing.T) {
+	c := storage.NewColumn("v", vec.I64, false)
+	for i := 0; i < 10_000; i++ {
+		c.AppendInt(int64(i))
+	}
+	tab := storage.NewTable("t", c)
+	tab.Seal()
+	qc := NewQCtx(core.All())
+	scan := NewScan(tab, "v")
+	m := scan.Meta()
+	f1 := NewFilter(scan, Ge(Col(m, "v"), Int(100)))
+	f2 := NewFilter(f1, Lt(Col(m, "v"), Int(200)))
+	f3 := NewFilter(f2, Eq(Mod(Col(m, "v"), Int(2)), Int(0)))
+	res := Run(qc, f3)
+	if len(res.Rows) != 50 {
+		t.Fatalf("rows: %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		v := row[0].I
+		if v < 100 || v >= 200 || v%2 != 0 {
+			t.Fatalf("filtered value %d escaped", v)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Stats collects the per-primitive time breakdown reported in Figure 6:
+// scan+decompress, hash computation, bucket lookup + key check,
+// aggregation, and everything else.
+type Stats struct {
+	buckets map[string]time.Duration
+}
+
+// Breakdown bucket names.
+const (
+	StatScan      = "scan+decompress"
+	StatHash      = "hash computation"
+	StatLookup    = "bucket lookup + key check"
+	StatAggregate = "aggregate update"
+	StatPack      = "pack/unpack"
+	StatOther     = "remaining primitives"
+)
+
+// NewStats creates an empty breakdown.
+func NewStats() *Stats { return &Stats{buckets: map[string]time.Duration{}} }
+
+// Add charges d to the named bucket.
+func (s *Stats) Add(name string, d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.buckets[name] += d
+}
+
+// Get returns the accumulated time of a bucket.
+func (s *Stats) Get(name string) time.Duration {
+	if s == nil {
+		return 0
+	}
+	return s.buckets[name]
+}
+
+// Total sums all buckets.
+func (s *Stats) Total() time.Duration {
+	var t time.Duration
+	for _, d := range s.buckets {
+		t += d
+	}
+	return t
+}
+
+// String renders the breakdown sorted by descending time.
+func (s *Stats) String() string {
+	type kv struct {
+		k string
+		v time.Duration
+	}
+	var items []kv
+	for k, v := range s.buckets {
+		items = append(items, kv{k, v})
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].v > items[j].v })
+	var b strings.Builder
+	for _, it := range items {
+		fmt.Fprintf(&b, "%-28s %12v\n", it.k, it.v)
+	}
+	return b.String()
+}
+
+// timed runs f and charges its duration to bucket name.
+func (s *Stats) timed(name string, f func()) {
+	if s == nil {
+		f()
+		return
+	}
+	start := time.Now()
+	f()
+	s.buckets[name] += time.Since(start)
+}

@@ -1,0 +1,156 @@
+package hashtab
+
+import (
+	"encoding/binary"
+	"math/bits"
+)
+
+// Concise is the Concise Hash Table of Barber et al. [PVLDB 8(4)], one of
+// the designs the paper compares footprints against (Table IV). It avoids
+// storing empty slots: a bitmap over virtual slot positions marks occupied
+// slots, a prefix-count per bitmap word maps a set bit to an index in a
+// dense record array, and keys that lose the (bounded) probe race go to a
+// small overflow table.
+type Concise struct {
+	rowWidth int
+
+	// Build buffer; emptied by Finalize.
+	bufKeys []uint64
+	bufRecs []byte
+
+	words    []uint64
+	prefix   []uint32
+	dense    []byte
+	overflow *Chained
+	mask     uint64
+	n        int
+	final    bool
+}
+
+// probeWindow is how many consecutive virtual positions a key may try
+// before overflowing.
+const probeWindow = 2
+
+// NewConcise creates a CHT for records of rowWidth bytes. Inserts are
+// buffered; the table is built on Finalize (or the first Lookup), as CHTs
+// are bulk-built structures.
+func NewConcise(rowWidth, capacityHint int) *Concise {
+	return &Concise{
+		rowWidth: rowWidth,
+		bufKeys:  make([]uint64, 0, capacityHint),
+	}
+}
+
+// Insert implements Table (buffered until Finalize).
+func (t *Concise) Insert(key uint64, rec []byte) {
+	if t.final {
+		panic("hashtab: insert into finalized concise table")
+	}
+	t.bufKeys = append(t.bufKeys, key)
+	t.bufRecs = append(t.bufRecs, rec...)
+	t.n++
+}
+
+// Finalize builds the bitmap, prefix counts and dense array.
+func (t *Concise) Finalize() {
+	if t.final {
+		return
+	}
+	t.final = true
+	// Virtual positions: 2x cardinality for a 50% virtual fill.
+	slots := directorySize(2 * max(t.n, 1))
+	t.mask = uint64(slots - 1)
+	nWords := slots / 64
+	if nWords == 0 {
+		nWords = 1
+		t.mask = 63
+	}
+	t.words = make([]uint64, nWords)
+	t.overflow = NewChained(t.rowWidth, 16)
+
+	// Pass 1: claim virtual positions.
+	pos := make([]int64, len(t.bufKeys)) // -1 = overflow
+	for i, k := range t.bufKeys {
+		p := hash64(k) & t.mask
+		placed := false
+		for j := 0; j < probeWindow; j++ {
+			q := (p + uint64(j)) & t.mask
+			w, b := q/64, q%64
+			if t.words[w]&(1<<b) == 0 {
+				t.words[w] |= 1 << b
+				pos[i] = int64(q)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			pos[i] = -1
+		}
+	}
+	// Prefix counts.
+	t.prefix = make([]uint32, len(t.words))
+	var total uint32
+	for w, word := range t.words {
+		t.prefix[w] = total
+		total += uint32(bits.OnesCount64(word))
+	}
+	// Pass 2: scatter records into the dense array (or overflow).
+	t.dense = make([]byte, int(total)*t.rowWidth)
+	for i, k := range t.bufKeys {
+		rec := t.bufRecs[i*t.rowWidth : (i+1)*t.rowWidth]
+		if pos[i] < 0 {
+			t.overflow.Insert(k, rec)
+			continue
+		}
+		q := uint64(pos[i])
+		copy(t.dense[t.denseIndex(q)*t.rowWidth:], rec)
+	}
+	t.bufKeys = nil
+	t.bufRecs = nil
+}
+
+// denseIndex maps an occupied virtual position to its dense array index:
+// the word's prefix count plus the rank of the bit within the word.
+func (t *Concise) denseIndex(q uint64) int {
+	w, b := q/64, q%64
+	return int(t.prefix[w]) + bits.OnesCount64(t.words[w]&(1<<b-1))
+}
+
+// Lookup implements Table.
+func (t *Concise) Lookup(key uint64) []byte {
+	if !t.final {
+		t.Finalize()
+	}
+	p := hash64(key) & t.mask
+	for j := 0; j < probeWindow; j++ {
+		q := (p + uint64(j)) & t.mask
+		w, b := q/64, q%64
+		if t.words[w]&(1<<b) == 0 {
+			return nil
+		}
+		off := t.denseIndex(q) * t.rowWidth
+		if binary.LittleEndian.Uint64(t.dense[off:]) == key {
+			return t.dense[off : off+t.rowWidth]
+		}
+	}
+	return t.overflow.Lookup(key)
+}
+
+// Len implements Table.
+func (t *Concise) Len() int { return t.n }
+
+// MemoryBytes implements Table: bitmap + prefix counts + dense records +
+// overflow.
+func (t *Concise) MemoryBytes() int {
+	if !t.final {
+		t.Finalize()
+	}
+	return len(t.words)*8 + len(t.prefix)*4 + len(t.dense) + t.overflow.MemoryBytes()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

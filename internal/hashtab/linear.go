@@ -1,0 +1,67 @@
+package hashtab
+
+import "encoding/binary"
+
+// Linear is an open-addressing hash table with linear probing. Slots are
+// NSM records; an occupancy bitmap distinguishes empty slots so that any
+// key value (including 0) can be stored. The paper's Table IV keeps linear
+// tables at a 50% fill rate, so NewLinear sizes the slot array at twice
+// the expected cardinality.
+type Linear struct {
+	slots    []byte
+	occupied []bool
+	rowWidth int
+	mask     uint64
+	n        int
+}
+
+// NewLinear creates a linear-probing table with capacity for n records at
+// fillPercent fill rate (e.g. 50).
+func NewLinear(rowWidth, n, fillPercent int) *Linear {
+	if fillPercent <= 0 || fillPercent > 90 {
+		fillPercent = 50
+	}
+	slots := directorySize(n * 100 / fillPercent)
+	return &Linear{
+		slots:    make([]byte, slots*rowWidth),
+		occupied: make([]bool, slots),
+		rowWidth: rowWidth,
+		mask:     uint64(slots - 1),
+	}
+}
+
+// Insert implements Table. It panics when the table is full.
+func (t *Linear) Insert(key uint64, rec []byte) {
+	if t.n >= len(t.occupied) {
+		panic("hashtab: linear table full")
+	}
+	pos := hash64(key) & t.mask
+	for t.occupied[pos] {
+		pos = (pos + 1) & t.mask
+	}
+	t.occupied[pos] = true
+	copy(t.slots[int(pos)*t.rowWidth:], rec)
+	t.n++
+}
+
+// Lookup implements Table.
+func (t *Linear) Lookup(key uint64) []byte {
+	pos := hash64(key) & t.mask
+	for t.occupied[pos] {
+		off := int(pos) * t.rowWidth
+		if binary.LittleEndian.Uint64(t.slots[off:]) == key {
+			return t.slots[off : off+t.rowWidth]
+		}
+		pos = (pos + 1) & t.mask
+	}
+	return nil
+}
+
+// Len implements Table.
+func (t *Linear) Len() int { return t.n }
+
+// MemoryBytes implements Table. The occupancy bitmap is charged at one bit
+// per slot, as a C implementation would pay.
+func (t *Linear) MemoryBytes() int {
+	return len(t.slots) + len(t.occupied)/8
+}

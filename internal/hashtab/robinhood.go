@@ -1,0 +1,84 @@
+package hashtab
+
+import "encoding/binary"
+
+// RobinHood is an open-addressing table using Robin Hood hashing [Celis
+// 1986]: on collision the record with the smaller displacement from its
+// home slot yields, which bounds probe-sequence variance and lets the
+// table run at high fill factors. The paper cites it as the orthogonal
+// "increase the fill factor" approach to shrinking hash tables.
+type RobinHood struct {
+	slots    []byte
+	dist     []int16 // displacement+1; 0 = empty
+	rowWidth int
+	mask     uint64
+	n        int
+}
+
+// NewRobinHood creates a Robin Hood table with capacity for n records at
+// fillPercent fill rate (e.g. 85).
+func NewRobinHood(rowWidth, n, fillPercent int) *RobinHood {
+	if fillPercent <= 0 || fillPercent > 95 {
+		fillPercent = 85
+	}
+	slots := directorySize(n * 100 / fillPercent)
+	return &RobinHood{
+		slots:    make([]byte, slots*rowWidth),
+		dist:     make([]int16, slots),
+		rowWidth: rowWidth,
+		mask:     uint64(slots - 1),
+	}
+}
+
+// Insert implements Table.
+func (t *RobinHood) Insert(key uint64, rec []byte) {
+	if t.n >= len(t.dist) {
+		panic("hashtab: robin hood table full")
+	}
+	cur := make([]byte, t.rowWidth)
+	copy(cur, rec)
+	pos := hash64(key) & t.mask
+	d := int16(1)
+	for {
+		if t.dist[pos] == 0 {
+			copy(t.slots[int(pos)*t.rowWidth:], cur)
+			t.dist[pos] = d
+			t.n++
+			return
+		}
+		if t.dist[pos] < d {
+			// Rob the rich: swap the resident record out.
+			off := int(pos) * t.rowWidth
+			tmp := make([]byte, t.rowWidth)
+			copy(tmp, t.slots[off:off+t.rowWidth])
+			copy(t.slots[off:], cur)
+			cur = tmp
+			d, t.dist[pos] = t.dist[pos], d
+		}
+		pos = (pos + 1) & t.mask
+		d++
+	}
+}
+
+// Lookup implements Table.
+func (t *RobinHood) Lookup(key uint64) []byte {
+	pos := hash64(key) & t.mask
+	d := int16(1)
+	for t.dist[pos] != 0 && t.dist[pos] >= d {
+		off := int(pos) * t.rowWidth
+		if binary.LittleEndian.Uint64(t.slots[off:]) == key {
+			return t.slots[off : off+t.rowWidth]
+		}
+		pos = (pos + 1) & t.mask
+		d++
+	}
+	return nil
+}
+
+// Len implements Table.
+func (t *RobinHood) Len() int { return t.n }
+
+// MemoryBytes implements Table.
+func (t *RobinHood) MemoryBytes() int {
+	return len(t.slots) + len(t.dist)*2
+}

@@ -1,0 +1,151 @@
+package i128
+
+import (
+	"math"
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func big128(x Int) *big.Int {
+	b := new(big.Int).SetInt64(x.Hi)
+	b.Lsh(b, 64)
+	return b.Add(b, new(big.Int).SetUint64(x.Lo))
+}
+
+func TestFromInt64(t *testing.T) {
+	cases := []int64{0, 1, -1, 42, -42, math.MaxInt64, math.MinInt64}
+	for _, v := range cases {
+		x := FromInt64(v)
+		if !x.IsInt64() || x.Int64() != v {
+			t.Errorf("FromInt64(%d) round-trip failed: %+v", v, x)
+		}
+		if got := big128(x); got.Int64() != v {
+			t.Errorf("FromInt64(%d) = %s", v, got)
+		}
+	}
+}
+
+func TestAddMatchesBig(t *testing.T) {
+	f := func(ah, bh int64, al, bl uint64) bool {
+		a, b := Int{ah, al}, Int{bh, bl}
+		got := big128(Add(a, b))
+		want := new(big.Int).Add(big128(a), big128(b))
+		mod128(want)
+		return got.Cmp(want) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSubMatchesBig(t *testing.T) {
+	f := func(ah, bh int64, al, bl uint64) bool {
+		a, b := Int{ah, al}, Int{bh, bl}
+		got := big128(Sub(a, b))
+		want := new(big.Int).Sub(big128(a), big128(b))
+		mod128(want)
+		return got.Cmp(want) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddInt64MatchesAdd(t *testing.T) {
+	f := func(ah int64, al uint64, v int64) bool {
+		a := Int{ah, al}
+		return AddInt64(a, v) == Add(a, FromInt64(v))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulInt64(t *testing.T) {
+	f := func(a, b int64) bool {
+		got := big128(MulInt64(a, b))
+		want := new(big.Int).Mul(big.NewInt(a), big.NewInt(b))
+		return got.Cmp(want) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCmp(t *testing.T) {
+	f := func(ah, bh int64, al, bl uint64) bool {
+		a, b := Int{ah, al}, Int{bh, bl}
+		return Cmp(a, b) == big128(a).Cmp(big128(b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNegSign(t *testing.T) {
+	if Neg(FromInt64(5)).Sign() != -1 {
+		t.Error("Neg(5) should be negative")
+	}
+	if Neg(FromInt64(-5)) != FromInt64(5) {
+		t.Error("Neg(-5) != 5")
+	}
+	if (Int{}).Sign() != 0 {
+		t.Error("zero sign")
+	}
+}
+
+func TestShifts(t *testing.T) {
+	f := func(h int64, l uint64, nRaw uint8) bool {
+		n := uint(nRaw) % 128
+		x := Int{h, l}
+		wantL := new(big.Int).Lsh(big128(x), n)
+		mod128(wantL)
+		if big128(Shl(x, n)).Cmp(wantL) != 0 {
+			return false
+		}
+		wantR := new(big.Int).Rsh(big128(x), n)
+		return big128(Shr(x, n)).Cmp(wantR) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	cases := []struct {
+		x    Int
+		want string
+	}{
+		{FromInt64(0), "0"},
+		{FromInt64(12345), "12345"},
+		{FromInt64(-12345), "-12345"},
+		{MulInt64(math.MaxInt64, 10), "92233720368547758070"},
+		{Neg(MulInt64(math.MaxInt64, 10)), "-92233720368547758070"},
+	}
+	for _, c := range cases {
+		if got := c.x.String(); got != c.want {
+			t.Errorf("String(%+v) = %q, want %q", c.x, got, c.want)
+		}
+	}
+}
+
+func TestStringMatchesBig(t *testing.T) {
+	f := func(h int64, l uint64) bool {
+		x := Int{h, l}
+		return x.String() == big128(x).String()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// mod128 reduces a big.Int into the signed 128-bit range, two's complement.
+func mod128(b *big.Int) {
+	mod := new(big.Int).Lsh(big.NewInt(1), 128)
+	b.Mod(b, mod) // now in [0, 2^128)
+	half := new(big.Int).Lsh(big.NewInt(1), 127)
+	if b.Cmp(half) >= 0 {
+		b.Sub(b, mod)
+	}
+}

@@ -1,0 +1,387 @@
+// Package join implements the single-table hash join on optimistically
+// compressed hash tables. The packing problem is separated into two
+// sub-problems as in Section II-F: one plan packs the key columns, a
+// second plan packs the payload columns. With Optimistic Splitting
+// enabled, selective joins can move payloads to the cold area so that
+// probe misses only touch the thin key records (Section III-B).
+package join
+
+import (
+	"ocht/internal/core"
+	"ocht/internal/domain"
+	"ocht/internal/pack"
+	"ocht/internal/strs"
+	"ocht/internal/ussr"
+	"ocht/internal/vec"
+)
+
+// ussrCodeDomain is the domain of USSR slot codes (Section IV-F).
+var ussrCodeDomain = domain.New(0, 1<<16-1)
+
+// PayloadCol describes one build-side payload column.
+type PayloadCol struct {
+	Name string
+	Type vec.Type
+	Dom  domain.D
+
+	// SampleDom, when valid, enables Sample-Guided Prefix Suppression
+	// (Section III-B): the hot area stores the value as an offset into
+	// this (sample-derived, outlier-free) domain with code 0 marking an
+	// exception, and the full value moves to the cold area. This keeps
+	// hot records narrow even when outliers ruin the global min/max
+	// bounds. Requires Compress and Split.
+	SampleDom domain.D
+}
+
+// Options tunes the join layout.
+type Options struct {
+	// Selective marks joins where most probes are expected to miss; with
+	// Optimistic Splitting this moves the payload columns to the cold
+	// area (Section III-B).
+	Selective bool
+	// CapacityHint pre-sizes the table.
+	CapacityHint int
+}
+
+// Join is a hash join: Build inserts the inner relation, Probe streams the
+// outer relation and emits matching (row, record) pairs, FetchPayload
+// reconstructs build-side columns for the matches.
+type Join struct {
+	Flags   core.Flags
+	Schema  *core.KeySchema
+	Payload []PayloadCol
+
+	tab           *core.Table
+	payloadPlan   *pack.Plan // compressed payloads (integer columns + codes)
+	payloadOffs   []int      // direct payload offsets (vanilla mode / uncoded strings)
+	payloadCode   []bool     // per column: stored as a 16-bit USSR slot code
+	payloadSample []bool     // per column: sample-guided code (Section III-B)
+	payloadCold   bool       // payload lives in the cold area
+	codeColdOff   []int      // per coded column: cold offset of the exception value
+	exceptBytes   int        // cold bytes for payload exceptions
+	payloadSize   int
+	scratch       []uint64
+	hashBuf       []uint64
+	recBuf        []int32
+}
+
+func (j *Join) buffers(n int) ([]uint64, []int32) {
+	if len(j.hashBuf) < n {
+		j.hashBuf = make([]uint64, n)
+		j.recBuf = make([]int32, n)
+	}
+	return j.hashBuf, j.recBuf
+}
+
+// New creates a join for the given key and payload columns.
+func New(flags core.Flags, keys []core.KeyCol, payload []PayloadCol, store *strs.Store, opts Options) (*Join, error) {
+	schema, err := core.NewKeySchema(flags, keys, store)
+	if err != nil {
+		return nil, err
+	}
+	j := &Join{Flags: flags, Schema: schema, Payload: payload}
+	j.payloadCold = flags.Split && opts.Selective
+
+	if flags.Compress {
+		var pcols []pack.Col
+		j.payloadOffs = make([]int, len(payload))
+		j.payloadCode = make([]bool, len(payload))
+		j.payloadSample = make([]bool, len(payload))
+		j.codeColdOff = make([]int, len(payload))
+		strBytes := 0
+		codeStrings := flags.UseUSSR && flags.Split && !j.payloadCold
+		sampleCoding := flags.Split && !j.payloadCold
+		for i, c := range payload {
+			if c.Type != vec.Str && c.SampleDom.Valid && sampleCoding {
+				// Sample-Guided Prefix Suppression: the hot code is the
+				// offset+1 into the sample domain, 0 marks an outlier
+				// whose full value lives in the cold area.
+				card := c.SampleDom.Cardinality()
+				if card > 0 && card < 1<<62 {
+					j.payloadSample[i] = true
+					j.payloadOffs[i] = -1
+					j.codeColdOff[i] = j.exceptBytes
+					j.exceptBytes += 8
+					pcols = append(pcols, pack.Col{
+						Name: c.Name, Type: vec.I64,
+						Dom: domain.New(0, int64(card)), // +1 for code 0
+					})
+					continue
+				}
+			}
+			if c.Type == vec.Str && codeStrings {
+				// Section IV-F: USSR-backed payload strings stored as
+				// 16-bit slot codes in the hot area; the full reference
+				// moves to the cold area for exceptions (code 0).
+				j.payloadCode[i] = true
+				j.payloadOffs[i] = -1
+				j.codeColdOff[i] = j.exceptBytes
+				j.exceptBytes += 8
+				pcols = append(pcols, pack.Col{Name: c.Name, Type: vec.Str, Dom: ussrCodeDomain})
+				continue
+			}
+			if packable := c.Type.IsInt() && c.Type != vec.I128; !packable {
+				// Uncoded strings (references) and floats are stored
+				// directly after the packed words at their full width.
+				j.payloadOffs[i] = strBytes // resolved after the plan width is known
+				strBytes += 8
+				continue
+			}
+			j.payloadOffs[i] = -1
+			pcols = append(pcols, pack.Col{Name: c.Name, Type: c.Type, Dom: c.Dom})
+		}
+		j.payloadPlan, err = pack.ChoosePlan(pcols)
+		if err != nil {
+			return nil, err
+		}
+		for i := range payload {
+			if j.payloadOffs[i] >= 0 {
+				j.payloadOffs[i] += j.payloadPlan.RecordBytes()
+			}
+		}
+		j.payloadSize = j.payloadPlan.RecordBytes() + strBytes
+	} else {
+		j.payloadOffs = make([]int, len(payload))
+		for i, c := range payload {
+			j.payloadOffs[i] = j.payloadSize
+			j.payloadSize += c.Type.Width()
+		}
+	}
+
+	hotExtra, coldExtra := j.payloadSize, j.exceptBytes
+	if j.payloadCold {
+		hotExtra, coldExtra = 0, j.payloadSize
+	}
+	cap := opts.CapacityHint
+	if cap == 0 {
+		cap = 1024
+	}
+	j.tab = core.NewTable(schema, hotExtra, coldExtra, cap)
+	return j, nil
+}
+
+// Table exposes the underlying compressed table (footprint accounting).
+func (j *Join) Table() *core.Table { return j.tab }
+
+// payloadArea returns the byte area, stride and base offset where
+// payloads live.
+func (j *Join) payloadArea() (buf []byte, stride, base int) {
+	if j.payloadCold {
+		return j.tab.RawCold(), j.tab.ColdWidth(), j.tab.Schema.ColdBytes()
+	}
+	return j.tab.RawHot(), j.tab.HotWidth(), j.tab.Schema.KeyBytes()
+}
+
+// Build inserts the active rows of the inner relation.
+func (j *Join) Build(keyCols, payloadCols []*vec.Vector, rows []int32) {
+	n := physLen(keyCols, payloadCols, rows)
+	p := j.Schema.Prepare(keyCols, rows)
+	hashes, recs := j.buffers(n)
+	j.Schema.Hash(p, rows, hashes)
+	j.tab.InsertBatch(p, hashes, rows, recs)
+
+	// Scatter payloads into the records.
+	buf, stride, base := j.payloadArea()
+	recIdx := make([]int32, len(rows))
+	for i, r := range rows {
+		recIdx[i] = recs[r]
+	}
+	if j.payloadPlan != nil {
+		var ints []*vec.Vector
+		for i := range j.Payload {
+			if j.payloadOffs[i] >= 0 {
+				continue
+			}
+			v := payloadCols[i]
+			switch {
+			case j.payloadCode[i]:
+				// Translate references to slot codes; exceptions get
+				// code 0 and their full reference in the cold area.
+				codes := vec.New(vec.Str, v.Len())
+				for _, r := range rows {
+					if ref := v.Str[r]; ref.InUSSR() {
+						codes.Str[r] = vec.StrRef(ref.USSRSlot())
+					} else {
+						codes.Str[r] = 0
+					}
+				}
+				storeDirect(j.tab.RawCold(), j.tab.ColdWidth(),
+					j.tab.Schema.ColdBytes()+j.codeColdOff[i], vec.Str, v, rows, recIdx)
+				v = codes
+			case j.payloadSample[i]:
+				// Sample-guided code: offset+1 inside the sample domain,
+				// 0 for outliers (full value in the cold area).
+				sd := j.Payload[i].SampleDom
+				codes := vec.New(vec.I64, v.Len())
+				for _, r := range rows {
+					val := v.Int64At(int(r))
+					if sd.Contains(val) {
+						codes.I64[r] = val - sd.Min + 1
+					} else {
+						codes.I64[r] = 0
+					}
+				}
+				storeDirect(j.tab.RawCold(), j.tab.ColdWidth(),
+					j.tab.Schema.ColdBytes()+j.codeColdOff[i], vec.I64, asI64(v, rows), rows, recIdx)
+				v = codes
+			}
+			ints = append(ints, v)
+		}
+		if cap(j.scratch) < n {
+			j.scratch = make([]uint64, n)
+		}
+		j.payloadPlan.PackRecords(ints, rows, buf, recIdx, stride, base, j.scratch[:n])
+	}
+	for i, c := range j.Payload {
+		off := j.payloadOffs[i]
+		if off < 0 {
+			continue // packed above
+		}
+		storeDirect(buf, stride, base+off, c.Type, payloadCols[i], rows, recIdx)
+	}
+}
+
+// Probe matches the active rows of the outer relation against the table
+// and returns the matching (probe row, build record) pairs.
+func (j *Join) Probe(keyCols []*vec.Vector, rows []int32) (matchRows, matchRecs []int32) {
+	n := physLen(keyCols, nil, rows)
+	p := j.Schema.Prepare(keyCols, rows)
+	hashes, _ := j.buffers(n)
+	j.Schema.Hash(p, rows, hashes)
+	return j.tab.ProbeChains(p, hashes, rows, nil, nil)
+}
+
+// FetchPayload reconstructs payload column ci of the given build records
+// into out at positions rows (tuple reconstruction after the probe).
+func (j *Join) FetchPayload(ci int, recs []int32, out *vec.Vector, rows []int32) {
+	buf, stride, base := j.payloadArea()
+	off := j.payloadOffs[ci]
+	if off < 0 {
+		// Packed column: find its plan index.
+		pi := 0
+		for i := 0; i < ci; i++ {
+			if j.payloadOffs[i] < 0 {
+				pi++
+			}
+		}
+		j.payloadPlan.UnpackColumn(pi, buf, recs, stride, base, out, rows)
+		switch {
+		case j.payloadCode != nil && j.payloadCode[ci]:
+			// Slot codes back to references: base + slot*8, or the cold
+			// exception reference for code 0 (Section IV-F).
+			cold := j.tab.RawCold()
+			coldOff := j.tab.Schema.ColdBytes() + j.codeColdOff[ci]
+			for i, r := range rows {
+				if code := uint16(out.Str[r]); code != 0 {
+					out.Str[r] = ussr.RefForSlot(code)
+				} else {
+					pos := int(recs[i])*j.tab.ColdWidth() + coldOff
+					out.Str[r] = vec.StrRef(getU64(cold[pos:]))
+				}
+			}
+		case j.payloadSample != nil && j.payloadSample[ci]:
+			// Sample-guided codes back to values; 0 fetches the cold
+			// outlier (Section III-B).
+			sd := j.Payload[ci].SampleDom
+			cold := j.tab.RawCold()
+			coldOff := j.tab.Schema.ColdBytes() + j.codeColdOff[ci]
+			for i, r := range rows {
+				code := out.Int64At(int(r))
+				if code != 0 {
+					out.SetInt64(int(r), sd.Min+code-1)
+				} else {
+					pos := int(recs[i])*j.tab.ColdWidth() + coldOff
+					out.SetInt64(int(r), int64(getU64(cold[pos:])))
+				}
+			}
+		}
+		return
+	}
+	loadDirect(buf, stride, base+off, j.Payload[ci].Type, out, recs, rows)
+}
+
+// FetchKey reconstructs key column ci for the given build records.
+func (j *Join) FetchKey(ci int, recs []int32, out *vec.Vector, rows []int32) {
+	j.tab.LoadKey(ci, recs, out, rows)
+}
+
+// asI64 widens an integer vector to int64 at the active rows.
+func asI64(v *vec.Vector, rows []int32) *vec.Vector {
+	if v.Typ == vec.I64 {
+		return v
+	}
+	out := vec.New(vec.I64, v.Len())
+	for _, r := range rows {
+		out.I64[r] = v.Int64At(int(r))
+	}
+	return out
+}
+
+func physLen(a, b []*vec.Vector, rows []int32) int {
+	n := 0
+	for _, c := range a {
+		if l := c.Len(); l > n {
+			n = l
+		}
+	}
+	for _, c := range b {
+		if l := c.Len(); l > n {
+			n = l
+		}
+	}
+	for _, r := range rows {
+		if int(r)+1 > n {
+			n = int(r) + 1
+		}
+	}
+	return n
+}
+
+func storeDirect(buf []byte, stride, off int, t vec.Type, v *vec.Vector, rows, recIdx []int32) {
+	for i, r := range rows {
+		pos := int(recIdx[i])*stride + off
+		switch t {
+		case vec.Str:
+			putU64(buf[pos:], uint64(v.Str[r]))
+		case vec.I64:
+			putU64(buf[pos:], uint64(v.I64[r]))
+		case vec.F64:
+			putU64(buf[pos:], f64bits(v.F64[r]))
+		case vec.I32:
+			putU32(buf[pos:], uint32(v.I32[r]))
+		case vec.I16:
+			putU16(buf[pos:], uint16(v.I16[r]))
+		case vec.I8:
+			buf[pos] = byte(v.I8[r])
+		case vec.Bool:
+			if v.Bool[r] {
+				buf[pos] = 1
+			} else {
+				buf[pos] = 0
+			}
+		}
+	}
+}
+
+func loadDirect(buf []byte, stride, off int, t vec.Type, out *vec.Vector, recs, rows []int32) {
+	for i, rec := range recs {
+		pos := int(rec)*stride + off
+		r := int(rows[i])
+		switch t {
+		case vec.Str:
+			out.Str[r] = vec.StrRef(getU64(buf[pos:]))
+		case vec.I64:
+			out.I64[r] = int64(getU64(buf[pos:]))
+		case vec.F64:
+			out.F64[r] = f64frombits(getU64(buf[pos:]))
+		case vec.I32:
+			out.I32[r] = int32(getU32(buf[pos:]))
+		case vec.I16:
+			out.I16[r] = int16(getU16(buf[pos:]))
+		case vec.I8:
+			out.I8[r] = int8(buf[pos])
+		case vec.Bool:
+			out.Bool[r] = buf[pos] != 0
+		}
+	}
+}

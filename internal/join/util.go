@@ -1,0 +1,16 @@
+package join
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+func putU64(b []byte, v uint64) { binary.LittleEndian.PutUint64(b, v) }
+func putU32(b []byte, v uint32) { binary.LittleEndian.PutUint32(b, v) }
+func putU16(b []byte, v uint16) { binary.LittleEndian.PutUint16(b, v) }
+func getU64(b []byte) uint64    { return binary.LittleEndian.Uint64(b) }
+func getU32(b []byte) uint32    { return binary.LittleEndian.Uint32(b) }
+func getU16(b []byte) uint16    { return binary.LittleEndian.Uint16(b) }
+
+func f64bits(f float64) uint64     { return math.Float64bits(f) }
+func f64frombits(u uint64) float64 { return math.Float64frombits(u) }

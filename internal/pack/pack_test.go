@@ -1,0 +1,412 @@
+package pack
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ocht/internal/domain"
+	"ocht/internal/vec"
+)
+
+// figure2Cols reproduces the running example of Figure 2: column A with
+// domain [-4, 42] (6 bits) and column B with domain [3, 1000] (10 bits).
+func figure2Cols() []Col {
+	return []Col{
+		{Name: "A", Type: vec.I32, Dom: domain.New(-4, 42)},
+		{Name: "B", Type: vec.I32, Dom: domain.New(3, 1000)},
+	}
+}
+
+func TestFigure2Plan(t *testing.T) {
+	p, err := ChoosePlan(figure2Cols())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 + 10 = 16 bits fit one 32-bit word; the 32-bit solution wins
+	// because it produces a smaller record (4B vs 8B).
+	if p.WordBits != 32 || p.Words != 1 || p.RecordBytes() != 4 {
+		t.Fatalf("unexpected plan: %s", p)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 8 bytes uncompressed (two i32) -> 4 bytes packed: 2x.
+	if UncompressedBytes(figure2Cols()) != 8 {
+		t.Error("uncompressed width")
+	}
+}
+
+func TestFigure2RoundTrip(t *testing.T) {
+	p, err := ChoosePlan(figure2Cols())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The data rows of Figure 2.
+	as := []int32{42, -4, 1, 23}
+	bs := []int32{3, 23, 1000, 3}
+	ca, cb := vec.New(vec.I32, 4), vec.New(vec.I32, 4)
+	copy(ca.I32, as)
+	copy(cb.I32, bs)
+	rows := []int32{0, 1, 2, 3}
+	recIdx := []int32{0, 1, 2, 3}
+	recs := make([]byte, 4*p.RecordBytes())
+	scratch := make([]uint64, 4)
+	p.PackRecords([]*vec.Vector{ca, cb}, rows, recs, recIdx, p.RecordBytes(), 0, scratch)
+
+	outA, outB := vec.New(vec.I32, 4), vec.New(vec.I32, 4)
+	p.UnpackColumn(0, recs, recIdx, p.RecordBytes(), 0, outA, rows)
+	p.UnpackColumn(1, recs, recIdx, p.RecordBytes(), 0, outB, rows)
+	for i := range as {
+		if outA.I32[i] != as[i] || outB.I32[i] != bs[i] {
+			t.Errorf("row %d: got (%d,%d), want (%d,%d)", i, outA.I32[i], outB.I32[i], as[i], bs[i])
+		}
+	}
+}
+
+func TestPlannerSlicing(t *testing.T) {
+	// Two 40-bit columns into 32-bit words: both must be sliced.
+	cols := []Col{
+		{Name: "x", Type: vec.I64, Dom: domain.New(0, 1<<40-1)},
+		{Name: "y", Type: vec.I64, Dom: domain.New(0, 1<<40-1)},
+	}
+	p, err := NewPlan(cols, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("%v\n%s", err, p)
+	}
+	if p.Words != 3 {
+		t.Errorf("expected 3 words, got %d: %s", p.Words, p)
+	}
+	if len(p.SlicesOf(0)) < 2 && len(p.SlicesOf(1)) < 2 {
+		t.Errorf("expected at least one sliced column: %s", p)
+	}
+}
+
+func TestPlannerFreeBudget(t *testing.T) {
+	// Three 30-bit columns into 32-bit words: 90 bits over 3 words leaves
+	// a 6-bit budget, so no column should be sliced.
+	cols := make([]Col, 3)
+	for i := range cols {
+		cols[i] = Col{Name: "c", Type: vec.I64, Dom: domain.New(0, 1<<30-1)}
+	}
+	p, err := NewPlan(cols, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Words != 3 || len(p.Slices) != 3 {
+		t.Errorf("expected 3 unsliced columns in 3 words: %s", p)
+	}
+}
+
+func TestConstantColumn(t *testing.T) {
+	cols := []Col{
+		{Name: "k", Type: vec.I32, Dom: domain.New(5, 100)},
+		{Name: "const", Type: vec.I32, Dom: domain.Const(7)},
+	}
+	p, err := ChoosePlan(cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.SlicesOf(1)) != 0 {
+		t.Fatal("constant column must occupy no bits")
+	}
+	ck, cc := vec.New(vec.I32, 2), vec.New(vec.I32, 2)
+	ck.I32[0], ck.I32[1] = 5, 100
+	cc.I32[0], cc.I32[1] = 7, 7
+	rows := []int32{0, 1}
+	recs := make([]byte, 2*p.RecordBytes())
+	scratch := make([]uint64, 2)
+	p.PackRecords([]*vec.Vector{ck, cc}, rows, recs, rows, p.RecordBytes(), 0, scratch)
+	out := vec.New(vec.I32, 2)
+	p.UnpackColumn(1, recs, rows, p.RecordBytes(), 0, out, rows)
+	if out.I32[0] != 7 || out.I32[1] != 7 {
+		t.Errorf("constant unpack: %v", out.I32)
+	}
+}
+
+func TestTPCHPartsuppExample(t *testing.T) {
+	// Section II-F: PS_PARTKEY and PS_SUPPKEY pack into one word so the
+	// join runs as if there were one key column. At SF1 partkey has
+	// 200,000 values (18 bits) and suppkey 10,000 (14 bits): one 32-bit
+	// word.
+	cols := []Col{
+		{Name: "ps_partkey", Type: vec.I64, Dom: domain.New(1, 200_000)},
+		{Name: "ps_suppkey", Type: vec.I64, Dom: domain.New(1, 10_000)},
+	}
+	p, err := ChoosePlan(cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Words != 1 {
+		t.Errorf("partkey+suppkey must fit one word: %s", p)
+	}
+	if p.RecordBytes() != 4 {
+		t.Errorf("expected a 4-byte record, got %d", p.RecordBytes())
+	}
+}
+
+// TestPlanPropertyRoundTrip packs random in-domain values with random
+// plans and checks pack->unpack is the identity, for both word sizes.
+func TestPlanPropertyRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 300; iter++ {
+		nCols := 1 + rng.Intn(6)
+		cols := make([]Col, nCols)
+		vecs := make([]*vec.Vector, nCols)
+		const n = 64
+		for c := 0; c < nCols; c++ {
+			bits := 1 + rng.Intn(48)
+			lo := rng.Int63n(1<<20) - 1<<19
+			hi := lo + rng.Int63n(1<<uint(bits))
+			cols[c] = Col{Name: "c", Type: vec.I64, Dom: domain.New(lo, hi)}
+			v := vec.New(vec.I64, n)
+			for i := 0; i < n; i++ {
+				v.I64[i] = lo + rng.Int63n(hi-lo+1)
+			}
+			vecs[c] = v
+		}
+		wordBits := 32
+		if iter%2 == 0 {
+			wordBits = 64
+		}
+		p, err := NewPlan(cols, wordBits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("iter %d: %v\n%s", iter, err, p)
+		}
+		rows := make([]int32, n)
+		for i := range rows {
+			rows[i] = int32(i)
+		}
+		recs := make([]byte, n*p.RecordBytes())
+		scratch := make([]uint64, n)
+		p.PackRecords(vecs, rows, recs, rows, p.RecordBytes(), 0, scratch)
+		out := vec.New(vec.I64, n)
+		for c := 0; c < nCols; c++ {
+			p.UnpackColumn(c, recs, rows, p.RecordBytes(), 0, out, rows)
+			for i := 0; i < n; i++ {
+				if out.I64[i] != vecs[c].I64[i] {
+					t.Fatalf("iter %d col %d row %d: got %d want %d\nplan: %s",
+						iter, c, i, out.I64[i], vecs[c].I64[i], p)
+				}
+			}
+		}
+	}
+}
+
+func TestSelectiveRoundTrip(t *testing.T) {
+	// Pack through a sparse selection vector (below the micro-adaptive
+	// threshold) and verify only selected records round-trip.
+	cols := figure2Cols()
+	p, _ := ChoosePlan(cols)
+	const n = 256
+	ca, cb := vec.New(vec.I32, n), vec.New(vec.I32, n)
+	for i := 0; i < n; i++ {
+		ca.I32[i] = int32(i%47) - 4
+		cb.I32[i] = int32(i%998) + 3
+	}
+	rows := []int32{3, 17, 99, 200} // 4/256 < 25%
+	recIdx := []int32{0, 1, 2, 3}
+	recs := make([]byte, 4*p.RecordBytes())
+	scratch := make([]uint64, n)
+	p.PackRecords([]*vec.Vector{ca, cb}, rows, recs, recIdx, p.RecordBytes(), 0, scratch)
+	out := vec.New(vec.I32, n)
+	p.UnpackColumn(0, recs, recIdx, p.RecordBytes(), 0, out, rows)
+	for i, r := range rows {
+		_ = recIdx[i]
+		if out.I32[r] != ca.I32[r] {
+			t.Errorf("row %d: got %d want %d", r, out.I32[r], ca.I32[r])
+		}
+	}
+}
+
+func TestMatchRecords(t *testing.T) {
+	cols := figure2Cols()
+	p, _ := ChoosePlan(cols)
+	const n = 8
+	ca, cb := vec.New(vec.I32, n), vec.New(vec.I32, n)
+	for i := 0; i < n; i++ {
+		ca.I32[i] = int32(i) - 4
+		cb.I32[i] = int32(i) + 3
+	}
+	rows := make([]int32, n)
+	recIdx := make([]int32, n)
+	for i := range rows {
+		rows[i] = int32(i)
+		recIdx[i] = int32(i)
+	}
+	recs := make([]byte, n*p.RecordBytes())
+	scratch := make([]uint64, n)
+	vecs := []*vec.Vector{ca, cb}
+	p.PackRecords(vecs, rows, recs, recIdx, p.RecordBytes(), 0, scratch)
+
+	// Probe with the same keys -> all match.
+	probe := make([][]uint64, p.Words)
+	for w := range probe {
+		probe[w] = make([]uint64, n)
+		p.PackWord(w, vecs, rows, probe[w])
+	}
+	match := make([]bool, n)
+	for i := range match {
+		match[i] = true
+	}
+	p.MatchRecords(probe, recs, recIdx, p.RecordBytes(), 0, rows, match)
+	for i, m := range match {
+		if !m {
+			t.Errorf("row %d should match", i)
+		}
+	}
+	// Probe against shifted records -> nothing matches.
+	shifted := make([]int32, n)
+	for i := range shifted {
+		shifted[i] = int32((i + 1) % n)
+	}
+	for i := range match {
+		match[i] = true
+	}
+	p.MatchRecords(probe, recs, shifted, p.RecordBytes(), 0, rows, match)
+	for i, m := range match {
+		if m {
+			t.Errorf("row %d should not match", i)
+		}
+	}
+}
+
+func TestInDomain(t *testing.T) {
+	p, _ := ChoosePlan(figure2Cols())
+	ca, cb := vec.New(vec.I32, 4), vec.New(vec.I32, 4)
+	ca.I32 = []int32{0, -5, 42, 43} // -5 and 43 are out of [-4,42]
+	cb.I32 = []int32{3, 3, 1001, 3} // 1001 out of [3,1000]
+	rows := []int32{0, 1, 2, 3}
+	match := make([]bool, 4)
+	p.InDomain([]*vec.Vector{ca, cb}, rows, match)
+	want := []bool{true, false, false, false}
+	for i := range want {
+		if match[i] != want[i] {
+			t.Errorf("row %d: got %v want %v", i, match[i], want[i])
+		}
+	}
+}
+
+func TestHashWordsDeterministic(t *testing.T) {
+	w := [][]uint64{{1, 2, 3}, {9, 9, 9}}
+	rows := []int32{0, 1, 2}
+	a := make([]uint64, 3)
+	b := make([]uint64, 3)
+	HashWords(w, rows, a)
+	HashWords(w, rows, b)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Error("hash must be deterministic")
+		}
+	}
+	if a[0] == a[1] {
+		t.Error("different keys should (almost surely) hash differently")
+	}
+}
+
+func TestChoosePlanPrefers64WhenFewerWords(t *testing.T) {
+	// One 40-bit column: 64-bit plan needs 1 word, 32-bit needs 2.
+	cols := []Col{{Name: "x", Type: vec.I64, Dom: domain.New(0, 1<<40-1)}}
+	p, err := ChoosePlan(cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.WordBits != 64 || p.Words != 1 {
+		t.Errorf("expected one 64-bit word: %s", p)
+	}
+}
+
+func TestNewPlanRejects128(t *testing.T) {
+	if _, err := NewPlan([]Col{{Type: vec.I128, Dom: domain.New(0, 10)}}, 64); err == nil {
+		t.Error("128-bit inputs must be rejected")
+	}
+	if _, err := NewPlan(nil, 16); err == nil {
+		t.Error("word size 16 must be rejected")
+	}
+}
+
+func TestMix64Property(t *testing.T) {
+	seen := map[uint64]bool{}
+	f := func(x uint64) bool {
+		h := Mix64(x)
+		if seen[h] {
+			return false // collision in a tiny sample is (nearly) impossible
+		}
+		seen[h] = true
+		return Mix64(x) == h
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPlanQuickProperty drives the planner with quick-generated column
+// sets and checks the structural invariants (full coverage, no overlap,
+// fan-in) plus a value round-trip per case.
+func TestPlanQuickProperty(t *testing.T) {
+	f := func(widths []uint8, seed int64, use64 bool) bool {
+		if len(widths) == 0 {
+			return true
+		}
+		if len(widths) > 8 {
+			widths = widths[:8]
+		}
+		rng := rand.New(rand.NewSource(seed))
+		cols := make([]Col, len(widths))
+		vecs := make([]*vec.Vector, len(widths))
+		const n = 16
+		for i, w := range widths {
+			bits := int(w)%49 + 1 // 1..49 bits
+			lo := rng.Int63n(1000) - 500
+			hi := lo + rng.Int63n(1<<uint(bits))
+			cols[i] = Col{Name: "c", Type: vec.I64, Dom: domain.New(lo, hi)}
+			v := vec.New(vec.I64, n)
+			for r := 0; r < n; r++ {
+				v.I64[r] = lo + rng.Int63n(hi-lo+1)
+			}
+			vecs[i] = v
+		}
+		wordBits := 32
+		if use64 {
+			wordBits = 64
+		}
+		p, err := NewPlan(cols, wordBits)
+		if err != nil {
+			return false
+		}
+		if err := p.Validate(); err != nil {
+			t.Logf("invalid plan: %v", err)
+			return false
+		}
+		rows := make([]int32, n)
+		for i := range rows {
+			rows[i] = int32(i)
+		}
+		recs := make([]byte, n*p.RecordBytes())
+		scratch := make([]uint64, n)
+		p.PackRecords(vecs, rows, recs, rows, p.RecordBytes(), 0, scratch)
+		out := vec.New(vec.I64, n)
+		for c := range cols {
+			p.UnpackColumn(c, recs, rows, p.RecordBytes(), 0, out, rows)
+			for r := 0; r < n; r++ {
+				if out.I64[r] != vecs[c].I64[r] {
+					t.Logf("round-trip failed col %d row %d", c, r)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,347 @@
+// Package pack implements Domain-Guided Prefix Suppression (Section II of
+// the paper): normalizing values to non-negative offsets from their domain
+// minimum, bit-packing multiple columns into few machine words, the greedy
+// packing planner (Section II-F), and vectorized pack/unpack/compare
+// kernels (Section II-C/II-D).
+package pack
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ocht/internal/domain"
+	"ocht/internal/vec"
+)
+
+// Col describes one input column of a packing problem.
+type Col struct {
+	Name string
+	Type vec.Type // physical source type
+	Dom  domain.D // derived domain; drives the suppressed bit width
+}
+
+// Bits returns the suppressed bit width of the column: the bits needed to
+// store (value - Dom.Min). Columns with unknown domains keep their full
+// type width.
+func (c Col) Bits() int {
+	w := c.Dom.BitWidth()
+	if tw := c.Type.Bits(); w > tw {
+		w = tw
+	}
+	if w > 64 {
+		w = 64 // packable inputs are at most 64 bits wide
+	}
+	return w
+}
+
+// Slice maps a contiguous bit range of an input column into an output word.
+// Columns too large for a word's leftover space are cut into multiple
+// slices (Section II-F: "the first popped column in the next round will be
+// sliced").
+type Slice struct {
+	Col      int // input column index
+	SrcShift int // right-shift applied to the normalized value first
+	Bits     int // number of bits taken
+	Word     int // output word index
+	OutShift int // bit position within the output word
+}
+
+// Mask returns the bit mask of the slice, with Bits low bits set.
+func (s Slice) Mask() uint64 {
+	if s.Bits >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(s.Bits) - 1
+}
+
+// Plan is a complete packing plan: the layout of all input columns across
+// the output words of an NSM record.
+type Plan struct {
+	Cols     []Col
+	WordBits int     // output word size: 32 or 64
+	Words    int     // number of output words
+	Slices   []Slice // sorted by (Word, descending OutShift is not required)
+
+	byCol [][]int // slice indices per column, ordered by ascending SrcShift
+}
+
+// RecordBytes returns the packed record width in bytes.
+func (p *Plan) RecordBytes() int { return p.Words * p.WordBits / 8 }
+
+// SlicesOf returns the indices into p.Slices belonging to column c,
+// ordered by ascending SrcShift (low bits first).
+func (p *Plan) SlicesOf(c int) []int { return p.byCol[c] }
+
+// MaxSlicesPerWord bounds kernel fan-in, mirroring the paper's restriction
+// of pre-compiled kernels to at most 4 inputs (Section II-E). The planner
+// never assigns more than this many slices to one output word; if a word
+// would receive a fifth slice the planner closes the word early.
+const MaxSlicesPerWord = 4
+
+// NewPlan runs the greedy packing algorithm of Section II-F for the given
+// columns and output word size (32 or 64). It returns an error if wordBits
+// is unsupported or any column is wider than 64 bits.
+func NewPlan(cols []Col, wordBits int) (*Plan, error) {
+	if wordBits != 32 && wordBits != 64 {
+		return nil, fmt.Errorf("pack: unsupported word size %d", wordBits)
+	}
+	for _, c := range cols {
+		if c.Type == vec.I128 {
+			return nil, fmt.Errorf("pack: column %q: 128-bit inputs are not packable (use Optimistic Splitting)", c.Name)
+		}
+	}
+	p := &Plan{Cols: cols, WordBits: wordBits}
+	if len(cols) == 0 {
+		p.buildIndex()
+		return p, nil
+	}
+
+	// Queue of (column, remaining bits, bits already consumed) ordered by
+	// remaining width, largest first.
+	type item struct {
+		col       int
+		remaining int
+		consumed  int // bits of the column already placed (its low bits)
+	}
+	q := make([]item, 0, len(cols))
+	total := 0
+	for i, c := range cols {
+		b := c.Bits()
+		if b == 0 {
+			// Singleton domain: the column is a constant (always Dom.Min)
+			// and occupies no bits; decompression reconstructs it from the
+			// base alone.
+			continue
+		}
+		q = append(q, item{col: i, remaining: b})
+		total += b
+	}
+	if len(q) == 0 {
+		p.buildIndex()
+		return p, nil
+	}
+	sortQueue := func(s []item) {
+		sort.SliceStable(s, func(a, b int) bool { return s[a].remaining > s[b].remaining })
+	}
+	sortQueue(q)
+
+	// U: the global free-bit budget — the slack between the total bits and
+	// the next multiple of the word size.
+	words := (total + wordBits - 1) / wordBits
+	if words == 0 {
+		words = 1
+	}
+	u := words*wordBits - total
+
+	var qNext []item
+	var sliceCarry *item // column to slice into the just-closed word
+	word := 0
+	l := wordBits
+	slicesInWord := 0
+
+	place := func(it *item, bits int) {
+		p.Slices = append(p.Slices, Slice{
+			Col:      it.col,
+			SrcShift: it.consumed,
+			Bits:     bits,
+			Word:     word,
+			OutShift: wordBits - l,
+		})
+		it.consumed += bits
+		it.remaining -= bits
+		l -= bits
+		slicesInWord++
+	}
+
+	for len(q) > 0 || len(qNext) > 0 || sliceCarry != nil {
+		if sliceCarry != nil {
+			// The previous round ended with leftover space that exceeded
+			// the budget U: slice this column's highest unprocessed bits
+			// into the previous word... but we already advanced; the carry
+			// is handled before closing, see below. Here the carry starts
+			// the new round with its remaining bits.
+			it := *sliceCarry
+			sliceCarry = nil
+			if it.remaining > 0 {
+				bits := it.remaining
+				if bits > l {
+					bits = l
+				}
+				place(&it, bits)
+				if it.remaining > 0 {
+					qNext = append(qNext, it)
+				}
+			}
+		}
+		// Fill the current word greedily: pop the largest column that fits.
+		progress := true
+		for progress {
+			progress = false
+			for i := 0; i < len(q); i++ {
+				if slicesInWord >= MaxSlicesPerWord {
+					break
+				}
+				if q[i].remaining <= l {
+					it := q[i]
+					q = append(q[:i], q[i+1:]...)
+					place(&it, it.remaining)
+					progress = true
+					break
+				}
+			}
+		}
+		// Nothing fits anymore: defer the rest and close the word.
+		qNext = append(qNext, q...)
+		q = q[:0]
+		if len(qNext) == 0 {
+			// All columns placed; leftover bits are free.
+			break
+		}
+		sortQueue(qNext)
+		if l > 0 && slicesInWord < MaxSlicesPerWord {
+			if l <= u {
+				// Free bit budget available: leave these bits unused.
+				u -= l
+			} else {
+				// Slice the next column: its *highest unprocessed* L bits
+				// go into this word; the rest starts the next round.
+				it := qNext[0]
+				qNext = qNext[1:]
+				high := l
+				low := it.remaining - high
+				// Place the high bits here...
+				p.Slices = append(p.Slices, Slice{
+					Col:      it.col,
+					SrcShift: it.consumed + low,
+					Bits:     high,
+					Word:     word,
+					OutShift: wordBits - l,
+				})
+				l = 0
+				// ...and the low bits open the next word.
+				it.remaining = low
+				sliceCarry = &it
+			}
+		}
+		q, qNext = qNext, q[:0]
+		word++
+		l = wordBits
+		slicesInWord = 0
+	}
+	p.Words = word + 1
+	if len(p.Slices) == 0 {
+		p.Words = 0
+	} else {
+		maxW := 0
+		for _, s := range p.Slices {
+			if s.Word > maxW {
+				maxW = s.Word
+			}
+		}
+		p.Words = maxW + 1
+	}
+	p.buildIndex()
+	return p, nil
+}
+
+func (p *Plan) buildIndex() {
+	p.byCol = make([][]int, len(p.Cols))
+	for i, s := range p.Slices {
+		p.byCol[s.Col] = append(p.byCol[s.Col], i)
+	}
+	for c := range p.byCol {
+		idx := p.byCol[c]
+		sort.Slice(idx, func(a, b int) bool {
+			return p.Slices[idx[a]].SrcShift < p.Slices[idx[b]].SrcShift
+		})
+	}
+}
+
+// ChoosePlan runs the planner twice — once for 64-bit and once for 32-bit
+// output words — and applies the paper's selection rule: "use the 64-bit
+// solution if this yields less hash table columns than the 32-bit
+// solution, or otherwise, if the 64-bit solution produces a NSM record of
+// the same size".
+func ChoosePlan(cols []Col) (*Plan, error) {
+	p64, err := NewPlan(cols, 64)
+	if err != nil {
+		return nil, err
+	}
+	p32, err := NewPlan(cols, 32)
+	if err != nil {
+		return nil, err
+	}
+	if p64.Words < p32.Words {
+		return p64, nil
+	}
+	if p64.RecordBytes() == p32.RecordBytes() {
+		return p64, nil
+	}
+	return p32, nil
+}
+
+// UncompressedBytes returns the NSM record width of the same columns
+// without prefix suppression (each column stored at its type width),
+// the baseline for the compression-ratio experiments.
+func UncompressedBytes(cols []Col) int {
+	n := 0
+	for _, c := range cols {
+		n += c.Type.Width()
+	}
+	return n
+}
+
+// String renders the plan layout for debugging and EXPERIMENTS.md.
+func (p *Plan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan(%d-bit x %d words, %dB/record)", p.WordBits, p.Words, p.RecordBytes())
+	for _, s := range p.Slices {
+		fmt.Fprintf(&b, " [%s>>%d:%db -> w%d<<%d]",
+			p.Cols[s.Col].Name, s.SrcShift, s.Bits, s.Word, s.OutShift)
+	}
+	return b.String()
+}
+
+// Validate checks plan invariants: every column fully covered by
+// non-overlapping slices, no word overflow, fan-in respected. Used by
+// property tests.
+func (p *Plan) Validate() error {
+	covered := make([]int, len(p.Cols))
+	wordFill := make(map[int]uint64)
+	wordFan := make(map[int]int)
+	for _, s := range p.Slices {
+		if s.Bits <= 0 || s.OutShift < 0 || s.OutShift+s.Bits > p.WordBits {
+			return fmt.Errorf("slice out of word bounds: %+v", s)
+		}
+		m := s.Mask() << uint(s.OutShift)
+		if wordFill[s.Word]&m != 0 {
+			return fmt.Errorf("overlapping slices in word %d", s.Word)
+		}
+		wordFill[s.Word] |= m
+		wordFan[s.Word]++
+		covered[s.Col] += s.Bits
+	}
+	for c, col := range p.Cols {
+		if covered[c] != col.Bits() {
+			return fmt.Errorf("column %q: %d of %d bits covered", col.Name, covered[c], col.Bits())
+		}
+	}
+	for w, fan := range wordFan {
+		if fan > MaxSlicesPerWord {
+			return fmt.Errorf("word %d has fan-in %d > %d", w, fan, MaxSlicesPerWord)
+		}
+	}
+	// Ensure each column's slices partition its bit range without gaps.
+	for c := range p.Cols {
+		pos := 0
+		for _, si := range p.byCol[c] {
+			s := p.Slices[si]
+			if s.SrcShift != pos {
+				return fmt.Errorf("column %d: slice gap at bit %d", c, pos)
+			}
+			pos += s.Bits
+		}
+	}
+	return nil
+}

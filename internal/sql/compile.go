@@ -1,0 +1,233 @@
+package sql
+
+import (
+	"ocht/internal/exec"
+)
+
+// compile lowers an AST expression to an engine expression bound to the
+// given schema.
+func compile(n Node, meta []exec.Meta) (*exec.Expr, error) {
+	switch x := n.(type) {
+	case *ColRef:
+		if !hasCol(meta, x.Name) {
+			return nil, errf(x.nodePos(), "unknown column %q", x.Name)
+		}
+		return exec.Col(meta, x.Name), nil
+	case *IntLit:
+		return exec.Int(x.V), nil
+	case *FloatLit:
+		return exec.F64Const(x.V), nil
+	case *StrLit:
+		return exec.Str(x.V), nil
+	case *NullLit:
+		return nil, errf(x.nodePos(), "bare NULL literals are only supported in IS [NOT] NULL")
+	case *BinOp:
+		l, err := compile(x.L, meta)
+		if err != nil {
+			return nil, err
+		}
+		r, err := compile(x.R, meta)
+		if err != nil {
+			return nil, err
+		}
+		return binOp(x, l, r)
+	case *NotOp:
+		l, err := compile(x.L, meta)
+		if err != nil {
+			return nil, err
+		}
+		return exec.Not(l), nil
+	case *NegOp:
+		l, err := compile(x.L, meta)
+		if err != nil {
+			return nil, err
+		}
+		return exec.Sub(exec.Int(0), l), nil
+	case *LikeOp:
+		l, err := compile(x.L, meta)
+		if err != nil {
+			return nil, err
+		}
+		if x.Not {
+			return exec.NotLike(l, x.Pattern), nil
+		}
+		return exec.Like(l, x.Pattern), nil
+	case *InOp:
+		l, err := compile(x.L, meta)
+		if err != nil {
+			return nil, err
+		}
+		var vals []*exec.Expr
+		for _, e := range x.List {
+			v, err := compile(e, meta)
+			if err != nil {
+				return nil, err
+			}
+			vals = append(vals, v)
+		}
+		in := exec.In(l, vals...)
+		if x.Not {
+			return exec.Not(in), nil
+		}
+		return in, nil
+	case *BetweenOp:
+		l, err := compile(x.L, meta)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := compile(x.Lo, meta)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := compile(x.Hi, meta)
+		if err != nil {
+			return nil, err
+		}
+		return exec.Between(l, lo, hi), nil
+	case *IsNullOp:
+		l, err := compile(x.L, meta)
+		if err != nil {
+			return nil, err
+		}
+		if x.Not {
+			return exec.IsNotNull(l), nil
+		}
+		return exec.IsNull(l), nil
+	case *CaseOp:
+		// Lower multi-WHEN to nested two-way cases, right to left.
+		els := exec.Int(0)
+		if x.Else != nil {
+			e, err := compile(x.Else, meta)
+			if err != nil {
+				return nil, err
+			}
+			els = e
+		}
+		out := els
+		for i := len(x.Whens) - 1; i >= 0; i-- {
+			cond, err := compile(x.Whens[i].Cond, meta)
+			if err != nil {
+				return nil, err
+			}
+			then, err := compile(x.Whens[i].Then, meta)
+			if err != nil {
+				return nil, err
+			}
+			out = exec.Case(cond, then, out)
+		}
+		return out, nil
+	case *FuncCall:
+		switch x.Name {
+		case "SUBSTRING":
+			l, err := compile(x.Args[0], meta)
+			if err != nil {
+				return nil, err
+			}
+			start, sok := x.Args[1].(*IntLit)
+			length, lok := x.Args[2].(*IntLit)
+			if !sok || !lok || start.V != 1 {
+				return nil, errf(x.nodePos(), "SUBSTRING supports (expr, 1, constant) only")
+			}
+			return exec.Substr(l, int(length.V)), nil
+		case "CAST":
+			l, err := compile(x.Args[0], meta)
+			if err != nil {
+				return nil, err
+			}
+			return exec.ToF64(l), nil
+		default:
+			return nil, errf(x.nodePos(), "aggregate %s is only allowed in SELECT/HAVING of a grouped query", x.Name)
+		}
+	}
+	return nil, errf(n.nodePos(), "unsupported expression")
+}
+
+func binOp(x *BinOp, l, r *exec.Expr) (*exec.Expr, error) {
+	switch x.Op {
+	case "+":
+		return exec.Add(l, r), nil
+	case "-":
+		return exec.Sub(l, r), nil
+	case "*":
+		return exec.Mul(l, r), nil
+	case "/":
+		return exec.Div(l, r), nil
+	case "%":
+		return exec.Mod(l, r), nil
+	case "=":
+		return exec.Eq(l, r), nil
+	case "<>":
+		return exec.Ne(l, r), nil
+	case "<":
+		return exec.Lt(l, r), nil
+	case "<=":
+		return exec.Le(l, r), nil
+	case ">":
+		return exec.Gt(l, r), nil
+	case ">=":
+		return exec.Ge(l, r), nil
+	case "AND":
+		return exec.And(l, r), nil
+	case "OR":
+		return exec.Or(l, r), nil
+	}
+	return nil, errf(x.nodePos(), "unknown operator %q", x.Op)
+}
+
+// compileRewritten compiles an expression against the aggregation output:
+// group-key subexpressions become references to the key columns and
+// aggregate calls become references to the agg columns.
+func compileRewritten(n Node, aggMeta []exec.Meta, keyRender map[string]int, aggRender map[string]int, keyNames []string) (*exec.Expr, error) {
+	if ki, ok := keyRender[render(n)]; ok {
+		return exec.Col(aggMeta, keyNames[ki]), nil
+	}
+	if f, ok := n.(*FuncCall); ok && aggNames[f.Name] {
+		ai, ok := aggRender[render(f)]
+		if !ok {
+			return nil, errf(f.nodePos(), "internal: aggregate not collected")
+		}
+		return exec.ColIdx(aggMeta, len(keyNames)+ai), nil
+	}
+	switch x := n.(type) {
+	case *IntLit:
+		return exec.Int(x.V), nil
+	case *FloatLit:
+		return exec.F64Const(x.V), nil
+	case *StrLit:
+		return exec.Str(x.V), nil
+	case *ColRef:
+		return nil, errf(x.nodePos(),
+			"column %q must appear in GROUP BY or inside an aggregate", x.Name)
+	case *BinOp:
+		l, err := compileRewritten(x.L, aggMeta, keyRender, aggRender, keyNames)
+		if err != nil {
+			return nil, err
+		}
+		r, err := compileRewritten(x.R, aggMeta, keyRender, aggRender, keyNames)
+		if err != nil {
+			return nil, err
+		}
+		return binOp(x, l, r)
+	case *NotOp:
+		l, err := compileRewritten(x.L, aggMeta, keyRender, aggRender, keyNames)
+		if err != nil {
+			return nil, err
+		}
+		return exec.Not(l), nil
+	case *NegOp:
+		l, err := compileRewritten(x.L, aggMeta, keyRender, aggRender, keyNames)
+		if err != nil {
+			return nil, err
+		}
+		return exec.Sub(exec.Int(0), l), nil
+	case *FuncCall:
+		if x.Name == "CAST" {
+			l, err := compileRewritten(x.Args[0], aggMeta, keyRender, aggRender, keyNames)
+			if err != nil {
+				return nil, err
+			}
+			return exec.ToF64(l), nil
+		}
+	}
+	return nil, errf(n.nodePos(), "expression not supported above aggregation")
+}

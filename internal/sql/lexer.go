@@ -1,0 +1,160 @@
+// Package sql implements a SQL subset on top of the vectorized engine:
+// SELECT with expressions and aggregates, FROM with INNER/LEFT JOINs on
+// equality conditions, WHERE, GROUP BY, HAVING, ORDER BY and LIMIT. The
+// planner compiles statements to exec operator trees, so every query runs
+// under any combination of the paper's techniques.
+package sql
+
+import (
+	"fmt"
+	"strings"
+)
+
+type tokKind uint8
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tNumber
+	tString
+	tSymbol  // ( ) , . * + - / %
+	tCompare // = <> != < <= > >=
+	tKeyword
+)
+
+type token struct {
+	kind tokKind
+	text string // keywords upper-cased, identifiers as written
+	pos  int
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "LIMIT": true, "AS": true, "AND": true,
+	"OR": true, "NOT": true, "LIKE": true, "IN": true, "BETWEEN": true,
+	"IS": true, "NULL": true, "CASE": true, "WHEN": true, "THEN": true,
+	"ELSE": true, "END": true, "JOIN": true, "INNER": true, "LEFT": true,
+	"OUTER": true, "ON": true, "ASC": true, "DESC": true, "SUM": true,
+	"COUNT": true, "MIN": true, "MAX": true, "AVG": true, "DISTINCT": true,
+	"SUBSTRING": true, "EXISTS": true, "CAST": true, "FLOAT": true,
+}
+
+type lexer struct {
+	src string
+	pos int
+}
+
+// Error is a SQL parse error with a byte position.
+type Error struct {
+	Pos int
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("sql: at %d: %s", e.Pos, e.Msg) }
+
+func errf(pos int, format string, args ...interface{}) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) && isSpace(l.src[l.pos]) {
+		l.pos++
+	}
+	start := l.pos
+	if l.pos >= len(l.src) {
+		return token{kind: tEOF, pos: start}, nil
+	}
+	c := l.src[l.pos]
+	switch {
+	case isAlpha(c):
+		for l.pos < len(l.src) && (isAlpha(l.src[l.pos]) || isDigit(l.src[l.pos])) {
+			l.pos++
+		}
+		word := l.src[start:l.pos]
+		up := strings.ToUpper(word)
+		if keywords[up] {
+			return token{kind: tKeyword, text: up, pos: start}, nil
+		}
+		return token{kind: tIdent, text: word, pos: start}, nil
+
+	case isDigit(c):
+		seenDot := false
+		for l.pos < len(l.src) && (isDigit(l.src[l.pos]) || (l.src[l.pos] == '.' && !seenDot)) {
+			if l.src[l.pos] == '.' {
+				seenDot = true
+			}
+			l.pos++
+		}
+		return token{kind: tNumber, text: l.src[start:l.pos], pos: start}, nil
+
+	case c == '\'':
+		l.pos++
+		var b strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return token{}, errf(start, "unterminated string literal")
+			}
+			if l.src[l.pos] == '\'' {
+				if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+					b.WriteByte('\'') // escaped quote
+					l.pos += 2
+					continue
+				}
+				l.pos++
+				return token{kind: tString, text: b.String(), pos: start}, nil
+			}
+			b.WriteByte(l.src[l.pos])
+			l.pos++
+		}
+
+	case c == '<':
+		l.pos++
+		if l.pos < len(l.src) && (l.src[l.pos] == '=' || l.src[l.pos] == '>') {
+			l.pos++
+		}
+		return token{kind: tCompare, text: l.src[start:l.pos], pos: start}, nil
+	case c == '>':
+		l.pos++
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+		}
+		return token{kind: tCompare, text: l.src[start:l.pos], pos: start}, nil
+	case c == '!':
+		l.pos++
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+			return token{kind: tCompare, text: "<>", pos: start}, nil
+		}
+		return token{}, errf(start, "unexpected '!'")
+	case c == '=':
+		l.pos++
+		return token{kind: tCompare, text: "=", pos: start}, nil
+
+	case strings.IndexByte("(),.*+-/%", c) >= 0:
+		l.pos++
+		return token{kind: tSymbol, text: string(c), pos: start}, nil
+	}
+	return token{}, errf(start, "unexpected character %q", c)
+}
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }
+func isAlpha(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// lexAll tokenizes the whole input.
+func lexAll(src string) ([]token, error) {
+	l := &lexer{src: src}
+	var out []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tEOF {
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,682 @@
+package sql
+
+import "strconv"
+
+// ---- AST ----
+
+// Node is an expression AST node.
+type Node interface{ nodePos() int }
+
+type base struct{ Pos int }
+
+func (b base) nodePos() int { return b.Pos }
+
+// ColRef is a (possibly table-qualified) column reference.
+type ColRef struct {
+	base
+	Table string
+	Name  string
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	base
+	V int64
+}
+
+// FloatLit is a floating-point literal.
+type FloatLit struct {
+	base
+	V float64
+}
+
+// StrLit is a string literal.
+type StrLit struct {
+	base
+	V string
+}
+
+// NullLit is the NULL literal.
+type NullLit struct{ base }
+
+// BinOp is a binary operator: + - * / % = <> < <= > >= AND OR.
+type BinOp struct {
+	base
+	Op   string
+	L, R Node
+}
+
+// NotOp is NOT x.
+type NotOp struct {
+	base
+	L Node
+}
+
+// NegOp is -x.
+type NegOp struct {
+	base
+	L Node
+}
+
+// LikeOp is x [NOT] LIKE 'pattern'.
+type LikeOp struct {
+	base
+	L       Node
+	Pattern string
+	Not     bool
+}
+
+// InOp is x [NOT] IN (a, b, ...).
+type InOp struct {
+	base
+	L    Node
+	List []Node
+	Not  bool
+}
+
+// BetweenOp is x BETWEEN lo AND hi.
+type BetweenOp struct {
+	base
+	L, Lo, Hi Node
+}
+
+// IsNullOp is x IS [NOT] NULL.
+type IsNullOp struct {
+	base
+	L   Node
+	Not bool
+}
+
+// WhenClause is one WHEN cond THEN result arm.
+type WhenClause struct {
+	Cond, Then Node
+}
+
+// CaseOp is CASE WHEN ... THEN ... [...] ELSE ... END.
+type CaseOp struct {
+	base
+	Whens []WhenClause
+	Else  Node
+}
+
+// FuncCall is an aggregate or scalar function call.
+type FuncCall struct {
+	base
+	Name     string // upper case: SUM COUNT MIN MAX AVG SUBSTRING CAST
+	Star     bool   // COUNT(*)
+	Distinct bool
+	Args     []Node
+}
+
+// SelectItem is one output column.
+type SelectItem struct {
+	Expr  Node
+	Alias string
+	Star  bool
+}
+
+// JoinClause is one JOIN in the FROM list.
+type JoinClause struct {
+	Left  bool // LEFT [OUTER] JOIN vs INNER JOIN
+	Table string
+	On    Node
+}
+
+// OrderItem orders the result by an output column (name or 1-based
+// ordinal).
+type OrderItem struct {
+	Name    string
+	Ordinal int // 1-based; 0 when Name is used
+	Desc    bool
+}
+
+// SelectStmt is a parsed SELECT statement.
+type SelectStmt struct {
+	Items   []SelectItem
+	Table   string
+	Joins   []JoinClause
+	Where   Node
+	GroupBy []Node
+	Having  Node
+	OrderBy []OrderItem
+	Limit   int // -1 = none
+}
+
+// ---- parser ----
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+// Parse parses one SELECT statement.
+func Parse(query string) (*SelectStmt, error) {
+	toks, err := lexAll(query)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.selectStmt()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tEOF, "") {
+		return nil, errf(p.cur().pos, "unexpected %q after statement", p.cur().text)
+	}
+	return stmt, nil
+}
+
+func (p *parser) cur() token  { return p.toks[p.i] }
+func (p *parser) peek() token { return p.toks[min(p.i+1, len(p.toks)-1)] }
+
+func (p *parser) at(kind tokKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) eat(kind tokKind, text string) bool {
+	if p.at(kind, text) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokKind, text string) (token, error) {
+	t := p.cur()
+	if !p.at(kind, text) {
+		want := text
+		if want == "" {
+			want = "identifier"
+		}
+		return t, errf(t.pos, "expected %s, found %q", want, t.text)
+	}
+	p.i++
+	return t, nil
+}
+
+func (p *parser) selectStmt() (*SelectStmt, error) {
+	if _, err := p.expect(tKeyword, "SELECT"); err != nil {
+		return nil, err
+	}
+	stmt := &SelectStmt{Limit: -1}
+
+	// Select list.
+	for {
+		if p.eat(tSymbol, "*") {
+			stmt.Items = append(stmt.Items, SelectItem{Star: true})
+		} else {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			item := SelectItem{Expr: e}
+			if p.eat(tKeyword, "AS") {
+				t, err := p.expect(tIdent, "")
+				if err != nil {
+					return nil, err
+				}
+				item.Alias = t.text
+			} else if p.at(tIdent, "") {
+				item.Alias = p.cur().text
+				p.i++
+			}
+			stmt.Items = append(stmt.Items, item)
+		}
+		if !p.eat(tSymbol, ",") {
+			break
+		}
+	}
+
+	// FROM.
+	if _, err := p.expect(tKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	t, err := p.expect(tIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	stmt.Table = t.text
+
+	// JOINs.
+	for {
+		left := false
+		switch {
+		case p.at(tKeyword, "JOIN"):
+			p.i++
+		case p.at(tKeyword, "INNER") && p.peek().text == "JOIN":
+			p.i += 2
+		case p.at(tKeyword, "LEFT"):
+			p.i++
+			p.eat(tKeyword, "OUTER")
+			if _, err := p.expect(tKeyword, "JOIN"); err != nil {
+				return nil, err
+			}
+			left = true
+		default:
+			goto afterJoins
+		}
+		jt, err := p.expect(tIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tKeyword, "ON"); err != nil {
+			return nil, err
+		}
+		on, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Joins = append(stmt.Joins, JoinClause{Left: left, Table: jt.text, On: on})
+	}
+afterJoins:
+
+	if p.eat(tKeyword, "WHERE") {
+		if stmt.Where, err = p.expr(); err != nil {
+			return nil, err
+		}
+	}
+	if p.eat(tKeyword, "GROUP") {
+		if _, err := p.expect(tKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			stmt.GroupBy = append(stmt.GroupBy, e)
+			if !p.eat(tSymbol, ",") {
+				break
+			}
+		}
+	}
+	if p.eat(tKeyword, "HAVING") {
+		if stmt.Having, err = p.expr(); err != nil {
+			return nil, err
+		}
+	}
+	if p.eat(tKeyword, "ORDER") {
+		if _, err := p.expect(tKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			var item OrderItem
+			switch {
+			case p.at(tNumber, ""):
+				n, err := strconv.Atoi(p.cur().text)
+				if err != nil || n < 1 {
+					return nil, errf(p.cur().pos, "bad ORDER BY ordinal %q", p.cur().text)
+				}
+				item.Ordinal = n
+				p.i++
+			case p.at(tIdent, ""):
+				item.Name = p.cur().text
+				p.i++
+			default:
+				return nil, errf(p.cur().pos, "ORDER BY expects a column name or ordinal")
+			}
+			if p.eat(tKeyword, "DESC") {
+				item.Desc = true
+			} else {
+				p.eat(tKeyword, "ASC")
+			}
+			stmt.OrderBy = append(stmt.OrderBy, item)
+			if !p.eat(tSymbol, ",") {
+				break
+			}
+		}
+	}
+	if p.eat(tKeyword, "LIMIT") {
+		t, err := p.expect(tNumber, "")
+		if err != nil {
+			return nil, err
+		}
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n < 0 {
+			return nil, errf(t.pos, "bad LIMIT %q", t.text)
+		}
+		stmt.Limit = n
+	}
+	return stmt, nil
+}
+
+// expr parses with precedence: OR < AND < NOT < predicates < +- < */% < unary.
+func (p *parser) expr() (Node, error) { return p.orExpr() }
+
+func (p *parser) orExpr() (Node, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tKeyword, "OR") {
+		pos := p.cur().pos
+		p.i++
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinOp{base: base{pos}, Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) andExpr() (Node, error) {
+	l, err := p.notExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tKeyword, "AND") {
+		pos := p.cur().pos
+		p.i++
+		r, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinOp{base: base{pos}, Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) notExpr() (Node, error) {
+	if p.at(tKeyword, "NOT") {
+		pos := p.cur().pos
+		p.i++
+		l, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &NotOp{base: base{pos}, L: l}, nil
+	}
+	return p.predicate()
+}
+
+func (p *parser) predicate() (Node, error) {
+	l, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.at(tCompare, ""):
+			t := p.cur()
+			p.i++
+			r, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = &BinOp{base: base{t.pos}, Op: t.text, L: l, R: r}
+
+		case p.at(tKeyword, "LIKE"), p.at(tKeyword, "NOT") && p.peek().text == "LIKE":
+			not := p.eat(tKeyword, "NOT")
+			pos := p.cur().pos
+			p.i++ // LIKE
+			pat, err := p.expect(tString, "")
+			if err != nil {
+				return nil, err
+			}
+			l = &LikeOp{base: base{pos}, L: l, Pattern: pat.text, Not: not}
+
+		case p.at(tKeyword, "IN"), p.at(tKeyword, "NOT") && p.peek().text == "IN":
+			not := p.eat(tKeyword, "IN") == false && p.eat(tKeyword, "NOT")
+			if not {
+				if _, err := p.expect(tKeyword, "IN"); err != nil {
+					return nil, err
+				}
+			}
+			pos := p.cur().pos
+			if _, err := p.expect(tSymbol, "("); err != nil {
+				return nil, err
+			}
+			var list []Node
+			for {
+				e, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				list = append(list, e)
+				if !p.eat(tSymbol, ",") {
+					break
+				}
+			}
+			if _, err := p.expect(tSymbol, ")"); err != nil {
+				return nil, err
+			}
+			l = &InOp{base: base{pos}, L: l, List: list, Not: not}
+
+		case p.at(tKeyword, "BETWEEN"):
+			pos := p.cur().pos
+			p.i++
+			lo, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tKeyword, "AND"); err != nil {
+				return nil, err
+			}
+			hi, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = &BetweenOp{base: base{pos}, L: l, Lo: lo, Hi: hi}
+
+		case p.at(tKeyword, "IS"):
+			pos := p.cur().pos
+			p.i++
+			not := p.eat(tKeyword, "NOT")
+			if _, err := p.expect(tKeyword, "NULL"); err != nil {
+				return nil, err
+			}
+			l = &IsNullOp{base: base{pos}, L: l, Not: not}
+
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) addExpr() (Node, error) {
+	l, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tSymbol, "+") || p.at(tSymbol, "-") {
+		t := p.cur()
+		p.i++
+		r, err := p.mulExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinOp{base: base{t.pos}, Op: t.text, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) mulExpr() (Node, error) {
+	l, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tSymbol, "*") || p.at(tSymbol, "/") || p.at(tSymbol, "%") {
+		t := p.cur()
+		p.i++
+		r, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinOp{base: base{t.pos}, Op: t.text, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) unary() (Node, error) {
+	if p.at(tSymbol, "-") {
+		pos := p.cur().pos
+		p.i++
+		l, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &NegOp{base: base{pos}, L: l}, nil
+	}
+	return p.primary()
+}
+
+var aggNames = map[string]bool{"SUM": true, "COUNT": true, "MIN": true, "MAX": true, "AVG": true}
+
+func (p *parser) primary() (Node, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tNumber:
+		p.i++
+		if idx := indexByte(t.text, '.'); idx >= 0 {
+			v, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, errf(t.pos, "bad number %q", t.text)
+			}
+			return &FloatLit{base: base{t.pos}, V: v}, nil
+		}
+		v, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, errf(t.pos, "bad number %q", t.text)
+		}
+		return &IntLit{base: base{t.pos}, V: v}, nil
+
+	case t.kind == tString:
+		p.i++
+		return &StrLit{base: base{t.pos}, V: t.text}, nil
+
+	case t.kind == tKeyword && t.text == "NULL":
+		p.i++
+		return &NullLit{base: base{t.pos}}, nil
+
+	case t.kind == tKeyword && t.text == "CASE":
+		return p.caseExpr()
+
+	case t.kind == tKeyword && (aggNames[t.text] || t.text == "SUBSTRING" || t.text == "CAST"):
+		return p.funcCall()
+
+	case t.kind == tSymbol && t.text == "(":
+		p.i++
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+
+	case t.kind == tIdent:
+		p.i++
+		if p.eat(tSymbol, ".") {
+			col, err := p.expect(tIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			return &ColRef{base: base{t.pos}, Table: t.text, Name: col.text}, nil
+		}
+		return &ColRef{base: base{t.pos}, Name: t.text}, nil
+	}
+	return nil, errf(t.pos, "unexpected %q in expression", t.text)
+}
+
+func (p *parser) caseExpr() (Node, error) {
+	pos := p.cur().pos
+	p.i++ // CASE
+	c := &CaseOp{base: base{pos}}
+	for p.at(tKeyword, "WHEN") {
+		p.i++
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tKeyword, "THEN"); err != nil {
+			return nil, err
+		}
+		then, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		c.Whens = append(c.Whens, WhenClause{Cond: cond, Then: then})
+	}
+	if len(c.Whens) == 0 {
+		return nil, errf(pos, "CASE requires at least one WHEN")
+	}
+	if p.eat(tKeyword, "ELSE") {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		c.Else = e
+	}
+	if _, err := p.expect(tKeyword, "END"); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func (p *parser) funcCall() (Node, error) {
+	t := p.cur()
+	p.i++
+	f := &FuncCall{base: base{t.pos}, Name: t.text}
+	if _, err := p.expect(tSymbol, "("); err != nil {
+		return nil, err
+	}
+	if f.Name == "COUNT" && p.eat(tSymbol, "*") {
+		f.Star = true
+		_, err := p.expect(tSymbol, ")")
+		return f, err
+	}
+	if p.eat(tKeyword, "DISTINCT") {
+		f.Distinct = true
+	}
+	if f.Name == "CAST" {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		f.Args = append(f.Args, e)
+		if _, err := p.expect(tKeyword, "AS"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tKeyword, "FLOAT"); err != nil {
+			return nil, err
+		}
+		_, err = p.expect(tSymbol, ")")
+		return f, err
+	}
+	for {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		f.Args = append(f.Args, e)
+		if !p.eat(tSymbol, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(tSymbol, ")"); err != nil {
+		return nil, err
+	}
+	if f.Name == "SUBSTRING" && len(f.Args) != 3 {
+		return nil, errf(t.pos, "SUBSTRING takes (expr, start, length)")
+	}
+	return f, nil
+}
+
+func indexByte(s string, c byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == c {
+			return i
+		}
+	}
+	return -1
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

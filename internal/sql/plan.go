@@ -1,0 +1,454 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+
+	"ocht/internal/agg"
+	"ocht/internal/exec"
+	"ocht/internal/storage"
+)
+
+// Run parses, plans and executes a SELECT statement under the given query
+// context (which carries the technique flags).
+func Run(query string, cat *storage.Catalog, qc *exec.QCtx) (*exec.Result, error) {
+	stmt, err := Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	root, order, limit, err := Plan(stmt, cat)
+	if err != nil {
+		return nil, err
+	}
+	res := exec.Run(qc, root)
+	if len(order) > 0 {
+		res.OrderBy(order...)
+	}
+	if limit >= 0 {
+		res.Limit(limit)
+	}
+	return res, nil
+}
+
+// Plan compiles a parsed statement to an operator tree plus the post-run
+// ordering and limit.
+func Plan(stmt *SelectStmt, cat *storage.Catalog) (exec.Op, []exec.SortKey, int, error) {
+	p := &planner{cat: cat}
+	op, err := p.plan(stmt)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	order, err := p.resolveOrder(stmt, op.Meta())
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return op, order, stmt.Limit, nil
+}
+
+type planner struct {
+	cat *storage.Catalog
+}
+
+func (p *planner) plan(stmt *SelectStmt) (exec.Op, error) {
+	// FROM: base scan plus hash joins. All columns of each table are
+	// scanned; name collisions across joined tables are rejected.
+	var op exec.Op
+	baseTab := p.cat.Table(stmt.Table)
+	op = exec.NewScan(baseTab)
+	for _, j := range stmt.Joins {
+		buildTab := p.cat.Table(j.Table)
+		build := exec.NewScan(buildTab)
+		probeKeys, buildKeys, err := splitJoinOn(j.On, op.Meta(), build.Meta())
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range build.Meta() {
+			if hasCol(op.Meta(), m.Name) {
+				return nil, errf(j.On.nodePos(),
+					"ambiguous column %q: joined tables must have distinct column names", m.Name)
+			}
+		}
+		kind := exec.Inner
+		if j.Left {
+			kind = exec.LeftOuter
+		}
+		var payload []string
+		for _, m := range build.Meta() {
+			payload = append(payload, m.Name)
+		}
+		op = exec.NewHashJoin(kind, op, build, probeKeys, buildKeys, payload)
+	}
+
+	if stmt.Where != nil {
+		pred, err := compile(stmt.Where, op.Meta())
+		if err != nil {
+			return nil, err
+		}
+		op = exec.NewFilter(op, pred)
+	}
+
+	hasAgg := stmt.GroupBy != nil || stmt.Having != nil
+	for _, it := range stmt.Items {
+		if !it.Star && containsAgg(it.Expr) {
+			hasAgg = true
+		}
+	}
+	if !hasAgg {
+		return p.planProjection(stmt, op)
+	}
+	return p.planAggregate(stmt, op)
+}
+
+// planProjection handles plain SELECTs (no aggregation).
+func (p *planner) planProjection(stmt *SelectStmt, op exec.Op) (exec.Op, error) {
+	meta := op.Meta()
+	var names []string
+	var exprs []*exec.Expr
+	for i, it := range stmt.Items {
+		if it.Star {
+			for _, m := range meta {
+				names = append(names, m.Name)
+				exprs = append(exprs, exec.Col(meta, m.Name))
+			}
+			continue
+		}
+		e, err := compile(it.Expr, meta)
+		if err != nil {
+			return nil, err
+		}
+		names = append(names, itemName(it, i))
+		exprs = append(exprs, e)
+	}
+	return exec.NewProject(op, names, exprs), nil
+}
+
+// planAggregate lowers GROUP BY/aggregate selects: (1) collect distinct
+// aggregate calls and group keys, (2) build a HashAgg, (3) rewrite the
+// select items (and HAVING) against its output, adding a Project/Filter
+// when the items are more than bare keys and aggregates.
+func (p *planner) planAggregate(stmt *SelectStmt, op exec.Op) (exec.Op, error) {
+	inMeta := op.Meta()
+
+	// Group keys, named key0.. or by their column name.
+	var keyNames []string
+	var keyExprs []*exec.Expr
+	keyRender := map[string]int{} // render -> key index
+	for i, g := range stmt.GroupBy {
+		e, err := compile(g, inMeta)
+		if err != nil {
+			return nil, err
+		}
+		name := fmt.Sprintf("key%d", i)
+		if c, ok := g.(*ColRef); ok {
+			name = c.Name
+		}
+		keyNames = append(keyNames, name)
+		keyExprs = append(keyExprs, e)
+		keyRender[render(g)] = i
+	}
+
+	// Distinct aggregate calls across select items and HAVING.
+	var aggs []exec.AggExpr
+	aggRender := map[string]int{} // render -> agg index
+	var collect func(n Node) error
+	collect = func(n Node) error {
+		return walk(n, func(n Node) error {
+			f, ok := n.(*FuncCall)
+			if !ok || !aggNames[f.Name] {
+				return nil
+			}
+			if f.Distinct {
+				return errf(f.nodePos(), "DISTINCT aggregates are not supported")
+			}
+			key := render(f)
+			if _, seen := aggRender[key]; seen {
+				return nil
+			}
+			ae := exec.AggExpr{Name: fmt.Sprintf("agg%d", len(aggs))}
+			switch f.Name {
+			case "SUM":
+				ae.Func = agg.Sum
+			case "MIN":
+				ae.Func = agg.Min
+			case "MAX":
+				ae.Func = agg.Max
+			case "AVG":
+				ae.Func = exec.Avg
+			case "COUNT":
+				if f.Star {
+					ae.Func = agg.CountStar
+				} else {
+					ae.Func = agg.Count
+				}
+			}
+			if !f.Star {
+				if len(f.Args) != 1 {
+					return errf(f.nodePos(), "%s takes one argument", f.Name)
+				}
+				arg, err := compile(f.Args[0], inMeta)
+				if err != nil {
+					return err
+				}
+				ae.Arg = arg
+			}
+			aggRender[key] = len(aggs)
+			aggs = append(aggs, ae)
+			return nil
+		})
+	}
+	for _, it := range stmt.Items {
+		if it.Star {
+			return nil, errf(0, "SELECT * cannot be combined with aggregation")
+		}
+		if err := collect(it.Expr); err != nil {
+			return nil, err
+		}
+	}
+	if stmt.Having != nil {
+		if err := collect(stmt.Having); err != nil {
+			return nil, err
+		}
+	}
+
+	h := exec.NewHashAgg(op, keyNames, keyExprs, aggs)
+	hm := h.Meta()
+	var out exec.Op = h
+
+	if stmt.Having != nil {
+		pred, err := compileRewritten(stmt.Having, hm, keyRender, aggRender, keyNames)
+		if err != nil {
+			return nil, err
+		}
+		out = exec.NewFilter(out, pred)
+	}
+
+	// Final projection: select items against the aggregation output.
+	var names []string
+	var exprs []*exec.Expr
+	for i, it := range stmt.Items {
+		e, err := compileRewritten(it.Expr, hm, keyRender, aggRender, keyNames)
+		if err != nil {
+			return nil, err
+		}
+		names = append(names, itemName(it, i))
+		exprs = append(exprs, e)
+	}
+	return exec.NewProject(out, names, exprs), nil
+}
+
+func itemName(it SelectItem, i int) string {
+	if it.Alias != "" {
+		return it.Alias
+	}
+	if c, ok := it.Expr.(*ColRef); ok {
+		return c.Name
+	}
+	if f, ok := it.Expr.(*FuncCall); ok {
+		return strings.ToLower(f.Name)
+	}
+	return fmt.Sprintf("col%d", i)
+}
+
+func (p *planner) resolveOrder(stmt *SelectStmt, meta []exec.Meta) ([]exec.SortKey, error) {
+	var keys []exec.SortKey
+	for _, o := range stmt.OrderBy {
+		idx := -1
+		if o.Ordinal > 0 {
+			if o.Ordinal > len(meta) {
+				return nil, errf(0, "ORDER BY ordinal %d out of range", o.Ordinal)
+			}
+			idx = o.Ordinal - 1
+		} else {
+			for i, m := range meta {
+				if m.Name == o.Name {
+					idx = i
+					break
+				}
+			}
+			if idx < 0 {
+				return nil, errf(0, "ORDER BY references unknown output column %q", o.Name)
+			}
+		}
+		keys = append(keys, exec.SortKey{Col: idx, Desc: o.Desc})
+	}
+	return keys, nil
+}
+
+// splitJoinOn decomposes an ON condition into equality key pairs: a
+// conjunction of probeCol = buildCol terms (in either order).
+func splitJoinOn(on Node, probeMeta, buildMeta []exec.Meta) (probeKeys, buildKeys []string, err error) {
+	var terms []Node
+	var flatten func(n Node)
+	flatten = func(n Node) {
+		if b, ok := n.(*BinOp); ok && b.Op == "AND" {
+			flatten(b.L)
+			flatten(b.R)
+			return
+		}
+		terms = append(terms, n)
+	}
+	flatten(on)
+	for _, t := range terms {
+		b, ok := t.(*BinOp)
+		if !ok || b.Op != "=" {
+			return nil, nil, errf(t.nodePos(), "JOIN ON supports only equality conjunctions")
+		}
+		lc, lok := b.L.(*ColRef)
+		rc, rok := b.R.(*ColRef)
+		if !lok || !rok {
+			return nil, nil, errf(t.nodePos(), "JOIN ON supports only column = column")
+		}
+		switch {
+		case hasCol(probeMeta, lc.Name) && hasCol(buildMeta, rc.Name):
+			probeKeys = append(probeKeys, lc.Name)
+			buildKeys = append(buildKeys, rc.Name)
+		case hasCol(probeMeta, rc.Name) && hasCol(buildMeta, lc.Name):
+			probeKeys = append(probeKeys, rc.Name)
+			buildKeys = append(buildKeys, lc.Name)
+		default:
+			return nil, nil, errf(t.nodePos(),
+				"JOIN ON columns %q and %q do not span the two sides", lc.Name, rc.Name)
+		}
+	}
+	if len(probeKeys) == 0 {
+		return nil, nil, errf(on.nodePos(), "JOIN ON needs at least one equality")
+	}
+	return probeKeys, buildKeys, nil
+}
+
+func hasCol(meta []exec.Meta, name string) bool {
+	for _, m := range meta {
+		if m.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// walk visits every node of an expression tree.
+func walk(n Node, f func(Node) error) error {
+	if n == nil {
+		return nil
+	}
+	if err := f(n); err != nil {
+		return err
+	}
+	switch x := n.(type) {
+	case *BinOp:
+		if err := walk(x.L, f); err != nil {
+			return err
+		}
+		return walk(x.R, f)
+	case *NotOp:
+		return walk(x.L, f)
+	case *NegOp:
+		return walk(x.L, f)
+	case *LikeOp:
+		return walk(x.L, f)
+	case *InOp:
+		if err := walk(x.L, f); err != nil {
+			return err
+		}
+		for _, e := range x.List {
+			if err := walk(e, f); err != nil {
+				return err
+			}
+		}
+	case *BetweenOp:
+		if err := walk(x.L, f); err != nil {
+			return err
+		}
+		if err := walk(x.Lo, f); err != nil {
+			return err
+		}
+		return walk(x.Hi, f)
+	case *IsNullOp:
+		return walk(x.L, f)
+	case *CaseOp:
+		for _, w := range x.Whens {
+			if err := walk(w.Cond, f); err != nil {
+				return err
+			}
+			if err := walk(w.Then, f); err != nil {
+				return err
+			}
+		}
+		return walk(x.Else, f)
+	case *FuncCall:
+		for _, a := range x.Args {
+			if err := walk(a, f); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// render produces a canonical string for structural equality of
+// expressions (aggregate dedup, group-key matching).
+func render(n Node) string {
+	switch x := n.(type) {
+	case *ColRef:
+		return "col:" + x.Name
+	case *IntLit:
+		return fmt.Sprintf("int:%d", x.V)
+	case *FloatLit:
+		return fmt.Sprintf("f64:%g", x.V)
+	case *StrLit:
+		return fmt.Sprintf("str:%q", x.V)
+	case *NullLit:
+		return "null"
+	case *BinOp:
+		return "(" + render(x.L) + x.Op + render(x.R) + ")"
+	case *NotOp:
+		return "not(" + render(x.L) + ")"
+	case *NegOp:
+		return "neg(" + render(x.L) + ")"
+	case *LikeOp:
+		return fmt.Sprintf("like(%s,%q,%v)", render(x.L), x.Pattern, x.Not)
+	case *InOp:
+		s := "in(" + render(x.L)
+		for _, e := range x.List {
+			s += "," + render(e)
+		}
+		return s + ")"
+	case *BetweenOp:
+		return "between(" + render(x.L) + "," + render(x.Lo) + "," + render(x.Hi) + ")"
+	case *IsNullOp:
+		return fmt.Sprintf("isnull(%s,%v)", render(x.L), x.Not)
+	case *CaseOp:
+		s := "case("
+		for _, w := range x.Whens {
+			s += render(w.Cond) + "->" + render(w.Then) + ";"
+		}
+		if x.Else != nil {
+			s += "else:" + render(x.Else)
+		}
+		return s + ")"
+	case *FuncCall:
+		s := x.Name + "("
+		if x.Star {
+			s += "*"
+		}
+		for i, a := range x.Args {
+			if i > 0 {
+				s += ","
+			}
+			s += render(a)
+		}
+		return s + ")"
+	}
+	return "?"
+}
+
+// containsAgg reports whether the expression contains an aggregate call.
+func containsAgg(n Node) bool {
+	found := false
+	walk(n, func(n Node) error {
+		if f, ok := n.(*FuncCall); ok && aggNames[f.Name] {
+			found = true
+		}
+		return nil
+	})
+	return found
+}

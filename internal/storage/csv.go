@@ -1,0 +1,169 @@
+package storage
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"ocht/internal/strs"
+	"ocht/internal/vec"
+)
+
+// CSVOptions tunes CSV import.
+type CSVOptions struct {
+	Comma      rune     // field separator; 0 = ','
+	NullMarker string   // cell value treated as NULL (in addition to "")
+	Header     bool     // first row holds column names
+	Names      []string // column names when Header is false
+}
+
+// ReadCSV imports a CSV stream into a sealed table, inferring column
+// types from the data: a column is int64 if every non-NULL cell parses as
+// an integer, float64 if every cell parses as a number, else a
+// dictionary-compressed string column. Columns containing empty cells (or
+// the NullMarker) become nullable.
+func ReadCSV(name string, r io.Reader, opts CSVOptions) (*Table, error) {
+	cr := csv.NewReader(r)
+	if opts.Comma != 0 {
+		cr.Comma = opts.Comma
+	}
+	cr.ReuseRecord = false
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("storage: csv: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("storage: csv: empty input")
+	}
+	var names []string
+	if opts.Header {
+		names = rows[0]
+		rows = rows[1:]
+	} else if opts.Names != nil {
+		names = opts.Names
+	} else {
+		names = make([]string, len(rows[0]))
+		for i := range names {
+			names[i] = fmt.Sprintf("col%d", i)
+		}
+	}
+	nCols := len(names)
+	for ri, row := range rows {
+		if len(row) != nCols {
+			return nil, fmt.Errorf("storage: csv row %d has %d fields, want %d", ri+1, len(row), nCols)
+		}
+	}
+
+	isNull := func(cell string) bool {
+		return cell == "" || (opts.NullMarker != "" && cell == opts.NullMarker)
+	}
+
+	// Type inference pass.
+	types := make([]vec.Type, nCols)
+	nullable := make([]bool, nCols)
+	for c := 0; c < nCols; c++ {
+		allInt, allNum, any := true, true, false
+		for _, row := range rows {
+			cell := row[c]
+			if isNull(cell) {
+				nullable[c] = true
+				continue
+			}
+			any = true
+			if _, err := strconv.ParseInt(strings.TrimSpace(cell), 10, 64); err != nil {
+				allInt = false
+				if _, err := strconv.ParseFloat(strings.TrimSpace(cell), 64); err != nil {
+					allNum = false
+				}
+			}
+		}
+		switch {
+		case any && allInt:
+			types[c] = vec.I64
+		case any && allNum:
+			types[c] = vec.F64
+		default:
+			types[c] = vec.Str
+		}
+	}
+
+	cols := make([]*Column, nCols)
+	for c := range cols {
+		cols[c] = NewColumn(names[c], types[c], nullable[c])
+	}
+	for _, row := range rows {
+		for c, cell := range row {
+			if isNull(cell) {
+				cols[c].AppendNull()
+				continue
+			}
+			switch types[c] {
+			case vec.I64:
+				v, _ := strconv.ParseInt(strings.TrimSpace(cell), 10, 64)
+				cols[c].AppendInt(v)
+			case vec.F64:
+				v, _ := strconv.ParseFloat(strings.TrimSpace(cell), 64)
+				cols[c].AppendFloat(v)
+			default:
+				cols[c].AppendString(cell)
+			}
+		}
+	}
+	t := NewTable(name, cols...)
+	t.Seal()
+	return t, nil
+}
+
+// WriteCSV exports a table as CSV with a header row. NULLs render as the
+// marker (empty when unset).
+func WriteCSV(w io.Writer, t *Table, opts CSVOptions) error {
+	cw := csv.NewWriter(w)
+	if opts.Comma != 0 {
+		cw.Comma = opts.Comma
+	}
+	names := make([]string, len(t.Cols))
+	for i, c := range t.Cols {
+		names[i] = c.Name
+	}
+	if err := cw.Write(names); err != nil {
+		return err
+	}
+	st := strs.NewStore(false)
+	bufs := make([]*vec.Vector, len(t.Cols))
+	for i, c := range t.Cols {
+		bufs[i] = vec.New(c.Type, BlockRows)
+	}
+	nBlocks := 0
+	if len(t.Cols) > 0 {
+		nBlocks = t.Cols[0].Blocks()
+	}
+	record := make([]string, len(t.Cols))
+	for b := 0; b < nBlocks; b++ {
+		n := 0
+		for i, c := range t.Cols {
+			n = c.ScanBlock(b, bufs[i], st)
+		}
+		for r := 0; r < n; r++ {
+			for i, c := range t.Cols {
+				v := bufs[i]
+				switch {
+				case v.IsNull(r):
+					record[i] = opts.NullMarker
+				case c.Type == vec.Str:
+					record[i] = st.Get(v.Str[r])
+				case c.Type == vec.F64:
+					record[i] = strconv.FormatFloat(v.F64[r], 'g', -1, 64)
+				default:
+					record[i] = strconv.FormatInt(v.Int64At(r), 10)
+				}
+			}
+			if err := cw.Write(record); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

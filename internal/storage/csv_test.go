@@ -1,0 +1,103 @@
+package storage
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ocht/internal/vec"
+)
+
+const sampleCSV = `region,amount,score,note
+north,100,1.5,hello
+south,200,2,world
+east,,3.25,
+west,400,4.5,bye
+`
+
+func TestReadCSVInference(t *testing.T) {
+	tab, err := ReadCSV("t", strings.NewReader(sampleCSV), CSVOptions{Header: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Rows() != 4 {
+		t.Fatalf("rows %d", tab.Rows())
+	}
+	if tab.Col("region").Type != vec.Str || tab.Col("region").Nullable {
+		t.Error("region type")
+	}
+	if tab.Col("amount").Type != vec.I64 || !tab.Col("amount").Nullable {
+		t.Error("amount must be nullable int64")
+	}
+	if tab.Col("score").Type != vec.F64 {
+		t.Error("score must be float")
+	}
+	if tab.Col("note").Type != vec.Str || !tab.Col("note").Nullable {
+		t.Error("note must be nullable string")
+	}
+	if d := tab.Col("amount").TotalDomain(); !d.Valid || d.Min != 100 || d.Max != 400 {
+		t.Errorf("amount domain %v (zone maps must cover imported data)", d)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tab, err := ReadCSV("t", strings.NewReader(sampleCSV), CSVOptions{Header: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tab, CSVOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	tab2, err := ReadCSV("t2", strings.NewReader(buf.String()), CSVOptions{Header: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf2 bytes.Buffer
+	if err := WriteCSV(&buf2, tab2, CSVOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != buf2.String() {
+		t.Fatalf("round trip unstable:\n%s\nvs\n%s", buf.String(), buf2.String())
+	}
+}
+
+func TestCSVNullMarker(t *testing.T) {
+	in := "a|b\n1|NULL\nNULL|2\n"
+	tab, err := ReadCSV("t", strings.NewReader(in), CSVOptions{Header: true, Comma: '|', NullMarker: "NULL"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tab.Col("a").Nullable || !tab.Col("b").Nullable {
+		t.Error("NULL marker columns must be nullable")
+	}
+	if tab.Col("a").Type != vec.I64 {
+		t.Error("NULL cells must not force string typing")
+	}
+}
+
+func TestCSVNoHeader(t *testing.T) {
+	tab, err := ReadCSV("t", strings.NewReader("1,x\n2,y\n"), CSVOptions{Names: []string{"n", "s"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Col("n").Type != vec.I64 || tab.Col("s").Type != vec.Str {
+		t.Error("typed columns")
+	}
+	tab2, err := ReadCSV("t", strings.NewReader("1,x\n"), CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab2.ColIndex("col0") != 0 || tab2.ColIndex("col1") != 1 {
+		t.Error("generated names")
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	if _, err := ReadCSV("t", strings.NewReader(""), CSVOptions{}); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := ReadCSV("t", strings.NewReader("a,b\n1\n"), CSVOptions{Header: true}); err == nil {
+		t.Error("ragged rows accepted")
+	}
+}

@@ -1,0 +1,347 @@
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"ocht/internal/vec"
+)
+
+// Binary table format. All integers little-endian.
+//
+//	magic "OCHT" | version u32
+//	name len u32 | name bytes
+//	column count u32
+//	per column:
+//	  name len u32 | name | type u8 | nullable u8 | block count u32
+//	  per block:
+//	    rows u32
+//	    data: ints/floats at type width; strings: dict count u32,
+//	          per entry (len u32 | bytes), then rows x codes u32
+//	    nulls flag u8 [+ rows x u8]
+//	footer (out-of-band metadata, Section II-A):
+//	  per column, per block: zonemap valid u8 [+ min i64 + max i64]
+//	magic "THCO"
+const (
+	fileMagic   = "OCHT"
+	fileVersion = 1
+	fileFooter  = "THCO"
+)
+
+// WriteTable serializes a sealed table.
+func WriteTable(w io.Writer, t *Table) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	put := func(v interface{}) error { return binary.Write(bw, binary.LittleEndian, v) }
+	putStr := func(s string) error {
+		if err := put(uint32(len(s))); err != nil {
+			return err
+		}
+		_, err := bw.WriteString(s)
+		return err
+	}
+	if _, err := bw.WriteString(fileMagic); err != nil {
+		return err
+	}
+	if err := put(uint32(fileVersion)); err != nil {
+		return err
+	}
+	if err := putStr(t.Name); err != nil {
+		return err
+	}
+	if err := put(uint32(len(t.Cols))); err != nil {
+		return err
+	}
+	for _, c := range t.Cols {
+		if c.cur != nil {
+			return fmt.Errorf("storage: column %s not sealed", c.Name)
+		}
+		if err := putStr(c.Name); err != nil {
+			return err
+		}
+		nullable := uint8(0)
+		if c.Nullable {
+			nullable = 1
+		}
+		if err := put(uint8(c.Type)); err != nil {
+			return err
+		}
+		if err := put(nullable); err != nil {
+			return err
+		}
+		if err := put(uint32(len(c.blocks))); err != nil {
+			return err
+		}
+		for _, b := range c.blocks {
+			if err := put(uint32(b.N)); err != nil {
+				return err
+			}
+			switch c.Type {
+			case vec.I8:
+				if err := put(b.I8); err != nil {
+					return err
+				}
+			case vec.I16:
+				if err := put(b.I16); err != nil {
+					return err
+				}
+			case vec.I32:
+				if err := put(b.I32); err != nil {
+					return err
+				}
+			case vec.I64:
+				if err := put(b.I64); err != nil {
+					return err
+				}
+			case vec.F64:
+				if err := put(b.F64); err != nil {
+					return err
+				}
+			case vec.Str:
+				if err := put(uint32(len(b.Dict))); err != nil {
+					return err
+				}
+				for _, s := range b.Dict {
+					if err := putStr(s); err != nil {
+						return err
+					}
+				}
+				if err := put(b.Codes); err != nil {
+					return err
+				}
+			}
+			hasNulls := uint8(0)
+			if b.Nulls != nil {
+				hasNulls = 1
+			}
+			if err := put(hasNulls); err != nil {
+				return err
+			}
+			if b.Nulls != nil {
+				if err := put(b.Nulls); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	// Out-of-band zone maps in the footer, as the paper stores them.
+	for _, c := range t.Cols {
+		for _, z := range c.zones {
+			valid := uint8(0)
+			if z.valid {
+				valid = 1
+			}
+			if err := put(valid); err != nil {
+				return err
+			}
+			if z.valid {
+				if err := put(z.min); err != nil {
+					return err
+				}
+				if err := put(z.max); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if _, err := bw.WriteString(fileFooter); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadTable deserializes a table written by WriteTable.
+func ReadTable(r io.Reader) (*Table, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	get := func(v interface{}) error { return binary.Read(br, binary.LittleEndian, v) }
+	getStr := func() (string, error) {
+		var n uint32
+		if err := get(&n); err != nil {
+			return "", err
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return "", err
+		}
+		return string(buf), nil
+	}
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, err
+	}
+	if string(magic) != fileMagic {
+		return nil, fmt.Errorf("storage: bad magic %q", magic)
+	}
+	var version uint32
+	if err := get(&version); err != nil {
+		return nil, err
+	}
+	if version != fileVersion {
+		return nil, fmt.Errorf("storage: unsupported version %d", version)
+	}
+	name, err := getStr()
+	if err != nil {
+		return nil, err
+	}
+	var nCols uint32
+	if err := get(&nCols); err != nil {
+		return nil, err
+	}
+	cols := make([]*Column, nCols)
+	for ci := range cols {
+		cname, err := getStr()
+		if err != nil {
+			return nil, err
+		}
+		var typ, nullable uint8
+		if err := get(&typ); err != nil {
+			return nil, err
+		}
+		if err := get(&nullable); err != nil {
+			return nil, err
+		}
+		c := NewColumn(cname, vec.Type(typ), nullable == 1)
+		var nBlocks uint32
+		if err := get(&nBlocks); err != nil {
+			return nil, err
+		}
+		for bi := uint32(0); bi < nBlocks; bi++ {
+			var rows uint32
+			if err := get(&rows); err != nil {
+				return nil, err
+			}
+			b := &Block{N: int(rows)}
+			switch c.Type {
+			case vec.I8:
+				b.I8 = make([]int8, rows)
+				err = get(b.I8)
+			case vec.I16:
+				b.I16 = make([]int16, rows)
+				err = get(b.I16)
+			case vec.I32:
+				b.I32 = make([]int32, rows)
+				err = get(b.I32)
+			case vec.I64:
+				b.I64 = make([]int64, rows)
+				err = get(b.I64)
+			case vec.F64:
+				b.F64 = make([]float64, rows)
+				err = get(b.F64)
+			case vec.Str:
+				var nDict uint32
+				if err = get(&nDict); err != nil {
+					break
+				}
+				b.Dict = make([]string, nDict)
+				for di := range b.Dict {
+					if b.Dict[di], err = getStr(); err != nil {
+						break
+					}
+				}
+				if err == nil {
+					b.Codes = make([]int32, rows)
+					err = get(b.Codes)
+				}
+			default:
+				err = fmt.Errorf("storage: bad column type %d", typ)
+			}
+			if err != nil {
+				return nil, err
+			}
+			var hasNulls uint8
+			if err := get(&hasNulls); err != nil {
+				return nil, err
+			}
+			if hasNulls == 1 {
+				b.Nulls = make([]bool, rows)
+				if err := get(b.Nulls); err != nil {
+					return nil, err
+				}
+			}
+			c.blocks = append(c.blocks, b)
+		}
+		cols[ci] = c
+	}
+	// Footer: zone maps.
+	for _, c := range cols {
+		c.zones = make([]zoneMap, len(c.blocks))
+		for zi := range c.zones {
+			var valid uint8
+			if err := get(&valid); err != nil {
+				return nil, err
+			}
+			if valid == 1 {
+				var z zoneMap
+				z.valid = true
+				if err := get(&z.min); err != nil {
+					return nil, err
+				}
+				if err := get(&z.max); err != nil {
+					return nil, err
+				}
+				c.zones[zi] = z
+			}
+		}
+	}
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, err
+	}
+	if string(magic) != fileFooter {
+		return nil, fmt.Errorf("storage: bad footer %q", magic)
+	}
+	return NewTable(name, cols...), nil
+}
+
+// SaveCatalog writes every table to <dir>/<table>.ocht.
+func (c *Catalog) Save(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for name, t := range c.tables {
+		f, err := os.Create(filepath.Join(dir, name+".ocht"))
+		if err != nil {
+			return err
+		}
+		if err := WriteTable(f, t); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadCatalog reads every *.ocht file in dir into a new catalog.
+func LoadCatalog(dir string) (*Catalog, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".ocht" {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	cat := NewCatalog()
+	for _, n := range names {
+		f, err := os.Open(filepath.Join(dir, n))
+		if err != nil {
+			return nil, err
+		}
+		t, err := ReadTable(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", n, err)
+		}
+		cat.Add(t)
+	}
+	return cat, nil
+}

@@ -1,0 +1,142 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"ocht/internal/strs"
+	"ocht/internal/vec"
+)
+
+func buildMixedTable(t *testing.T) *Table {
+	t.Helper()
+	a := NewColumn("a", vec.I64, false)
+	b := NewColumn("b", vec.I32, true)
+	s := NewColumn("s", vec.Str, true)
+	f := NewColumn("f", vec.F64, false)
+	for i := 0; i < BlockRows+500; i++ { // two blocks
+		a.AppendInt(int64(i) - 100)
+		if i%11 == 0 {
+			b.AppendNull()
+		} else {
+			b.AppendInt(int64(i % 1000))
+		}
+		if i%13 == 0 {
+			s.AppendNull()
+		} else {
+			s.AppendString(fmt.Sprintf("w%d", i%200))
+		}
+		f.AppendFloat(float64(i) * 0.5)
+	}
+	tab := NewTable("mixed", a, b, s, f)
+	tab.Seal()
+	return tab
+}
+
+func TestTableRoundTrip(t *testing.T) {
+	orig := buildMixedTable(t)
+	var buf bytes.Buffer
+	if err := WriteTable(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTable(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "mixed" || len(got.Cols) != 4 || got.Rows() != orig.Rows() {
+		t.Fatalf("shape: %s %d cols %d rows", got.Name, len(got.Cols), got.Rows())
+	}
+	// Zone maps must survive (they live in the out-of-band footer).
+	if got.Col("a").TotalDomain() != orig.Col("a").TotalDomain() {
+		t.Errorf("zonemaps lost: %v vs %v",
+			got.Col("a").TotalDomain(), orig.Col("a").TotalDomain())
+	}
+	// Value-level comparison across all columns and blocks.
+	st := strs.NewStore(false)
+	for ci, oc := range orig.Cols {
+		gc := got.Cols[ci]
+		if gc.Blocks() != oc.Blocks() {
+			t.Fatalf("col %s blocks %d vs %d", oc.Name, gc.Blocks(), oc.Blocks())
+		}
+		ob := vec.New(oc.Type, BlockRows)
+		gb := vec.New(oc.Type, BlockRows)
+		for bi := 0; bi < oc.Blocks(); bi++ {
+			n1 := oc.ScanBlock(bi, ob, st)
+			n2 := gc.ScanBlock(bi, gb, st)
+			if n1 != n2 {
+				t.Fatalf("col %s block %d rows %d vs %d", oc.Name, bi, n1, n2)
+			}
+			for i := 0; i < n1; i++ {
+				if ob.IsNull(i) != gb.IsNull(i) {
+					t.Fatalf("col %s row %d null mismatch", oc.Name, i)
+				}
+				if ob.IsNull(i) {
+					continue
+				}
+				var same bool
+				switch oc.Type {
+				case vec.Str:
+					same = st.Get(ob.Str[i]) == st.Get(gb.Str[i])
+				case vec.F64:
+					same = ob.F64[i] == gb.F64[i]
+				default:
+					same = ob.Int64At(i) == gb.Int64At(i)
+				}
+				if !same {
+					t.Fatalf("col %s block %d row %d differs", oc.Name, bi, i)
+				}
+			}
+		}
+	}
+}
+
+func TestCatalogSaveLoad(t *testing.T) {
+	dir := t.TempDir()
+	cat := NewCatalog()
+	cat.Add(buildMixedTable(t))
+	small := NewColumn("x", vec.I64, false)
+	small.AppendInt(42)
+	st2 := NewTable("tiny", small)
+	st2.Seal()
+	cat.Add(st2)
+
+	if err := cat.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCatalog(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Tables() != 2 {
+		t.Fatalf("tables: %d", loaded.Tables())
+	}
+	if loaded.Table("tiny").Rows() != 1 || loaded.Table("mixed").Rows() != BlockRows+500 {
+		t.Error("row counts after reload")
+	}
+}
+
+func TestReadTableRejectsGarbage(t *testing.T) {
+	if _, err := ReadTable(bytes.NewReader([]byte("not a table"))); err == nil {
+		t.Error("garbage accepted")
+	}
+	// Truncated file.
+	orig := buildMixedTable(t)
+	var buf bytes.Buffer
+	if err := WriteTable(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadTable(bytes.NewReader(buf.Bytes()[:buf.Len()/2])); err == nil {
+		t.Error("truncated file accepted")
+	}
+}
+
+func TestWriteUnsealedFails(t *testing.T) {
+	c := NewColumn("x", vec.I64, false)
+	c.AppendInt(1) // not sealed
+	tab := &Table{Name: "t", Cols: []*Column{c}}
+	var buf bytes.Buffer
+	if err := WriteTable(&buf, tab); err == nil {
+		t.Error("unsealed table accepted")
+	}
+}

@@ -1,0 +1,374 @@
+// Package storage implements the columnar table substrate: append-only
+// columns cut into blocks, per-block min/max zone maps kept out-of-band
+// (Section II-A), per-block string dictionaries (Section IV-A: "most
+// database systems limit themselves to per-block dictionaries"), and NULL
+// bitmaps.
+//
+// Scans decompress dictionary codes through an in-memory pointer array set
+// up per block; with the USSR enabled, the dictionary strings are inserted
+// into the USSR at array-setup time so in-flight references point there
+// (Section IV-D).
+package storage
+
+import (
+	"fmt"
+
+	"ocht/internal/domain"
+	"ocht/internal/strs"
+	"ocht/internal/vec"
+)
+
+// BlockRows is the number of values per block.
+const BlockRows = 1 << 16
+
+// Block holds the values of one column over BlockRows rows. Exactly one
+// data slice is populated, matching the column type. String data is
+// dictionary-compressed: Dict holds the distinct strings, Codes the
+// per-row dictionary codes.
+type Block struct {
+	N     int
+	Nulls []bool // nil when no NULLs in this block
+
+	I8  []int8
+	I16 []int16
+	I32 []int32
+	I64 []int64
+	F64 []float64
+
+	Dict  []string
+	Codes []int32
+}
+
+// zoneMap is the out-of-band per-block metadata: min/max for integer
+// blocks (Section II-A stores these in row-group headers or the catalog,
+// never inside the block).
+type zoneMap struct {
+	min, max int64
+	valid    bool
+}
+
+// Column is an append-only typed column.
+type Column struct {
+	Name     string
+	Type     vec.Type
+	Nullable bool
+
+	blocks []*Block
+	zones  []zoneMap // parallel to blocks, integer columns only
+
+	// Builder state.
+	cur     *Block
+	curZone zoneMap
+	curDict map[string]int32
+}
+
+// NewColumn creates an empty column.
+func NewColumn(name string, t vec.Type, nullable bool) *Column {
+	return &Column{Name: name, Type: t, Nullable: nullable}
+}
+
+func (c *Column) startBlock() {
+	b := &Block{}
+	switch c.Type {
+	case vec.I8:
+		b.I8 = make([]int8, 0, BlockRows)
+	case vec.I16:
+		b.I16 = make([]int16, 0, BlockRows)
+	case vec.I32:
+		b.I32 = make([]int32, 0, BlockRows)
+	case vec.I64:
+		b.I64 = make([]int64, 0, BlockRows)
+	case vec.F64:
+		b.F64 = make([]float64, 0, BlockRows)
+	case vec.Str:
+		b.Codes = make([]int32, 0, BlockRows)
+		c.curDict = map[string]int32{}
+	default:
+		panic("storage: unsupported column type " + c.Type.String())
+	}
+	c.cur = b
+	c.curZone = zoneMap{min: 1<<63 - 1, max: -1 << 63, valid: false}
+}
+
+func (c *Column) sealBlock() {
+	if c.cur == nil {
+		return
+	}
+	c.blocks = append(c.blocks, c.cur)
+	c.zones = append(c.zones, c.curZone)
+	c.cur = nil
+	c.curDict = nil
+}
+
+func (c *Column) ensure() *Block {
+	if c.cur == nil {
+		c.startBlock()
+	}
+	if c.cur.N == BlockRows {
+		c.sealBlock()
+		c.startBlock()
+	}
+	return c.cur
+}
+
+// AppendInt appends an integer (or the bit pattern for F64 via
+// AppendFloat) value.
+func (c *Column) AppendInt(v int64) {
+	b := c.ensure()
+	switch c.Type {
+	case vec.I8:
+		b.I8 = append(b.I8, int8(v))
+	case vec.I16:
+		b.I16 = append(b.I16, int16(v))
+	case vec.I32:
+		b.I32 = append(b.I32, int32(v))
+	case vec.I64:
+		b.I64 = append(b.I64, v)
+	default:
+		panic("storage: AppendInt on " + c.Type.String())
+	}
+	if !c.curZone.valid {
+		c.curZone = zoneMap{min: v, max: v, valid: true}
+	} else {
+		if v < c.curZone.min {
+			c.curZone.min = v
+		}
+		if v > c.curZone.max {
+			c.curZone.max = v
+		}
+	}
+	if b.Nulls != nil {
+		b.Nulls = append(b.Nulls, false)
+	}
+	b.N++
+}
+
+// AppendFloat appends a float64 value.
+func (c *Column) AppendFloat(v float64) {
+	b := c.ensure()
+	b.F64 = append(b.F64, v)
+	if b.Nulls != nil {
+		b.Nulls = append(b.Nulls, false)
+	}
+	b.N++
+}
+
+// AppendString appends a string value, dictionary-encoding it within the
+// current block.
+func (c *Column) AppendString(s string) {
+	b := c.ensure()
+	code, ok := c.curDict[s]
+	if !ok {
+		code = int32(len(b.Dict))
+		b.Dict = append(b.Dict, s)
+		c.curDict[s] = code
+	}
+	b.Codes = append(b.Codes, code)
+	if b.Nulls != nil {
+		b.Nulls = append(b.Nulls, false)
+	}
+	b.N++
+}
+
+// AppendNull appends a NULL. The physical value is the zero value of the
+// type (or dictionary code 0 for strings, materialized as the empty
+// string entry).
+func (c *Column) AppendNull() {
+	if !c.Nullable {
+		panic("storage: NULL into non-nullable column " + c.Name)
+	}
+	b := c.ensure()
+	if b.Nulls == nil {
+		b.Nulls = make([]bool, b.N, BlockRows)
+	}
+	switch c.Type {
+	case vec.I8:
+		b.I8 = append(b.I8, 0)
+	case vec.I16:
+		b.I16 = append(b.I16, 0)
+	case vec.I32:
+		b.I32 = append(b.I32, 0)
+	case vec.I64:
+		b.I64 = append(b.I64, 0)
+	case vec.F64:
+		b.F64 = append(b.F64, 0)
+	case vec.Str:
+		code, ok := c.curDict[""]
+		if !ok {
+			code = int32(len(b.Dict))
+			b.Dict = append(b.Dict, "")
+			c.curDict[""] = code
+		}
+		b.Codes = append(b.Codes, code)
+	}
+	b.Nulls = append(b.Nulls, true)
+	b.N++
+}
+
+// Seal finishes the current block; must be called after loading.
+func (c *Column) Seal() { c.sealBlock() }
+
+// Blocks returns the number of sealed blocks.
+func (c *Column) Blocks() int { return len(c.blocks) }
+
+// Block returns sealed block i.
+func (c *Column) Block(i int) *Block { return c.blocks[i] }
+
+// Rows returns the total sealed row count.
+func (c *Column) Rows() int {
+	n := 0
+	for _, b := range c.blocks {
+		n += b.N
+	}
+	return n
+}
+
+// Domain computes the total domain over a block range from the
+// out-of-band zone maps — the scan-side domain derivation of Section II-A.
+// Strings and floats return the unknown domain.
+func (c *Column) Domain(fromBlock, toBlock int) domain.D {
+	if !c.Type.IsInt() {
+		return domain.Unknown
+	}
+	var d domain.D
+	first := true
+	for i := fromBlock; i < toBlock && i < len(c.zones); i++ {
+		z := c.zones[i]
+		if !z.valid {
+			continue
+		}
+		if first {
+			d = domain.New(z.min, z.max)
+			first = false
+		} else {
+			d = domain.Union(d, domain.New(z.min, z.max))
+		}
+	}
+	return d
+}
+
+// TotalDomain is Domain over all blocks.
+func (c *Column) TotalDomain() domain.D { return c.Domain(0, len(c.blocks)) }
+
+// DictStats sums per-block dictionary sizes, used by the USSR candidate
+// statistics of Table III.
+func (c *Column) DictStats() (entries int) {
+	for _, b := range c.blocks {
+		entries += len(b.Dict)
+	}
+	return entries
+}
+
+// ScanBlock materializes block bi into out (which must have capacity for
+// BlockRows). For string columns it sets up the per-block dictionary
+// pointer array through the store: every distinct dictionary string is
+// interned once per block — with the USSR enabled this is exactly the
+// paper's "the scan inserts all dictionary strings into the USSR"
+// (Section IV-D). Returns the number of rows.
+func (c *Column) ScanBlock(bi int, out *vec.Vector, st *strs.Store) int {
+	b := c.blocks[bi]
+	switch c.Type {
+	case vec.I8:
+		copy(out.I8, b.I8)
+	case vec.I16:
+		copy(out.I16, b.I16)
+	case vec.I32:
+		copy(out.I32, b.I32)
+	case vec.I64:
+		copy(out.I64, b.I64)
+	case vec.F64:
+		copy(out.F64, b.F64)
+	case vec.Str:
+		refs := make([]vec.StrRef, len(b.Dict))
+		for i, s := range b.Dict {
+			refs[i] = st.Intern(s)
+		}
+		for i, code := range b.Codes {
+			out.Str[i] = refs[code]
+		}
+	}
+	if b.Nulls != nil {
+		if out.Nulls == nil || len(out.Nulls) < b.N {
+			out.Nulls = make([]bool, out.Len())
+		}
+		copy(out.Nulls, b.Nulls)
+	} else if out.Nulls != nil {
+		for i := range out.Nulls {
+			out.Nulls[i] = false
+		}
+	}
+	return b.N
+}
+
+// Table is a named set of equally-long columns.
+type Table struct {
+	Name string
+	Cols []*Column
+
+	byName map[string]int
+}
+
+// NewTable creates a table with the given columns.
+func NewTable(name string, cols ...*Column) *Table {
+	t := &Table{Name: name, Cols: cols, byName: map[string]int{}}
+	for i, c := range cols {
+		t.byName[c.Name] = i
+	}
+	return t
+}
+
+// Seal seals all columns.
+func (t *Table) Seal() {
+	for _, c := range t.Cols {
+		c.Seal()
+	}
+}
+
+// Rows returns the row count (of the first column).
+func (t *Table) Rows() int {
+	if len(t.Cols) == 0 {
+		return 0
+	}
+	return t.Cols[0].Rows()
+}
+
+// Col returns the column with the given name.
+func (t *Table) Col(name string) *Column {
+	i, ok := t.byName[name]
+	if !ok {
+		panic(fmt.Sprintf("storage: table %s has no column %s", t.Name, name))
+	}
+	return t.Cols[i]
+}
+
+// ColIndex returns the index of the named column, or -1.
+func (t *Table) ColIndex(name string) int {
+	i, ok := t.byName[name]
+	if !ok {
+		return -1
+	}
+	return i
+}
+
+// Catalog maps table names to tables.
+type Catalog struct {
+	tables map[string]*Table
+}
+
+// NewCatalog creates an empty catalog.
+func NewCatalog() *Catalog { return &Catalog{tables: map[string]*Table{}} }
+
+// Add registers a table.
+func (c *Catalog) Add(t *Table) { c.tables[t.Name] = t }
+
+// Table looks a table up by name.
+func (c *Catalog) Table(name string) *Table {
+	t, ok := c.tables[name]
+	if !ok {
+		panic("storage: unknown table " + name)
+	}
+	return t
+}
+
+// Tables returns the number of registered tables.
+func (c *Catalog) Tables() int { return len(c.tables) }

@@ -1,0 +1,158 @@
+package storage
+
+import (
+	"fmt"
+	"testing"
+
+	"ocht/internal/domain"
+	"ocht/internal/strs"
+	"ocht/internal/vec"
+)
+
+func TestIntColumnRoundTrip(t *testing.T) {
+	c := NewColumn("v", vec.I64, false)
+	const n = BlockRows + 100 // spills into a second block
+	for i := 0; i < n; i++ {
+		c.AppendInt(int64(i) - 50)
+	}
+	c.Seal()
+	if c.Blocks() != 2 || c.Rows() != n {
+		t.Fatalf("blocks=%d rows=%d", c.Blocks(), c.Rows())
+	}
+	st := strs.NewStore(false)
+	out := vec.New(vec.I64, BlockRows)
+	got := 0
+	for b := 0; b < c.Blocks(); b++ {
+		rows := c.ScanBlock(b, out, st)
+		for i := 0; i < rows; i++ {
+			if out.I64[i] != int64(got)-50 {
+				t.Fatalf("row %d: %d", got, out.I64[i])
+			}
+			got++
+		}
+	}
+	if got != n {
+		t.Fatalf("scanned %d rows", got)
+	}
+}
+
+func TestZoneMaps(t *testing.T) {
+	c := NewColumn("v", vec.I32, false)
+	for i := 0; i < BlockRows; i++ {
+		c.AppendInt(int64(i % 100)) // block 0: [0,99]
+	}
+	for i := 0; i < BlockRows; i++ {
+		c.AppendInt(int64(i%100) + 1000) // block 1: [1000,1099]
+	}
+	c.Seal()
+	if d := c.Domain(0, 1); d != domain.New(0, 99) {
+		t.Errorf("block 0 domain %v", d)
+	}
+	if d := c.Domain(1, 2); d != domain.New(1000, 1099) {
+		t.Errorf("block 1 domain %v", d)
+	}
+	if d := c.TotalDomain(); d != domain.New(0, 1099) {
+		t.Errorf("total domain %v", d)
+	}
+}
+
+func TestStringDictionary(t *testing.T) {
+	c := NewColumn("s", vec.Str, false)
+	words := []string{"red", "green", "blue"}
+	const n = 1000
+	for i := 0; i < n; i++ {
+		c.AppendString(words[i%3])
+	}
+	c.Seal()
+	if got := len(c.Block(0).Dict); got != 3 {
+		t.Fatalf("dictionary has %d entries, want 3", got)
+	}
+	st := strs.NewStore(true)
+	out := vec.New(vec.Str, BlockRows)
+	c.ScanBlock(0, out, st)
+	for i := 0; i < n; i++ {
+		if got := st.Get(out.Str[i]); got != words[i%3] {
+			t.Fatalf("row %d: %q", i, got)
+		}
+		if !out.Str[i].InUSSR() {
+			t.Fatal("scan with USSR store must produce USSR-resident refs")
+		}
+	}
+	// Equal strings across rows must share the same reference.
+	if out.Str[0] != out.Str[3] {
+		t.Error("dictionary decompression must reuse the interned ref")
+	}
+}
+
+func TestNulls(t *testing.T) {
+	c := NewColumn("v", vec.I64, true)
+	c.AppendInt(1)
+	c.AppendNull()
+	c.AppendInt(3)
+	c.Seal()
+	st := strs.NewStore(false)
+	out := vec.New(vec.I64, BlockRows)
+	c.ScanBlock(0, out, st)
+	if out.IsNull(0) || !out.IsNull(1) || out.IsNull(2) {
+		t.Error("null mask wrong")
+	}
+	if out.I64[0] != 1 || out.I64[2] != 3 {
+		t.Error("values wrong around nulls")
+	}
+}
+
+func TestNullString(t *testing.T) {
+	c := NewColumn("s", vec.Str, true)
+	c.AppendString("x")
+	c.AppendNull()
+	c.Seal()
+	st := strs.NewStore(false)
+	out := vec.New(vec.Str, BlockRows)
+	c.ScanBlock(0, out, st)
+	if !out.IsNull(1) || out.IsNull(0) {
+		t.Error("string null mask")
+	}
+}
+
+func TestTableCatalog(t *testing.T) {
+	a := NewColumn("a", vec.I64, false)
+	b := NewColumn("b", vec.Str, false)
+	for i := 0; i < 10; i++ {
+		a.AppendInt(int64(i))
+		b.AppendString(fmt.Sprintf("s%d", i))
+	}
+	tab := NewTable("t", a, b)
+	tab.Seal()
+	if tab.Rows() != 10 {
+		t.Error("rows")
+	}
+	if tab.Col("b") != b || tab.ColIndex("a") != 0 || tab.ColIndex("zz") != -1 {
+		t.Error("column lookup")
+	}
+	cat := NewCatalog()
+	cat.Add(tab)
+	if cat.Table("t") != tab || cat.Tables() != 1 {
+		t.Error("catalog")
+	}
+}
+
+func TestDictStats(t *testing.T) {
+	c := NewColumn("s", vec.Str, false)
+	for i := 0; i < BlockRows+10; i++ {
+		c.AppendString(fmt.Sprintf("w%d", i%500))
+	}
+	c.Seal()
+	// Block 0 has 500 distinct, block 1 at most 10.
+	if got := c.DictStats(); got < 500 || got > 510 {
+		t.Errorf("dict stats %d", got)
+	}
+}
+
+func TestAppendNullPanicsOnNonNullable(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewColumn("v", vec.I64, false).AppendNull()
+}

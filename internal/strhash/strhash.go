@@ -1,0 +1,62 @@
+// Package strhash provides the string hash function shared by the string
+// heap, the USSR and the hash-table operators.
+//
+// Its cost is proportional to string length — exactly the cost the USSR's
+// pre-computed hashes avoid (Section IV-E), which is what makes the
+// hash-computation speedups of Figure 7 grow with string length.
+package strhash
+
+import "encoding/binary"
+
+const (
+	seed  = 0x9e3779b97f4a7c15
+	prime = 0xff51afd7ed558ccd
+)
+
+// Hash returns a 64-bit hash of b.
+func Hash(b []byte) uint64 {
+	h := uint64(seed) ^ uint64(len(b))*prime
+	for len(b) >= 8 {
+		h = mix(h ^ binary.LittleEndian.Uint64(b))
+		b = b[8:]
+	}
+	if len(b) > 0 {
+		var tail uint64
+		for i := len(b) - 1; i >= 0; i-- {
+			tail = tail<<8 | uint64(b[i])
+		}
+		h = mix(h ^ tail)
+	}
+	return mix(h)
+}
+
+// HashString is Hash for a string without forcing a []byte conversion
+// allocation at the call site.
+func HashString(s string) uint64 {
+	h := uint64(seed) ^ uint64(len(s))*prime
+	for len(s) >= 8 {
+		h = mix(h ^ le64(s))
+		s = s[8:]
+	}
+	if len(s) > 0 {
+		var tail uint64
+		for i := len(s) - 1; i >= 0; i-- {
+			tail = tail<<8 | uint64(s[i])
+		}
+		h = mix(h ^ tail)
+	}
+	return mix(h)
+}
+
+func le64(s string) uint64 {
+	_ = s[7]
+	return uint64(s[0]) | uint64(s[1])<<8 | uint64(s[2])<<16 | uint64(s[3])<<24 |
+		uint64(s[4])<<32 | uint64(s[5])<<40 | uint64(s[6])<<48 | uint64(s[7])<<56
+}
+
+func mix(x uint64) uint64 {
+	x ^= x >> 33
+	x *= prime
+	x ^= x >> 33
+	return x
+}

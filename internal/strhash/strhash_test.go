@@ -1,0 +1,58 @@
+package strhash
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestHashMatchesHashString(t *testing.T) {
+	f := func(b []byte) bool {
+		return Hash(b) == HashString(string(b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistinctStringsDistinctHashes(t *testing.T) {
+	seen := map[uint64]string{}
+	for i := 0; i < 100_000; i++ {
+		s := fmt.Sprintf("key-%d", i)
+		h := HashString(s)
+		if prev, ok := seen[h]; ok {
+			t.Fatalf("collision between %q and %q", prev, s)
+		}
+		seen[h] = s
+	}
+}
+
+func TestLengthMatters(t *testing.T) {
+	if HashString("ab") == HashString("ab\x00") {
+		t.Error("trailing NUL must change the hash")
+	}
+	if HashString("") == HashString("\x00") {
+		t.Error("empty vs one NUL byte")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	if HashString("stable") != HashString("stable") {
+		t.Error("hash must be deterministic")
+	}
+}
+
+func TestBitDispersion(t *testing.T) {
+	// Flipping one input bit should change roughly half the output bits.
+	base := HashString("dispersal-test-string")
+	other := HashString("dispersal-test-strinh") // last char +1
+	diff := base ^ other
+	bits := 0
+	for diff != 0 {
+		bits += int(diff & 1)
+		diff >>= 1
+	}
+	if bits < 16 || bits > 48 {
+		t.Errorf("poor dispersion: %d differing bits", bits)
+	}
+}

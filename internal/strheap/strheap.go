@@ -1,0 +1,77 @@
+// Package strheap implements the baseline query string heap.
+//
+// Without the USSR, materializing operators allocate every string on the
+// heap (Section IV-A); strings in-flight are 64-bit handles (the paper's
+// pointers). The heap performs no deduplication: every Put appends, which
+// is what makes peak memory grow with duplicate-heavy string data and
+// what the USSR's opportunistic deduplication avoids.
+package strheap
+
+import (
+	"encoding/binary"
+
+	"ocht/internal/strhash"
+	"ocht/internal/vec"
+)
+
+// Heap is an arena-backed string store. The zero value is ready to use.
+// Handles are byte offsets into the arena (tag bit clear, so they are
+// distinguishable from USSR references).
+type Heap struct {
+	buf  []byte
+	puts int
+}
+
+// Put appends s and returns its handle. No deduplication happens.
+func (h *Heap) Put(s string) vec.StrRef {
+	if len(h.buf) == 0 {
+		// Offset 0 is reserved: StrRef 0 is the invalid/exception marker.
+		h.buf = append(h.buf, 0, 0, 0, 0)
+	}
+	off := len(h.buf)
+	var lenBuf [4]byte
+	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(s)))
+	h.buf = append(h.buf, lenBuf[:]...)
+	h.buf = append(h.buf, s...)
+	h.puts++
+	return vec.StrRef(off)
+}
+
+// Get returns the string for handle r.
+func (h *Heap) Get(r vec.StrRef) string {
+	return string(h.bytes(r))
+}
+
+// Bytes returns the raw bytes for handle r. The result aliases the arena
+// and must not be modified or retained across Puts.
+func (h *Heap) Bytes(r vec.StrRef) []byte { return h.bytes(r) }
+
+func (h *Heap) bytes(r vec.StrRef) []byte {
+	off := int(r.HeapOffset())
+	n := int(binary.LittleEndian.Uint32(h.buf[off:]))
+	return h.buf[off+4 : off+4+n]
+}
+
+// Len returns the length of the string for handle r without materializing.
+func (h *Heap) Len(r vec.StrRef) int {
+	return int(binary.LittleEndian.Uint32(h.buf[int(r.HeapOffset()):]))
+}
+
+// Hash computes the hash of the string for handle r. Unlike USSR-resident
+// strings there is no pre-computed hash: the full string is read.
+func (h *Heap) Hash(r vec.StrRef) uint64 {
+	return strhash.Hash(h.bytes(r))
+}
+
+// Size returns the arena footprint in bytes — the heap contribution to
+// peak query memory.
+func (h *Heap) Size() int { return len(h.buf) }
+
+// Count returns the number of Puts (duplicate strings count repeatedly).
+func (h *Heap) Count() int { return h.puts }
+
+// Reset drops all strings, keeping the arena capacity.
+func (h *Heap) Reset() {
+	h.buf = h.buf[:0]
+	h.puts = 0
+}

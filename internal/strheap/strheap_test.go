@@ -1,0 +1,75 @@
+package strheap
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"ocht/internal/strhash"
+)
+
+func TestPutGet(t *testing.T) {
+	var h Heap
+	words := []string{"", "a", "hello", strings.Repeat("z", 10_000)}
+	refs := make([]int, 0)
+	_ = refs
+	for _, w := range words {
+		r := h.Put(w)
+		if r.InUSSR() {
+			t.Fatal("heap refs must not carry the USSR tag")
+		}
+		if got := h.Get(r); got != w {
+			t.Errorf("Get = %q want %q", got, w)
+		}
+		if h.Len(r) != len(w) {
+			t.Errorf("Len(%q) = %d", w, h.Len(r))
+		}
+		if h.Hash(r) != strhash.HashString(w) {
+			t.Errorf("Hash(%q) mismatch", w)
+		}
+	}
+}
+
+func TestNoDeduplication(t *testing.T) {
+	var h Heap
+	a := h.Put("dup")
+	b := h.Put("dup")
+	if a == b {
+		t.Fatal("the heap must not deduplicate (that is the USSR's job)")
+	}
+	if h.Count() != 2 {
+		t.Errorf("count %d", h.Count())
+	}
+}
+
+func TestSizeGrows(t *testing.T) {
+	var h Heap
+	before := h.Size()
+	for i := 0; i < 100; i++ {
+		h.Put(fmt.Sprintf("string number %d", i))
+	}
+	if h.Size() <= before {
+		t.Error("size must grow")
+	}
+	h.Reset()
+	if h.Count() != 0 {
+		t.Error("reset")
+	}
+}
+
+func TestRefZeroReserved(t *testing.T) {
+	var h Heap
+	r := h.Put("first")
+	if r == 0 || r == 1 {
+		t.Fatalf("handles 0 (exception marker) and 1 (NULL) must stay reserved, got %d", r)
+	}
+}
+
+func TestBytesAliasesArena(t *testing.T) {
+	var h Heap
+	r := h.Put("alias")
+	b := h.Bytes(r)
+	if string(b) != "alias" {
+		t.Fatal("bytes mismatch")
+	}
+}

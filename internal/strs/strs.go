@@ -1,0 +1,183 @@
+// Package strs unifies the two string backings of a query — the USSR and
+// the fall-back string heap — behind one Store, mirroring Section IV-B:
+// "both heap-backed and USSR-backed strings are represented as normal
+// pointers, which means that query engine operators can treat all strings
+// uniformly".
+package strs
+
+import (
+	"bytes"
+
+	"ocht/internal/strhash"
+	"ocht/internal/strheap"
+	"ocht/internal/ussr"
+	"ocht/internal/vec"
+)
+
+// Store owns a query's string memory. When UseUSSR is false (the vanilla
+// baseline) every Intern allocates on the heap.
+type Store struct {
+	Heap    strheap.Heap
+	U       *ussr.USSR
+	UseUSSR bool
+
+	// Counters for the Figure 6 breakdown.
+	HashFast, HashSlow   int // pre-computed vs computed hashes
+	EqualFast, EqualSlow int // pointer vs byte-wise comparisons
+}
+
+// NewStore creates a store; useUSSR selects whether Intern tries the USSR
+// first.
+func NewStore(useUSSR bool) *Store {
+	s := &Store{UseUSSR: useUSSR}
+	if useUSSR {
+		s.U = ussr.New()
+	}
+	return s
+}
+
+// Intern returns a reference for s: USSR-resident when possible, otherwise
+// heap-allocated. Scans call this when setting up per-block dictionary
+// arrays; expression evaluation calls it for computed strings.
+func (st *Store) Intern(s string) vec.StrRef {
+	if st.UseUSSR {
+		if r, ok := st.U.Insert(s); ok {
+			return r
+		}
+	}
+	return st.Heap.Put(s)
+}
+
+// InternConstant interns a query-text string constant. Constants get
+// priority: they are inserted before any scan strings (Section IV-D), which
+// callers arrange by interning constants at plan-build time.
+func (st *Store) InternConstant(s string) vec.StrRef { return st.Intern(s) }
+
+// Get materializes the string behind r.
+func (st *Store) Get(r vec.StrRef) string {
+	if r.InUSSR() {
+		return st.U.Get(r)
+	}
+	if r == NullRef {
+		return ""
+	}
+	return st.Heap.Get(r)
+}
+
+// Len returns the byte length of the string behind r.
+func (st *Store) Len(r vec.StrRef) int {
+	if r.InUSSR() {
+		return st.U.Len(r)
+	}
+	if r == NullRef {
+		return 0
+	}
+	return st.Heap.Len(r)
+}
+
+// Hash returns the hash of the string behind r. For USSR-resident strings
+// this is the pre-computed hash — one load instead of a length-proportional
+// computation (the paper's inline hash(char*) of Section IV-E).
+func (st *Store) Hash(r vec.StrRef) uint64 {
+	if r.InUSSR() {
+		st.HashFast++
+		return st.U.Hash(r)
+	}
+	if r == NullRef {
+		return 0x9e3779b97f4a7c15 // fixed hash for SQL NULL
+	}
+	st.HashSlow++
+	return st.Heap.Hash(r)
+}
+
+// NullRef is the reference representing SQL NULL strings. It compares
+// equal only to itself (grouping semantics), never to any real string.
+const NullRef = vec.StrRef(1)
+
+// Equal compares the strings behind a and b. When both are USSR-resident,
+// uniqueness makes reference equality sufficient (Section IV-E's equal()).
+func (st *Store) Equal(a, b vec.StrRef) bool {
+	if a.InUSSR() && b.InUSSR() {
+		st.EqualFast++
+		return a == b
+	}
+	if a == b {
+		return true // same handle, including NullRef==NullRef
+	}
+	if a == NullRef || b == NullRef {
+		return false
+	}
+	st.EqualSlow++
+	// Mixed backing: compare the heap bytes against the USSR words in
+	// place, without materializing the resident string.
+	if a.InUSSR() {
+		return st.U.EqualBytes(a, st.heapBytes(b))
+	}
+	if b.InUSSR() {
+		return st.U.EqualBytes(b, st.heapBytes(a))
+	}
+	return bytes.Equal(st.heapBytes(a), st.heapBytes(b))
+}
+
+func (st *Store) heapBytes(r vec.StrRef) []byte {
+	if r == NullRef {
+		return nil
+	}
+	return st.Heap.Bytes(r)
+}
+
+// Raw returns the bytes of the string behind r without allocating when
+// possible: heap strings alias the arena, USSR strings are materialized
+// into scratch. The returned scratch (possibly grown) must be threaded
+// into the next call; the data slice is only valid until then.
+func (st *Store) Raw(r vec.StrRef, scratch []byte) (data, scratchOut []byte) {
+	if r.InUSSR() {
+		out := st.U.AppendBytes(scratch[:0], r)
+		return out, out
+	}
+	if r == NullRef {
+		return nil, scratch
+	}
+	return st.Heap.Bytes(r), scratch
+}
+
+// EqualString compares the string behind r with a Go string.
+func (st *Store) EqualString(r vec.StrRef, s string) bool {
+	return bytes.Equal(st.rawBytes(r), []byte(s))
+}
+
+// Compare orders the strings behind a and b lexicographically.
+func (st *Store) Compare(a, b vec.StrRef) int {
+	if a.InUSSR() && b.InUSSR() && a == b {
+		return 0
+	}
+	return bytes.Compare(st.rawBytes(a), st.rawBytes(b))
+}
+
+// HashOf hashes an untracked Go string with the engine hash function.
+func HashOf(s string) uint64 { return strhash.HashString(s) }
+
+func (st *Store) rawBytes(r vec.StrRef) []byte {
+	if r.InUSSR() {
+		return st.U.Bytes(r)
+	}
+	if r == NullRef {
+		return nil
+	}
+	return st.Heap.Bytes(r)
+}
+
+// MemoryBytes reports the string memory footprint: the heap arena plus the
+// USSR's fixed region when enabled.
+func (st *Store) MemoryBytes() int {
+	n := st.Heap.Size()
+	if st.U != nil {
+		n += ussr.DataSlots*8 + ussr.Buckets*4
+	}
+	return n
+}
+
+// ResetCounters zeroes the fast/slow path counters.
+func (st *Store) ResetCounters() {
+	st.HashFast, st.HashSlow, st.EqualFast, st.EqualSlow = 0, 0, 0, 0
+}

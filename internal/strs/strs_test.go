@@ -1,0 +1,121 @@
+package strs
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestInternPrefersUSSR(t *testing.T) {
+	st := NewStore(true)
+	r := st.Intern("frequent")
+	if !r.InUSSR() {
+		t.Fatal("small string must land in the USSR")
+	}
+	if st.Get(r) != "frequent" {
+		t.Error("round trip")
+	}
+	// A huge string falls back to the heap.
+	big := strings.Repeat("B", 100_000)
+	rb := st.Intern(big)
+	if rb.InUSSR() {
+		t.Fatal("100 kB string cannot be USSR-resident")
+	}
+	if st.Get(rb) != big {
+		t.Error("heap round trip")
+	}
+}
+
+func TestVanillaStoreNeverUsesUSSR(t *testing.T) {
+	st := NewStore(false)
+	r := st.Intern("anything")
+	if r.InUSSR() {
+		t.Fatal("vanilla store must heap-allocate")
+	}
+	r2 := st.Intern("anything")
+	if r == r2 {
+		t.Error("the heap performs no deduplication")
+	}
+	if !st.Equal(r, r2) {
+		t.Error("equal content must compare equal across handles")
+	}
+}
+
+func TestEqualFastPath(t *testing.T) {
+	st := NewStore(true)
+	a := st.Intern("x")
+	b := st.Intern("x")
+	c := st.Intern("y")
+	st.ResetCounters()
+	if !st.Equal(a, b) || st.Equal(a, c) {
+		t.Fatal("equality results wrong")
+	}
+	if st.EqualFast != 2 || st.EqualSlow != 0 {
+		t.Errorf("expected 2 fast comparisons, got fast=%d slow=%d", st.EqualFast, st.EqualSlow)
+	}
+}
+
+func TestHashFastPath(t *testing.T) {
+	st := NewStore(true)
+	a := st.Intern("hashed")
+	h := st.Intern(strings.Repeat("H", 50_000)) // heap-backed
+	st.ResetCounters()
+	if st.Hash(a) != HashOf("hashed") {
+		t.Error("USSR hash mismatch")
+	}
+	if st.Hash(h) != HashOf(strings.Repeat("H", 50_000)) {
+		t.Error("heap hash mismatch")
+	}
+	if st.HashFast != 1 || st.HashSlow != 1 {
+		t.Errorf("counters: fast=%d slow=%d", st.HashFast, st.HashSlow)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	st := NewStore(true)
+	a, b := st.Intern("apple"), st.Intern("banana")
+	if st.Compare(a, b) >= 0 || st.Compare(b, a) <= 0 || st.Compare(a, a) != 0 {
+		t.Error("compare ordering")
+	}
+}
+
+func TestEqualString(t *testing.T) {
+	st := NewStore(true)
+	r := st.Intern("constant")
+	if !st.EqualString(r, "constant") || st.EqualString(r, "other") {
+		t.Error("EqualString")
+	}
+}
+
+func TestMixedBackingEquality(t *testing.T) {
+	st := NewStore(true)
+	// Fill the USSR so later strings overflow to the heap.
+	for i := 0; i < 40_000; i++ {
+		st.Intern(fmt.Sprintf("filler-%06d", i))
+	}
+	target := "resident-target"
+	ru := st.Intern(target) // may or may not be resident by now
+	rh := st.Heap.Put(target)
+	if !st.Equal(ru, rh) {
+		t.Error("equal strings with mixed backing must compare equal")
+	}
+	if st.Hash(ru) != st.Hash(rh) {
+		t.Error("hash must agree across backings")
+	}
+	if st.Len(ru) != len(target) || st.Len(rh) != len(target) {
+		t.Error("Len across backings")
+	}
+}
+
+func TestMemoryBytes(t *testing.T) {
+	vanilla := NewStore(false)
+	before := vanilla.MemoryBytes()
+	vanilla.Intern(strings.Repeat("m", 1000))
+	if vanilla.MemoryBytes() <= before {
+		t.Error("heap growth must show in MemoryBytes")
+	}
+	withU := NewStore(true)
+	if withU.MemoryBytes() < 768*1024 {
+		t.Error("USSR-enabled store must account its fixed 768 kB")
+	}
+}

@@ -1,0 +1,197 @@
+package tpch
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"ocht/internal/core"
+	"ocht/internal/exec"
+	"ocht/internal/storage"
+)
+
+var testCat *storage.Catalog
+
+func catFor(t testing.TB) *storage.Catalog {
+	if testCat == nil {
+		testCat = Gen(0.005, 42)
+	}
+	return testCat
+}
+
+func TestGenSizes(t *testing.T) {
+	cat := catFor(t)
+	if cat.Table("region").Rows() != 5 || cat.Table("nation").Rows() != 25 {
+		t.Error("region/nation sizes")
+	}
+	if cat.Table("supplier").Rows() != 50 {
+		t.Errorf("supplier rows %d", cat.Table("supplier").Rows())
+	}
+	if cat.Table("customer").Rows() != 750 {
+		t.Errorf("customer rows %d", cat.Table("customer").Rows())
+	}
+	if cat.Table("orders").Rows() != 7500 {
+		t.Errorf("orders rows %d", cat.Table("orders").Rows())
+	}
+	li := cat.Table("lineitem").Rows()
+	if li < 7500 || li > 7500*7 {
+		t.Errorf("lineitem rows %d", li)
+	}
+	ps := cat.Table("partsupp")
+	if ps.Rows() != cat.Table("part").Rows()*4 {
+		t.Error("partsupp must have 4 rows per part")
+	}
+}
+
+func TestGenDeterministic(t *testing.T) {
+	a := Gen(0.002, 7)
+	b := Gen(0.002, 7)
+	qa := exec.Run(exec.NewQCtx(core.Vanilla()), exec.NewScan(a.Table("orders"), "o_totalprice"))
+	qb := exec.Run(exec.NewQCtx(core.Vanilla()), exec.NewScan(b.Table("orders"), "o_totalprice"))
+	if len(qa.Rows) != len(qb.Rows) {
+		t.Fatal("row counts differ")
+	}
+	for i := range qa.Rows {
+		if qa.Rows[i][0].I != qb.Rows[i][0].I {
+			t.Fatal("generation must be deterministic")
+		}
+	}
+}
+
+func TestDateHelpers(t *testing.T) {
+	if Date(1995, 3, 15) != 19950315 {
+		t.Error("Date")
+	}
+	if DateAdd(19981201, -90) != 19980902 {
+		t.Errorf("DateAdd: %d", DateAdd(19981201, -90))
+	}
+	if DateAdd(19951231, 1) != 19960101 {
+		t.Error("DateAdd year wrap")
+	}
+}
+
+func TestZoneMapsPresent(t *testing.T) {
+	cat := catFor(t)
+	d := cat.Table("lineitem").Col("l_quantity").TotalDomain()
+	if !d.Valid || d.Min < 1 || d.Max > 50 {
+		t.Errorf("l_quantity domain %v", d)
+	}
+	if !cat.Table("orders").Col("o_orderdate").TotalDomain().Valid {
+		t.Error("orderdate domain must be known")
+	}
+}
+
+func resKey(r *exec.Result) []string {
+	rows := make([]string, len(r.Rows))
+	for i, row := range r.Rows {
+		var parts []string
+		for _, v := range row {
+			parts = append(parts, v.String())
+		}
+		rows[i] = strings.Join(parts, "|")
+	}
+	sort.Strings(rows)
+	return rows
+}
+
+// TestAllQueriesAgreeAcrossFlags is the central correctness check of the
+// reproduction: every TPC-H query must return identical results with and
+// without the paper's techniques.
+func TestAllQueriesAgreeAcrossFlags(t *testing.T) {
+	cat := catFor(t)
+	combos := []core.Flags{
+		core.Vanilla(),
+		{UseUSSR: true},
+		{Compress: true},
+		{Compress: true, Split: true},
+		core.All(),
+	}
+	for q := 1; q <= 22; q++ {
+		var ref []string
+		for _, flags := range combos {
+			qc := exec.NewQCtx(flags)
+			res := Q(q, cat, qc)
+			got := resKey(res)
+			if ref == nil {
+				ref = got
+				continue
+			}
+			if len(ref) != len(got) {
+				t.Errorf("Q%d: %d rows vanilla vs %d rows %+v", q, len(ref), len(got), flags)
+				continue
+			}
+			for i := range ref {
+				if ref[i] != got[i] {
+					t.Errorf("Q%d row %d differs under %+v:\n  vanilla: %s\n  flags:   %s",
+						q, i, flags, ref[i], got[i])
+					break
+				}
+			}
+		}
+	}
+}
+
+func TestQ1Shape(t *testing.T) {
+	cat := catFor(t)
+	r := Q(1, cat, exec.NewQCtx(core.All()))
+	if len(r.Rows) == 0 || len(r.Rows) > 6 {
+		t.Fatalf("Q1 groups: %d", len(r.Rows))
+	}
+	// count_order must be positive and avg_qty within the quantity domain.
+	for _, row := range r.Rows {
+		if row[9].I <= 0 {
+			t.Error("count_order <= 0")
+		}
+		if row[6].F < 1 || row[6].F > 50 {
+			t.Errorf("avg_qty %f out of range", row[6].F)
+		}
+	}
+}
+
+func TestQ6NonEmpty(t *testing.T) {
+	cat := catFor(t)
+	r := Q(6, cat, exec.NewQCtx(core.Vanilla()))
+	if len(r.Rows) != 1 {
+		t.Fatalf("Q6 must return one row")
+	}
+	if r.Rows[0][0].Null {
+		t.Error("Q6 revenue is NULL")
+	}
+}
+
+func TestQ13Distribution(t *testing.T) {
+	cat := catFor(t)
+	r := Q(13, cat, exec.NewQCtx(core.All()))
+	total := int64(0)
+	for _, row := range r.Rows {
+		total += row[1].I
+	}
+	if total != int64(cat.Table("customer").Rows()) {
+		t.Errorf("Q13 distribution sums to %d customers, want %d",
+			total, cat.Table("customer").Rows())
+	}
+}
+
+func TestQ4PrioritiesBounded(t *testing.T) {
+	cat := catFor(t)
+	r := Q(4, cat, exec.NewQCtx(core.All()))
+	if len(r.Rows) > 5 {
+		t.Errorf("Q4 has %d priorities", len(r.Rows))
+	}
+}
+
+func TestHashTableFootprintShrinks(t *testing.T) {
+	cat := catFor(t)
+	// Join/agg heavy queries must show smaller hash tables when
+	// compressed.
+	for _, q := range []int{3, 5, 9, 18} {
+		van := exec.NewQCtx(core.Vanilla())
+		Q(q, cat, van)
+		opt := exec.NewQCtx(core.Flags{Compress: true, Split: true})
+		Q(q, cat, opt)
+		if opt.HashTableBytes() >= van.HashTableBytes() {
+			t.Errorf("Q%d: optimized %dB >= vanilla %dB",
+				q, opt.HashTableBytes(), van.HashTableBytes())
+		}
+	}
+}

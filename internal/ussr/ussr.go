@@ -1,0 +1,322 @@
+// Package ussr implements the Unique Strings Self-aligned Region
+// (Section IV of the paper): a query-lifetime dictionary of frequent
+// strings with a fixed 768 kB budget — a 512 kB data region of 64 k
+// 8-byte slots plus a 256 kB linear hash table of 64 k 4-byte buckets.
+//
+// All strings inside the USSR are unique, so equality of resident strings
+// is reference equality, and every resident string's hash is materialized
+// in the slot immediately before its bytes, so hashing is a single load.
+//
+// Substitution note: the paper aligns the data region to a self-aligned
+// address so that USSR residency is a pointer-mask test and the
+// pre-computed hash is reachable as ((uint64*)s)[-1]. Go forbids raw
+// pointer arithmetic, so references are tagged 64-bit handles
+// (vec.StrRef): the residency test is the same single mask-and-compare,
+// and the hash load is Data[slot-1]. A side array of 16-bit lengths
+// stands in for C's NUL terminators, because Go strings carry explicit
+// lengths.
+package ussr
+
+import (
+	"encoding/binary"
+
+	"ocht/internal/strhash"
+	"ocht/internal/vec"
+)
+
+const (
+	// DataSlots is the number of 8-byte slots in the data region (512 kB).
+	DataSlots = 1 << 16
+	// Buckets is the number of 4-byte buckets in the linear hash table
+	// (256 kB). With at most 32 k strings the load factor stays below 50%.
+	Buckets = 1 << 16
+	// MaxProbe is the probe-sequence cap: inserts encountering a longer
+	// sequence fail, keeping negative lookups fast (Section IV-D).
+	MaxProbe = 3
+	// firstSlot is the first allocatable slot. Slot 0 stays free so the
+	// slot number 0 can mark exceptions in Optimistic Splitting
+	// (Section IV-F), and the first string's hash lives at slot 1.
+	firstSlot = 1
+)
+
+// Stats records the insertion statistics reported in Table III.
+type Stats struct {
+	Candidates int // insert attempts
+	Rejected   int // failed inserts (sampling policy, region full, probe cap)
+	Count      int // strings resident
+	SizeBytes  int // data-region bytes in use
+	StrBytes   int // raw bytes of resident strings (excludes hashes/padding)
+}
+
+// AvgLen returns the average resident string length in bytes.
+func (s Stats) AvgLen() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.StrBytes) / float64(s.Count)
+}
+
+// RejectionRatio returns Rejected/Candidates as a percentage.
+func (s Stats) RejectionRatio() float64 {
+	if s.Candidates == 0 {
+		return 0
+	}
+	return 100 * float64(s.Rejected) / float64(s.Candidates)
+}
+
+// USSR is a single query's Unique Strings Self-aligned Region.
+// It is not safe for concurrent use; each query pipeline owns one.
+type USSR struct {
+	// AcceptLong disables the long-string sampling policy of
+	// Section IV-D (ablation only): any string fitting the free space is
+	// accepted, letting few large strings crowd out many small ones.
+	AcceptLong bool
+
+	data    []uint64 // DataSlots slots: hash word, then string bytes
+	lens    []uint16 // string length per starting slot
+	buckets []uint32 // hi 16 bits: hash extract; lo 16 bits: slot; 0=empty
+	next    int      // next free slot
+	stats   Stats
+}
+
+// New allocates an empty USSR.
+func New() *USSR {
+	return &USSR{
+		data:    make([]uint64, DataSlots),
+		lens:    make([]uint16, DataSlots),
+		buckets: make([]uint32, Buckets),
+		next:    firstSlot,
+	}
+}
+
+// Reset clears the region for reuse by the next query.
+func (u *USSR) Reset() {
+	for i := range u.buckets {
+		u.buckets[i] = 0
+	}
+	u.next = firstSlot
+	u.stats = Stats{}
+}
+
+// Stats returns a snapshot of the insertion statistics.
+func (u *USSR) Stats() Stats {
+	s := u.stats
+	s.SizeBytes = (u.next - firstSlot) * 8
+	return s
+}
+
+// Insert finds or inserts s and returns its reference. ok is false when s
+// is not resident and could not be inserted (sampling rejection, region
+// full, or probe-sequence cap); the caller then falls back to the heap.
+func (u *USSR) Insert(s string) (vec.StrRef, bool) {
+	return u.InsertHashed(s, strhash.HashString(s))
+}
+
+// InsertHashed is Insert for callers that already computed the hash.
+func (u *USSR) InsertHashed(s string, h uint64) (vec.StrRef, bool) {
+	u.stats.Candidates++
+	idx := uint32(h) & (Buckets - 1)
+	extract := uint16(h >> 16)
+	freeAt := -1
+	for i := 0; i < MaxProbe; i++ {
+		b := u.buckets[(idx+uint32(i))&(Buckets-1)]
+		if b == 0 {
+			freeAt = int((idx + uint32(i)) & (Buckets - 1))
+			break
+		}
+		if uint16(b>>16) == extract {
+			slot := uint16(b)
+			if u.data[slot-1] == h && u.equalAt(slot, s) {
+				return vec.USSRTag | vec.StrRef(slot), true
+			}
+		}
+	}
+	if freeAt < 0 {
+		// Probe sequence longer than MaxProbe: highly infrequent at <50%
+		// load, but gives up rather than degrade negative lookups.
+		u.stats.Rejected++
+		return 0, false
+	}
+
+	// Sampling policy (Section IV-D): a string occupying more than
+	// min(F, max(2, floor(F/64))) slots is rejected, preferring many small
+	// strings over few large ones as space fills up.
+	strSlots := (len(s) + 7) / 8
+	if strSlots == 0 {
+		strSlots = 1 // the empty string still takes a slot
+	}
+	need := 1 + strSlots // hash slot + string slots
+	free := DataSlots - u.next
+	limit := free / 64
+	if limit < 2 {
+		limit = 2
+	}
+	if limit > free {
+		limit = free
+	}
+	if u.AcceptLong {
+		limit = free
+	}
+	if need > limit {
+		u.stats.Rejected++
+		return 0, false
+	}
+
+	// Materialize: hash word, then the zero-padded string bytes.
+	u.data[u.next] = h
+	slot := u.next + 1
+	copyIntoSlots(u.data[slot:slot+strSlots], s)
+	u.lens[slot] = uint16(len(s))
+	u.next = slot + strSlots
+	u.buckets[freeAt] = uint32(extract)<<16 | uint32(uint16(slot))
+	u.stats.Count++
+	u.stats.StrBytes += len(s)
+	return vec.USSRTag | vec.StrRef(uint16(slot)), true
+}
+
+// Lookup finds s without inserting.
+func (u *USSR) Lookup(s string) (vec.StrRef, bool) {
+	h := strhash.HashString(s)
+	idx := uint32(h) & (Buckets - 1)
+	extract := uint16(h >> 16)
+	for i := 0; i < MaxProbe; i++ {
+		b := u.buckets[(idx+uint32(i))&(Buckets-1)]
+		if b == 0 {
+			return 0, false
+		}
+		if uint16(b>>16) == extract {
+			slot := uint16(b)
+			if u.data[slot-1] == h && u.equalAt(slot, s) {
+				return vec.USSRTag | vec.StrRef(slot), true
+			}
+		}
+	}
+	return 0, false
+}
+
+// Hash returns the pre-computed hash of a resident string: a single load
+// from the slot preceding the string (Section IV-E).
+func (u *USSR) Hash(r vec.StrRef) uint64 {
+	return u.data[r.USSRSlot()-1]
+}
+
+// Get materializes the resident string r.
+func (u *USSR) Get(r vec.StrRef) string {
+	slot := r.USSRSlot()
+	return string(u.bytesAt(slot))
+}
+
+// Len returns the length of the resident string r.
+func (u *USSR) Len(r vec.StrRef) int { return int(u.lens[r.USSRSlot()]) }
+
+// Bytes returns the bytes of resident string r as a fresh slice.
+func (u *USSR) Bytes(r vec.StrRef) []byte {
+	b := u.bytesAt(r.USSRSlot())
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
+
+// RefForSlot rebuilds a reference from a 16-bit slot number, the inverse
+// of vec.StrRef.USSRSlot used when unpacking hot-area slot codes
+// (Section IV-F: base address + slot*8).
+func RefForSlot(slot uint16) vec.StrRef {
+	return vec.USSRTag | vec.StrRef(slot)
+}
+
+func (u *USSR) bytesAt(slot uint16) []byte {
+	return u.appendBytes(nil, slot)
+}
+
+// appendBytes appends the resident string's bytes to buf.
+func (u *USSR) appendBytes(buf []byte, slot uint16) []byte {
+	n := int(u.lens[slot])
+	start := len(buf)
+	buf = append(buf, make([]byte, (n+7)&^7)...)
+	for i, w := 0, int(slot); i < n; i, w = i+8, w+1 {
+		binary.LittleEndian.PutUint64(buf[start+i:], u.data[w])
+	}
+	return buf[:start+n]
+}
+
+// AppendBytes appends the bytes of resident string r to buf and returns
+// the extended slice; allocation-free when buf has capacity.
+func (u *USSR) AppendBytes(buf []byte, r vec.StrRef) []byte {
+	return u.appendBytes(buf, r.USSRSlot())
+}
+
+// EqualBytes compares resident string r against raw bytes without
+// materializing the resident string.
+func (u *USSR) EqualBytes(r vec.StrRef, b []byte) bool {
+	slot := r.USSRSlot()
+	if int(u.lens[slot]) != len(b) {
+		return false
+	}
+	i := 0
+	w := int(slot)
+	for ; i+8 <= len(b); i += 8 {
+		if u.data[w] != binary.LittleEndian.Uint64(b[i:]) {
+			return false
+		}
+		w++
+	}
+	if i < len(b) {
+		var tail uint64
+		for j := len(b) - 1; j >= i; j-- {
+			tail = tail<<8 | uint64(b[j])
+		}
+		if u.data[w] != tail {
+			return false
+		}
+	}
+	return true
+}
+
+func (u *USSR) equalAt(slot uint16, s string) bool {
+	if int(u.lens[slot]) != len(s) {
+		return false
+	}
+	// Compare 8 bytes at a time against the slot words.
+	i := 0
+	w := int(slot)
+	for ; i+8 <= len(s); i += 8 {
+		if u.data[w] != le64str(s[i:]) {
+			return false
+		}
+		w++
+	}
+	if i < len(s) {
+		var tail uint64
+		for j := len(s) - 1; j >= i; j-- {
+			tail = tail<<8 | uint64(s[j])
+		}
+		if u.data[w] != tail {
+			return false
+		}
+	}
+	return true
+}
+
+func copyIntoSlots(dst []uint64, s string) {
+	i := 0
+	w := 0
+	for ; i+8 <= len(s); i += 8 {
+		dst[w] = le64str(s[i:])
+		w++
+	}
+	if i < len(s) {
+		var tail uint64
+		for j := len(s) - 1; j >= i; j-- {
+			tail = tail<<8 | uint64(s[j])
+		}
+		dst[w] = tail
+	} else if len(s) == 0 && len(dst) > 0 {
+		dst[0] = 0
+	}
+}
+
+func le64str(s string) uint64 {
+	_ = s[7]
+	return uint64(s[0]) | uint64(s[1])<<8 | uint64(s[2])<<16 | uint64(s[3])<<24 |
+		uint64(s[4])<<32 | uint64(s[5])<<40 | uint64(s[6])<<48 | uint64(s[7])<<56
+}

@@ -1,0 +1,103 @@
+package vec
+
+import "testing"
+
+func TestTypeWidths(t *testing.T) {
+	cases := map[Type]int{
+		Bool: 1, I8: 1, I16: 2, I32: 4, I64: 8, F64: 8, Str: 8, I128: 16,
+	}
+	for typ, want := range cases {
+		if typ.Width() != want {
+			t.Errorf("%v width %d want %d", typ, typ.Width(), want)
+		}
+		if typ.Bits() != want*8 {
+			t.Errorf("%v bits", typ)
+		}
+	}
+}
+
+func TestIsInt(t *testing.T) {
+	for _, typ := range []Type{I8, I16, I32, I64, I128} {
+		if !typ.IsInt() {
+			t.Errorf("%v should be int", typ)
+		}
+	}
+	for _, typ := range []Type{Bool, F64, Str} {
+		if typ.IsInt() {
+			t.Errorf("%v should not be int", typ)
+		}
+	}
+}
+
+func TestNewAndLen(t *testing.T) {
+	for _, typ := range []Type{Bool, I8, I16, I32, I64, I128, F64, Str} {
+		v := New(typ, 17)
+		if v.Len() != 17 {
+			t.Errorf("%v Len %d", typ, v.Len())
+		}
+	}
+}
+
+func TestInt64RoundTrip(t *testing.T) {
+	for _, typ := range []Type{I8, I16, I32, I64} {
+		v := New(typ, 4)
+		v.SetInt64(2, -5)
+		if v.Int64At(2) != -5 {
+			t.Errorf("%v round trip", typ)
+		}
+	}
+	b := New(Bool, 2)
+	b.SetInt64(1, 1)
+	if b.Int64At(1) != 1 || b.Int64At(0) != 0 {
+		t.Error("bool round trip")
+	}
+}
+
+func TestNullMask(t *testing.T) {
+	v := New(I64, 8)
+	if v.IsNull(3) {
+		t.Error("fresh vector has no nulls")
+	}
+	v.SetNull(3)
+	if !v.IsNull(3) || v.IsNull(2) {
+		t.Error("null mask")
+	}
+	if !v.HasNulls() {
+		t.Error("HasNulls")
+	}
+}
+
+func TestStrRefTagging(t *testing.T) {
+	heap := StrRef(12345)
+	if heap.InUSSR() {
+		t.Error("plain offset must not read as USSR")
+	}
+	if heap.HeapOffset() != 12345 {
+		t.Error("heap offset")
+	}
+	u := USSRTag | StrRef(777)
+	if !u.InUSSR() || u.USSRSlot() != 777 {
+		t.Error("USSR tagging")
+	}
+}
+
+func TestBatchRowsAndSelectivity(t *testing.T) {
+	b := NewBatch(I64, Str)
+	b.N = 100
+	rows := b.Rows()
+	if len(rows) != 100 || rows[99] != 99 {
+		t.Error("identity rows")
+	}
+	if b.Selectivity() != 1 {
+		t.Error("full selectivity")
+	}
+	b.Sel = []int32{5, 10, 15}
+	b.N = 3
+	rows = b.Rows()
+	if len(rows) != 3 || rows[2] != 15 {
+		t.Error("selection rows")
+	}
+	if s := b.Selectivity(); s <= 0 || s >= 0.01 {
+		t.Errorf("selectivity %f", s)
+	}
+}

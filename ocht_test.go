@@ -1,0 +1,192 @@
+package ocht_test
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"ocht"
+	"ocht/internal/exec"
+)
+
+func buildSales() *ocht.DB {
+	db := ocht.NewDB()
+	b := db.CreateTable("sales",
+		ocht.ColStr("region"), ocht.ColInt64("amount"), ocht.ColStr("note").Null())
+	regions := []string{"north", "south", "east", "west"}
+	for i := 0; i < 10_000; i++ {
+		if i%5 == 0 {
+			b.Row(regions[i%4], int64(i%100), nil)
+		} else {
+			b.Row(regions[i%4], int64(i%100), fmt.Sprintf("n%d", i%3))
+		}
+	}
+	b.Finish()
+	return db
+}
+
+func TestFluentGroupBy(t *testing.T) {
+	db := buildSales()
+	for _, flags := range []ocht.Flags{ocht.Vanilla(), ocht.All()} {
+		q := db.Query(flags).
+			Scan("sales").
+			GroupBy("region").
+			Agg(ocht.Sum("amount"), ocht.CountAll(), ocht.Min("amount"),
+				ocht.Max("amount"), ocht.Avg("amount")).
+			OrderBy(0, false)
+		res := q.Run()
+		if len(res.Rows) != 4 {
+			t.Fatalf("flags %+v: %d groups", flags, len(res.Rows))
+		}
+		var total int64
+		for _, row := range res.Rows {
+			total += row[2].I
+		}
+		if total != 10_000 {
+			t.Fatalf("count total %d", total)
+		}
+	}
+}
+
+func TestFluentWhere(t *testing.T) {
+	db := buildSales()
+	res := db.Query(ocht.All()).
+		Scan("sales").
+		Where(func(m []exec.Meta) *exec.Expr {
+			return exec.Gt(exec.Col(m, "amount"), exec.Int(50))
+		}).
+		GroupBy("region").
+		Agg(ocht.CountAll()).
+		Run()
+	if len(res.Rows) != 4 {
+		t.Fatalf("groups: %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		// amounts 51..99 of every 100: 49% of rows per region.
+		if row[1].I <= 0 || row[1].I >= 2500 {
+			t.Errorf("filtered count %d implausible", row[1].I)
+		}
+	}
+}
+
+func TestNullableAggAndKeys(t *testing.T) {
+	db := buildSales()
+	res := db.Query(ocht.All()).
+		Scan("sales").
+		GroupBy("note").
+		Agg(ocht.CountAll()).
+		Run()
+	// 3 note values + NULL group.
+	if len(res.Rows) != 4 {
+		t.Fatalf("groups: %d", len(res.Rows))
+	}
+	nulls := 0
+	for _, row := range res.Rows {
+		if row[0].Null {
+			nulls++
+			if row[1].I != 2000 {
+				t.Errorf("NULL group count %d", row[1].I)
+			}
+		}
+	}
+	if nulls != 1 {
+		t.Fatalf("NULL groups: %d", nulls)
+	}
+}
+
+func TestHashTableBytesExposed(t *testing.T) {
+	db := buildSales()
+	q := db.Query(ocht.Vanilla()).Scan("sales").GroupBy("region").Agg(ocht.CountAll())
+	q.Run()
+	if q.HashTableBytes() <= 0 {
+		t.Error("hash table footprint must be accounted")
+	}
+}
+
+func TestPlanEscapeHatch(t *testing.T) {
+	db := buildSales()
+	q := db.Query(ocht.All())
+	scan := exec.NewScan(db.Catalog().Table("sales"), "region", "amount")
+	m := scan.Meta()
+	res := q.Plan(exec.NewProject(scan, []string{"double"}, []*exec.Expr{
+		exec.Mul(exec.Col(m, "amount"), exec.Int(2)),
+	}))
+	if len(res.Rows) != 10_000 {
+		t.Fatalf("rows: %d", len(res.Rows))
+	}
+}
+
+func TestRowTypeMismatchPanics(t *testing.T) {
+	db := ocht.NewDB()
+	b := db.CreateTable("t", ocht.ColInt64("x"))
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for wrong arity")
+		}
+	}()
+	b.Row(int64(1), "extra")
+}
+
+func ExampleDB() {
+	db := ocht.NewDB()
+	b := db.CreateTable("fruit", ocht.ColStr("name"), ocht.ColInt64("qty"))
+	b.Row("apple", int64(3)).Row("pear", int64(5)).Row("apple", int64(4))
+	b.Finish()
+	res := db.Query(ocht.All()).
+		Scan("fruit").
+		GroupBy("name").
+		Agg(ocht.Sum("qty")).
+		OrderBy(0, false).
+		Run()
+	fmt.Print(res)
+	// Output:
+	// name | sum_qty
+	// apple | 7
+	// pear | 5
+}
+
+func TestCSVAndSQLIntegration(t *testing.T) {
+	db := ocht.NewDB()
+	csv := "city,pop\nparis,2100000\nlyon,520000\nnice,340000\n"
+	if err := db.ImportCSV("cities", strings.NewReader(csv)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.SQL(ocht.All(), "SELECT city FROM cities WHERE pop > 500000 ORDER BY city")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 || res.Rows[0][0].S != "lyon" || res.Rows[1][0].S != "paris" {
+		t.Fatalf("result:\n%s", res)
+	}
+	var out bytes.Buffer
+	if err := db.ExportCSV(&out, "cities"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "paris,2100000") {
+		t.Error("export content")
+	}
+}
+
+func TestSaveOpen(t *testing.T) {
+	dir := t.TempDir()
+	db := buildSales()
+	if err := db.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := ocht.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := db.SQL(ocht.All(), "SELECT region, COUNT(*) FROM sales GROUP BY region ORDER BY region")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := db2.SQL(ocht.All(), "SELECT region, COUNT(*) FROM sales GROUP BY region ORDER BY region")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("results differ after save/open")
+	}
+}
