@@ -26,6 +26,7 @@ func main() {
 	flag.IntVar(&cfg.Reps, "reps", cfg.Reps, "repetitions (fastest run reported)")
 	flag.IntVar(&cfg.MaxCard, "maxcard", cfg.MaxCard, "Fig 8 maximum build cardinality")
 	flag.Int64Var(&cfg.Seed, "seed", cfg.Seed, "generator seed")
+	flag.IntVar(&cfg.Workers, "workers", cfg.Workers, "parallel workers for the scaling experiment")
 	flag.Parse()
 
 	if *list {

@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"ocht/internal/core"
@@ -42,6 +43,7 @@ func main() {
 	flagsName := flag.String("flags", "all", "engine configuration")
 	show := flag.Bool("show", false, "print query results")
 	seed := flag.Int64("seed", 42, "generator seed")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel workers (1 = serial)")
 	flag.Parse()
 
 	flags, err := parseFlags(*flagsName)
@@ -54,12 +56,17 @@ func main() {
 
 	run := func(q int) {
 		qc := exec.NewQCtx(flags)
+		qc.Workers = *workers
 		start := time.Now()
 		res := tpch.Q(q, cat, qc)
 		el := time.Since(start)
-		fmt.Printf("Q%-3d %10v  rows=%-6d HT=%-10d peak=%d\n",
+		fmt.Printf("Q%-3d %10v  rows=%-6d HT=%-10d peak=%d",
 			q, el.Round(time.Microsecond), len(res.Rows),
 			qc.HashTableBytes(), qc.PeakMemoryBytes())
+		if fp := qc.WorkerFootprints(); len(fp) > 0 {
+			fmt.Printf("  workerHT=%v", fp)
+		}
+		fmt.Println()
 		if *show {
 			fmt.Print(res)
 		}

@@ -1,0 +1,107 @@
+package agg
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ocht/internal/core"
+	"ocht/internal/vec"
+)
+
+// Merge folds the aggregate state of record srcRec in src into record
+// dstRec in dst. Both tables must have been created from the same
+// Aggregator (same flags and specs), so their hot/cold layouts agree; the
+// parallel executor uses this to combine per-worker partial aggregates
+// into one table during the merge phase.
+//
+// Split states merge exactly: the optimistic common/exception pair of a
+// SUM is the (Lo, Hi) of a 128-bit two's-complement sum, so merging is a
+// 128-bit addition whose unsigned low-word carry feeds the exception
+// word; COUNT hot counters re-apply the 0xFFFF flush rule; MIN/MAX pick
+// the winning cold (exact) value and take its hot bound along, preserving
+// the bound invariant.
+func (a *Aggregator) Merge(dst *core.Table, dstRec int32, src *core.Table, srcRec int32) {
+	for ai, l := range a.layouts {
+		dh := a.hot(dst, dstRec, ai)
+		sh := a.hot(src, srcRec, ai)
+		switch l.kind {
+		case kSumI64:
+			binary.LittleEndian.PutUint64(dh,
+				binary.LittleEndian.Uint64(dh)+binary.LittleEndian.Uint64(sh))
+		case kSumFull128:
+			dLo := binary.LittleEndian.Uint64(dh)
+			sLo := binary.LittleEndian.Uint64(sh)
+			lo := dLo + sLo
+			hi := int64(binary.LittleEndian.Uint64(dh[8:])) + int64(binary.LittleEndian.Uint64(sh[8:]))
+			if lo < dLo {
+				hi++
+			}
+			binary.LittleEndian.PutUint64(dh, lo)
+			binary.LittleEndian.PutUint64(dh[8:], uint64(hi))
+		case kSumSplit, kSumSplitPos:
+			dc := a.cold(dst, dstRec, ai)
+			sc := a.cold(src, srcRec, ai)
+			dLo := binary.LittleEndian.Uint64(dh)
+			sLo := binary.LittleEndian.Uint64(sh)
+			lo := dLo + sLo
+			except := int64(binary.LittleEndian.Uint64(dc)) + int64(binary.LittleEndian.Uint64(sc))
+			if lo < dLo { // carry from the common parts
+				except++
+			}
+			binary.LittleEndian.PutUint64(dh, lo)
+			binary.LittleEndian.PutUint64(dc, uint64(except))
+		case kCountFull:
+			binary.LittleEndian.PutUint64(dh,
+				binary.LittleEndian.Uint64(dh)+binary.LittleEndian.Uint64(sh))
+		case kCountSplit:
+			dc := a.cold(dst, dstRec, ai)
+			sc := a.cold(src, srcRec, ai)
+			sum := uint32(binary.LittleEndian.Uint16(dh)) + uint32(binary.LittleEndian.Uint16(sh))
+			except := binary.LittleEndian.Uint64(dc) + binary.LittleEndian.Uint64(sc)
+			if sum >= 0xFFFF { // both hot counters are < 0xFFFF: one flush suffices
+				sum -= 0xFFFF
+				except += 0xFFFF
+			}
+			binary.LittleEndian.PutUint16(dh, uint16(sum))
+			binary.LittleEndian.PutUint64(dc, except)
+		case kMinFull:
+			if v := int64(binary.LittleEndian.Uint64(sh)); v < int64(binary.LittleEndian.Uint64(dh)) {
+				binary.LittleEndian.PutUint64(dh, uint64(v))
+			}
+		case kMaxFull:
+			if v := int64(binary.LittleEndian.Uint64(sh)); v > int64(binary.LittleEndian.Uint64(dh)) {
+				binary.LittleEndian.PutUint64(dh, uint64(v))
+			}
+		case kMinSplit:
+			dc := a.cold(dst, dstRec, ai)
+			sc := a.cold(src, srcRec, ai)
+			if v := int64(binary.LittleEndian.Uint64(sc)); v < int64(binary.LittleEndian.Uint64(dc)) {
+				binary.LittleEndian.PutUint64(dc, uint64(v))
+				copy(dh[:4], sh[:4]) // winner's saturating bound
+			}
+		case kMaxSplit:
+			dc := a.cold(dst, dstRec, ai)
+			sc := a.cold(src, srcRec, ai)
+			if v := int64(binary.LittleEndian.Uint64(sc)); v > int64(binary.LittleEndian.Uint64(dc)) {
+				binary.LittleEndian.PutUint64(dc, uint64(v))
+				copy(dh[:4], sh[:4])
+			}
+		case kMinStr, kMaxStr:
+			sv := vec.StrRef(binary.LittleEndian.Uint64(sh))
+			if sv == 0 {
+				continue // src group saw no values
+			}
+			dv := vec.StrRef(binary.LittleEndian.Uint64(dh))
+			if dv == 0 {
+				binary.LittleEndian.PutUint64(dh, uint64(sv))
+				continue
+			}
+			c := dst.Schema.Store.Compare(sv, dv)
+			if (l.kind == kMinStr && c < 0) || (l.kind == kMaxStr && c > 0) {
+				binary.LittleEndian.PutUint64(dh, uint64(sv))
+			}
+		default:
+			panic(fmt.Sprintf("agg: merge of unknown kind %d", l.kind))
+		}
+	}
+}

@@ -7,6 +7,7 @@ package bench
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"strings"
 	"time"
 )
@@ -20,11 +21,13 @@ type Config struct {
 	Reps    int     // repetitions; the fastest (hot) run is reported
 	Seed    int64
 	MaxCard int // Fig 8 maximum build cardinality (paper: 10^8)
+	Workers int // parallel worker count for the scaling experiment
 }
 
 // DefaultConfig returns laptop-scale defaults.
 func DefaultConfig() Config {
-	return Config{TPCHSF: 0.01, BIRows: 100_000, Reps: 3, Seed: 42, MaxCard: 1 << 20}
+	return Config{TPCHSF: 0.01, BIRows: 100_000, Reps: 3, Seed: 42,
+		MaxCard: 1 << 20, Workers: runtime.GOMAXPROCS(0)}
 }
 
 // Runner names every experiment.
@@ -37,15 +40,17 @@ var Runners = map[string]func(w io.Writer, cfg Config){
 	"fig7":   Fig7,
 	"fig8":   Fig8,
 	"fig9":   Fig9,
-	"table4": Table4,
-	"fig10":  Fig10,
-	"fig11":  Fig11,
+	"table4":  Table4,
+	"fig10":   Fig10,
+	"fig11":   Fig11,
+	"scaling": Scaling,
 }
 
-// RunnerNames lists the experiments in paper order.
+// RunnerNames lists the experiments in paper order; the scaling
+// experiment (not in the paper, which measures single-threaded) goes last.
 var RunnerNames = []string{
 	"fig4", "table2", "fig5", "table3", "fig6",
-	"fig7", "fig8", "fig9", "table4", "fig10", "fig11",
+	"fig7", "fig8", "fig9", "table4", "fig10", "fig11", "scaling",
 }
 
 // All runs every experiment in paper order.

@@ -121,3 +121,19 @@ func TestTable4CompressionWins(t *testing.T) {
 		}
 	}
 }
+
+func TestScalingSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	Scaling(&buf, smokeConfig())
+	out := buf.String()
+	for _, want := range []string{`"workers":1`, `"workers":2`, `"workers":4`, `"worker_ht_bytes"`, `"speedup"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scaling output missing %q:\n%s", want, out)
+		}
+	}
+	// The serial point reports no per-worker tables; parallel points must
+	// report one footprint per worker.
+	if !strings.Contains(out, `"worker_ht_bytes":[]`) {
+		t.Error("workers=1 must report an empty footprint list")
+	}
+}

@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"ocht/internal/agg"
+	"ocht/internal/core"
+	"ocht/internal/exec"
+	"ocht/internal/storage"
+	"ocht/internal/vec"
+)
+
+// Scaling measures morsel-driven parallel execution on a TPC-H Q1-style
+// hash aggregation: a selective date filter over a multi-block fact table,
+// grouped on two low-cardinality string keys with the full Q1 aggregate
+// mix. For every worker count it reports wall time, speedup over the
+// workers=1 serial path, and — as one JSON record per point — the private
+// hash-table footprint of every worker, which bounds the per-worker hot
+// working set the paper's cache argument depends on.
+func Scaling(w io.Writer, cfg Config) {
+	header(w, "Scaling: morsel-driven parallel Q1-style aggregation")
+	rows := cfg.BIRows * 10
+	fact := scalingFact(rows, cfg.Seed)
+	blocks := fact.Cols[0].Blocks()
+	fmt.Fprintf(w, "rows=%d blocks=%d morsel=%d rows (one storage block)\n",
+		rows, blocks, storage.BlockRows)
+
+	plan := func() exec.Op {
+		sc := exec.NewScan(fact, "returnflag", "linestatus", "quantity", "extendedprice", "discount", "shipdate")
+		m := sc.Meta()
+		fl := exec.NewFilter(sc, exec.Le(exec.Col(m, "shipdate"), exec.Int(19980902)))
+		fm := fl.Meta()
+		price := exec.Col(fm, "extendedprice")
+		disc := exec.Col(fm, "discount")
+		return exec.NewHashAgg(fl,
+			[]string{"returnflag", "linestatus"},
+			[]*exec.Expr{exec.Col(fm, "returnflag"), exec.Col(fm, "linestatus")},
+			[]exec.AggExpr{
+				{Func: agg.Sum, Arg: exec.Col(fm, "quantity"), Name: "sum_qty"},
+				{Func: agg.Sum, Arg: price, Name: "sum_base_price"},
+				{Func: agg.Sum, Arg: exec.Mul(price, exec.Sub(exec.Int(100), disc)), Name: "sum_disc_price"},
+				{Func: exec.Avg, Arg: exec.Col(fm, "quantity"), Name: "avg_qty"},
+				{Func: agg.CountStar, Name: "count_order"},
+			})
+	}
+
+	series := []int{1, 2, 4}
+	if cfg.Workers > 4 {
+		series = append(series, cfg.Workers)
+	}
+	var base time.Duration
+	for _, workers := range series {
+		best := time.Duration(1<<63 - 1)
+		var qc *exec.QCtx
+		var nRows int
+		for rep := 0; rep < cfg.Reps+1; rep++ {
+			c := exec.NewQCtx(core.All())
+			c.Workers = workers
+			start := time.Now()
+			res := exec.Run(c, plan())
+			if el := time.Since(start); el < best {
+				best, qc, nRows = el, c, len(res.Rows)
+			}
+		}
+		if workers == 1 {
+			base = best
+		}
+		rec := struct {
+			Exp           string  `json:"exp"`
+			Workers       int     `json:"workers"`
+			TimeMs        float64 `json:"time_ms"`
+			Speedup       float64 `json:"speedup"`
+			Groups        int     `json:"groups"`
+			HTBytes       int     `json:"ht_bytes"`
+			WorkerHTBytes []int   `json:"worker_ht_bytes"`
+		}{
+			Exp: "scaling", Workers: workers,
+			TimeMs:  float64(best.Microseconds()) / 1000,
+			Speedup: float64(base) / float64(best),
+			Groups:  nRows,
+			HTBytes: qc.HashTableBytes(),
+		}
+		if fp := qc.WorkerFootprints(); fp != nil {
+			rec.WorkerHTBytes = fp
+		} else {
+			rec.WorkerHTBytes = []int{}
+		}
+		js, _ := json.Marshal(rec)
+		fmt.Fprintln(w, string(js))
+	}
+}
+
+// scalingFact generates a lineitem-like fact table: big enough to span
+// several storage blocks (morsels) with the Q1 column mix.
+func scalingFact(rows int, seed int64) *storage.Table {
+	flags := []string{"A", "N", "R"}
+	statuses := []string{"F", "O"}
+	rf := storage.NewColumn("returnflag", vec.Str, false)
+	ls := storage.NewColumn("linestatus", vec.Str, false)
+	qty := storage.NewColumn("quantity", vec.I8, false)
+	price := storage.NewColumn("extendedprice", vec.I32, false)
+	disc := storage.NewColumn("discount", vec.I8, false)
+	ship := storage.NewColumn("shipdate", vec.I32, false)
+	state := uint64(seed)*2862933555777941757 + 3037000493
+	next := func(n int) int {
+		state = state*2862933555777941757 + 3037000493
+		return int((state >> 33) % uint64(n))
+	}
+	for i := 0; i < rows; i++ {
+		rf.AppendString(flags[next(3)])
+		ls.AppendString(statuses[next(2)])
+		qty.AppendInt(int64(1 + next(50)))
+		price.AppendInt(int64(100_000 + next(9_000_000)))
+		disc.AppendInt(int64(next(11)))
+		ship.AppendInt(int64(19920101 + next(70000)))
+	}
+	t := storage.NewTable("scaling_lineitem", rf, ls, qty, price, disc, ship)
+	t.Seal()
+	return t
+}

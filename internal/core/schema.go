@@ -174,6 +174,11 @@ type Prepared struct {
 	codeVecs []*vec.Vector // owned slot-code buffers, reused across batches
 	words    [][]uint64    // packed probe words, compressed mode
 	inDom    []bool        // per-row: all packed values inside their domains
+	store    *strs.Store   // the preparing schema's store; match kernels use
+	// this rather than the table's schema store, so probes of a shared
+	// build table account their fast/slow counters on the probing side
+	// (each parallel worker's private store) instead of racing on the
+	// build side's.
 }
 
 // Prepare resolves a batch's key columns into the working representation:
@@ -183,6 +188,7 @@ type Prepared struct {
 func (s *KeySchema) Prepare(cols []*vec.Vector, rows []int32) *Prepared {
 	p := &s.scratch
 	p.orig = cols
+	p.store = s.Store
 	if s.plan == nil {
 		return p
 	}

@@ -253,14 +253,14 @@ func (t *Table) matchOne(p *Prepared, row int, rec int32) bool {
 		for ci, c := range s.Cols {
 			switch {
 			case s.directOff[ci] >= 0 && c.Type == vec.Str:
-				if !s.Store.Equal(p.orig[ci].Str[row], t.directRef(rec, ci)) {
+				if !p.store.Equal(p.orig[ci].Str[row], t.directRef(rec, ci)) {
 					return false
 				}
 			case s.strCold[ci] >= 0:
 				// Slot codes already compared equal inside the words.
 				// Both 0 means both are exceptions: compare contents.
 				if p.planVecs[s.codeCol[ci]].Str[row] == 0 {
-					if !s.Store.Equal(p.orig[ci].Str[row], t.coldRef(rec, ci)) {
+					if !p.store.Equal(p.orig[ci].Str[row], t.coldRef(rec, ci)) {
 						return false
 					}
 				}
@@ -274,7 +274,7 @@ func (t *Table) matchOne(p *Prepared, row int, rec int32) bool {
 		switch c.Type {
 		case vec.Str:
 			stored := vec.StrRef(binary.LittleEndian.Uint64(t.hot[off:]))
-			if !s.Store.Equal(p.orig[ci].Str[row], stored) {
+			if !p.store.Equal(p.orig[ci].Str[row], stored) {
 				return false
 			}
 		case vec.I64, vec.F64:

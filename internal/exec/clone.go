@@ -1,0 +1,79 @@
+package exec
+
+import (
+	"fmt"
+
+	"ocht/internal/storage"
+)
+
+// This file clones operator pipelines for the parallel workers. A clone
+// shares everything immutable — stored tables, prebuilt join hash tables,
+// compiled LIKE patterns — and owns everything an Open/Next cycle mutates:
+// expression buffers, selection vectors, scan positions, probe scratch.
+
+// cloneExpr deep-copies an expression tree. Configuration and derived
+// typing are copied by value; the per-batch output buffer and string
+// scratch stay nil so each clone lazily allocates its own.
+func cloneExpr(e *Expr) *Expr {
+	if e == nil {
+		return nil
+	}
+	c := *e
+	c.buf = nil
+	c.scratch = nil
+	c.l = cloneExpr(e.l)
+	c.r = cloneExpr(e.r)
+	c.el = cloneExpr(e.el)
+	return &c
+}
+
+// clonePipeline copies the operator chain rooted at o for one worker.
+// Scans claim their blocks from morsels; HashJoins keep the original
+// (shared) build subtree but mark the already-built join table as prebuilt
+// so the clone's Open only prepares a private probe cursor. HashAgg clones
+// get a private hash table (skipBuild false), built from the clone's own
+// morsel stream and merged by the driver afterwards.
+func clonePipeline(o Op, morsels *storage.MorselQueue) Op {
+	switch t := o.(type) {
+	case *Scan:
+		return &Scan{Table: t.Table, Columns: t.Columns, Morsels: morsels}
+	case *Filter:
+		return NewFilter(clonePipeline(t.Child, morsels), cloneExpr(t.Pred))
+	case *Project:
+		return NewProject(clonePipeline(t.Child, morsels), t.Names, cloneExprs(t.Exprs))
+	case *HashJoin:
+		if t.j == nil {
+			panic("exec: cloning a HashJoin whose build has not run")
+		}
+		return &HashJoin{
+			Build:     t.Build, // shared, never opened by the clone
+			Probe:     clonePipeline(t.Probe, morsels),
+			BuildKeys: t.BuildKeys,
+			ProbeKeys: t.ProbeKeys,
+			Payload:   t.Payload,
+			Kind:      t.Kind,
+			Selective: t.Selective,
+			prebuilt:  t.j,
+		}
+	case *HashAgg:
+		return NewHashAgg(clonePipeline(t.Child, morsels), t.KeyNames, cloneExprs(t.Keys), cloneAggs(t.Aggs))
+	default:
+		panic(fmt.Sprintf("exec: cannot clone operator %T", o))
+	}
+}
+
+func cloneExprs(es []*Expr) []*Expr {
+	out := make([]*Expr, len(es))
+	for i, e := range es {
+		out[i] = cloneExpr(e)
+	}
+	return out
+}
+
+func cloneAggs(as []AggExpr) []AggExpr {
+	out := make([]AggExpr, len(as))
+	for i, a := range as {
+		out[i] = AggExpr{Func: a.Func, Arg: cloneExpr(a.Arg), Name: a.Name}
+	}
+	return out
+}

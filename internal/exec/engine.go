@@ -27,7 +27,18 @@ type QCtx struct {
 	Store *strs.Store
 	Stats *Stats
 
+	// Workers selects the degree of morsel-driven parallelism. Values <= 1
+	// run the classic serial pull loop; higher values split table scans
+	// into block-aligned morsels executed by Workers goroutines, each with
+	// a private compressed hash table and string heap, followed by a merge
+	// phase (DESIGN.md, "Parallel execution").
+	Workers int
+
 	tables []*core.Table
+
+	// workerFootprints records, per parallel worker, the bytes of the
+	// private hash table(s) it built during the last Run.
+	workerFootprints []int
 }
 
 // NewQCtx creates a query context under the given flags.
@@ -36,6 +47,10 @@ func NewQCtx(flags core.Flags) *QCtx {
 }
 
 func (qc *QCtx) register(t *core.Table) { qc.tables = append(qc.tables, t) }
+
+// WorkerFootprints returns the per-worker private hash-table footprints of
+// the last parallel Run (nil after a serial run).
+func (qc *QCtx) WorkerFootprints() []int { return qc.workerFootprints }
 
 // HashTableBytes returns the summed footprint of all hash tables built by
 // the query (Figure 4's baseline measurements).
@@ -148,9 +163,22 @@ type Result struct {
 }
 
 // Run executes the operator tree to completion and materializes the
-// result.
+// result. With qc.Workers > 1 execution is morsel-driven parallel when the
+// plan shape supports it (see runParallel); otherwise, and always at
+// Workers <= 1, it is the classic serial pull loop, so serial execution is
+// byte-identical to the pre-parallel engine.
 func Run(qc *QCtx, root Op) *Result {
+	if qc.Workers > 1 {
+		if res, ok := runParallel(qc, root); ok {
+			return res
+		}
+	}
 	root.Open(qc)
+	return materialize(qc, root)
+}
+
+// materialize drains an opened operator tree into a Result.
+func materialize(qc *QCtx, root Op) *Result {
 	meta := root.Meta()
 	res := &Result{}
 	for _, m := range meta {

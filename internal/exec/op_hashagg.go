@@ -39,6 +39,15 @@ type HashAgg struct {
 	ag       *agg.Aggregator
 	tab      *core.Table
 
+	// skipBuild makes Open set up the schema, aggregator and (empty)
+	// table without draining the child. The parallel driver opens the
+	// template frontier this way, then fills the table in the merge phase.
+	skipBuild bool
+	// driverOpened marks that the parallel driver has already opened this
+	// operator and populated its table; the next Open call (the serial
+	// pass over the plan above the frontier) must not rebuild anything.
+	driverOpened bool
+
 	specs   []agg.Spec
 	specOf  []aggMap // output aggregate -> internal spec(s)
 	scratch struct {
@@ -131,6 +140,14 @@ func (h *HashAgg) MaxRows() int64 {
 
 // Open implements Op: it drains the child and builds the table.
 func (h *HashAgg) Open(qc *QCtx) {
+	if h.driverOpened {
+		// Already built and merged by the parallel driver; this call comes
+		// from the serial pass over the plan above the frontier and must
+		// only rewind emission.
+		h.driverOpened = false
+		h.emit = 0
+		return
+	}
 	h.Child.Open(qc)
 	for _, k := range h.Keys {
 		k.intern(qc.Store)
@@ -216,7 +233,9 @@ func (h *HashAgg) Open(qc *QCtx) {
 	h.scratch.hashes = make([]uint64, vec.Size)
 	h.scratch.recs = make([]int32, vec.Size)
 	h.scratch.subset = make([]int32, 0, vec.Size)
-	h.build(qc)
+	if !h.skipBuild {
+		h.build(qc)
+	}
 	h.emit = 0
 	h.prepareOut()
 }

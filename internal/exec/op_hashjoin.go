@@ -32,6 +32,12 @@ type HashJoin struct {
 	// the payload then moves to the cold area (Section III-B).
 	Selective bool
 
+	// prebuilt, when set, is a join whose hash table was already built
+	// (serially, by the parallel driver on the template pipeline). Open
+	// then skips the build drain entirely and probes a per-worker clone of
+	// the shared read-only table.
+	prebuilt *join.Join
+
 	meta       []Meta
 	buildIdx   []int
 	probeIdx   []int
@@ -112,8 +118,37 @@ func (h *HashJoin) MaxRows() int64 {
 	}
 }
 
-// Open implements Op: drains the build side into the hash table.
+// Open implements Op: drains the build side into the hash table. When a
+// prebuilt join is attached, only the probe side is opened and the shared
+// build table is probed through a worker-private clone.
 func (h *HashJoin) Open(qc *QCtx) {
+	if h.prebuilt != nil {
+		h.Probe.Open(qc)
+		h.Meta()
+		bm := h.Build.Meta()
+		pm := h.Probe.Meta()
+		h.probeIdx = h.probeIdx[:0]
+		for _, k := range h.ProbeKeys {
+			h.probeIdx = append(h.probeIdx, colIndex(pm, k))
+		}
+		h.payloadIdx = h.payloadIdx[:0]
+		for _, p := range h.Payload {
+			h.payloadIdx = append(h.payloadIdx, colIndex(bm, p))
+		}
+		// Clone with this worker's store so probe-side fast/slow counters
+		// and scratch buffers stay private; the underlying table is shared
+		// read-only and was already registered by the template, so it is
+		// not registered again here.
+		h.j = h.prebuilt.ProbeClone(qc.Store)
+		h.outBufs = make([]*vec.Vector, len(h.meta))
+		for i, m := range h.meta {
+			h.outBufs[i] = vec.New(m.Type, vec.Size)
+		}
+		h.curBatch = nil
+		h.matchPos = 0
+		return
+	}
+
 	h.Build.Open(qc)
 	h.Probe.Open(qc)
 	h.Meta()

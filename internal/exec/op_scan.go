@@ -15,6 +15,12 @@ type Scan struct {
 	Table   *storage.Table
 	Columns []string
 
+	// Morsels, when set, makes the scan claim its blocks from a shared
+	// morsel queue instead of walking them sequentially; this is how the
+	// parallel driver distributes one table over many cloned pipelines.
+	// When nil (serial execution) block order is exactly 0..Blocks-1.
+	Morsels *storage.MorselQueue
+
 	cols     []*storage.Column
 	meta     []Meta
 	bufs     []*vec.Vector
@@ -74,15 +80,15 @@ func (s *Scan) Open(qc *QCtx) {
 // Next implements Op.
 func (s *Scan) Next(qc *QCtx) *vec.Batch {
 	if s.pos >= s.blockLen {
-		if len(s.cols) == 0 || s.block >= s.cols[0].Blocks() {
+		bi, ok := s.nextBlock()
+		if !ok {
 			return nil
 		}
 		start := time.Now()
 		for i, c := range s.cols {
-			s.blockLen = c.ScanBlock(s.block, s.bufs[i], qc.Store)
+			s.blockLen = c.ScanBlock(bi, s.bufs[i], qc.Store)
 		}
 		qc.Stats.Add(StatScan, time.Since(start))
-		s.block++
 		s.pos = 0
 	}
 	n := s.blockLen - s.pos
@@ -96,6 +102,23 @@ func (s *Scan) Next(qc *QCtx) *vec.Batch {
 	s.out.N = n
 	s.pos += n
 	return s.out
+}
+
+// nextBlock claims the next block to read: from the morsel queue when one
+// is attached, sequentially otherwise.
+func (s *Scan) nextBlock() (int, bool) {
+	if len(s.cols) == 0 {
+		return 0, false
+	}
+	if s.Morsels != nil {
+		return s.Morsels.Next()
+	}
+	if s.block >= s.cols[0].Blocks() {
+		return 0, false
+	}
+	bi := s.block
+	s.block++
+	return bi, true
 }
 
 // viewOf returns a window [pos, pos+n) of v without copying.

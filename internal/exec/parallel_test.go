@@ -1,0 +1,236 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"ocht/internal/agg"
+	"ocht/internal/core"
+	"ocht/internal/storage"
+	"ocht/internal/vec"
+)
+
+// buildFixture creates a fact table spanning several storage blocks (the
+// catalogs of the tpch/bi test suites fit in one block, which would leave
+// all but one worker idle) plus a small dimension table for join plans.
+func buildFixture(rows int) (*storage.Table, *storage.Table) {
+	g := storage.NewColumn("g", vec.I32, false)
+	s := storage.NewColumn("s", vec.Str, false)
+	v := storage.NewColumn("v", vec.I64, false)
+	d := storage.NewColumn("d", vec.I32, false)
+	for i := 0; i < rows; i++ {
+		g.AppendInt(int64(i*2654435761) % 1000)
+		s.AppendString(fmt.Sprintf("tag-%04d", (i*40503)%2000))
+		v.AppendInt(int64(i%10000) - 5000)
+		d.AppendInt(int64(i % 100))
+	}
+	fact := storage.NewTable("fact", g, s, v, d)
+	fact.Seal()
+
+	dk := storage.NewColumn("dk", vec.I32, false)
+	dn := storage.NewColumn("dn", vec.Str, false)
+	for i := 0; i < 100; i++ {
+		dk.AppendInt(int64(i))
+		dn.AppendString(fmt.Sprintf("dim-%02d", i))
+	}
+	dim := storage.NewTable("dim", dk, dn)
+	dim.Seal()
+	return fact, dim
+}
+
+// sortedRows is shared with exec_test.go.
+
+func renderedRows(r *Result) []string {
+	out := make([]string, len(r.Rows))
+	for i, row := range r.Rows {
+		var parts []string
+		for _, c := range row {
+			parts = append(parts, c.String())
+		}
+		out[i] = strings.Join(parts, "|")
+	}
+	return out
+}
+
+// aggPlan is a frontier-shaped plan: scan → filter → hash aggregation with
+// an int and a string grouping key and every merge-relevant aggregate kind
+// (split and full sums, counts, int and string min/max, avg).
+func aggPlan(fact *storage.Table) Op {
+	sc := NewScan(fact, "g", "s", "v")
+	m := sc.Meta()
+	fl := NewFilter(sc, Gt(Col(m, "v"), Int(-4500)))
+	fm := fl.Meta()
+	return NewHashAgg(fl,
+		[]string{"g", "s"},
+		[]*Expr{Col(fm, "g"), Col(fm, "s")},
+		[]AggExpr{
+			{Func: agg.Sum, Arg: Col(fm, "v"), Name: "sum_v"},
+			{Func: agg.CountStar, Name: "n"},
+			{Func: agg.Min, Arg: Col(fm, "v"), Name: "min_v"},
+			{Func: agg.Max, Arg: Col(fm, "v"), Name: "max_v"},
+			{Func: agg.Min, Arg: Col(fm, "s"), Name: "min_s"},
+			{Func: Avg, Arg: Col(fm, "v"), Name: "avg_v"},
+		})
+}
+
+// joinAggPlan puts a join probe below the aggregation frontier, so the
+// build side is shared read-only across workers.
+func joinAggPlan(fact, dim *storage.Table) Op {
+	sc := NewScan(fact, "d", "v")
+	dsc := NewScan(dim, "dk", "dn")
+	j := NewHashJoin(Inner, sc, dsc, []string{"d"}, []string{"dk"}, []string{"dn"})
+	jm := j.Meta()
+	return NewHashAgg(j,
+		[]string{"dn"},
+		[]*Expr{Col(jm, "dn")},
+		[]AggExpr{
+			{Func: agg.Sum, Arg: Col(jm, "v"), Name: "sum_v"},
+			{Func: agg.Count, Arg: Col(jm, "v"), Name: "n"},
+		})
+}
+
+func flagSets() []core.Flags {
+	return []core.Flags{core.Vanilla(), core.All(), {Compress: true}, {Split: true, UseUSSR: true}}
+}
+
+func TestParallelAggMatchesSerial(t *testing.T) {
+	fact, _ := buildFixture(300_000)
+	for fi, flags := range flagSets() {
+		serial := sortedRows(Run(NewQCtx(flags), aggPlan(fact)))
+		for _, workers := range []int{2, 3, 4, 8} {
+			t.Run(fmt.Sprintf("flags%d/w%d", fi, workers), func(t *testing.T) {
+				qc := NewQCtx(flags)
+				qc.Workers = workers
+				got := sortedRows(Run(qc, aggPlan(fact)))
+				if len(got) != len(serial) {
+					t.Fatalf("%d rows, serial %d", len(got), len(serial))
+				}
+				for i := range got {
+					if got[i] != serial[i] {
+						t.Fatalf("row %d:\n parallel %s\n serial   %s", i, got[i], serial[i])
+					}
+				}
+				if fp := qc.WorkerFootprints(); len(fp) != workers {
+					t.Fatalf("worker footprints %v, want %d entries", fp, workers)
+				} else {
+					nonEmpty := 0
+					for _, b := range fp {
+						if b > 0 {
+							nonEmpty++
+						}
+					}
+					if nonEmpty < 2 {
+						t.Errorf("only %d workers built tables; fixture should span blocks", nonEmpty)
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestParallelJoinAggMatchesSerial(t *testing.T) {
+	fact, dim := buildFixture(200_000)
+	for fi, flags := range flagSets() {
+		serial := sortedRows(Run(NewQCtx(flags), joinAggPlan(fact, dim)))
+		t.Run(fmt.Sprintf("flags%d", fi), func(t *testing.T) {
+			qc := NewQCtx(flags)
+			qc.Workers = 4
+			got := sortedRows(Run(qc, joinAggPlan(fact, dim)))
+			if len(got) != len(serial) {
+				t.Fatalf("%d rows, serial %d", len(got), len(serial))
+			}
+			for i := range got {
+				if got[i] != serial[i] {
+					t.Fatalf("row %d:\n parallel %s\n serial   %s", i, got[i], serial[i])
+				}
+			}
+		})
+	}
+}
+
+// TestParallelPipelinePreservesOrder covers the no-frontier case: a pure
+// scan→filter→project pipeline must come back in exact serial row order,
+// because workers own contiguous block ranges.
+func TestParallelPipelinePreservesOrder(t *testing.T) {
+	fact, _ := buildFixture(300_000)
+	plan := func() Op {
+		sc := NewScan(fact, "g", "s", "v")
+		m := sc.Meta()
+		fl := NewFilter(sc, Lt(Col(m, "v"), Int(-4000)))
+		fm := fl.Meta()
+		return NewProject(fl, []string{"g2", "s"}, []*Expr{
+			Mul(Col(fm, "g"), Int(3)),
+			Col(fm, "s"),
+		})
+	}
+	for _, flags := range []core.Flags{core.Vanilla(), core.All()} {
+		serial := renderedRows(Run(NewQCtx(flags), plan()))
+		for _, workers := range []int{2, 5} {
+			qc := NewQCtx(flags)
+			qc.Workers = workers
+			got := renderedRows(Run(qc, plan()))
+			if len(got) != len(serial) {
+				t.Fatalf("w%d: %d rows, serial %d", workers, len(got), len(serial))
+			}
+			for i := range got {
+				if got[i] != serial[i] {
+					t.Fatalf("w%d row %d: %s vs serial %s", workers, i, got[i], serial[i])
+				}
+			}
+		}
+	}
+}
+
+// TestParallelRunReuseContext reuses one query context for several
+// parallel runs, the benchmark-loop pattern: the shard table must grow,
+// not reset, so references from earlier runs keep resolving.
+func TestParallelRunReuseContext(t *testing.T) {
+	fact, _ := buildFixture(150_000)
+	qc := NewQCtx(core.All())
+	qc.Workers = 4
+	var first []string
+	for it := 0; it < 3; it++ {
+		got := sortedRows(Run(qc, aggPlan(fact)))
+		if it == 0 {
+			first = got
+			continue
+		}
+		if len(got) != len(first) {
+			t.Fatalf("iteration %d: %d rows vs %d", it, len(got), len(first))
+		}
+		for i := range got {
+			if got[i] != first[i] {
+				t.Fatalf("iteration %d row %d: %s vs %s", it, i, got[i], first[i])
+			}
+		}
+	}
+}
+
+func TestStatsMerge(t *testing.T) {
+	a, b := NewStats(), NewStats()
+	a.Add(StatScan, 2*time.Second)
+	a.Add(StatHash, time.Second)
+	b.Add(StatScan, 3*time.Second)
+	b.Add(StatAggregate, 4*time.Second)
+	a.Merge(b)
+	if got := a.Get(StatScan); got != 5*time.Second {
+		t.Errorf("scan bucket %v", got)
+	}
+	if got := a.Get(StatHash); got != time.Second {
+		t.Errorf("hash bucket %v", got)
+	}
+	if got := a.Get(StatAggregate); got != 4*time.Second {
+		t.Errorf("aggregate bucket %v", got)
+	}
+	if got := b.Get(StatScan); got != 3*time.Second {
+		t.Errorf("merge must not change the source: %v", got)
+	}
+	if got := a.Total(); got != 10*time.Second {
+		t.Errorf("total %v", got)
+	}
+	var nilStats *Stats
+	nilStats.Merge(a) // must not panic
+	a.Merge(nil)
+}

@@ -4,13 +4,20 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 )
 
 // Stats collects the per-primitive time breakdown reported in Figure 6:
 // scan+decompress, hash computation, bucket lookup + key check,
 // aggregation, and everything else.
+//
+// A Stats value is safe for concurrent use. Under parallel execution each
+// worker owns a private Stats (so the hot Add path never contends) and the
+// driver folds them into the query's Stats with Merge; the buckets then
+// hold summed CPU time across workers, which can exceed wall-clock time.
 type Stats struct {
+	mu      sync.Mutex
 	buckets map[string]time.Duration
 }
 
@@ -32,7 +39,27 @@ func (s *Stats) Add(name string, d time.Duration) {
 	if s == nil {
 		return
 	}
+	s.mu.Lock()
 	s.buckets[name] += d
+	s.mu.Unlock()
+}
+
+// Merge folds every bucket of o into s. o is left unchanged.
+func (s *Stats) Merge(o *Stats) {
+	if s == nil || o == nil {
+		return
+	}
+	o.mu.Lock()
+	snapshot := make(map[string]time.Duration, len(o.buckets))
+	for k, v := range o.buckets {
+		snapshot[k] = v
+	}
+	o.mu.Unlock()
+	s.mu.Lock()
+	for k, v := range snapshot {
+		s.buckets[k] += v
+	}
+	s.mu.Unlock()
 }
 
 // Get returns the accumulated time of a bucket.
@@ -40,11 +67,18 @@ func (s *Stats) Get(name string) time.Duration {
 	if s == nil {
 		return 0
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return s.buckets[name]
 }
 
 // Total sums all buckets.
 func (s *Stats) Total() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	var t time.Duration
 	for _, d := range s.buckets {
 		t += d
@@ -59,9 +93,11 @@ func (s *Stats) String() string {
 		v time.Duration
 	}
 	var items []kv
+	s.mu.Lock()
 	for k, v := range s.buckets {
 		items = append(items, kv{k, v})
 	}
+	s.mu.Unlock()
 	sort.Slice(items, func(i, j int) bool { return items[i].v > items[j].v })
 	var b strings.Builder
 	for _, it := range items {
@@ -78,5 +114,5 @@ func (s *Stats) timed(name string, f func()) {
 	}
 	start := time.Now()
 	f()
-	s.buckets[name] += time.Since(start)
+	s.Add(name, time.Since(start))
 }

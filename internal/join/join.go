@@ -163,6 +163,26 @@ func New(flags core.Flags, keys []core.KeyCol, payload []PayloadCol, store *strs
 // Table exposes the underlying compressed table (footprint accounting).
 func (j *Join) Table() *core.Table { return j.tab }
 
+// ProbeClone returns a handle on the same (fully built, now immutable)
+// table for concurrent probing by another goroutine. The clone shares the
+// table and payload layout but owns a fresh key schema — and therefore
+// fresh per-batch scratch — bound to the caller's store, so probe-side
+// hashing, matching and fast/slow accounting never touch shared state.
+// The underlying table must not be Built after cloning.
+func (j *Join) ProbeClone(store *strs.Store) *Join {
+	clone := *j
+	schema, err := core.NewKeySchema(j.Flags, j.Schema.Cols, store)
+	if err != nil {
+		// The same columns and flags produced a valid layout at build time.
+		panic("join: ProbeClone schema: " + err.Error())
+	}
+	clone.Schema = schema
+	clone.scratch = nil
+	clone.hashBuf = nil
+	clone.recBuf = nil
+	return &clone
+}
+
 // payloadArea returns the byte area, stride and base offset where
 // payloads live.
 func (j *Join) payloadArea() (buf []byte, stride, base int) {

@@ -1,0 +1,78 @@
+package storage
+
+import (
+	"sync/atomic"
+
+	"ocht/internal/strs"
+	"ocht/internal/vec"
+)
+
+// MorselQueue hands out block-aligned morsels of a table to a set of
+// worker goroutines. A morsel is one sealed block (BlockRows rows): large
+// enough to amortize dispatch, small enough that workers load-balance over
+// skewed pipelines, and — because blocks are the dictionary/zone-map
+// granularity — scans never straddle a block boundary, so per-block
+// dictionary setup stays identical to the serial path.
+//
+// The queue is a single atomic counter over block indices; Next is
+// wait-free and safe for any number of concurrent callers.
+type MorselQueue struct {
+	next   atomic.Int64
+	blocks int64
+}
+
+// NewMorselQueue creates a queue over block indices [0, blocks).
+func NewMorselQueue(blocks int) *MorselQueue {
+	return &MorselQueue{blocks: int64(blocks)}
+}
+
+// NewMorselQueueRange creates a queue over block indices [lo, hi). Range
+// queues give each worker a contiguous slab of the table, which keeps the
+// concatenation of per-worker outputs in serial row order — required when
+// the parallel pipeline has no aggregation frontier to merge under.
+func NewMorselQueueRange(lo, hi int) *MorselQueue {
+	q := &MorselQueue{blocks: int64(hi)}
+	q.next.Store(int64(lo))
+	return q
+}
+
+// Next claims the next unclaimed block index; ok is false when the table
+// is exhausted.
+func (q *MorselQueue) Next() (bi int, ok bool) {
+	n := q.next.Add(1) - 1
+	if n >= q.blocks {
+		return 0, false
+	}
+	return int(n), true
+}
+
+// Blocks returns the total number of morsels the queue dispenses.
+func (q *MorselQueue) Blocks() int { return int(q.blocks) }
+
+// Morsels returns a queue over all sealed blocks of the table. Every
+// column of a table has the same block boundaries, so one queue drives a
+// multi-column scan.
+func (t *Table) Morsels() *MorselQueue {
+	if len(t.Cols) == 0 {
+		return NewMorselQueue(0)
+	}
+	return NewMorselQueue(t.Cols[0].Blocks())
+}
+
+// WarmDictionaries inserts every per-block dictionary string of the column
+// into the store's USSR (no heap fallback — rejected strings simply stay
+// dictionary-only). The parallel executor runs this single-threaded before
+// freezing the USSR, so that the parallel scans' ScanBlock interning
+// resolves by lookup against a read-only region — the paper's "the scan
+// inserts all dictionary strings into the USSR" (Section IV-D) hoisted
+// into a warmup pass.
+func (c *Column) WarmDictionaries(st *strs.Store) {
+	if c.Type != vec.Str {
+		return
+	}
+	for _, b := range c.blocks {
+		for _, s := range b.Dict {
+			st.Warm(s)
+		}
+	}
+}

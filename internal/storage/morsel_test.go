@@ -1,0 +1,103 @@
+package storage
+
+import (
+	"sync"
+	"testing"
+
+	"ocht/internal/vec"
+)
+
+func TestMorselQueueSequential(t *testing.T) {
+	q := NewMorselQueue(3)
+	for want := 0; want < 3; want++ {
+		bi, ok := q.Next()
+		if !ok || bi != want {
+			t.Fatalf("Next = %d,%v want %d,true", bi, ok, want)
+		}
+	}
+	if _, ok := q.Next(); ok {
+		t.Fatal("exhausted queue must return ok=false")
+	}
+	if _, ok := q.Next(); ok {
+		t.Fatal("exhausted queue must stay exhausted")
+	}
+}
+
+func TestMorselQueueRange(t *testing.T) {
+	q := NewMorselQueueRange(2, 5)
+	var got []int
+	for {
+		bi, ok := q.Next()
+		if !ok {
+			break
+		}
+		got = append(got, bi)
+	}
+	if len(got) != 3 || got[0] != 2 || got[1] != 3 || got[2] != 4 {
+		t.Fatalf("range queue dispensed %v", got)
+	}
+	if NewMorselQueueRange(4, 4).Blocks() != 4 {
+		t.Error("Blocks of empty range")
+	}
+	if _, ok := NewMorselQueueRange(4, 4).Next(); ok {
+		t.Error("empty range must be exhausted")
+	}
+}
+
+// TestMorselQueueConcurrent claims blocks from many goroutines and checks
+// every block is handed out exactly once.
+func TestMorselQueueConcurrent(t *testing.T) {
+	const blocks, workers = 1000, 8
+	q := NewMorselQueue(blocks)
+	var mu sync.Mutex
+	seen := make([]int, blocks)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var mine []int
+			for {
+				bi, ok := q.Next()
+				if !ok {
+					break
+				}
+				mine = append(mine, bi)
+			}
+			mu.Lock()
+			for _, bi := range mine {
+				seen[bi]++
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	for bi, n := range seen {
+		if n != 1 {
+			t.Fatalf("block %d claimed %d times", bi, n)
+		}
+	}
+}
+
+func TestTableMorselsCoverAllBlocks(t *testing.T) {
+	c := NewColumn("x", vec.I64, false)
+	for i := 0; i < BlockRows*2+10; i++ {
+		c.AppendInt(int64(i))
+	}
+	tab := NewTable("t", c)
+	tab.Seal()
+	q := tab.Morsels()
+	if q.Blocks() != c.Blocks() {
+		t.Fatalf("queue over %d blocks, column has %d", q.Blocks(), c.Blocks())
+	}
+	n := 0
+	for {
+		if _, ok := q.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != c.Blocks() {
+		t.Fatalf("dispensed %d blocks, want %d", n, c.Blocks())
+	}
+}

@@ -14,12 +14,29 @@ import (
 	"ocht/internal/vec"
 )
 
+// Shard-tagged heap references: during parallel execution every worker
+// interns into a private heap, and the owning shard is recorded in bits
+// 48..62 of the reference (bit 63 stays the USSR tag). Any store holding
+// the shared shard table can then resolve any worker's reference, which is
+// what lets the merge phase compare and re-hash group keys produced by
+// different workers without re-interning. Serial execution never sets
+// shard bits, so references stay byte-identical to the single-store
+// engine.
+const (
+	shardShift = 48
+	shardBits  = 15
+	shardMask  = vec.StrRef((1<<shardBits)-1) << shardShift
+)
+
 // Store owns a query's string memory. When UseUSSR is false (the vanilla
 // baseline) every Intern allocates on the heap.
 type Store struct {
 	Heap    strheap.Heap
 	U       *ussr.USSR
 	UseUSSR bool
+
+	shard  vec.StrRef      // this store's pre-shifted shard tag; 0 in serial mode
+	shards []*strheap.Heap // shared shard table; nil outside parallel execution
 
 	// Counters for the Figure 6 breakdown.
 	HashFast, HashSlow   int // pre-computed vs computed hashes
@@ -36,16 +53,75 @@ func NewStore(useUSSR bool) *Store {
 	return s
 }
 
+// Shard prepares the store for parallel execution and returns n worker
+// stores. Each worker store shares the (frozen or about-to-be-frozen)
+// USSR and the shard table but owns a private heap, so worker Interns
+// never contend; the parent keeps shard 0. Shard must be called before
+// the workers start — the shard table grows only between runs and is
+// read-only while workers execute. Calling Shard again (a context reused
+// across several Runs, as the benchmark loops do) appends fresh worker
+// heaps after the existing shards, so references issued by earlier runs
+// keep resolving.
+func (st *Store) Shard(n int) []*Store {
+	if st.shards == nil {
+		st.shards = []*strheap.Heap{&st.Heap}
+	}
+	base := len(st.shards)
+	if base+n > 1<<shardBits {
+		panic("strs: shard table exhausted; reuse of one query context across too many parallel runs")
+	}
+	workers := make([]*Store, n)
+	for i := range workers {
+		w := &Store{
+			U:       st.U,
+			UseUSSR: st.UseUSSR,
+			shard:   vec.StrRef(base+i) << shardShift,
+			shards:  nil, // set below, after the table stops growing
+		}
+		st.shards = append(st.shards, &w.Heap)
+		workers[i] = w
+	}
+	for _, w := range workers {
+		w.shards = st.shards
+	}
+	return workers
+}
+
+// heapOf routes a heap reference to its backing heap, stripping the shard
+// tag. Outside parallel execution (shards == nil) references carry no
+// shard bits and resolve against the store's own heap.
+func (st *Store) heapOf(r vec.StrRef) (*strheap.Heap, vec.StrRef) {
+	if st.shards == nil {
+		return &st.Heap, r
+	}
+	return st.shards[r>>shardShift&((1<<shardBits)-1)], r &^ shardMask
+}
+
 // Intern returns a reference for s: USSR-resident when possible, otherwise
 // heap-allocated. Scans call this when setting up per-block dictionary
-// arrays; expression evaluation calls it for computed strings.
+// arrays; expression evaluation calls it for computed strings. Once the
+// USSR is frozen, Intern consults it read-only (Lookup) and falls back to
+// this store's private heap, so concurrent workers can keep interning.
 func (st *Store) Intern(s string) vec.StrRef {
 	if st.UseUSSR {
-		if r, ok := st.U.Insert(s); ok {
+		if st.U.Frozen() {
+			if r, ok := st.U.Lookup(s); ok {
+				return r
+			}
+		} else if r, ok := st.U.Insert(s); ok {
 			return r
 		}
 	}
-	return st.Heap.Put(s)
+	return st.Heap.Put(s) | st.shard
+}
+
+// Warm inserts s into the USSR without a heap fallback: rejected strings
+// are simply not resident. The parallel executor warms scan dictionaries
+// and plan constants through this before freezing the region.
+func (st *Store) Warm(s string) {
+	if st.UseUSSR && !st.U.Frozen() {
+		st.U.Insert(s)
+	}
 }
 
 // InternConstant interns a query-text string constant. Constants get
@@ -61,7 +137,8 @@ func (st *Store) Get(r vec.StrRef) string {
 	if r == NullRef {
 		return ""
 	}
-	return st.Heap.Get(r)
+	h, lr := st.heapOf(r)
+	return h.Get(lr)
 }
 
 // Len returns the byte length of the string behind r.
@@ -72,7 +149,8 @@ func (st *Store) Len(r vec.StrRef) int {
 	if r == NullRef {
 		return 0
 	}
-	return st.Heap.Len(r)
+	h, lr := st.heapOf(r)
+	return h.Len(lr)
 }
 
 // Hash returns the hash of the string behind r. For USSR-resident strings
@@ -87,7 +165,8 @@ func (st *Store) Hash(r vec.StrRef) uint64 {
 		return 0x9e3779b97f4a7c15 // fixed hash for SQL NULL
 	}
 	st.HashSlow++
-	return st.Heap.Hash(r)
+	h, lr := st.heapOf(r)
+	return h.Hash(lr)
 }
 
 // NullRef is the reference representing SQL NULL strings. It compares
@@ -123,7 +202,8 @@ func (st *Store) heapBytes(r vec.StrRef) []byte {
 	if r == NullRef {
 		return nil
 	}
-	return st.Heap.Bytes(r)
+	h, lr := st.heapOf(r)
+	return h.Bytes(lr)
 }
 
 // Raw returns the bytes of the string behind r without allocating when
@@ -138,7 +218,8 @@ func (st *Store) Raw(r vec.StrRef, scratch []byte) (data, scratchOut []byte) {
 	if r == NullRef {
 		return nil, scratch
 	}
-	return st.Heap.Bytes(r), scratch
+	h, lr := st.heapOf(r)
+	return h.Bytes(lr), scratch
 }
 
 // EqualString compares the string behind r with a Go string.
@@ -164,7 +245,8 @@ func (st *Store) rawBytes(r vec.StrRef) []byte {
 	if r == NullRef {
 		return nil
 	}
-	return st.Heap.Bytes(r)
+	h, lr := st.heapOf(r)
+	return h.Bytes(lr)
 }
 
 // MemoryBytes reports the string memory footprint: the heap arena plus the

@@ -1,0 +1,48 @@
+package ussr
+
+import "testing"
+
+func TestFreezeMakesInsertPanic(t *testing.T) {
+	u := New()
+	if u.Frozen() {
+		t.Fatal("new region must not be frozen")
+	}
+	ra, ok := u.Insert("alpha")
+	if !ok {
+		t.Fatal("insert before freeze must succeed")
+	}
+	u.Freeze()
+	if !u.Frozen() {
+		t.Fatal("Frozen after Freeze")
+	}
+
+	// Lookup stays available read-only.
+	if r, ok := u.Lookup("alpha"); !ok || r != ra {
+		t.Fatalf("lookup after freeze: %v %v", r, ok)
+	}
+	if _, ok := u.Lookup("beta"); ok {
+		t.Fatal("lookup of absent string must miss")
+	}
+	if u.Get(ra) != "alpha" {
+		t.Fatal("Get after freeze")
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Insert after Freeze must panic")
+		}
+	}()
+	u.Insert("beta")
+}
+
+func TestResetClearsFreeze(t *testing.T) {
+	u := New()
+	u.Freeze()
+	u.Reset()
+	if u.Frozen() {
+		t.Fatal("Reset must unfreeze")
+	}
+	if _, ok := u.Insert("gamma"); !ok {
+		t.Fatal("insert after reset")
+	}
+}

@@ -76,6 +76,7 @@ type USSR struct {
 	lens    []uint16 // string length per starting slot
 	buckets []uint32 // hi 16 bits: hash extract; lo 16 bits: slot; 0=empty
 	next    int      // next free slot
+	frozen  bool     // read-only: inserts panic (parallel sharing contract)
 	stats   Stats
 }
 
@@ -95,8 +96,18 @@ func (u *USSR) Reset() {
 		u.buckets[i] = 0
 	}
 	u.next = firstSlot
+	u.frozen = false
 	u.stats = Stats{}
 }
+
+// Freeze marks the region read-only. After Freeze, Insert panics; lookups,
+// hashes and reads remain valid and — because nothing mutates — are safe to
+// share across goroutines. The parallel executor freezes the USSR after its
+// single-threaded warmup pass and before spawning workers.
+func (u *USSR) Freeze() { u.frozen = true }
+
+// Frozen reports whether the region has been frozen.
+func (u *USSR) Frozen() bool { return u.frozen }
 
 // Stats returns a snapshot of the insertion statistics.
 func (u *USSR) Stats() Stats {
@@ -114,6 +125,9 @@ func (u *USSR) Insert(s string) (vec.StrRef, bool) {
 
 // InsertHashed is Insert for callers that already computed the hash.
 func (u *USSR) InsertHashed(s string, h uint64) (vec.StrRef, bool) {
+	if u.frozen {
+		panic("ussr: Insert after Freeze (region is shared read-only)")
+	}
 	u.stats.Candidates++
 	idx := uint32(h) & (Buckets - 1)
 	extract := uint16(h >> 16)
