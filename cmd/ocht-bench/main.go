@@ -7,12 +7,18 @@
 //	ocht-bench -exp fig4            # one experiment
 //	ocht-bench -exp all -sf 0.05    # everything, larger TPC-H scale
 //	ocht-bench -list                # list experiments
+//
+// With -serve-url it becomes a load generator against a running
+// ocht-serve instance instead of running local experiments:
+//
+//	ocht-bench -serve-url http://localhost:8080 -clients 8 -duration 30s
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"ocht/internal/bench"
 )
@@ -27,7 +33,25 @@ func main() {
 	flag.IntVar(&cfg.MaxCard, "maxcard", cfg.MaxCard, "Fig 8 maximum build cardinality")
 	flag.Int64Var(&cfg.Seed, "seed", cfg.Seed, "generator seed")
 	flag.IntVar(&cfg.Workers, "workers", cfg.Workers, "parallel workers for the scaling experiment")
+	serveURL := flag.String("serve-url", "", "load-generator mode: base URL of a running ocht-serve")
+	clients := flag.Int("clients", 4, "loadgen concurrent clients")
+	duration := flag.Duration("duration", 10*time.Second, "loadgen run length")
+	timeout := flag.Duration("timeout", 0, "loadgen per-query deadline sent to the server (0 = server default)")
 	flag.Parse()
+
+	if *serveURL != "" {
+		err := bench.LoadGen(os.Stdout, bench.LoadGenConfig{
+			URL:      *serveURL,
+			Clients:  *clients,
+			Duration: *duration,
+			Timeout:  *timeout,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, name := range bench.RunnerNames {

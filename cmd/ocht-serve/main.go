@@ -1,0 +1,162 @@
+// Command ocht-serve runs the query service: an HTTP/JSON SQL server over
+// a generated (or loaded) dataset, with admission control, per-query
+// deadlines, a plan cache, USSR pooling and a /metrics surface.
+//
+// Usage:
+//
+//	ocht-serve -addr :8080 -data tpch -sf 0.01
+//	ocht-serve -load ./dataset -max-inflight 8 -queue 64
+//	curl -s localhost:8080/query -d '{"sql":"SELECT COUNT(*) FROM lineitem"}'
+//	curl -s localhost:8080/metrics
+//
+// SIGINT/SIGTERM trigger a graceful drain: in-flight queries finish (or
+// hit their deadlines), then the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"ocht/internal/bi"
+	"ocht/internal/core"
+	"ocht/internal/server"
+	"ocht/internal/sql"
+	"ocht/internal/storage"
+	"ocht/internal/tpch"
+)
+
+func parseFlags(s string) (core.Flags, error) {
+	switch s {
+	case "vanilla":
+		return core.Vanilla(), nil
+	case "ussr":
+		return core.Flags{UseUSSR: true}, nil
+	case "cht":
+		return core.Flags{Compress: true}, nil
+	case "cht+split":
+		return core.Flags{Compress: true, Split: true}, nil
+	case "all":
+		return core.All(), nil
+	}
+	return core.Flags{}, fmt.Errorf("unknown -flags %q (vanilla|ussr|cht|cht+split|all)", s)
+}
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	data := flag.String("data", "tpch", "dataset: tpch | bi | both")
+	sf := flag.Float64("sf", 0.01, "TPC-H scale factor")
+	rows := flag.Int("rows", 50_000, "BI workload rows")
+	seed := flag.Int64("seed", 42, "generator seed")
+	load := flag.String("load", "", "load a saved dataset directory (see ocht-dbgen) instead of generating")
+	flagsName := flag.String("flags", "all", "engine configuration")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "default parallel workers per query")
+	maxInFlight := flag.Int("max-inflight", 0, "concurrent executing queries (0 = 2x GOMAXPROCS)")
+	maxQueue := flag.Int("queue", 64, "admission wait-queue length")
+	queueTimeout := flag.Duration("queue-timeout", 2*time.Second, "max wait for an execution slot")
+	defTimeout := flag.Duration("default-timeout", 30*time.Second, "per-query deadline when the client sends none")
+	maxTimeout := flag.Duration("max-timeout", 5*time.Minute, "cap on client-requested deadlines")
+	planCache := flag.Int("plan-cache", 256, "plan cache entries")
+	maxRows := flag.Int("max-result-rows", 1<<20, "rows returned per response before truncation")
+	flag.Parse()
+
+	flags, err := parseFlags(*flagsName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	var cat *storage.Catalog
+	if *load != "" {
+		cat, err = storage.LoadCatalog(*load)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	} else {
+		cat = storage.NewCatalog()
+		add := func(src *storage.Catalog, names ...string) {
+			for _, n := range names {
+				cat.Add(src.Table(n))
+			}
+		}
+		if *data == "tpch" || *data == "both" {
+			fmt.Fprintf(os.Stderr, "generating TPC-H SF %g...\n", *sf)
+			add(tpch.Gen(*sf, *seed), "region", "nation", "supplier", "customer",
+				"part", "partsupp", "orders", "lineitem")
+		}
+		if *data == "bi" || *data == "both" {
+			fmt.Fprintf(os.Stderr, "generating BI workload (%d rows)...\n", *rows)
+			add(bi.Gen(*rows, *seed), "contracts", "vendors")
+		}
+	}
+	if cat.Tables() == 0 {
+		fmt.Fprintln(os.Stderr, "no tables loaded; check -data/-load")
+		os.Exit(1)
+	}
+
+	// Warm the plan machinery once so the first real query does not pay
+	// for lazy initialization paths.
+	warmup(cat)
+
+	srv := server.New(cat, server.Config{
+		Flags:          flags,
+		Workers:        *workers,
+		MaxInFlight:    *maxInFlight,
+		MaxQueue:       *maxQueue,
+		QueueTimeout:   *queueTimeout,
+		DefaultTimeout: *defTimeout,
+		MaxTimeout:     *maxTimeout,
+		PlanCacheSize:  *planCache,
+		MaxResultRows:  *maxRows,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	done := make(chan os.Signal, 1)
+	signal.Notify(done, os.Interrupt, syscall.SIGTERM)
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "serving on %s (%d tables, flags=%s, workers=%d)\n",
+		*addr, cat.Tables(), *flagsName, *workers)
+
+	select {
+	case sig := <-done:
+		fmt.Fprintf(os.Stderr, "received %v, draining...\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "shutdown: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "shutdown complete")
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// warmup parses one trivial statement per table so the first served
+// request measures query time, not lazy metadata setup.
+func warmup(cat *storage.Catalog) {
+	defer func() { recover() }()
+	for _, name := range []string{"lineitem", "orders", "contracts"} {
+		func() {
+			defer func() { recover() }()
+			stmt, err := sql.Parse("SELECT COUNT(*) FROM " + name + " LIMIT 1")
+			if err != nil {
+				return
+			}
+			sql.Plan(stmt, cat)
+		}()
+	}
+}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -44,6 +45,7 @@ func main() {
 	show := flag.Bool("show", false, "print query results")
 	seed := flag.Int64("seed", 42, "generator seed")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel workers (1 = serial)")
+	timeout := flag.Duration("timeout", 0, "per-query deadline (0 = none); timed-out queries report CANCELED")
 	flag.Parse()
 
 	flags, err := parseFlags(*flagsName)
@@ -57,9 +59,19 @@ func main() {
 	run := func(q int) {
 		qc := exec.NewQCtx(flags)
 		qc.Workers = *workers
+		ctx := context.Background()
+		if *timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *timeout)
+			defer cancel()
+		}
 		start := time.Now()
-		res := tpch.Q(q, cat, qc)
+		res, err := tpch.QContext(ctx, q, cat, qc)
 		el := time.Since(start)
+		if err != nil {
+			fmt.Printf("Q%-3d %10v  CANCELED (%v)\n", q, el.Round(time.Microsecond), err)
+			return
+		}
 		fmt.Printf("Q%-3d %10v  rows=%-6d HT=%-10d peak=%d",
 			q, el.Round(time.Microsecond), len(res.Rows),
 			qc.HashTableBytes(), qc.PeakMemoryBytes())

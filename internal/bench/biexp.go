@@ -90,8 +90,9 @@ func Fig6(w io.Writer, cfg Config) {
 			total := time.Since(start)
 			fmt.Fprintf(w, "Q%d %-8s total=%-12v", q, mode.name, total.Round(time.Microsecond))
 			accounted := time.Duration(0)
+			snap := qc.Stats.Snapshot()
 			for _, b := range buckets[:4] {
-				d := qc.Stats.Get(b)
+				d := snap[b]
 				accounted += d
 				fmt.Fprintf(w, " %s=%v", b, d.Round(time.Microsecond))
 			}

@@ -1,0 +1,161 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// LoadGenConfig drives a running ocht-serve instance over HTTP.
+type LoadGenConfig struct {
+	URL      string        // server base URL, e.g. http://localhost:8080
+	Clients  int           // concurrent client goroutines
+	Duration time.Duration // how long to generate load
+	Timeout  time.Duration // per-query deadline sent with every request (0 = server default)
+	Queries  []string      // statement mix; empty = DefaultLoadQueries
+}
+
+// DefaultLoadQueries is a mixed TPC-H statement set: point aggregates,
+// group-bys and a join, so the server's plan cache, USSR pool and
+// parallel executor all see traffic.
+var DefaultLoadQueries = []string{
+	"SELECT COUNT(*) FROM lineitem",
+	"SELECT l_returnflag, l_linestatus, COUNT(*), SUM(l_quantity) FROM lineitem GROUP BY l_returnflag, l_linestatus",
+	"SELECT o_orderstatus, COUNT(*) FROM orders GROUP BY o_orderstatus",
+	"SELECT o_orderpriority, COUNT(*) FROM orders GROUP BY o_orderpriority",
+	"SELECT c_mktsegment, COUNT(*) FROM customer GROUP BY c_mktsegment",
+	"SELECT n_name, COUNT(*) FROM nation JOIN region ON n_regionkey = r_regionkey GROUP BY n_name",
+}
+
+// LoadGenReport is the JSON record LoadGen prints: client-side counts
+// and latencies plus the server's own /metrics document for
+// cross-checking (plan-cache hit rate, pool reuse, admission behavior).
+type LoadGenReport struct {
+	Exp           string  `json:"exp"`
+	Clients       int     `json:"clients"`
+	DurationSec   float64 `json:"duration_sec"`
+	Requests      int64   `json:"requests"`
+	OK            int64   `json:"ok"`
+	Rejected      int64   `json:"rejected"`  // HTTP 429
+	Canceled      int64   `json:"canceled"`  // HTTP 504
+	Failed        int64   `json:"failed"`    // other non-200
+	QPS           float64 `json:"qps"`
+	MeanMs        float64 `json:"mean_ms"`
+	P50Ms         float64 `json:"p50_ms"`
+	P90Ms         float64 `json:"p90_ms"`
+	P99Ms         float64 `json:"p99_ms"`
+	MaxMs         float64 `json:"max_ms"`
+	ServerMetrics any     `json:"server_metrics"`
+}
+
+// LoadGen hammers the server with the statement mix from Clients
+// goroutines for Duration, then prints one LoadGenReport as JSON.
+func LoadGen(w io.Writer, cfg LoadGenConfig) error {
+	if cfg.Clients <= 0 {
+		cfg.Clients = 4
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 10 * time.Second
+	}
+	queries := cfg.Queries
+	if len(queries) == 0 {
+		queries = DefaultLoadQueries
+	}
+
+	// Fail fast if the server is not there.
+	hc := &http.Client{Timeout: cfg.Timeout + 30*time.Second}
+	resp, err := hc.Get(cfg.URL + "/healthz")
+	if err != nil {
+		return fmt.Errorf("loadgen: server not reachable: %w", err)
+	}
+	resp.Body.Close()
+
+	var ok, rejected, canceled, failed atomic.Int64
+	var mu sync.Mutex
+	var latencies []time.Duration
+
+	deadline := time.Now().Add(cfg.Duration)
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			var local []time.Duration
+			for i := 0; time.Now().Before(deadline); i++ {
+				q := queries[(c+i)%len(queries)]
+				body, _ := json.Marshal(map[string]any{
+					"sql":        q,
+					"timeout_ms": int(cfg.Timeout / time.Millisecond),
+				})
+				start := time.Now()
+				resp, err := hc.Post(cfg.URL+"/query", "application/json", bytes.NewReader(body))
+				el := time.Since(start)
+				if err != nil {
+					failed.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				local = append(local, el)
+				switch resp.StatusCode {
+				case http.StatusOK:
+					ok.Add(1)
+				case http.StatusTooManyRequests:
+					rejected.Add(1)
+				case http.StatusGatewayTimeout:
+					canceled.Add(1)
+				default:
+					failed.Add(1)
+				}
+			}
+			mu.Lock()
+			latencies = append(latencies, local...)
+			mu.Unlock()
+		}(c)
+	}
+	wg.Wait()
+
+	rep := LoadGenReport{
+		Exp:         "loadgen",
+		Clients:     cfg.Clients,
+		DurationSec: cfg.Duration.Seconds(),
+		OK:          ok.Load(),
+		Rejected:    rejected.Load(),
+		Canceled:    canceled.Load(),
+		Failed:      failed.Load(),
+	}
+	rep.Requests = rep.OK + rep.Rejected + rep.Canceled + rep.Failed
+	rep.QPS = float64(rep.OK) / cfg.Duration.Seconds()
+	if len(latencies) > 0 {
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+		var sum time.Duration
+		for _, d := range latencies {
+			sum += d
+		}
+		rep.MeanMs = ms(sum) / float64(len(latencies))
+		rep.P50Ms = ms(latencies[len(latencies)*50/100])
+		rep.P90Ms = ms(latencies[len(latencies)*90/100])
+		rep.P99Ms = ms(latencies[len(latencies)*99/100])
+		rep.MaxMs = ms(latencies[len(latencies)-1])
+	}
+
+	// Attach the server's own view so one record carries both sides.
+	if mresp, err := hc.Get(cfg.URL + "/metrics"); err == nil {
+		var sm any
+		if json.NewDecoder(mresp.Body).Decode(&sm) == nil {
+			rep.ServerMetrics = sm
+		}
+		mresp.Body.Close()
+	}
+
+	js, _ := json.Marshal(rep)
+	fmt.Fprintln(w, string(js))
+	return nil
+}

@@ -69,19 +69,26 @@ func Scaling(w io.Writer, cfg Config) {
 			base = best
 		}
 		rec := struct {
-			Exp           string  `json:"exp"`
-			Workers       int     `json:"workers"`
-			TimeMs        float64 `json:"time_ms"`
-			Speedup       float64 `json:"speedup"`
-			Groups        int     `json:"groups"`
-			HTBytes       int     `json:"ht_bytes"`
-			WorkerHTBytes []int   `json:"worker_ht_bytes"`
+			Exp           string             `json:"exp"`
+			Workers       int                `json:"workers"`
+			TimeMs        float64            `json:"time_ms"`
+			Speedup       float64            `json:"speedup"`
+			Groups        int                `json:"groups"`
+			HTBytes       int                `json:"ht_bytes"`
+			WorkerHTBytes []int              `json:"worker_ht_bytes"`
+			EngineStatsMs map[string]float64 `json:"engine_stats_ms"`
 		}{
 			Exp: "scaling", Workers: workers,
 			TimeMs:  float64(best.Microseconds()) / 1000,
 			Speedup: float64(base) / float64(best),
 			Groups:  nRows,
 			HTBytes: qc.HashTableBytes(),
+			EngineStatsMs: map[string]float64{},
+		}
+		// Snapshot, not per-bucket Get: one consistent race-free copy of
+		// the merged worker stats.
+		for k, d := range qc.Stats.Snapshot() {
+			rec.EngineStatsMs[k] = float64(d.Microseconds()) / 1000
 		}
 		if fp := qc.WorkerFootprints(); fp != nil {
 			rec.WorkerHTBytes = fp

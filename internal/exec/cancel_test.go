@@ -1,0 +1,136 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"ocht/internal/agg"
+	"ocht/internal/core"
+	"ocht/internal/storage"
+	"ocht/internal/vec"
+)
+
+// slowFixture builds a probe/build pair whose join explodes: every probe
+// row matches `dup` build rows, so a COUNT(*) over the join touches
+// probeRows*dup matched rows — enough work to run for seconds from tables
+// that generate in milliseconds.
+func slowFixture(probeRows, keys, dup int) (*storage.Table, *storage.Table) {
+	pk := storage.NewColumn("pk", vec.I64, false)
+	for i := 0; i < probeRows; i++ {
+		pk.AppendInt(int64(i % keys))
+	}
+	probe := storage.NewTable("probe", pk)
+	probe.Seal()
+
+	bk := storage.NewColumn("bk", vec.I64, false)
+	bv := storage.NewColumn("bv", vec.I64, false)
+	for k := 0; k < keys; k++ {
+		for d := 0; d < dup; d++ {
+			bk.AppendInt(int64(k))
+			bv.AppendInt(int64(d))
+		}
+	}
+	build := storage.NewTable("build", bk, bv)
+	build.Seal()
+	return probe, build
+}
+
+// slowPlan is scan → join (×dup multiplicity) → count(*), the cheapest
+// plan shape that runs for over a second on laptop-scale inputs.
+func slowPlan(probe, build *storage.Table) Op {
+	ps := NewScan(probe, "pk")
+	bs := NewScan(build, "bk", "bv")
+	j := NewHashJoin(Inner, ps, bs, []string{"pk"}, []string{"bk"}, []string{"bv"})
+	jm := j.Meta()
+	return NewHashAgg(j,
+		[]string{"pk"},
+		[]*Expr{Col(jm, "pk")},
+		[]AggExpr{{Func: agg.CountStar, Name: "n"}, {Func: agg.Sum, Arg: Col(jm, "bv"), Name: "s"}})
+}
+
+// TestCancelDeadline is the acceptance check: a query with a 50 ms
+// deadline against work that takes >1 s must return a cancellation error
+// within ~100 ms with every worker goroutine exited.
+func TestCancelDeadline(t *testing.T) {
+	probe, build := slowFixture(1<<19, 500, 200) // ~100M matched rows uncanceled
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			before := runtime.NumGoroutine()
+			qc := NewQCtx(core.All())
+			qc.Workers = workers
+			ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+			defer cancel()
+			start := time.Now()
+			res, err := RunCtx(ctx, qc, slowPlan(probe, build))
+			elapsed := time.Since(start)
+			if err == nil {
+				t.Fatalf("query finished in %v with %d rows; expected cancellation", elapsed, len(res.Rows))
+			}
+			if !errors.Is(err, ErrCanceled) {
+				t.Fatalf("error %v does not wrap ErrCanceled", err)
+			}
+			// The deadline is 50 ms and checks run per 1024-row batch, so
+			// the overshoot is microseconds of engine work; 100 ms of slack
+			// absorbs scheduler noise on loaded CI machines.
+			if elapsed > 150*time.Millisecond {
+				t.Errorf("canceled after %v; want within ~100ms of the 50ms deadline", elapsed)
+			}
+			// RunCtx joins the workers before unwinding, so no goroutine of
+			// this query may outlive it. Allow unrelated runtime goroutines
+			// a moment to settle.
+			deadline := time.Now().Add(2 * time.Second)
+			for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+				time.Sleep(5 * time.Millisecond)
+			}
+			if g := runtime.NumGoroutine(); g > before {
+				t.Errorf("goroutines leaked: %d before, %d after cancellation", before, g)
+			}
+		})
+	}
+}
+
+// TestCancelClientGone covers caller cancellation (client disconnect)
+// rather than a deadline.
+func TestCancelClientGone(t *testing.T) {
+	probe, build := slowFixture(1<<19, 500, 200)
+	qc := NewQCtx(core.All())
+	qc.Workers = 2
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := RunCtx(ctx, qc, slowPlan(probe, build))
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("got %v after %v; want ErrCanceled", err, time.Since(start))
+	}
+}
+
+// TestRunCtxNoDeadline checks that an un-pressured RunCtx matches Run
+// exactly, and that the context is disarmed afterwards so the QCtx can be
+// pooled.
+func TestRunCtxNoDeadline(t *testing.T) {
+	probe, build := slowFixture(1<<14, 50, 3)
+	serial := NewQCtx(core.All())
+	want := Run(serial, slowPlan(probe, build))
+
+	qc := NewQCtx(core.All())
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	got, err := RunCtx(ctx, qc, slowPlan(probe, build))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qc.done != nil {
+		t.Error("RunCtx left the context armed")
+	}
+	ws, gs := sortedRows(want), sortedRows(got)
+	if fmt.Sprint(ws) != fmt.Sprint(gs) {
+		t.Errorf("RunCtx result differs from Run")
+	}
+}

@@ -62,6 +62,31 @@ func clonePipeline(o Op, morsels *storage.MorselQueue) Op {
 	}
 }
 
+// ClonePlan deep-copies an unexecuted operator tree: every operator,
+// expression and join build subtree is cloned, sharing only the immutable
+// stored tables. Unlike the worker clones above it does not expect join
+// tables to be prebuilt, which makes it safe for reusing a cached plan
+// template across queries — each execution opens and builds its own
+// operator state.
+func ClonePlan(o Op) Op {
+	switch t := o.(type) {
+	case *Scan:
+		return &Scan{Table: t.Table, Columns: t.Columns}
+	case *Filter:
+		return NewFilter(ClonePlan(t.Child), cloneExpr(t.Pred))
+	case *Project:
+		return NewProject(ClonePlan(t.Child), t.Names, cloneExprs(t.Exprs))
+	case *HashJoin:
+		c := NewHashJoin(t.Kind, ClonePlan(t.Probe), ClonePlan(t.Build), t.ProbeKeys, t.BuildKeys, t.Payload)
+		c.Selective = t.Selective
+		return c
+	case *HashAgg:
+		return NewHashAgg(ClonePlan(t.Child), t.KeyNames, cloneExprs(t.Keys), cloneAggs(t.Aggs))
+	default:
+		panic(fmt.Sprintf("exec: cannot clone operator %T", o))
+	}
+}
+
 func cloneExprs(es []*Expr) []*Expr {
 	out := make([]*Expr, len(es))
 	for i, e := range es {

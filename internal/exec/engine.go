@@ -6,6 +6,8 @@
 package exec
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -13,6 +15,7 @@ import (
 	"ocht/internal/core"
 	"ocht/internal/i128"
 	"ocht/internal/strs"
+	"ocht/internal/ussr"
 	"ocht/internal/vec"
 )
 
@@ -39,11 +42,93 @@ type QCtx struct {
 	// workerFootprints records, per parallel worker, the bytes of the
 	// private hash table(s) it built during the last Run.
 	workerFootprints []int
+
+	// done, when non-nil, is the query's cancellation signal (a
+	// context.Done() channel). Operators poll it at batch/morsel
+	// granularity via checkCancel and unwind with an internal panic that
+	// RunCtx (or CatchCancel) converts into ErrCanceled.
+	done <-chan struct{}
 }
 
 // NewQCtx creates a query context under the given flags.
 func NewQCtx(flags core.Flags) *QCtx {
 	return &QCtx{Flags: flags, Store: strs.NewStore(flags.UseUSSR), Stats: NewStats()}
+}
+
+// NewQCtxUSSR creates a query context whose string store wraps the given
+// (pooled) USSR instead of allocating a fresh 768 kB region. u must be
+// unfrozen and empty; a nil u behaves exactly like NewQCtx.
+func NewQCtxUSSR(flags core.Flags, u *ussr.USSR) *QCtx {
+	if u == nil || !flags.UseUSSR {
+		return NewQCtx(flags)
+	}
+	return &QCtx{Flags: flags, Store: strs.NewStoreUSSR(u), Stats: NewStats()}
+}
+
+// AttachContext arms cancellation: from here on the engine polls
+// ctx.Done() once per batch/morsel and aborts execution when it fires.
+// Pass nil to disarm (contexts reused from a pool must be disarmed
+// between queries).
+func (qc *QCtx) AttachContext(ctx context.Context) {
+	if ctx == nil {
+		qc.done = nil
+		return
+	}
+	qc.done = ctx.Done()
+}
+
+// canceledPanic is the internal unwinding sentinel thrown by checkCancel
+// and recovered by CatchCancel; it never escapes the package API.
+type canceledPanic struct{}
+
+// ErrCanceled is returned by RunCtx when the query was aborted by its
+// context (deadline exceeded or caller cancellation).
+var ErrCanceled = errors.New("exec: query canceled")
+
+// checkCancel aborts execution when the attached context is done. It is
+// called at batch/morsel granularity on every long-running operator loop,
+// so a canceled query stops within one vector of work per worker.
+func (qc *QCtx) checkCancel() {
+	if qc.done == nil {
+		return
+	}
+	select {
+	case <-qc.done:
+		panic(canceledPanic{})
+	default:
+	}
+}
+
+// CatchCancel invokes f and converts the engine's internal cancellation
+// unwind into ErrCanceled; every other panic passes through. Callers that
+// drive plans directly (the CLIs, tpch.QContext) wrap Run with it.
+func CatchCancel(f func()) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			if _, ok := p.(canceledPanic); ok {
+				err = ErrCanceled
+				return
+			}
+			panic(p)
+		}
+	}()
+	f()
+	return nil
+}
+
+// RunCtx executes the plan under ctx: the context's deadline and
+// cancellation are polled per batch by every operator loop (including the
+// parallel workers), so long scans actually stop. On cancellation all
+// worker goroutines have exited by the time RunCtx returns (the parallel
+// driver joins them before unwinding) and the error wraps ErrCanceled.
+func RunCtx(ctx context.Context, qc *QCtx, root Op) (res *Result, err error) {
+	qc.AttachContext(ctx)
+	defer qc.AttachContext(nil)
+	err = CatchCancel(func() { res = Run(qc, root) })
+	if err != nil && ctx != nil && ctx.Err() != nil {
+		err = fmt.Errorf("%w: %v", ErrCanceled, ctx.Err())
+	}
+	return res, err
 }
 
 func (qc *QCtx) register(t *core.Table) { qc.tables = append(qc.tables, t) }
@@ -186,6 +271,7 @@ func materialize(qc *QCtx, root Op) *Result {
 		res.Types = append(res.Types, m.Type)
 	}
 	for {
+		qc.checkCancel()
 		b := root.Next(qc)
 		if b == nil {
 			break

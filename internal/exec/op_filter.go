@@ -35,6 +35,7 @@ func (f *Filter) Open(qc *QCtx) {
 // Next implements Op.
 func (f *Filter) Next(qc *QCtx) *vec.Batch {
 	for {
+		qc.checkCancel()
 		b := f.Child.Next(qc)
 		if b == nil {
 			return nil

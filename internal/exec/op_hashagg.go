@@ -242,6 +242,7 @@ func (h *HashAgg) Open(qc *QCtx) {
 
 func (h *HashAgg) build(qc *QCtx) {
 	for {
+		qc.checkCancel()
 		b := h.Child.Next(qc)
 		if b == nil {
 			return
@@ -337,6 +338,7 @@ func (h *HashAgg) prepareOut() {
 
 // Next implements Op: emits the group results.
 func (h *HashAgg) Next(qc *QCtx) *vec.Batch {
+	qc.checkCancel() // emission never touches a scan; poll here too
 	if h.emit >= h.tab.Len() {
 		return nil
 	}

@@ -54,6 +54,45 @@ type HashJoin struct {
 	keyVecs   []*vec.Vector
 	out       vec.Batch
 	outBufs   []*vec.Vector
+
+	// Probe chunking state: the rows of curBatch still to be probed, plus
+	// running multiplicity totals that size the next Probe call.
+	probeRows    []int32
+	probePos     int
+	probedRows   int64
+	matchedTotal int64
+}
+
+// One hash-table Probe call is uninterruptible: it walks every matching
+// chain entry before returning, so a high-multiplicity join (many build
+// rows per key) could emit millions of matches between cancellation
+// polls and blow the match-list allocation. Probe calls are therefore
+// sized from the multiplicity observed so far to yield about
+// probeTargetMatches matches, with a small bootstrap chunk while the
+// first estimate is collected. Joins near multiplicity 1 converge to
+// whole-batch probes after the bootstrap.
+const (
+	probeBootstrapRows = 64
+	probeTargetMatches = 16 * vec.Size
+)
+
+// probeChunkRows picks how many probe rows the next Probe call gets.
+func (h *HashJoin) probeChunkRows(remaining int) int {
+	n := remaining
+	if h.probedRows == 0 {
+		n = probeBootstrapRows
+	} else if avg := float64(h.matchedTotal) / float64(h.probedRows); avg > 1 {
+		if limit := int(probeTargetMatches / avg); limit < n {
+			n = limit
+		}
+	}
+	if n < probeBootstrapRows {
+		n = probeBootstrapRows
+	}
+	if n > remaining {
+		n = remaining
+	}
+	return n
 }
 
 // matchedMask returns a cleared per-row mask of at least n entries.
@@ -146,6 +185,8 @@ func (h *HashJoin) Open(qc *QCtx) {
 		}
 		h.curBatch = nil
 		h.matchPos = 0
+		h.probeRows, h.probePos = nil, 0
+		h.probedRows, h.matchedTotal = 0, 0
 		return
 	}
 
@@ -204,6 +245,7 @@ func (h *HashJoin) Open(qc *QCtx) {
 	plVecs := make([]*vec.Vector, len(h.payloadIdx))
 	var sel []int32
 	for {
+		qc.checkCancel()
 		b := h.Build.Next(qc)
 		if b == nil {
 			break
@@ -231,6 +273,8 @@ func (h *HashJoin) Open(qc *QCtx) {
 	}
 	h.curBatch = nil
 	h.matchPos = 0
+	h.probeRows, h.probePos = nil, 0
+	h.probedRows, h.matchedTotal = 0, 0
 }
 
 func dropNullKeyRows(rows []int32, keys []*vec.Vector, sel []int32) ([]int32, []int32) {
@@ -274,8 +318,39 @@ func (h *HashJoin) Next(qc *QCtx) *vec.Batch {
 // probe rows are emitted with NULL payloads.
 func (h *HashJoin) nextInner(qc *QCtx) *vec.Batch {
 	for {
+		qc.checkCancel()
 		if h.curBatch != nil && h.matchPos < len(h.matchRows) {
 			return h.emitChunk(qc)
+		}
+		if h.curBatch != nil && h.probePos < len(h.probeRows) {
+			// Probe a bounded slice of the current batch. A row's matches
+			// all come from its own Probe call, so per-chunk outer-join
+			// bookkeeping stays correct.
+			chunk := h.probeRows[h.probePos : h.probePos+h.probeChunkRows(len(h.probeRows)-h.probePos)]
+			h.probePos += len(chunk)
+			start := time.Now()
+			mr, mc := h.j.Probe(h.keyVecs, chunk)
+			qc.Stats.Add(StatLookup, time.Since(start))
+			h.probedRows += int64(len(chunk))
+			h.matchedTotal += int64(len(mr))
+			if h.Kind == LeftOuter {
+				matched := h.matchedMask(physOf(h.curBatch))
+				for _, r := range mr {
+					matched[r] = true
+				}
+				for _, r := range chunk {
+					if !matched[r] {
+						mr = append(mr, r)
+						mc = append(mc, -1) // NULL payload marker
+					}
+				}
+			}
+			if len(mr) == 0 {
+				continue
+			}
+			h.matchRows, h.matchRecs = mr, mc
+			h.matchPos = 0
+			continue
 		}
 		b := h.Probe.Next(qc)
 		if b == nil {
@@ -289,30 +364,27 @@ func (h *HashJoin) nextInner(qc *QCtx) *vec.Batch {
 			h.keyVecs[i] = b.Vecs[pi]
 		}
 		probeRows, _ := dropNullKeyRows(rows, h.keyVecs, h.sel)
-		var mr, mc []int32
-		if len(probeRows) > 0 {
-			start := time.Now()
-			mr, mc = h.j.Probe(h.keyVecs, probeRows)
-			qc.Stats.Add(StatLookup, time.Since(start))
-		}
-		if h.Kind == LeftOuter {
-			matched := h.matchedMask(physOf(b))
-			for _, r := range mr {
-				matched[r] = true
+		h.curBatch = b
+		h.probeRows = probeRows
+		h.probePos = 0
+		h.matchRows, h.matchRecs = nil, nil
+		h.matchPos = 0
+		if h.Kind == LeftOuter && len(probeRows) < len(rows) {
+			// NULL-key rows never reach a Probe call; queue their NULL
+			// emissions for the outer join up front.
+			inProbe := h.matchedMask(physOf(b))
+			for _, r := range probeRows {
+				inProbe[r] = true
 			}
+			var mr, mc []int32
 			for _, r := range rows {
-				if !matched[r] {
+				if !inProbe[r] {
 					mr = append(mr, r)
-					mc = append(mc, -1) // NULL payload marker
+					mc = append(mc, -1)
 				}
 			}
+			h.matchRows, h.matchRecs = mr, mc
 		}
-		if len(mr) == 0 {
-			continue
-		}
-		h.curBatch = b
-		h.matchRows, h.matchRecs = mr, mc
-		h.matchPos = 0
 	}
 }
 
@@ -366,6 +438,7 @@ func (h *HashJoin) emitChunk(qc *QCtx) *vec.Batch {
 // probe batch with a narrowed selection (no copying).
 func (h *HashJoin) nextSemiAnti(qc *QCtx) *vec.Batch {
 	for {
+		qc.checkCancel()
 		b := h.Probe.Next(qc)
 		if b == nil {
 			return nil

@@ -79,6 +79,7 @@ func (s *Scan) Open(qc *QCtx) {
 
 // Next implements Op.
 func (s *Scan) Next(qc *QCtx) *vec.Batch {
+	qc.checkCancel() // scans are the leaves every pull loop bottoms out in
 	if s.pos >= s.blockLen {
 		bi, ok := s.nextBlock()
 		if !ok {

@@ -135,7 +135,9 @@ func forkCtx(qc *QCtx, n int) []*QCtx {
 	stores := qc.Store.Shard(n)
 	wqcs := make([]*QCtx, n)
 	for i := range wqcs {
-		wqcs[i] = &QCtx{Flags: qc.Flags, Store: stores[i], Stats: NewStats()}
+		// Workers share the query's cancellation signal so a deadline or
+		// client disconnect stops every morsel loop, not just the driver.
+		wqcs[i] = &QCtx{Flags: qc.Flags, Store: stores[i], Stats: NewStats(), done: qc.done}
 	}
 	return wqcs
 }

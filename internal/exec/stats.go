@@ -72,6 +72,23 @@ func (s *Stats) Get(name string) time.Duration {
 	return s.buckets[name]
 }
 
+// Snapshot returns a copy of every bucket. It is safe to call while
+// workers may still be flushing into the Stats (the server's /metrics
+// endpoint reads live queries this way) and the returned map is owned by
+// the caller.
+func (s *Stats) Snapshot() map[string]time.Duration {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]time.Duration, len(s.buckets))
+	for k, v := range s.buckets {
+		out[k] = v
+	}
+	return out
+}
+
 // Total sums all buckets.
 func (s *Stats) Total() time.Duration {
 	if s == nil {

@@ -1,0 +1,116 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+)
+
+// Admission-control errors, mapped to 429 by the HTTP layer.
+var (
+	// ErrSaturated means both every execution slot and every wait-queue
+	// position were taken at arrival time.
+	ErrSaturated = errors.New("server: saturated, admission queue full")
+	// ErrQueueTimeout means the query waited its full queue timeout
+	// without an execution slot freeing up.
+	ErrQueueTimeout = errors.New("server: timed out waiting for an execution slot")
+)
+
+// admission is the bounded-concurrency gate in front of the engine: at
+// most max queries execute at once, at most maxWait more wait in a FIFO
+// queue, and everything beyond that is rejected immediately. Waiters give
+// up on their queue timeout or when their request context dies.
+type admission struct {
+	mu      sync.Mutex
+	inUse   int
+	max     int
+	maxWait int
+	waiters []*waiter
+}
+
+// waiter is one queued acquire. granted flips under the mutex when a
+// release hands the slot over, which closes the race between a grant and
+// an abandoning waiter: whoever holds the mutex first wins, and a waiter
+// that finds itself granted after timing out keeps the slot (its query
+// context is typically dead too, so the query unwinds immediately and the
+// slot frees right back up).
+type waiter struct {
+	ch      chan struct{}
+	granted bool
+}
+
+func newAdmission(maxInFlight, maxQueue int) *admission {
+	return &admission{max: maxInFlight, maxWait: maxQueue}
+}
+
+// acquire claims an execution slot, waiting in FIFO order up to timeout.
+func (a *admission) acquire(ctx context.Context, timeout time.Duration) error {
+	a.mu.Lock()
+	if a.inUse < a.max {
+		a.inUse++
+		a.mu.Unlock()
+		return nil
+	}
+	if len(a.waiters) >= a.maxWait {
+		a.mu.Unlock()
+		return ErrSaturated
+	}
+	w := &waiter{ch: make(chan struct{})}
+	a.waiters = append(a.waiters, w)
+	a.mu.Unlock()
+
+	var expired <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		expired = t.C
+	}
+	select {
+	case <-w.ch:
+		return nil
+	case <-expired:
+		return a.abandon(w, ErrQueueTimeout)
+	case <-ctx.Done():
+		return a.abandon(w, context.Cause(ctx))
+	}
+}
+
+// abandon removes w from the queue, unless a release granted it the slot
+// in the race window — then the slot is kept and the acquire succeeds.
+func (a *admission) abandon(w *waiter, err error) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if w.granted {
+		return nil
+	}
+	for i, x := range a.waiters {
+		if x == w {
+			a.waiters = append(a.waiters[:i], a.waiters[i+1:]...)
+			break
+		}
+	}
+	return err
+}
+
+// release returns a slot: the longest-waiting queued query gets it,
+// otherwise the in-use count drops.
+func (a *admission) release() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.waiters) > 0 {
+		w := a.waiters[0]
+		a.waiters = a.waiters[1:]
+		w.granted = true
+		close(w.ch)
+		return
+	}
+	a.inUse--
+}
+
+// depth reports (in-flight, queued) for the metrics surface.
+func (a *admission) depth() (inFlight, queued int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.inUse, len(a.waiters)
+}

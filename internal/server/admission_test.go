@@ -1,0 +1,159 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAdmissionImmediate(t *testing.T) {
+	a := newAdmission(2, 2)
+	ctx := context.Background()
+	if err := a.acquire(ctx, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.acquire(ctx, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if in, q := a.depth(); in != 2 || q != 0 {
+		t.Fatalf("depth = (%d, %d), want (2, 0)", in, q)
+	}
+	a.release()
+	a.release()
+	if in, q := a.depth(); in != 0 || q != 0 {
+		t.Fatalf("after release: depth = (%d, %d), want (0, 0)", in, q)
+	}
+}
+
+func TestAdmissionSaturatedQueue(t *testing.T) {
+	a := newAdmission(1, 1)
+	ctx := context.Background()
+	if err := a.acquire(ctx, time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second acquire queues; fill the queue from a goroutine, then a
+	// third acquire must be turned away immediately.
+	queued := make(chan error, 1)
+	go func() { queued <- a.acquire(ctx, 5*time.Second) }()
+	for {
+		if _, q := a.depth(); q == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := a.acquire(ctx, time.Second); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("overflow acquire: %v, want ErrSaturated", err)
+	}
+
+	// Releasing the slot grants it to the queued waiter FIFO-style.
+	a.release()
+	if err := <-queued; err != nil {
+		t.Fatalf("queued acquire: %v", err)
+	}
+	a.release()
+}
+
+func TestAdmissionQueueTimeout(t *testing.T) {
+	a := newAdmission(1, 4)
+	ctx := context.Background()
+	if err := a.acquire(ctx, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	err := a.acquire(ctx, 30*time.Millisecond)
+	if !errors.Is(err, ErrQueueTimeout) {
+		t.Fatalf("got %v, want ErrQueueTimeout", err)
+	}
+	if d := time.Since(start); d > 500*time.Millisecond {
+		t.Fatalf("timeout took %v", d)
+	}
+	// The abandoned waiter must not hold a queue position.
+	if _, q := a.depth(); q != 0 {
+		t.Fatalf("queue depth = %d after timeout, want 0", q)
+	}
+	a.release()
+}
+
+func TestAdmissionContextCancel(t *testing.T) {
+	a := newAdmission(1, 4)
+	if err := a.acquire(context.Background(), time.Second); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- a.acquire(ctx, time.Minute) }()
+	for {
+		if _, q := a.depth(); q == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if _, q := a.depth(); q != 0 {
+		t.Fatalf("queue depth = %d after cancel, want 0", q)
+	}
+	a.release()
+}
+
+// TestAdmissionFIFO checks waiters are granted in arrival order.
+func TestAdmissionFIFO(t *testing.T) {
+	a := newAdmission(1, 8)
+	if err := a.acquire(context.Background(), time.Second); err != nil {
+		t.Fatal(err)
+	}
+	const n = 4
+	order := make(chan int, n)
+	for i := 0; i < n; i++ {
+		i := i
+		go func() {
+			if err := a.acquire(context.Background(), time.Minute); err == nil {
+				order <- i
+				a.release()
+			}
+		}()
+		// Serialize arrivals so queue order is deterministic.
+		for {
+			if _, q := a.depth(); q == i+1 {
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	a.release()
+	for want := 0; want < n; want++ {
+		if got := <-order; got != want {
+			t.Fatalf("grant order: got waiter %d, want %d", got, want)
+		}
+	}
+}
+
+// TestAdmissionStress hammers acquire/release from many goroutines and
+// checks the slot accounting ends balanced. Mostly a -race target.
+func TestAdmissionStress(t *testing.T) {
+	a := newAdmission(4, 16)
+	var wg sync.WaitGroup
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+				err := a.acquire(ctx, 10*time.Millisecond)
+				cancel()
+				if err == nil {
+					a.release()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if in, q := a.depth(); in != 0 || q != 0 {
+		t.Fatalf("depth = (%d, %d) after stress, want (0, 0)", in, q)
+	}
+}

@@ -1,0 +1,109 @@
+package server
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// latencyBounds are the histogram bucket upper bounds. Log-spaced from
+// 1 ms to 10 s; everything slower lands in the overflow bucket.
+var latencyBounds = [numBounds]time.Duration{
+	1 * time.Millisecond, 2 * time.Millisecond, 5 * time.Millisecond,
+	10 * time.Millisecond, 20 * time.Millisecond, 50 * time.Millisecond,
+	100 * time.Millisecond, 200 * time.Millisecond, 500 * time.Millisecond,
+	1 * time.Second, 2 * time.Second, 5 * time.Second, 10 * time.Second,
+}
+
+const numBounds = 13
+
+// histogram is a fixed-bucket latency histogram with atomic counters, so
+// the hot observe path never takes a lock and /metrics can read while
+// queries finish concurrently.
+type histogram struct {
+	counts [numBounds + 1]atomic.Int64
+	sumNs  atomic.Int64
+	maxNs  atomic.Int64
+}
+
+func (h *histogram) observe(d time.Duration) {
+	i := 0
+	for i < len(latencyBounds) && d > latencyBounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sumNs.Add(int64(d))
+	for {
+		cur := h.maxNs.Load()
+		if int64(d) <= cur || h.maxNs.CompareAndSwap(cur, int64(d)) {
+			return
+		}
+	}
+}
+
+// latencySummary is the JSON shape of the histogram on /metrics.
+type latencySummary struct {
+	Count   int64              `json:"count"`
+	MeanMs  float64            `json:"mean_ms"`
+	P50Ms   float64            `json:"p50_ms"`
+	P90Ms   float64            `json:"p90_ms"`
+	P99Ms   float64            `json:"p99_ms"`
+	MaxMs   float64            `json:"max_ms"`
+	Buckets map[string]int64   `json:"buckets"`
+}
+
+// summary renders counts, mean, max and bucket-interpolated quantiles.
+func (h *histogram) summary() latencySummary {
+	var counts [numBounds + 1]int64
+	var total int64
+	for i := range counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	s := latencySummary{Count: total, Buckets: make(map[string]int64, len(counts))}
+	for i, c := range counts {
+		label := "+inf"
+		if i < len(latencyBounds) {
+			label = latencyBounds[i].String()
+		}
+		if c > 0 {
+			s.Buckets["le_"+label] = c
+		}
+	}
+	if total == 0 {
+		return s
+	}
+	s.MeanMs = float64(h.sumNs.Load()) / float64(total) / 1e6
+	s.MaxMs = float64(h.maxNs.Load()) / 1e6
+	quantile := func(q float64) float64 {
+		rank := int64(q * float64(total))
+		var cum int64
+		for i, c := range counts {
+			cum += c
+			if cum > rank {
+				// Upper bound of the bucket; good enough at log spacing.
+				if i < len(latencyBounds) {
+					return float64(latencyBounds[i]) / 1e6
+				}
+				return float64(h.maxNs.Load()) / 1e6
+			}
+		}
+		return float64(h.maxNs.Load()) / 1e6
+	}
+	s.P50Ms = quantile(0.50)
+	s.P90Ms = quantile(0.90)
+	s.P99Ms = quantile(0.99)
+	return s
+}
+
+// metrics is the server's counter surface. Everything is atomic; the
+// /metrics handler assembles the JSON view in Server.metricsJSON, pulling
+// plan-cache, admission, pool and engine-stat numbers from their owners.
+type metrics struct {
+	started  atomic.Int64 // requests that reached admission
+	finished atomic.Int64 // queries that returned a result
+	rejected atomic.Int64 // admission rejections (saturated or queue timeout)
+	canceled atomic.Int64 // deadline exceeded or client disconnected
+	failed   atomic.Int64 // parse/plan/execution errors
+	rows     atomic.Int64 // result rows returned (pre-truncation)
+	latency  histogram    // wall time of finished queries (incl. canceled)
+}

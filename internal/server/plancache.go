@@ -1,0 +1,111 @@
+package server
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"ocht/internal/exec"
+)
+
+// planEntry is one cached compiled query: an operator-tree template that
+// is never executed directly — every run clones it with exec.ClonePlan —
+// plus the post-run ordering and limit the SQL layer derived.
+type planEntry struct {
+	root  exec.Op
+	order []exec.SortKey
+	limit int
+}
+
+// planCache maps normalized SQL text (already combined with the catalog
+// version by the caller) to compiled plans, so repeated queries skip
+// parse+compile. Eviction is FIFO: the workloads this serves re-issue a
+// small set of statement shapes, so anything beyond recency bookkeeping
+// buys nothing.
+type planCache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]*planEntry
+	order   []string
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+func newPlanCache(max int) *planCache {
+	return &planCache{max: max, entries: make(map[string]*planEntry)}
+}
+
+// get returns the cached entry and counts the hit or miss.
+func (c *planCache) get(key string) (*planEntry, bool) {
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	c.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return e, ok
+}
+
+// put stores a compiled plan, evicting the oldest entry at capacity.
+// Concurrent compilations of the same statement may both put; the second
+// simply overwrites the first with an equivalent plan.
+func (c *planCache) put(key string, e *planEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.entries[key]; !exists {
+		for len(c.entries) >= c.max && len(c.order) > 0 {
+			oldest := c.order[0]
+			c.order = c.order[1:]
+			delete(c.entries, oldest)
+		}
+		c.order = append(c.order, key)
+	}
+	c.entries[key] = e
+}
+
+// size reports the number of cached plans.
+func (c *planCache) size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// normalizeSQL collapses whitespace runs outside single-quoted string
+// literals to a single space. Whitespace is only ever a token separator
+// in the SQL dialect (no comments), so two statements with the same
+// normalization always parse identically. Case is deliberately left
+// alone: identifiers are matched as written, so folding case could alias
+// distinct statements.
+func normalizeSQL(q string) string {
+	var b strings.Builder
+	b.Grow(len(q))
+	inStr := false
+	pendingSpace := false
+	for i := 0; i < len(q); i++ {
+		ch := q[i]
+		if inStr {
+			b.WriteByte(ch)
+			if ch == '\'' {
+				inStr = false
+			}
+			continue
+		}
+		switch ch {
+		case ' ', '\t', '\n', '\r':
+			pendingSpace = true
+		default:
+			if pendingSpace && b.Len() > 0 {
+				b.WriteByte(' ')
+			}
+			pendingSpace = false
+			if ch == '\'' {
+				inStr = true
+			}
+			b.WriteByte(ch)
+		}
+	}
+	return b.String()
+}

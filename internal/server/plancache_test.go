@@ -1,0 +1,80 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestNormalizeSQL(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"SELECT COUNT(*) FROM t", "SELECT COUNT(*) FROM t"},
+		{"  SELECT   COUNT(*)\n\tFROM t  ", "SELECT COUNT(*) FROM t"},
+		{"SELECT a FROM t WHERE s = 'two  spaces'", "SELECT a FROM t WHERE s = 'two  spaces'"},
+		{"SELECT a FROM t WHERE s = 'tab\there'", "SELECT a FROM t WHERE s = 'tab\there'"},
+		{"", ""},
+		{"   ", ""},
+	}
+	for _, tc := range cases {
+		if got := normalizeSQL(tc.in); got != tc.want {
+			t.Errorf("normalizeSQL(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+
+	// Equivalent whitespace variants share a key; literal-content and
+	// identifier-case variants must not.
+	same := []string{"SELECT a FROM t", "SELECT  a  FROM  t", "\nSELECT\ta\nFROM t\n"}
+	for _, v := range same[1:] {
+		if normalizeSQL(v) != normalizeSQL(same[0]) {
+			t.Errorf("%q and %q should normalize identically", v, same[0])
+		}
+	}
+	if normalizeSQL("SELECT a FROM t") == normalizeSQL("SELECT A FROM t") {
+		t.Error("case folding must not alias distinct identifiers")
+	}
+	if normalizeSQL("SELECT a FROM t WHERE s = 'x y'") == normalizeSQL("SELECT a FROM t WHERE s = 'x  y'") {
+		t.Error("whitespace inside string literals must be preserved")
+	}
+}
+
+func TestPlanCacheHitMiss(t *testing.T) {
+	c := newPlanCache(4)
+	if _, ok := c.get("k1"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.put("k1", &planEntry{limit: -1})
+	if e, ok := c.get("k1"); !ok || e.limit != -1 {
+		t.Fatal("expected hit after put")
+	}
+	if h, m := c.hits.Load(), c.misses.Load(); h != 1 || m != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 1/1", h, m)
+	}
+}
+
+func TestPlanCacheEviction(t *testing.T) {
+	c := newPlanCache(3)
+	for i := 0; i < 5; i++ {
+		c.put(fmt.Sprintf("k%d", i), &planEntry{limit: i})
+	}
+	if got := c.size(); got != 3 {
+		t.Fatalf("size = %d, want 3", got)
+	}
+	// FIFO: oldest two evicted, newest three present.
+	for i := 0; i < 2; i++ {
+		if _, ok := c.get(fmt.Sprintf("k%d", i)); ok {
+			t.Errorf("k%d should have been evicted", i)
+		}
+	}
+	for i := 2; i < 5; i++ {
+		if _, ok := c.get(fmt.Sprintf("k%d", i)); !ok {
+			t.Errorf("k%d missing", i)
+		}
+	}
+	// Overwriting an existing key must not grow the order list.
+	c.put("k4", &planEntry{limit: 40})
+	if e, _ := c.get("k4"); e.limit != 40 {
+		t.Fatal("overwrite did not take")
+	}
+	if got := c.size(); got != 3 {
+		t.Fatalf("size after overwrite = %d, want 3", got)
+	}
+}

@@ -1,0 +1,51 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"ocht/internal/ussr"
+)
+
+// ussrPool recycles USSR regions across queries. The USSR is a
+// query-lifetime structure with a fixed 768 kB footprint; under load,
+// allocating (and page-faulting) a fresh region per request is pure
+// overhead, so finished queries return their region here and new queries
+// acquire a zeroed one. Regions are Reset on release — never on the
+// acquire path — so a frozen region (the parallel executor freezes the
+// USSR for sharing) can never leak into a new query even if a release is
+// forgotten somewhere: acquire refuses dirty regions outright.
+type ussrPool struct {
+	p         sync.Pool
+	reused    atomic.Int64
+	allocated atomic.Int64
+	// dirty counts regions that arrived at acquire frozen or non-empty.
+	// Always zero unless a release-path bug slips in; exported on
+	// /metrics and asserted zero by the concurrency tests.
+	dirty atomic.Int64
+}
+
+// acquire returns an unfrozen, empty region.
+func (up *ussrPool) acquire() *ussr.USSR {
+	if v := up.p.Get(); v != nil {
+		u := v.(*ussr.USSR)
+		if u.Frozen() || u.Stats().Count != 0 {
+			up.dirty.Add(1)
+			u.Reset()
+		}
+		up.reused.Add(1)
+		return u
+	}
+	up.allocated.Add(1)
+	return ussr.New()
+}
+
+// release zeroes the region and returns it to the pool. Safe to call with
+// frozen regions (Reset unfreezes) and with nil.
+func (up *ussrPool) release(u *ussr.USSR) {
+	if u == nil {
+		return
+	}
+	u.Reset()
+	up.p.Put(u)
+}

@@ -1,6 +1,7 @@
 package sql
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -12,6 +13,13 @@ import (
 // Run parses, plans and executes a SELECT statement under the given query
 // context (which carries the technique flags).
 func Run(query string, cat *storage.Catalog, qc *exec.QCtx) (*exec.Result, error) {
+	return RunCtx(context.Background(), query, cat, qc)
+}
+
+// RunCtx is Run under a cancellation context: the deadline (or caller
+// cancellation) is polled per batch by every operator, so long scans
+// stop and the call returns an error wrapping exec.ErrCanceled.
+func RunCtx(ctx context.Context, query string, cat *storage.Catalog, qc *exec.QCtx) (*exec.Result, error) {
 	stmt, err := Parse(query)
 	if err != nil {
 		return nil, err
@@ -20,7 +28,10 @@ func Run(query string, cat *storage.Catalog, qc *exec.QCtx) (*exec.Result, error
 	if err != nil {
 		return nil, err
 	}
-	res := exec.Run(qc, root)
+	res, err := exec.RunCtx(ctx, qc, root)
+	if err != nil {
+		return nil, err
+	}
 	if len(order) > 0 {
 		res.OrderBy(order...)
 	}

@@ -352,14 +352,22 @@ func (t *Table) ColIndex(name string) int {
 
 // Catalog maps table names to tables.
 type Catalog struct {
-	tables map[string]*Table
+	tables  map[string]*Table
+	version uint64
 }
 
 // NewCatalog creates an empty catalog.
 func NewCatalog() *Catalog { return &Catalog{tables: map[string]*Table{}} }
 
-// Add registers a table.
-func (c *Catalog) Add(t *Table) { c.tables[t.Name] = t }
+// Add registers a table and bumps the catalog version.
+func (c *Catalog) Add(t *Table) {
+	c.tables[t.Name] = t
+	c.version++
+}
+
+// Version counts catalog mutations. Plan caches key on it so a cached
+// plan is never reused against a catalog whose tables changed.
+func (c *Catalog) Version() uint64 { return c.version }
 
 // Table looks a table up by name.
 func (c *Catalog) Table(name string) *Table {

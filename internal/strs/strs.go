@@ -53,6 +53,13 @@ func NewStore(useUSSR bool) *Store {
 	return s
 }
 
+// NewStoreUSSR creates a USSR-enabled store around an existing region
+// instead of allocating one. The query service pools regions across
+// requests this way; u must be unfrozen and empty (ussr.Reset).
+func NewStoreUSSR(u *ussr.USSR) *Store {
+	return &Store{UseUSSR: true, U: u}
+}
+
 // Shard prepares the store for parallel execution and returns n worker
 // stores. Each worker store shares the (frozen or about-to-be-frozen)
 // USSR and the shard table but owns a private heap, so worker Interns

@@ -1,6 +1,7 @@
 package tpch
 
 import (
+	"context"
 	"fmt"
 
 	"ocht/internal/agg"
@@ -19,6 +20,19 @@ func Q(n int, cat *storage.Catalog, qc *exec.QCtx) *exec.Result {
 		panic(fmt.Sprintf("tpch: no query %d", n))
 	}
 	return queryFuncs[n-1](cat, qc)
+}
+
+// QContext runs query n under a cancellable context: when ctx expires or
+// is canceled mid-execution the engine unwinds (workers included) and
+// QContext returns exec.ErrCanceled instead of a result.
+func QContext(ctx context.Context, n int, cat *storage.Catalog, qc *exec.QCtx) (res *exec.Result, err error) {
+	qc.AttachContext(ctx)
+	defer qc.AttachContext(nil)
+	err = exec.CatchCancel(func() { res = Q(n, cat, qc) })
+	if err != nil && ctx != nil && ctx.Err() != nil {
+		err = fmt.Errorf("%w: %v", exec.ErrCanceled, ctx.Err())
+	}
+	return res, err
 }
 
 var queryFuncs = [22]func(*storage.Catalog, *exec.QCtx) *exec.Result{
