@@ -6,11 +6,19 @@
 //
 //	ocht-serve -addr :8080 -data tpch -sf 0.01
 //	ocht-serve -load ./dataset -max-inflight 8 -queue 64
+//	ocht-serve -data none -data-dir ./state -fsync always
 //	curl -s localhost:8080/query -d '{"sql":"SELECT COUNT(*) FROM lineitem"}'
+//	curl -s localhost:8080/query -d '{"sql":"CREATE TABLE ev (id BIGINT NOT NULL, kind TEXT)"}'
 //	curl -s localhost:8080/metrics
 //
+// With -data-dir the server opens a WAL-backed ingest engine rooted at
+// that directory: tables previously created there are recovered (sealed
+// checkpoints + WAL replay) before the listener starts, and CREATE
+// TABLE / INSERT / COPY statements are accepted on POST /query.
+//
 // SIGINT/SIGTERM trigger a graceful drain: in-flight queries finish (or
-// hit their deadlines), then the process exits 0.
+// hit their deadlines), then the ingest engine checkpoints and closes,
+// then the process exits 0.
 package main
 
 import (
@@ -27,6 +35,7 @@ import (
 
 	"ocht/internal/bi"
 	"ocht/internal/core"
+	"ocht/internal/ingest"
 	"ocht/internal/server"
 	"ocht/internal/sql"
 	"ocht/internal/storage"
@@ -51,7 +60,7 @@ func parseFlags(s string) (core.Flags, error) {
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
-	data := flag.String("data", "tpch", "dataset: tpch | bi | both")
+	data := flag.String("data", "tpch", "dataset: tpch | bi | both | none")
 	sf := flag.Float64("sf", 0.01, "TPC-H scale factor")
 	rows := flag.Int("rows", 50_000, "BI workload rows")
 	seed := flag.Int64("seed", 42, "generator seed")
@@ -65,6 +74,8 @@ func main() {
 	maxTimeout := flag.Duration("max-timeout", 5*time.Minute, "cap on client-requested deadlines")
 	planCache := flag.Int("plan-cache", 256, "plan cache entries")
 	maxRows := flag.Int("max-result-rows", 1<<20, "rows returned per response before truncation")
+	dataDir := flag.String("data-dir", "", "enable the write path: WAL + checkpoint directory (recovered at boot)")
+	fsync := flag.String("fsync", "always", "WAL durability: always | interval | none (with -data-dir)")
 	flag.Parse()
 
 	flags, err := parseFlags(*flagsName)
@@ -97,8 +108,30 @@ func main() {
 			add(bi.Gen(*rows, *seed), "contracts", "vendors")
 		}
 	}
-	if cat.Tables() == 0 {
-		fmt.Fprintln(os.Stderr, "no tables loaded; check -data/-load")
+
+	// The write path: recover WAL-backed tables into the catalog before
+	// the listener starts, so the first request already sees them.
+	var eng *ingest.Engine
+	if *dataDir != "" {
+		policy, err := ingest.ParseFsyncPolicy(*fsync)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		eng, err = ingest.Open(*dataDir, cat, ingest.Config{
+			Fsync: policy,
+			Logf:  func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) },
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ingest: %v\n", err)
+			os.Exit(1)
+		}
+		st := eng.Stats()
+		fmt.Fprintf(os.Stderr, "ingest: %s (%d tables, %d rows recovered, fsync=%s)\n",
+			*dataDir, st.Tables, st.RecoveredRows, policy)
+	}
+	if cat.Tables() == 0 && eng == nil {
+		fmt.Fprintln(os.Stderr, "no tables loaded; check -data/-load (or pass -data-dir for a write-only start)")
 		os.Exit(1)
 	}
 
@@ -116,6 +149,7 @@ func main() {
 		MaxTimeout:     *maxTimeout,
 		PlanCacheSize:  *planCache,
 		MaxResultRows:  *maxRows,
+		Ingest:         eng,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
@@ -135,6 +169,14 @@ func main() {
 		if err := httpSrv.Shutdown(ctx); err != nil {
 			fmt.Fprintf(os.Stderr, "shutdown: %v\n", err)
 			os.Exit(1)
+		}
+		// Requests have drained; seal, checkpoint and close the WAL so
+		// the next boot recovers from checkpoints instead of replaying.
+		if eng != nil {
+			if err := eng.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "ingest close: %v\n", err)
+				os.Exit(1)
+			}
 		}
 		fmt.Fprintln(os.Stderr, "shutdown complete")
 	case err := <-errCh:

@@ -7,6 +7,7 @@
 //
 //	ocht-sql -data tpch -sf 0.01
 //	ocht-sql -data bi -rows 100000
+//	ocht-sql -data none -data-dir ./state    # writable: CREATE/INSERT/COPY
 //	echo "SELECT COUNT(*) FROM lineitem" | ocht-sql -data tpch
 package main
 
@@ -21,48 +22,86 @@ import (
 	"ocht/internal/bi"
 	"ocht/internal/core"
 	"ocht/internal/exec"
+	"ocht/internal/ingest"
 	"ocht/internal/sql"
 	"ocht/internal/storage"
 	"ocht/internal/tpch"
 )
 
 func main() {
-	data := flag.String("data", "tpch", "dataset: tpch | bi | both")
+	data := flag.String("data", "tpch", "dataset: tpch | bi | both | none")
 	sf := flag.Float64("sf", 0.01, "TPC-H scale factor")
 	rows := flag.Int("rows", 50_000, "BI workload rows")
 	seed := flag.Int64("seed", 42, "generator seed")
 	load := flag.String("load", "", "load a saved dataset directory (see ocht-dbgen) instead of generating")
+	dataDir := flag.String("data-dir", "", "enable CREATE/INSERT/COPY: WAL + checkpoint directory (recovered at start)")
+	fsync := flag.String("fsync", "always", "WAL durability: always | interval | none (with -data-dir)")
 	flag.Parse()
 
+	var cat *storage.Catalog
 	if *load != "" {
 		loaded, err := storage.LoadCatalog(*load)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		repl(loaded)
-		return
-	}
-	cat := storage.NewCatalog()
-	add := func(src *storage.Catalog, names ...string) {
-		for _, n := range names {
-			cat.Add(src.Table(n))
+		cat = loaded
+	} else {
+		cat = storage.NewCatalog()
+		add := func(src *storage.Catalog, names ...string) {
+			for _, n := range names {
+				cat.Add(src.Table(n))
+			}
+		}
+		if *data == "tpch" || *data == "both" {
+			fmt.Fprintf(os.Stderr, "generating TPC-H SF %g...\n", *sf)
+			add(tpch.Gen(*sf, *seed), "region", "nation", "supplier", "customer",
+				"part", "partsupp", "orders", "lineitem")
+		}
+		if *data == "bi" || *data == "both" {
+			fmt.Fprintf(os.Stderr, "generating BI workload (%d rows)...\n", *rows)
+			add(bi.Gen(*rows, *seed), "contracts", "vendors")
 		}
 	}
-	if *data == "tpch" || *data == "both" {
-		fmt.Fprintf(os.Stderr, "generating TPC-H SF %g...\n", *sf)
-		add(tpch.Gen(*sf, *seed), "region", "nation", "supplier", "customer",
-			"part", "partsupp", "orders", "lineitem")
+
+	var eng *ingest.Engine
+	if *dataDir != "" {
+		policy, err := ingest.ParseFsyncPolicy(*fsync)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		eng, err = ingest.Open(*dataDir, cat, ingest.Config{Fsync: policy})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		st := eng.Stats()
+		fmt.Fprintf(os.Stderr, "ingest: %s (%d tables, %d rows recovered)\n",
+			*dataDir, st.Tables, st.RecoveredRows)
+		defer func() {
+			if err := eng.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "ingest close:", err)
+			}
+		}()
 	}
-	if *data == "bi" || *data == "both" {
-		fmt.Fprintf(os.Stderr, "generating BI workload (%d rows)...\n", *rows)
-		add(bi.Gen(*rows, *seed), "contracts", "vendors")
-	}
-	repl(cat)
+	repl(cat, eng)
 }
 
-// repl reads statements from stdin and executes them against cat.
-func repl(cat *storage.Catalog) {
+// isWriteSQL reports whether the statement's leading keyword routes it
+// to the ingest engine rather than the query planner.
+func isWriteSQL(q string) bool {
+	word, _, _ := strings.Cut(strings.TrimSpace(q), " ")
+	switch strings.ToUpper(word) {
+	case "CREATE", "INSERT", "COPY":
+		return true
+	}
+	return false
+}
+
+// repl reads statements from stdin and executes them against cat; write
+// statements go through eng when one is attached.
+func repl(cat *storage.Catalog, eng *ingest.Engine) {
 	flags := core.All()
 	timing := true
 	in := bufio.NewScanner(os.Stdin)
@@ -94,6 +133,27 @@ func repl(cat *storage.Catalog) {
 				flags = core.All()
 			default:
 				fmt.Fprintln(os.Stderr, "unknown flags; use vanilla|ussr|cht|all")
+			}
+			continue
+		}
+		if isWriteSQL(line) {
+			if eng == nil {
+				fmt.Fprintln(os.Stderr, "read-only session: restart with -data-dir to enable writes")
+				continue
+			}
+			stmt, err := sql.ParseStatement(line)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				continue
+			}
+			start := time.Now()
+			n, err := eng.Apply(stmt)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				continue
+			}
+			if timing {
+				fmt.Fprintf(os.Stderr, "(%d rows affected, %v)\n", n, time.Since(start).Round(time.Microsecond))
 			}
 			continue
 		}

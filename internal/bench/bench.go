@@ -32,25 +32,27 @@ func DefaultConfig() Config {
 
 // Runner names every experiment.
 var Runners = map[string]func(w io.Writer, cfg Config){
-	"fig4":   Fig4,
-	"table2": Table2,
-	"fig5":   Fig5,
-	"table3": Table3,
-	"fig6":   Fig6,
-	"fig7":   Fig7,
-	"fig8":   Fig8,
-	"fig9":   Fig9,
+	"fig4":    Fig4,
+	"table2":  Table2,
+	"fig5":    Fig5,
+	"table3":  Table3,
+	"fig6":    Fig6,
+	"fig7":    Fig7,
+	"fig8":    Fig8,
+	"fig9":    Fig9,
 	"table4":  Table4,
 	"fig10":   Fig10,
 	"fig11":   Fig11,
 	"scaling": Scaling,
+	"ingest":  IngestExp,
 }
 
-// RunnerNames lists the experiments in paper order; the scaling
-// experiment (not in the paper, which measures single-threaded) goes last.
+// RunnerNames lists the experiments in paper order; the scaling and
+// ingest experiments (not in the paper, which measures single-threaded
+// reads over static data) go last.
 var RunnerNames = []string{
 	"fig4", "table2", "fig5", "table3", "fig6",
-	"fig7", "fig8", "fig9", "table4", "fig10", "fig11", "scaling",
+	"fig7", "fig8", "fig9", "table4", "fig10", "fig11", "scaling", "ingest",
 }
 
 // All runs every experiment in paper order.

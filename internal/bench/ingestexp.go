@@ -1,0 +1,134 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"ocht/internal/ingest"
+	"ocht/internal/sql"
+	"ocht/internal/storage"
+	"ocht/internal/vec"
+)
+
+// IngestExp measures the WAL-backed write path: rows/sec as a function of
+// batch size under each fsync policy, plus one multi-writer point per
+// policy that shows group commit amortizing fsyncs (commit_groups well
+// under commit_requests). One JSON record per point. Durability is the
+// knob: fsync=always pays one disk flush per commit group, so small
+// batches are fsync-bound and large batches approach the fsync=none
+// encode/publish ceiling.
+func IngestExp(w io.Writer, cfg Config) {
+	header(w, "Ingest: WAL group commit, rows/sec vs batch size and fsync policy")
+	rows := cfg.BIRows / 10
+	if rows < 1_000 {
+		rows = 1_000
+	}
+	fmt.Fprintf(w, "rows/point=%d (fsync=always capped at 256 commits/point)\n", rows)
+
+	for _, policy := range []ingest.FsyncPolicy{ingest.FsyncNone, ingest.FsyncInterval, ingest.FsyncAlways} {
+		for _, batch := range []int{1, 16, 256, 4096} {
+			n := rows
+			if policy == ingest.FsyncAlways && n > batch*256 {
+				// One fsync per commit: cap the commit count so the
+				// batch=1 point finishes on laptop disks.
+				n = batch * 256
+			}
+			ingestPoint(w, policy, batch, 1, n)
+		}
+		ingestPoint(w, policy, 8, 8, rows)
+	}
+}
+
+// ingestPoint ingests n rows in batches of the given size across the
+// given number of concurrent writers into a fresh engine, and emits one
+// JSON record with throughput and the engine's commit/WAL counters.
+func ingestPoint(w io.Writer, policy ingest.FsyncPolicy, batch, writers, n int) {
+	dir, err := os.MkdirTemp("", "ocht-ingest-bench-*")
+	if err != nil {
+		fmt.Fprintf(w, "ingest: %v\n", err)
+		return
+	}
+	defer os.RemoveAll(dir)
+	eng, err := ingest.Open(dir, storage.NewCatalog(), ingest.Config{Fsync: policy})
+	if err != nil {
+		fmt.Fprintf(w, "ingest: %v\n", err)
+		return
+	}
+	err = eng.CreateTable("bench", []sql.ColDef{
+		{Name: "id", Type: vec.I64, Nullable: false},
+		{Name: "tag", Type: vec.Str, Nullable: false},
+		{Name: "v", Type: vec.I64, Nullable: false},
+	}, false)
+	if err != nil {
+		fmt.Fprintf(w, "ingest: %v\n", err)
+		return
+	}
+
+	tags := []string{"alpha", "beta", "gamma", "delta"}
+	mkBatch := func(start, count int) []ingest.Row {
+		out := make([]ingest.Row, count)
+		for i := range out {
+			id := start + i
+			out[i] = ingest.Row{ingest.Int(int64(id)), ingest.Str(tags[id%len(tags)]), ingest.Int(int64(id * 7))}
+		}
+		return out
+	}
+
+	per := n / writers
+	start := time.Now()
+	var wg sync.WaitGroup
+	for wr := 0; wr < writers; wr++ {
+		wg.Add(1)
+		go func(wr int) {
+			defer wg.Done()
+			for off := 0; off < per; off += batch {
+				count := batch
+				if off+count > per {
+					count = per - off
+				}
+				if _, err := eng.Insert("bench", mkBatch(wr*per+off, count)); err != nil {
+					fmt.Fprintf(os.Stderr, "ingest bench: %v\n", err)
+					return
+				}
+			}
+		}(wr)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	st := eng.Stats()
+	if err := eng.Close(); err != nil {
+		fmt.Fprintf(w, "ingest close: %v\n", err)
+		return
+	}
+
+	rec := struct {
+		Exp          string  `json:"exp"`
+		Fsync        string  `json:"fsync"`
+		Batch        int     `json:"batch"`
+		Writers      int     `json:"writers"`
+		Rows         int64   `json:"rows"`
+		TimeMs       float64 `json:"time_ms"`
+		RowsPerSec   float64 `json:"rows_per_sec"`
+		CommitGroups int64   `json:"commit_groups"`
+		CommitReqs   int64   `json:"commit_requests"`
+		WalSyncs     int64   `json:"wal_syncs"`
+		WalMB        float64 `json:"wal_mb"`
+		BlocksSealed int64   `json:"blocks_sealed"`
+	}{
+		Exp: "ingest", Fsync: policy.String(), Batch: batch, Writers: writers,
+		Rows:         st.RowsIngested,
+		TimeMs:       float64(elapsed.Microseconds()) / 1000,
+		RowsPerSec:   float64(st.RowsIngested) / elapsed.Seconds(),
+		CommitGroups: st.CommitGroups,
+		CommitReqs:   st.CommitRequests,
+		WalSyncs:     st.WALSyncs,
+		WalMB:        float64(st.WALBytes) / (1 << 20),
+		BlocksSealed: st.BlocksSealed,
+	}
+	js, _ := json.Marshal(rec)
+	fmt.Fprintln(w, string(js))
+}

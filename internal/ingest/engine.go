@@ -1,0 +1,750 @@
+// Package ingest is the write path of the engine: CREATE TABLE, INSERT
+// and COPY execute here. Each table gets a write-ahead log with group
+// commit (one fsync covers every Insert waiting in line), committed rows
+// are published to the shared catalog as copy-on-write table versions
+// (readers pin a storage.Snapshot and never see a half-appended block),
+// and a background sealer cuts full 64Ki-row blocks — zone maps and
+// per-block string dictionaries included — and checkpoints them to disk
+// in the OCHT binary format. On startup the engine replays each WAL past
+// its checkpoint, truncating torn tails, so an unclean shutdown loses at
+// most the commits the fsync policy had not yet made durable.
+package ingest
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ocht/internal/sql"
+	"ocht/internal/storage"
+)
+
+// FsyncPolicy says when WAL writes reach stable storage.
+type FsyncPolicy uint8
+
+const (
+	// FsyncAlways syncs once per commit group before acknowledging.
+	FsyncAlways FsyncPolicy = iota
+	// FsyncInterval acknowledges after the write and syncs on a timer.
+	FsyncInterval
+	// FsyncNone leaves syncing to the OS page cache.
+	FsyncNone
+)
+
+func (p FsyncPolicy) String() string {
+	switch p {
+	case FsyncAlways:
+		return "always"
+	case FsyncInterval:
+		return "interval"
+	case FsyncNone:
+		return "none"
+	}
+	return fmt.Sprintf("FsyncPolicy(%d)", uint8(p))
+}
+
+// ParseFsyncPolicy parses "always", "interval" or "none".
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch strings.ToLower(s) {
+	case "always":
+		return FsyncAlways, nil
+	case "interval":
+		return FsyncInterval, nil
+	case "none":
+		return FsyncNone, nil
+	}
+	return 0, fmt.Errorf("ingest: unknown fsync policy %q (want always, interval or none)", s)
+}
+
+// Config tunes an Engine. The zero value is a safe default.
+type Config struct {
+	Fsync        FsyncPolicy
+	SyncInterval time.Duration // FsyncInterval period; default 50ms
+	SealInterval time.Duration // sealer wake period; default 250ms
+	// DisableSealer stops the background goroutine; tests drive sealing
+	// deterministically through Flush instead.
+	DisableSealer bool
+	// Logf receives recovery and background-error messages. Nil discards.
+	Logf func(format string, args ...interface{})
+}
+
+// ErrClosed is returned by writes against a closed engine.
+var ErrClosed = errors.New("ingest: engine is closed")
+
+// tableState is the per-table write state. The WAL writer goroutine is
+// the only appender; mu guards the fields shared with the sealer and
+// with readers of Stats.
+type tableState struct {
+	name   string
+	schema []sql.ColDef
+
+	mu            sync.Mutex
+	sealed        *storage.Table // immutable prefix of full blocks
+	sealedRows    int64
+	persistedRows int64 // prefix of sealedRows already in the .ocht file
+	tail          []Row // rows after the sealed prefix
+	walErr        error // sticky WAL failure; poisons further writes
+
+	reqCh     chan *walReq
+	compactCh chan struct{}
+	flushCh   chan chan error
+
+	// Owned by the WAL writer goroutine (and Close, after it exits).
+	wal     *os.File
+	walPath string
+	dirty   bool
+
+	persistMu sync.Mutex // serializes checkpoint writes (sealer vs Flush/Close)
+}
+
+func newTableState(name string, schema []sql.ColDef, wal *os.File, walPath string) *tableState {
+	return &tableState{
+		name:      name,
+		schema:    schema,
+		reqCh:     make(chan *walReq, maxGroup),
+		compactCh: make(chan struct{}, 1),
+		flushCh:   make(chan chan error),
+		wal:       wal,
+		walPath:   walPath,
+	}
+}
+
+// Engine owns a data directory and executes write statements against the
+// shared catalog.
+type Engine struct {
+	dir string
+	cat *storage.Catalog
+	cfg Config
+
+	mu     sync.RWMutex
+	tables map[string]*tableState
+	closed bool
+
+	sealCh    chan struct{}
+	stopCh    chan struct{}
+	wg        sync.WaitGroup
+	abandoned atomic.Bool
+
+	rowsIngested   atomic.Int64
+	commitGroups   atomic.Int64
+	commitReqs     atomic.Int64
+	walSyncs       atomic.Int64
+	walBytes       atomic.Int64
+	walCompactions atomic.Int64
+	blocksSealed   atomic.Int64
+	checkpoints    atomic.Int64
+	recoveredRows  atomic.Int64
+}
+
+var identRe = regexp.MustCompile(`^[A-Za-z_][A-Za-z0-9_]{0,63}$`)
+
+// Open creates or recovers the ingest state in dir, registering every
+// recovered table (checkpoint plus replayed WAL tail) in cat.
+func Open(dir string, cat *storage.Catalog, cfg Config) (*Engine, error) {
+	if cfg.SyncInterval <= 0 {
+		cfg.SyncInterval = 50 * time.Millisecond
+	}
+	if cfg.SealInterval <= 0 {
+		cfg.SealInterval = 250 * time.Millisecond
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...interface{}) {}
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "wal"), 0o755); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		dir:    dir,
+		cat:    cat,
+		cfg:    cfg,
+		tables: map[string]*tableState{},
+		sealCh: make(chan struct{}, 1),
+		stopCh: make(chan struct{}),
+	}
+	names, err := e.scanTables()
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range names {
+		if err := e.recoverTable(name); err != nil {
+			return nil, fmt.Errorf("ingest: recover %s: %w", name, err)
+		}
+	}
+	if !cfg.DisableSealer {
+		e.wg.Add(1)
+		go e.runSealer()
+	}
+	return e, nil
+}
+
+// Dir returns the data directory.
+func (e *Engine) Dir() string { return e.dir }
+
+func (e *Engine) walDir() string { return filepath.Join(e.dir, "wal") }
+
+// scanTables lists table names present on disk: checkpoint files and/or
+// WAL files.
+func (e *Engine) scanTables() ([]string, error) {
+	seen := map[string]bool{}
+	ents, err := os.ReadDir(e.dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, ent := range ents {
+		if n, ok := strings.CutSuffix(ent.Name(), ".ocht"); ok && identRe.MatchString(n) {
+			seen[n] = true
+		}
+	}
+	ents, err = os.ReadDir(e.walDir())
+	if err != nil {
+		return nil, err
+	}
+	for _, ent := range ents {
+		if n, ok := strings.CutSuffix(ent.Name(), ".wal"); ok && identRe.MatchString(n) {
+			seen[n] = true
+		}
+	}
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// recoverTable rebuilds one table: load the checkpoint, replay the WAL
+// past it (clipping records the checkpoint already covers via their
+// startRow), truncate any torn tail, publish, and start the writer.
+func (e *Engine) recoverTable(name string) error {
+	ochtPath := filepath.Join(e.dir, name+".ocht")
+	walPath := filepath.Join(e.walDir(), name+".wal")
+
+	var sealed *storage.Table
+	persisted := int64(0)
+	if f, err := os.Open(ochtPath); err == nil {
+		t, rerr := storage.ReadTable(bufio.NewReaderSize(f, 1<<20))
+		f.Close()
+		if rerr != nil {
+			return fmt.Errorf("read %s: %w", ochtPath, rerr)
+		}
+		if t.Name != name {
+			return fmt.Errorf("%s holds table %q", ochtPath, t.Name)
+		}
+		sealed = t
+		persisted = int64(t.Rows())
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+
+	var schema []sql.ColDef
+	var recs []insertRec
+	if fi, err := os.Stat(walPath); err == nil {
+		var keep int64
+		schema, recs, keep, err = readWAL(walPath)
+		if err != nil {
+			return err
+		}
+		if keep < fi.Size() {
+			e.cfg.Logf("ingest: %s: truncating torn WAL at byte %d (file was %d)", name, keep, fi.Size())
+			if err := os.Truncate(walPath, keep); err != nil {
+				return err
+			}
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+
+	switch {
+	case schema == nil && sealed == nil:
+		e.cfg.Logf("ingest: %s: no schema record and no checkpoint; skipping", name)
+		return nil
+	case schema == nil:
+		schema = schemaFromTable(sealed)
+	case sealed != nil:
+		if err := checkSchema(schema, sealed); err != nil {
+			return err
+		}
+	}
+	if sealed == nil {
+		sealed = buildTable(name, schema, nil)
+	}
+
+	var tail []Row
+	next := persisted
+	for _, rec := range recs {
+		end := rec.startRow + int64(len(rec.rows))
+		if end <= persisted {
+			continue // fully covered by the checkpoint
+		}
+		rows := rec.rows
+		start := rec.startRow
+		if start < persisted {
+			rows = rows[persisted-start:]
+			start = persisted
+		}
+		if start != next {
+			e.cfg.Logf("ingest: %s: WAL gap at row %d (expected %d); dropping later records", name, start, next)
+			break
+		}
+		tail = append(tail, rows...)
+		next = end
+	}
+	e.recoveredRows.Add(int64(len(tail)))
+
+	wf, err := os.OpenFile(walPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if fi, err := wf.Stat(); err == nil && fi.Size() == 0 {
+		// Checkpoint-only table (or empty WAL): seed the log so future
+		// appends have a schema record in front of them.
+		var buf bytes.Buffer
+		buf.WriteString(walMagic)
+		appendRecord(&buf, walSchema, encodeSchema(schema))
+		if _, err := wf.Write(buf.Bytes()); err != nil {
+			wf.Close()
+			return err
+		}
+		if err := wf.Sync(); err != nil {
+			wf.Close()
+			return err
+		}
+	}
+
+	st := newTableState(name, schema, wf, walPath)
+	st.sealed = sealed
+	st.sealedRows = persisted
+	st.persistedRows = persisted
+	st.tail = tail
+	e.tables[name] = st
+	e.cat.Add(storage.ExtendTable(sealed, buildTable(name, schema, tail)))
+	e.wg.Add(1)
+	go e.runWAL(st)
+	return nil
+}
+
+// CreateTable registers a new writable table. The schema record is
+// fsynced to the WAL before the (empty) table becomes visible, so a
+// created table survives any crash.
+func (e *Engine) CreateTable(name string, cols []sql.ColDef, ifNotExists bool) error {
+	if !identRe.MatchString(name) {
+		return fmt.Errorf("ingest: invalid table name %q", name)
+	}
+	if len(cols) == 0 {
+		return fmt.Errorf("ingest: table %s needs at least one column", name)
+	}
+	seen := map[string]bool{}
+	for _, cd := range cols {
+		if !identRe.MatchString(cd.Name) {
+			return fmt.Errorf("ingest: invalid column name %q", cd.Name)
+		}
+		if seen[cd.Name] {
+			return fmt.Errorf("ingest: duplicate column %s", cd.Name)
+		}
+		seen[cd.Name] = true
+		if !validColType(cd.Type) {
+			return fmt.Errorf("ingest: column %s has unsupported type %s", cd.Name, cd.Type)
+		}
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrClosed
+	}
+	if _, ok := e.tables[name]; ok {
+		if ifNotExists {
+			return nil
+		}
+		return fmt.Errorf("ingest: table %s already exists", name)
+	}
+	if _, ok := e.cat.TableOK(name); ok {
+		if ifNotExists {
+			return nil
+		}
+		return fmt.Errorf("ingest: table %s already exists and is read-only", name)
+	}
+
+	walPath := filepath.Join(e.walDir(), name+".wal")
+	f, err := os.OpenFile(walPath, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	buf.WriteString(walMagic)
+	appendRecord(&buf, walSchema, encodeSchema(cols))
+	if _, err := f.Write(buf.Bytes()); err == nil {
+		err = f.Sync()
+	}
+	if err != nil {
+		f.Close()
+		os.Remove(walPath)
+		return err
+	}
+	syncDir(e.walDir())
+
+	schema := append([]sql.ColDef(nil), cols...)
+	st := newTableState(name, schema, f, walPath)
+	st.sealed = buildTable(name, schema, nil)
+	e.tables[name] = st
+	e.cat.Add(st.sealed)
+	e.wg.Add(1)
+	go e.runWAL(st)
+	return nil
+}
+
+// Schema returns the column definitions of a writable table.
+func (e *Engine) Schema(table string) ([]sql.ColDef, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	st, ok := e.tables[table]
+	if !ok {
+		return nil, false
+	}
+	return st.schema, true
+}
+
+// Managed reports whether the engine owns (can write to) the table.
+func (e *Engine) Managed(table string) bool {
+	_, ok := e.Schema(table)
+	return ok
+}
+
+// Insert appends rows through the WAL. It returns once the commit group
+// holding the rows is durable (per the fsync policy) and published —
+// the next query, on any connection, sees them.
+func (e *Engine) Insert(table string, rows []Row) (int64, error) {
+	if len(rows) == 0 {
+		return 0, nil
+	}
+	e.mu.RLock()
+	if e.closed {
+		e.mu.RUnlock()
+		return 0, ErrClosed
+	}
+	st, ok := e.tables[table]
+	if !ok {
+		e.mu.RUnlock()
+		return 0, e.tableErr(table)
+	}
+	for i, r := range rows {
+		if err := validateRow(st.schema, r); err != nil {
+			e.mu.RUnlock()
+			return 0, fmt.Errorf("ingest: %s row %d: %w", table, i, err)
+		}
+	}
+	req := &walReq{rows: rows, done: make(chan error, 1)}
+	// Send under the read lock: Close closes reqCh only after taking the
+	// write lock, so the channel cannot close mid-send.
+	st.reqCh <- req
+	e.mu.RUnlock()
+	if err := <-req.done; err != nil {
+		return 0, err
+	}
+	return int64(len(rows)), nil
+}
+
+func (e *Engine) tableErr(table string) error {
+	if _, ok := e.cat.TableOK(table); ok {
+		return fmt.Errorf("ingest: table %s is read-only", table)
+	}
+	return fmt.Errorf("ingest: unknown table %s", table)
+}
+
+// Apply executes one parsed write statement and returns the number of
+// rows it ingested.
+func (e *Engine) Apply(stmt sql.Statement) (int64, error) {
+	switch s := stmt.(type) {
+	case *sql.CreateTableStmt:
+		return 0, e.CreateTable(s.Name, s.Cols, s.IfNotExists)
+	case *sql.InsertStmt:
+		rows, err := e.coerceInsert(s)
+		if err != nil {
+			return 0, err
+		}
+		return e.Insert(s.Table, rows)
+	case *sql.CopyStmt:
+		delim := s.Delimiter
+		if delim == 0 {
+			delim = ','
+		}
+		return e.CopyCSV(s.Table, s.Path, s.Header, delim)
+	}
+	return 0, fmt.Errorf("ingest: %T is not a write statement", stmt)
+}
+
+// coerceInsert maps an INSERT's VALUES onto the table schema: explicit
+// column lists may reorder or omit columns; omitted columns get NULL.
+func (e *Engine) coerceInsert(s *sql.InsertStmt) ([]Row, error) {
+	schema, ok := e.Schema(s.Table)
+	if !ok {
+		return nil, e.tableErr(s.Table)
+	}
+	colAt := make([]int, 0, len(schema)) // VALUES position -> schema index
+	if s.Columns == nil {
+		for i := range schema {
+			colAt = append(colAt, i)
+		}
+	} else {
+		used := map[int]bool{}
+		for _, name := range s.Columns {
+			idx := -1
+			for i, cd := range schema {
+				if cd.Name == name {
+					idx = i
+					break
+				}
+			}
+			if idx < 0 {
+				return nil, fmt.Errorf("ingest: table %s has no column %s", s.Table, name)
+			}
+			if used[idx] {
+				return nil, fmt.Errorf("ingest: column %s listed twice", name)
+			}
+			used[idx] = true
+			colAt = append(colAt, idx)
+		}
+	}
+	rows := make([]Row, 0, len(s.Rows))
+	for ri, vals := range s.Rows {
+		if len(vals) != len(colAt) {
+			return nil, fmt.Errorf("ingest: row %d has %d values, want %d", ri, len(vals), len(colAt))
+		}
+		row := make(Row, len(schema))
+		for i := range row {
+			row[i] = Datum{Null: true}
+		}
+		for vi, n := range vals {
+			d, err := datumFromNode(n, schema[colAt[vi]])
+			if err != nil {
+				return nil, fmt.Errorf("ingest: row %d: %w", ri, err)
+			}
+			row[colAt[vi]] = d
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// CopyCSV bulk-loads a server-local CSV file through the same commit
+// path as Insert, in batches. Rows committed before an error stay
+// committed; the returned count says how many made it in.
+func (e *Engine) CopyCSV(table, path string, header bool, delim rune) (int64, error) {
+	schema, ok := e.Schema(table)
+	if !ok {
+		return 0, e.tableErr(table)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	r := csv.NewReader(bufio.NewReaderSize(f, 1<<20))
+	r.Comma = delim
+	r.ReuseRecord = true
+
+	colAt := make([]int, 0, len(schema)) // CSV field -> schema index
+	if header {
+		rec, err := r.Read()
+		if err != nil {
+			return 0, fmt.Errorf("ingest: %s: reading header: %w", path, err)
+		}
+		for _, name := range rec {
+			idx := -1
+			for i, cd := range schema {
+				if cd.Name == name {
+					idx = i
+					break
+				}
+			}
+			if idx < 0 {
+				return 0, fmt.Errorf("ingest: table %s has no column %s (CSV header)", table, name)
+			}
+			colAt = append(colAt, idx)
+		}
+	} else {
+		for i := range schema {
+			colAt = append(colAt, i)
+		}
+	}
+	r.FieldsPerRecord = len(colAt)
+
+	const batchRows = 4096
+	batch := make([]Row, 0, batchRows)
+	var total int64
+	line := 0
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		n, err := e.Insert(table, batch)
+		total += n
+		batch = batch[:0]
+		return err
+	}
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		line++
+		if err != nil {
+			flush()
+			return total, fmt.Errorf("ingest: %s line %d: %w", path, line, err)
+		}
+		row := make(Row, len(schema))
+		for i := range row {
+			row[i] = Datum{Null: true}
+		}
+		for fi, cell := range rec {
+			d, derr := datumFromCSV(cell, schema[colAt[fi]])
+			if derr != nil {
+				flush()
+				return total, fmt.Errorf("ingest: %s line %d: %w", path, line, derr)
+			}
+			row[colAt[fi]] = d
+		}
+		batch = append(batch, row)
+		if len(batch) == batchRows {
+			if err := flush(); err != nil {
+				return total, err
+			}
+		}
+	}
+	return total, flush()
+}
+
+// Flush forces durability and a checkpoint regardless of policy: every
+// pending commit group drains, the WALs are fsynced, full blocks are
+// sealed and the sealed prefixes are persisted. Tests and benchmarks
+// use it to reach a deterministic on-disk state.
+func (e *Engine) Flush() error {
+	e.mu.RLock()
+	if e.closed {
+		e.mu.RUnlock()
+		return ErrClosed
+	}
+	sts := make([]*tableState, 0, len(e.tables))
+	chans := make([]chan error, 0, len(e.tables))
+	for _, st := range e.tables {
+		ch := make(chan error, 1)
+		// Safe for the same reason as Insert's send: the writer stays
+		// alive until Close takes the write lock.
+		st.flushCh <- ch
+		sts = append(sts, st)
+		chans = append(chans, ch)
+	}
+	e.mu.RUnlock()
+	var firstErr error
+	for _, ch := range chans {
+		if err := <-ch; err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	for _, st := range sts {
+		if err := e.sealTable(st); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Close drains pending commits, stops the background goroutines and
+// writes a final checkpoint of all sealed blocks. Rows still in tails
+// remain durable in the WALs and replay on the next Open.
+func (e *Engine) Close() error {
+	sts, ok := e.shutdown()
+	if !ok {
+		return nil
+	}
+	var firstErr error
+	for _, st := range sts {
+		if err := e.sealTable(st); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Abandon stops the engine without flushing, syncing or checkpointing —
+// it simulates a crash for recovery tests. WAL files are left exactly as
+// the OS last saw them.
+func (e *Engine) Abandon() {
+	e.abandoned.Store(true)
+	e.shutdown()
+}
+
+func (e *Engine) shutdown() ([]*tableState, bool) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, false
+	}
+	e.closed = true
+	sts := make([]*tableState, 0, len(e.tables))
+	for _, st := range e.tables {
+		sts = append(sts, st)
+	}
+	e.mu.Unlock()
+	close(e.stopCh)
+	for _, st := range sts {
+		close(st.reqCh)
+	}
+	e.wg.Wait()
+	return sts, true
+}
+
+// Stats is a point-in-time snapshot of ingest counters, shaped for the
+// server's /metrics endpoint.
+type Stats struct {
+	Tables         int   `json:"tables"`
+	RowsIngested   int64 `json:"rows_ingested"`
+	CommitGroups   int64 `json:"commit_groups"`
+	CommitRequests int64 `json:"commit_requests"`
+	WALSyncs       int64 `json:"wal_syncs"`
+	WALBytes       int64 `json:"wal_bytes"`
+	WALCompactions int64 `json:"wal_compactions"`
+	BlocksSealed   int64 `json:"blocks_sealed"`
+	Checkpoints    int64 `json:"checkpoints"`
+	RecoveredRows  int64 `json:"recovered_rows"`
+	TailRows       int64 `json:"tail_rows"`
+}
+
+// Stats returns current counter values.
+func (e *Engine) Stats() Stats {
+	s := Stats{
+		RowsIngested:   e.rowsIngested.Load(),
+		CommitGroups:   e.commitGroups.Load(),
+		CommitRequests: e.commitReqs.Load(),
+		WALSyncs:       e.walSyncs.Load(),
+		WALBytes:       e.walBytes.Load(),
+		WALCompactions: e.walCompactions.Load(),
+		BlocksSealed:   e.blocksSealed.Load(),
+		Checkpoints:    e.checkpoints.Load(),
+		RecoveredRows:  e.recoveredRows.Load(),
+	}
+	e.mu.RLock()
+	s.Tables = len(e.tables)
+	sts := make([]*tableState, 0, len(e.tables))
+	for _, st := range e.tables {
+		sts = append(sts, st)
+	}
+	e.mu.RUnlock()
+	for _, st := range sts {
+		st.mu.Lock()
+		s.TailRows += int64(len(st.tail))
+		st.mu.Unlock()
+	}
+	return s
+}

@@ -1,0 +1,208 @@
+package ingest
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+
+	"ocht/internal/sql"
+	"ocht/internal/storage"
+	"ocht/internal/vec"
+)
+
+// Datum is one cell of an ingested row. It is an untyped union: the
+// table schema decides which field is meaningful, so a Datum destined
+// for a BIGINT column carries I, one for DOUBLE carries F, and so on.
+type Datum struct {
+	Null bool
+	I    int64
+	F    float64
+	S    string
+}
+
+// Row is one ingested row, positional against the table schema.
+type Row []Datum
+
+// Int, Float, Str and Null build datums for direct Engine.Insert calls.
+func Int(v int64) Datum     { return Datum{I: v} }
+func Float(v float64) Datum { return Datum{F: v} }
+func Str(s string) Datum    { return Datum{S: s} }
+func Null() Datum           { return Datum{Null: true} }
+
+// buildTable materializes rows into a sealed table following the schema.
+// Used for the published tail delta, for sealing full blocks, and (with
+// no rows) for empty tables at CREATE time.
+func buildTable(name string, schema []sql.ColDef, rows []Row) *storage.Table {
+	cols := make([]*storage.Column, len(schema))
+	for i, cd := range schema {
+		cols[i] = storage.NewColumn(cd.Name, cd.Type, cd.Nullable)
+	}
+	for _, r := range rows {
+		for i, cd := range schema {
+			d := r[i]
+			switch {
+			case d.Null:
+				cols[i].AppendNull()
+			case cd.Type == vec.F64:
+				cols[i].AppendFloat(d.F)
+			case cd.Type == vec.Str:
+				cols[i].AppendString(d.S)
+			default:
+				cols[i].AppendInt(d.I)
+			}
+		}
+	}
+	t := storage.NewTable(name, cols...)
+	t.Seal()
+	return t
+}
+
+// schemaFromTable recovers column definitions from a persisted table when
+// the WAL holds no schema record (fully checkpointed table).
+func schemaFromTable(t *storage.Table) []sql.ColDef {
+	s := make([]sql.ColDef, len(t.Cols))
+	for i, c := range t.Cols {
+		s[i] = sql.ColDef{Name: c.Name, Type: c.Type, Nullable: c.Nullable}
+	}
+	return s
+}
+
+// checkSchema verifies that a WAL schema matches a persisted table: WAL
+// replay appends to the persisted blocks, so names and types must agree.
+func checkSchema(schema []sql.ColDef, t *storage.Table) error {
+	if len(schema) != len(t.Cols) {
+		return fmt.Errorf("WAL schema has %d columns, data file has %d", len(schema), len(t.Cols))
+	}
+	for i, cd := range schema {
+		c := t.Cols[i]
+		if cd.Name != c.Name || cd.Type != c.Type {
+			return fmt.Errorf("column %d: WAL says %s %s, data file says %s %s",
+				i, cd.Name, cd.Type, c.Name, c.Type)
+		}
+	}
+	return nil
+}
+
+func isIntType(t vec.Type) bool {
+	switch t {
+	case vec.I8, vec.I16, vec.I32, vec.I64:
+		return true
+	}
+	return false
+}
+
+func intFits(v int64, t vec.Type) bool {
+	switch t {
+	case vec.I8:
+		return v >= math.MinInt8 && v <= math.MaxInt8
+	case vec.I16:
+		return v >= math.MinInt16 && v <= math.MaxInt16
+	case vec.I32:
+		return v >= math.MinInt32 && v <= math.MaxInt32
+	}
+	return true
+}
+
+// validateRow rejects rows the column builders could not store: wrong
+// arity, NULL into a NOT NULL column, or out-of-range integers.
+func validateRow(schema []sql.ColDef, r Row) error {
+	if len(r) != len(schema) {
+		return fmt.Errorf("row has %d values, want %d", len(r), len(schema))
+	}
+	for i, cd := range schema {
+		d := r[i]
+		if d.Null {
+			if !cd.Nullable {
+				return fmt.Errorf("column %s is NOT NULL", cd.Name)
+			}
+			continue
+		}
+		if isIntType(cd.Type) && !intFits(d.I, cd.Type) {
+			return fmt.Errorf("value %d out of range for %s column %s", d.I, cd.Type, cd.Name)
+		}
+	}
+	return nil
+}
+
+// datumFromNode coerces one parsed VALUES expression into a datum for
+// the given column. Only literals, NULL and negated numeric literals are
+// accepted — INSERT is a write path, not an expression evaluator.
+func datumFromNode(n sql.Node, cd sql.ColDef) (Datum, error) {
+	switch e := n.(type) {
+	case *sql.NullLit:
+		if !cd.Nullable {
+			return Datum{}, fmt.Errorf("column %s is NOT NULL", cd.Name)
+		}
+		return Datum{Null: true}, nil
+	case *sql.IntLit:
+		return intDatum(e.V, cd)
+	case *sql.FloatLit:
+		if cd.Type != vec.F64 {
+			return Datum{}, fmt.Errorf("column %s is %s, got float %v", cd.Name, cd.Type, e.V)
+		}
+		return Datum{F: e.V}, nil
+	case *sql.StrLit:
+		if cd.Type != vec.Str {
+			return Datum{}, fmt.Errorf("column %s is %s, got string %q", cd.Name, cd.Type, e.V)
+		}
+		return Datum{S: e.V}, nil
+	case *sql.NegOp:
+		switch inner := e.L.(type) {
+		case *sql.IntLit:
+			return intDatum(-inner.V, cd)
+		case *sql.FloatLit:
+			if cd.Type != vec.F64 {
+				return Datum{}, fmt.Errorf("column %s is %s, got float %v", cd.Name, cd.Type, -inner.V)
+			}
+			return Datum{F: -inner.V}, nil
+		}
+		return Datum{}, fmt.Errorf("column %s: only literal values are allowed in VALUES", cd.Name)
+	}
+	return Datum{}, fmt.Errorf("column %s: only literal values are allowed in VALUES", cd.Name)
+}
+
+func intDatum(v int64, cd sql.ColDef) (Datum, error) {
+	switch {
+	case cd.Type == vec.F64:
+		return Datum{F: float64(v)}, nil
+	case cd.Type == vec.Str:
+		return Datum{}, fmt.Errorf("column %s is %s, got integer %d", cd.Name, cd.Type, v)
+	case !intFits(v, cd.Type):
+		return Datum{}, fmt.Errorf("value %d out of range for %s column %s", v, cd.Type, cd.Name)
+	}
+	return Datum{I: v}, nil
+}
+
+// datumFromCSV coerces one CSV cell. An empty cell is NULL for nullable
+// columns (matching storage.ReadCSV) and the empty string for NOT NULL
+// text columns.
+func datumFromCSV(cell string, cd sql.ColDef) (Datum, error) {
+	if cell == "" {
+		if cd.Nullable {
+			return Datum{Null: true}, nil
+		}
+		if cd.Type == vec.Str {
+			return Datum{}, nil
+		}
+		return Datum{}, fmt.Errorf("empty cell for NOT NULL %s column %s", cd.Type, cd.Name)
+	}
+	switch cd.Type {
+	case vec.Str:
+		return Datum{S: cell}, nil
+	case vec.F64:
+		f, err := strconv.ParseFloat(cell, 64)
+		if err != nil {
+			return Datum{}, fmt.Errorf("column %s: %q is not a number", cd.Name, cell)
+		}
+		return Datum{F: f}, nil
+	default:
+		v, err := strconv.ParseInt(cell, 10, 64)
+		if err != nil {
+			return Datum{}, fmt.Errorf("column %s: %q is not an integer", cd.Name, cell)
+		}
+		if !intFits(v, cd.Type) {
+			return Datum{}, fmt.Errorf("value %d out of range for %s column %s", v, cd.Type, cd.Name)
+		}
+		return Datum{I: v}, nil
+	}
+}

@@ -1,0 +1,124 @@
+package ingest
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"time"
+
+	"ocht/internal/storage"
+)
+
+// runSealer is the background goroutine that turns hot tails into cold
+// blocks. It wakes when a table's tail crosses BlockRows (commitGroup
+// pokes sealCh) or on a timer, and walks every table.
+func (e *Engine) runSealer() {
+	defer e.wg.Done()
+	t := time.NewTicker(e.cfg.SealInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-e.stopCh:
+			return
+		case <-e.sealCh:
+		case <-t.C:
+		}
+		for _, st := range e.tableStates() {
+			if err := e.sealTable(st); err != nil {
+				e.cfg.Logf("ingest: %s: seal: %v", st.name, err)
+			}
+		}
+	}
+}
+
+func (e *Engine) tableStates() []*tableState {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]*tableState, 0, len(e.tables))
+	for _, st := range e.tables {
+		out = append(out, st)
+	}
+	return out
+}
+
+// sealTable cuts every full 64Ki-row block in the tail into the sealed
+// immutable prefix — materializing zone maps and per-block string
+// dictionaries as a side effect of the column builders — then persists
+// the prefix and asks the WAL writer to compact. Queries never observe
+// any of this: the published table's rows are unchanged, so there is no
+// catalog version bump and cached plans stay valid.
+func (e *Engine) sealTable(st *tableState) error {
+	st.mu.Lock()
+	full := len(st.tail) / storage.BlockRows
+	if full > 0 {
+		cut := full * storage.BlockRows
+		delta := buildTable(st.name, st.schema, st.tail[:cut])
+		st.sealed = storage.ExtendTable(st.sealed, delta)
+		st.sealedRows += int64(cut)
+		st.tail = append([]Row(nil), st.tail[cut:]...)
+		e.blocksSealed.Add(int64(full))
+	}
+	need := st.sealedRows > st.persistedRows
+	st.mu.Unlock()
+	if !need {
+		return nil
+	}
+	if err := e.persistSealed(st); err != nil {
+		return err
+	}
+	select {
+	case st.compactCh <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// persistSealed checkpoints the sealed prefix to <dir>/<name>.ocht via
+// write-to-temp, fsync, rename — a crash leaves either the old or the
+// new checkpoint, never a torn one. The WAL covers everything past
+// persistedRows, so this can lag arbitrarily without losing data.
+func (e *Engine) persistSealed(st *tableState) error {
+	st.persistMu.Lock()
+	defer st.persistMu.Unlock()
+	st.mu.Lock()
+	t := st.sealed
+	rows := st.sealedRows
+	done := rows == st.persistedRows
+	st.mu.Unlock()
+	if done || rows == 0 {
+		return nil
+	}
+	tmp, err := os.CreateTemp(e.dir, st.name+".ocht.tmp*")
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriterSize(tmp, 1<<20)
+	err = storage.WriteTable(w, t)
+	if err == nil {
+		err = w.Flush()
+	}
+	if err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(e.dir, st.name+".ocht")); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := syncDir(e.dir); err != nil {
+		return err
+	}
+	st.mu.Lock()
+	if rows > st.persistedRows {
+		st.persistedRows = rows
+	}
+	st.mu.Unlock()
+	e.checkpoints.Add(1)
+	return nil
+}

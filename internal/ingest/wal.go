@@ -1,0 +1,515 @@
+package ingest
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"time"
+
+	"ocht/internal/sql"
+	"ocht/internal/storage"
+	"ocht/internal/vec"
+)
+
+// WAL file layout: a 4-byte magic, then a sequence of self-checking
+// records. Each record is
+//
+//	kind    u8   (1 = schema, 2 = insert)
+//	len     u32  payload length
+//	crc     u32  CRC-32 (IEEE) of the payload
+//	payload len bytes
+//
+// A schema record holds the column definitions and is always the first
+// record (CREATE TABLE writes it; compaction rewrites it). An insert
+// record holds a batch of rows plus the absolute row offset (startRow)
+// they were committed at, which recovery uses to clip records already
+// covered by the checkpointed .ocht file — so a crash between
+// checkpoint rename and WAL compaction never double-applies rows.
+//
+// Recovery trusts CRCs: replay stops at the first record that fails to
+// frame or checksum, and the file is truncated there. Everything before
+// that point was acknowledged durable (modulo fsync policy); everything
+// after is a torn tail from the crash.
+const walMagic = "OWL1"
+
+const (
+	walSchema byte = 1
+	walInsert byte = 2
+)
+
+const (
+	maxWalPayload = 1 << 30
+	maxWalCols    = 1 << 14
+	maxWalName    = 1 << 10
+)
+
+// appendRecord frames one record into buf.
+func appendRecord(buf *bytes.Buffer, kind byte, payload []byte) {
+	var h [9]byte
+	h[0] = kind
+	binary.LittleEndian.PutUint32(h[1:5], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(h[5:9], crc32.ChecksumIEEE(payload))
+	buf.Write(h[:])
+	buf.Write(payload)
+}
+
+func encodeSchema(schema []sql.ColDef) []byte {
+	var b []byte
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(schema)))
+	for _, cd := range schema {
+		b = binary.LittleEndian.AppendUint16(b, uint16(len(cd.Name)))
+		b = append(b, cd.Name...)
+		b = append(b, byte(cd.Type))
+		if cd.Nullable {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+	}
+	return b
+}
+
+func decodeSchema(p []byte) ([]sql.ColDef, error) {
+	if len(p) < 4 {
+		return nil, fmt.Errorf("schema record too short")
+	}
+	n := binary.LittleEndian.Uint32(p)
+	if n == 0 || n > maxWalCols {
+		return nil, fmt.Errorf("schema record has %d columns", n)
+	}
+	p = p[4:]
+	schema := make([]sql.ColDef, 0, n)
+	for i := uint32(0); i < n; i++ {
+		if len(p) < 2 {
+			return nil, fmt.Errorf("schema record truncated")
+		}
+		nl := int(binary.LittleEndian.Uint16(p))
+		p = p[2:]
+		if nl == 0 || nl > maxWalName || len(p) < nl+2 {
+			return nil, fmt.Errorf("schema record truncated")
+		}
+		cd := sql.ColDef{Name: string(p[:nl])}
+		p = p[nl:]
+		cd.Type = vec.Type(p[0])
+		if !validColType(cd.Type) {
+			return nil, fmt.Errorf("schema record has bad column type %d", p[0])
+		}
+		if p[1] > 1 {
+			return nil, fmt.Errorf("schema record has bad nullable flag %d", p[1])
+		}
+		cd.Nullable = p[1] == 1
+		p = p[2:]
+		schema = append(schema, cd)
+	}
+	if len(p) != 0 {
+		return nil, fmt.Errorf("schema record has %d trailing bytes", len(p))
+	}
+	return schema, nil
+}
+
+func validColType(t vec.Type) bool {
+	switch t {
+	case vec.I8, vec.I16, vec.I32, vec.I64, vec.F64, vec.Str:
+		return true
+	}
+	return false
+}
+
+// Datum tags inside insert payloads.
+const (
+	tagNull  byte = 0
+	tagInt   byte = 1
+	tagFloat byte = 2
+	tagStr   byte = 3
+)
+
+// insertRec is one decoded insert record.
+type insertRec struct {
+	startRow int64
+	rows     []Row
+}
+
+func encodeInsert(schema []sql.ColDef, startRow int64, rows []Row) []byte {
+	b := make([]byte, 0, 16+len(rows)*len(schema)*9)
+	b = binary.LittleEndian.AppendUint64(b, uint64(startRow))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(rows)))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(schema)))
+	for _, r := range rows {
+		for i, cd := range schema {
+			d := r[i]
+			switch {
+			case d.Null:
+				b = append(b, tagNull)
+			case cd.Type == vec.F64:
+				b = append(b, tagFloat)
+				b = binary.LittleEndian.AppendUint64(b, math.Float64bits(d.F))
+			case cd.Type == vec.Str:
+				b = append(b, tagStr)
+				b = binary.LittleEndian.AppendUint32(b, uint32(len(d.S)))
+				b = append(b, d.S...)
+			default:
+				b = append(b, tagInt)
+				b = binary.LittleEndian.AppendUint64(b, uint64(d.I))
+			}
+		}
+	}
+	return b
+}
+
+func decodeInsert(schema []sql.ColDef, p []byte) (insertRec, error) {
+	var rec insertRec
+	if len(p) < 16 {
+		return rec, fmt.Errorf("insert record too short")
+	}
+	rec.startRow = int64(binary.LittleEndian.Uint64(p))
+	nRows := binary.LittleEndian.Uint32(p[8:])
+	nCols := binary.LittleEndian.Uint32(p[12:])
+	p = p[16:]
+	if rec.startRow < 0 {
+		return rec, fmt.Errorf("insert record has negative start row")
+	}
+	if int(nCols) != len(schema) {
+		return rec, fmt.Errorf("insert record has %d columns, schema has %d", nCols, len(schema))
+	}
+	if nRows > maxWalPayload/uint32(len(schema)) {
+		return rec, fmt.Errorf("insert record claims %d rows", nRows)
+	}
+	rec.rows = make([]Row, 0, nRows)
+	for i := uint32(0); i < nRows; i++ {
+		row := make(Row, len(schema))
+		for c, cd := range schema {
+			if len(p) < 1 {
+				return rec, fmt.Errorf("insert record truncated")
+			}
+			tag := p[0]
+			p = p[1:]
+			switch tag {
+			case tagNull:
+				if !cd.Nullable {
+					return rec, fmt.Errorf("NULL for NOT NULL column %s", cd.Name)
+				}
+				row[c] = Datum{Null: true}
+			case tagInt:
+				if !isIntType(cd.Type) || len(p) < 8 {
+					return rec, fmt.Errorf("bad int datum for column %s", cd.Name)
+				}
+				row[c] = Datum{I: int64(binary.LittleEndian.Uint64(p))}
+				p = p[8:]
+			case tagFloat:
+				if cd.Type != vec.F64 || len(p) < 8 {
+					return rec, fmt.Errorf("bad float datum for column %s", cd.Name)
+				}
+				row[c] = Datum{F: math.Float64frombits(binary.LittleEndian.Uint64(p))}
+				p = p[8:]
+			case tagStr:
+				if cd.Type != vec.Str || len(p) < 4 {
+					return rec, fmt.Errorf("bad string datum for column %s", cd.Name)
+				}
+				sl := int(binary.LittleEndian.Uint32(p))
+				p = p[4:]
+				if sl > len(p) {
+					return rec, fmt.Errorf("bad string datum for column %s", cd.Name)
+				}
+				row[c] = Datum{S: string(p[:sl])}
+				p = p[sl:]
+			default:
+				return rec, fmt.Errorf("bad datum tag %d", tag)
+			}
+		}
+		rec.rows = append(rec.rows, row)
+	}
+	if len(p) != 0 {
+		return rec, fmt.Errorf("insert record has %d trailing bytes", len(p))
+	}
+	return rec, nil
+}
+
+// readWAL reads a table's WAL. It returns the schema (nil when no schema
+// record was found), the insert records in commit order, and the byte
+// offset after the last fully-valid record. A torn or corrupt tail is
+// expected after a crash: the caller truncates the file at keep and
+// replays what was acknowledged. A corrupt header, by contrast, is a
+// hard error — it was written and fsynced at CREATE time.
+func readWAL(path string) (schema []sql.ColDef, recs []insertRec, keep int64, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	if len(data) < len(walMagic) || string(data[:len(walMagic)]) != walMagic {
+		return nil, nil, 0, fmt.Errorf("bad WAL header")
+	}
+	off := len(walMagic)
+	for off < len(data) {
+		if off+9 > len(data) {
+			break // torn record header
+		}
+		kind := data[off]
+		plen := int(binary.LittleEndian.Uint32(data[off+1:]))
+		crc := binary.LittleEndian.Uint32(data[off+5:])
+		if (kind != walSchema && kind != walInsert) || plen > maxWalPayload {
+			break
+		}
+		if off+9+plen > len(data) {
+			break // torn payload
+		}
+		payload := data[off+9 : off+9+plen]
+		if crc32.ChecksumIEEE(payload) != crc {
+			break
+		}
+		switch kind {
+		case walSchema:
+			s, derr := decodeSchema(payload)
+			if derr != nil {
+				return schema, recs, int64(off), nil
+			}
+			if schema != nil {
+				// Only compaction rewrites the schema record, and it
+				// never changes the schema; a mismatch is corruption.
+				if len(s) != len(schema) {
+					return schema, recs, int64(off), nil
+				}
+				for i := range s {
+					if s[i] != schema[i] {
+						return schema, recs, int64(off), nil
+					}
+				}
+			}
+			schema = s
+		case walInsert:
+			if schema == nil {
+				return nil, nil, int64(off), nil
+			}
+			rec, derr := decodeInsert(schema, payload)
+			if derr != nil {
+				return schema, recs, int64(off), nil
+			}
+			recs = append(recs, rec)
+		}
+		off += 9 + plen
+	}
+	return schema, recs, int64(off), nil
+}
+
+// walReq is one Insert call waiting for group commit.
+type walReq struct {
+	rows []Row
+	done chan error
+}
+
+// maxGroup bounds how many pending Insert calls one commit group
+// absorbs: one WAL write + at most one fsync for the whole group.
+const maxGroup = 256
+
+// runWAL is the per-table writer goroutine. It owns the WAL file: it is
+// the only code that appends records, applies committed rows to the
+// in-memory tail, publishes the new table version to the catalog, and
+// rewrites the file on compaction. That single-writer discipline is what
+// makes row numbering and commit order trivially consistent.
+func (e *Engine) runWAL(st *tableState) {
+	defer e.wg.Done()
+	var tick <-chan time.Time
+	if e.cfg.Fsync == FsyncInterval {
+		t := time.NewTicker(e.cfg.SyncInterval)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case req, ok := <-st.reqCh:
+			if !ok {
+				e.finishWAL(st)
+				return
+			}
+			batch := append(make([]*walReq, 0, 8), req)
+			closed := false
+		fill:
+			for len(batch) < maxGroup {
+				select {
+				case r, ok2 := <-st.reqCh:
+					if !ok2 {
+						closed = true
+						break fill
+					}
+					batch = append(batch, r)
+				default:
+					break fill
+				}
+			}
+			e.commitGroup(st, batch)
+			if closed {
+				e.finishWAL(st)
+				return
+			}
+		case ch := <-st.flushCh:
+			var err error
+			if st.dirty {
+				err = st.wal.Sync()
+				st.dirty = false
+				e.walSyncs.Add(1)
+			}
+			ch <- err
+		case <-st.compactCh:
+			e.compactWAL(st)
+		case <-tick:
+			if st.dirty {
+				if err := st.wal.Sync(); err == nil {
+					st.dirty = false
+					e.walSyncs.Add(1)
+				}
+			}
+		}
+	}
+}
+
+func (e *Engine) finishWAL(st *tableState) {
+	if !e.abandoned.Load() && st.dirty {
+		st.wal.Sync()
+	}
+	st.wal.Close()
+}
+
+// commitGroup writes one batch of Insert requests as WAL records, makes
+// them durable per the fsync policy, then applies them to the tail and
+// publishes a new catalog version. Acks are sent only after publish, so
+// a client that saw its INSERT succeed will see its rows in the very
+// next query.
+func (e *Engine) commitGroup(st *tableState, batch []*walReq) {
+	st.mu.Lock()
+	werr := st.walErr
+	start := st.sealedRows + int64(len(st.tail))
+	st.mu.Unlock()
+	if werr != nil {
+		for _, r := range batch {
+			r.done <- werr
+		}
+		return
+	}
+
+	var buf bytes.Buffer
+	total := 0
+	for _, r := range batch {
+		appendRecord(&buf, walInsert, encodeInsert(st.schema, start+int64(total), r.rows))
+		total += len(r.rows)
+	}
+	_, err := st.wal.Write(buf.Bytes())
+	if err == nil {
+		if e.cfg.Fsync == FsyncAlways {
+			err = st.wal.Sync()
+			e.walSyncs.Add(1)
+		} else {
+			st.dirty = true
+		}
+	}
+	if err != nil {
+		// The file may now hold a torn record; poison the table rather
+		// than commit rows that would follow garbage on disk.
+		st.mu.Lock()
+		st.walErr = fmt.Errorf("ingest: %s: WAL write failed: %w", st.name, err)
+		werr = st.walErr
+		st.mu.Unlock()
+		for _, r := range batch {
+			r.done <- werr
+		}
+		return
+	}
+	e.walBytes.Add(int64(buf.Len()))
+
+	st.mu.Lock()
+	for _, r := range batch {
+		st.tail = append(st.tail, r.rows...)
+	}
+	pub := storage.ExtendTable(st.sealed, buildTable(st.name, st.schema, st.tail))
+	tailLen := len(st.tail)
+	st.mu.Unlock()
+	e.cat.Add(pub)
+	for _, r := range batch {
+		r.done <- nil
+	}
+	e.rowsIngested.Add(int64(total))
+	e.commitGroups.Add(1)
+	e.commitReqs.Add(int64(len(batch)))
+	if tailLen >= storage.BlockRows {
+		select {
+		case e.sealCh <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// compactWAL rewrites the WAL to just a schema record plus the rows not
+// yet covered by the checkpointed .ocht file. Called (via compactCh)
+// after the sealer persists the sealed prefix. Skipped unless
+// persistedRows has caught up with sealedRows — otherwise rows living
+// only in the sealed in-memory prefix would vanish from the log.
+func (e *Engine) compactWAL(st *tableState) {
+	st.mu.Lock()
+	if st.walErr != nil || st.persistedRows != st.sealedRows {
+		st.mu.Unlock()
+		return
+	}
+	start := st.sealedRows
+	tail := append([]Row(nil), st.tail...)
+	st.mu.Unlock()
+
+	var buf bytes.Buffer
+	buf.WriteString(walMagic)
+	appendRecord(&buf, walSchema, encodeSchema(st.schema))
+	if len(tail) > 0 {
+		appendRecord(&buf, walInsert, encodeInsert(st.schema, start, tail))
+	}
+	tmp := st.walPath + ".tmp"
+	if err := writeFileSync(tmp, buf.Bytes()); err != nil {
+		e.cfg.Logf("ingest: %s: WAL compaction failed: %v", st.name, err)
+		os.Remove(tmp)
+		return
+	}
+	if err := os.Rename(tmp, st.walPath); err != nil {
+		e.cfg.Logf("ingest: %s: WAL compaction rename failed: %v", st.name, err)
+		os.Remove(tmp)
+		return
+	}
+	// The old descriptor now points at an unlinked inode; reopen before
+	// the next append or those records would be lost.
+	nf, err := os.OpenFile(st.walPath, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		st.mu.Lock()
+		st.walErr = fmt.Errorf("ingest: %s: reopen after compaction: %w", st.name, err)
+		st.mu.Unlock()
+		return
+	}
+	st.wal.Close()
+	st.wal = nf
+	st.dirty = false
+	syncDir(e.walDir())
+	e.walCompactions.Add(1)
+}
+
+func writeFileSync(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	_, err = f.Write(data)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

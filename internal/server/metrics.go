@@ -42,13 +42,13 @@ func (h *histogram) observe(d time.Duration) {
 
 // latencySummary is the JSON shape of the histogram on /metrics.
 type latencySummary struct {
-	Count   int64              `json:"count"`
-	MeanMs  float64            `json:"mean_ms"`
-	P50Ms   float64            `json:"p50_ms"`
-	P90Ms   float64            `json:"p90_ms"`
-	P99Ms   float64            `json:"p99_ms"`
-	MaxMs   float64            `json:"max_ms"`
-	Buckets map[string]int64   `json:"buckets"`
+	Count   int64            `json:"count"`
+	MeanMs  float64          `json:"mean_ms"`
+	P50Ms   float64          `json:"p50_ms"`
+	P90Ms   float64          `json:"p90_ms"`
+	P99Ms   float64          `json:"p99_ms"`
+	MaxMs   float64          `json:"max_ms"`
+	Buckets map[string]int64 `json:"buckets"`
 }
 
 // summary renders counts, mean, max and bucket-interpolated quantiles.
@@ -105,5 +105,6 @@ type metrics struct {
 	canceled atomic.Int64 // deadline exceeded or client disconnected
 	failed   atomic.Int64 // parse/plan/execution errors
 	rows     atomic.Int64 // result rows returned (pre-truncation)
+	writes   atomic.Int64 // write statements durably committed
 	latency  histogram    // wall time of finished queries (incl. canceled)
 }

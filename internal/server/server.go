@@ -6,6 +6,12 @@
 // cancellation threaded through the engine, a plan cache keyed by
 // normalized SQL + catalog version, USSR pooling across queries, and an
 // atomic counter/histogram observability surface.
+//
+// When an ingest engine is attached the same /query endpoint also
+// accepts CREATE TABLE / INSERT / COPY statements. Reads pin a catalog
+// snapshot at compile time, so a concurrently committing write never
+// shows a query a half-published table, and the snapshot version in the
+// plan-cache key invalidates cached plans the moment a commit lands.
 package server
 
 import (
@@ -16,10 +22,12 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"strings"
 	"time"
 
 	"ocht/internal/core"
 	"ocht/internal/exec"
+	"ocht/internal/ingest"
 	"ocht/internal/sql"
 	"ocht/internal/storage"
 	"ocht/internal/ussr"
@@ -40,6 +48,10 @@ type Config struct {
 
 	PlanCacheSize int // cached compiled statements
 	MaxResultRows int // rows returned per response before truncation
+
+	// Ingest is the optional write path. When nil the server is
+	// read-only and write statements are rejected with 403.
+	Ingest *ingest.Engine
 }
 
 // DefaultConfig returns serving defaults sized for one machine.
@@ -57,9 +69,12 @@ func DefaultConfig() Config {
 	}
 }
 
-// Server serves SQL queries over one immutable catalog.
+// Server serves SQL queries over one catalog. Reads run against pinned
+// copy-on-write snapshots; writes (when an ingest engine is attached)
+// mutate the catalog through the WAL-backed write path.
 type Server struct {
 	cat   *storage.Catalog
+	ing   *ingest.Engine // nil = read-only service
 	cfg   Config
 	adm   *admission
 	cache *planCache
@@ -70,9 +85,11 @@ type Server struct {
 	mux   *http.ServeMux
 }
 
-// New creates a server over the catalog. The catalog must not be mutated
-// while the server runs (the plan cache keys on its version at statement
-// compile time).
+// New creates a server over the catalog. The catalog may be mutated
+// concurrently through cfg.Ingest (or any other Catalog.Add caller):
+// every query plans against a pinned Catalog.Snapshot and the plan cache
+// keys on the snapshot version, so in-flight queries and cached plans
+// never observe a half-published table.
 func New(cat *storage.Catalog, cfg Config) *Server {
 	def := DefaultConfig()
 	if cfg.Workers <= 0 {
@@ -101,6 +118,7 @@ func New(cat *storage.Catalog, cfg Config) *Server {
 	}
 	s := &Server{
 		cat:   cat,
+		ing:   cfg.Ingest,
 		cfg:   cfg,
 		adm:   newAdmission(cfg.MaxInFlight, cfg.MaxQueue),
 		cache: newPlanCache(cfg.PlanCacheSize),
@@ -144,7 +162,11 @@ type QueryResponse struct {
 	Truncated bool     `json:"truncated,omitempty"`
 	ElapsedMs float64  `json:"elapsed_ms"`
 	PlanCache string   `json:"plan_cache,omitempty"` // "hit" or "miss"
-	Error     string   `json:"error,omitempty"`
+	// RowsAffected reports rows durably committed by a write statement
+	// (INSERT, COPY). The write is fsynced per the engine's policy and
+	// visible to subsequent queries before the response is sent.
+	RowsAffected int64  `json:"rows_affected,omitempty"`
+	Error        string `json:"error,omitempty"`
 }
 
 // statusClientClosed is nginx's 499: the client went away before the
@@ -192,7 +214,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 
 	start := time.Now()
-	resp, status := s.execute(ctx, &req)
+	var resp QueryResponse
+	var status int
+	if isWriteSQL(req.SQL) {
+		resp, status = s.executeWrite(&req)
+	} else {
+		resp, status = s.execute(ctx, &req)
+	}
 	resp.ElapsedMs = float64(time.Since(start).Microseconds()) / 1000
 	s.met.latency.observe(time.Since(start))
 	switch {
@@ -207,6 +235,49 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, status, resp)
 }
 
+// isWriteSQL sniffs the leading keyword so cached SELECTs keep their
+// parse-free hot path: only CREATE / INSERT / COPY take the write route.
+func isWriteSQL(q string) bool {
+	i := 0
+	for i < len(q) && (q[i] == ' ' || q[i] == '\t' || q[i] == '\n' || q[i] == '\r') {
+		i++
+	}
+	j := i
+	for j < len(q) && (q[j] >= 'a' && q[j] <= 'z' || q[j] >= 'A' && q[j] <= 'Z') {
+		j++
+	}
+	switch strings.ToUpper(q[i:j]) {
+	case "CREATE", "INSERT", "COPY":
+		return true
+	}
+	return false
+}
+
+// executeWrite runs one DDL/DML statement through the ingest engine.
+// It returns only after the rows are committed to the WAL and published
+// to the catalog, so a client that sees the response can immediately
+// query its own write.
+func (s *Server) executeWrite(req *QueryRequest) (QueryResponse, int) {
+	if s.ing == nil {
+		return QueryResponse{Error: "server is read-only: no ingest engine attached (start with -data-dir)"},
+			http.StatusForbidden
+	}
+	stmt, err := sql.ParseStatement(req.SQL)
+	if err != nil {
+		return QueryResponse{Error: err.Error()}, http.StatusBadRequest
+	}
+	n, err := s.ing.Apply(stmt)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, ingest.ErrClosed) {
+			status = http.StatusServiceUnavailable
+		}
+		return QueryResponse{Error: err.Error()}, status
+	}
+	s.met.writes.Add(1)
+	return QueryResponse{RowsAffected: n}, http.StatusOK
+}
+
 // execute compiles (or reuses) and runs one statement. The planner layer
 // signals some errors by panicking (unknown tables, schema conflicts);
 // recover turns those into client errors instead of killing the server.
@@ -218,7 +289,12 @@ func (s *Server) execute(ctx context.Context, req *QueryRequest) (resp QueryResp
 		}
 	}()
 
-	key := fmt.Sprintf("%d|%s", s.cat.Version(), normalizeSQL(req.SQL))
+	// Pin a copy-on-write snapshot for the whole query: planning and
+	// execution see one consistent set of tables even while the ingest
+	// engine publishes commits, and the snapshot version in the cache
+	// key retires stale plans the moment the catalog changes.
+	snap := s.cat.Snapshot()
+	key := fmt.Sprintf("%d|%s", snap.Version(), normalizeSQL(req.SQL))
 	entry, hit := s.cache.get(key)
 	resp.PlanCache = "hit"
 	if !hit {
@@ -227,7 +303,7 @@ func (s *Server) execute(ctx context.Context, req *QueryRequest) (resp QueryResp
 		if err != nil {
 			return QueryResponse{Error: err.Error(), PlanCache: "miss"}, http.StatusBadRequest
 		}
-		root, order, limit, err := sql.Plan(stmt, s.cat)
+		root, order, limit, err := sql.Plan(stmt, snap)
 		if err != nil {
 			return QueryResponse{Error: err.Error(), PlanCache: "miss"}, http.StatusBadRequest
 		}
@@ -310,6 +386,7 @@ type metricsView struct {
 	QueriesCanceled int64 `json:"queries_canceled"`
 	QueriesFailed   int64 `json:"queries_failed"`
 	RowsReturned    int64 `json:"rows_returned"`
+	WritesCommitted int64 `json:"writes_committed"`
 
 	PlanCacheHits    int64 `json:"plan_cache_hits"`
 	PlanCacheMisses  int64 `json:"plan_cache_misses"`
@@ -333,6 +410,10 @@ type metricsView struct {
 	Tables         int     `json:"tables"`
 	Workers        int     `json:"workers"`
 	UptimeSec      float64 `json:"uptime_sec"`
+
+	// Ingest is present only when a write path is attached; its fields
+	// stay nested so read-only deployments keep a stable flat document.
+	Ingest *ingest.Stats `json:"ingest,omitempty"`
 }
 
 // Metrics assembles the current counter snapshot.
@@ -342,6 +423,11 @@ func (s *Server) Metrics() any {
 	for k, d := range s.stats.Snapshot() {
 		engine[k] = float64(d.Microseconds()) / 1000
 	}
+	var ing *ingest.Stats
+	if s.ing != nil {
+		st := s.ing.Stats()
+		ing = &st
+	}
 	return metricsView{
 		QueriesStarted:  s.met.started.Load(),
 		QueriesFinished: s.met.finished.Load(),
@@ -349,6 +435,7 @@ func (s *Server) Metrics() any {
 		QueriesCanceled: s.met.canceled.Load(),
 		QueriesFailed:   s.met.failed.Load(),
 		RowsReturned:    s.met.rows.Load(),
+		WritesCommitted: s.met.writes.Load(),
 
 		PlanCacheHits:    s.cache.hits.Load(),
 		PlanCacheMisses:  s.cache.misses.Load(),
@@ -368,6 +455,8 @@ func (s *Server) Metrics() any {
 		Tables:         s.cat.Tables(),
 		Workers:        s.cfg.Workers,
 		UptimeSec:      time.Since(s.start).Seconds(),
+
+		Ingest: ing,
 	}
 }
 
@@ -377,9 +466,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status": "ok",
-		"tables": s.cat.Tables(),
-		"uptime": time.Since(s.start).String(),
+		"status":   "ok",
+		"tables":   s.cat.Tables(),
+		"writable": s.ing != nil,
+		"uptime":   time.Since(s.start).String(),
 	})
 }
 

@@ -1,0 +1,259 @@
+package sql
+
+import (
+	"ocht/internal/vec"
+)
+
+// This file parses the write-path statements the ingest subsystem
+// executes: CREATE TABLE, INSERT INTO ... VALUES, and COPY ... FROM.
+// SELECTs compile to operator trees; these compile to ingest ops.
+
+// Statement is any parsed SQL statement. Use ParseStatement to get one;
+// dispatch on the concrete type (*SelectStmt, *CreateTableStmt,
+// *InsertStmt, *CopyStmt) to route reads to the executor and writes to
+// the ingest engine.
+type Statement interface{ stmt() }
+
+func (*SelectStmt) stmt()      {}
+func (*CreateTableStmt) stmt() {}
+func (*InsertStmt) stmt()      {}
+func (*CopyStmt) stmt()        {}
+
+// ColDef is one column of a CREATE TABLE.
+type ColDef struct {
+	Name     string
+	Type     vec.Type
+	Nullable bool
+}
+
+// CreateTableStmt is CREATE TABLE [IF NOT EXISTS] name (col type, ...).
+type CreateTableStmt struct {
+	Name        string
+	Cols        []ColDef
+	IfNotExists bool
+}
+
+// InsertStmt is INSERT INTO name [(cols)] VALUES (...), (...). Values are
+// literal expressions (literals, NULL, and negated numeric literals).
+type InsertStmt struct {
+	Table   string
+	Columns []string // nil = positional, all columns
+	Rows    [][]Node
+}
+
+// CopyStmt is COPY name FROM 'path' [WITH] [HEADER] [DELIMITER 'c']: bulk
+// CSV load from a server-local file through the same ingest write path as
+// INSERT.
+type CopyStmt struct {
+	Table     string
+	Path      string
+	Header    bool
+	Delimiter rune // 0 = ','
+}
+
+// ParseStatement parses one statement of any kind.
+func ParseStatement(query string) (Statement, error) {
+	toks, err := lexAll(query)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var stmt Statement
+	switch {
+	case p.at(tKeyword, "SELECT"):
+		stmt, err = p.selectStmt()
+	case p.at(tKeyword, "CREATE"):
+		stmt, err = p.createTableStmt()
+	case p.at(tKeyword, "INSERT"):
+		stmt, err = p.insertStmt()
+	case p.at(tKeyword, "COPY"):
+		stmt, err = p.copyStmt()
+	default:
+		return nil, errf(p.cur().pos, "expected SELECT, CREATE, INSERT or COPY, found %q", p.cur().text)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tEOF, "") {
+		return nil, errf(p.cur().pos, "unexpected %q after statement", p.cur().text)
+	}
+	return stmt, nil
+}
+
+// typeKeywords maps SQL type names to engine column types.
+var typeKeywords = map[string]vec.Type{
+	"TINYINT":  vec.I8,
+	"SMALLINT": vec.I16,
+	"INT":      vec.I32,
+	"INTEGER":  vec.I32,
+	"BIGINT":   vec.I64,
+	"DOUBLE":   vec.F64,
+	"FLOAT":    vec.F64,
+	"TEXT":     vec.Str,
+	"STRING":   vec.Str,
+	"VARCHAR":  vec.Str,
+}
+
+func (p *parser) createTableStmt() (*CreateTableStmt, error) {
+	p.i++ // CREATE
+	if _, err := p.expect(tKeyword, "TABLE"); err != nil {
+		return nil, err
+	}
+	stmt := &CreateTableStmt{}
+	if p.at(tKeyword, "IF") {
+		p.i++
+		if _, err := p.expect(tKeyword, "NOT"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tKeyword, "EXISTS"); err != nil {
+			return nil, err
+		}
+		stmt.IfNotExists = true
+	}
+	t, err := p.expect(tIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	stmt.Name = t.text
+	if _, err := p.expect(tSymbol, "("); err != nil {
+		return nil, err
+	}
+	for {
+		ct, err := p.expect(tIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		typTok := p.cur()
+		typ, ok := typeKeywords[typTok.text]
+		if typTok.kind != tKeyword || !ok {
+			return nil, errf(typTok.pos, "expected a column type, found %q", typTok.text)
+		}
+		p.i++
+		// VARCHAR(30)-style length parameters are accepted and ignored:
+		// the engine stores all strings dictionary-compressed.
+		if p.eat(tSymbol, "(") {
+			if _, err := p.expect(tNumber, ""); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tSymbol, ")"); err != nil {
+				return nil, err
+			}
+		}
+		col := ColDef{Name: ct.text, Type: typ, Nullable: true}
+		switch {
+		case p.at(tKeyword, "NOT") && p.peek().text == "NULL":
+			p.i += 2
+			col.Nullable = false
+		case p.at(tKeyword, "NULL"):
+			p.i++
+		}
+		stmt.Cols = append(stmt.Cols, col)
+		if !p.eat(tSymbol, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(tSymbol, ")"); err != nil {
+		return nil, err
+	}
+	if len(stmt.Cols) == 0 {
+		return nil, errf(t.pos, "CREATE TABLE needs at least one column")
+	}
+	return stmt, nil
+}
+
+func (p *parser) insertStmt() (*InsertStmt, error) {
+	p.i++ // INSERT
+	if _, err := p.expect(tKeyword, "INTO"); err != nil {
+		return nil, err
+	}
+	t, err := p.expect(tIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	stmt := &InsertStmt{Table: t.text}
+	if p.eat(tSymbol, "(") {
+		for {
+			ct, err := p.expect(tIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			stmt.Columns = append(stmt.Columns, ct.text)
+			if !p.eat(tSymbol, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(tSymbol, ")"); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(tKeyword, "VALUES"); err != nil {
+		return nil, err
+	}
+	for {
+		if _, err := p.expect(tSymbol, "("); err != nil {
+			return nil, err
+		}
+		var row []Node
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if !p.eat(tSymbol, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(tSymbol, ")"); err != nil {
+			return nil, err
+		}
+		if len(stmt.Columns) > 0 && len(row) != len(stmt.Columns) {
+			return nil, errf(t.pos, "INSERT row has %d values, want %d", len(row), len(stmt.Columns))
+		}
+		if len(stmt.Rows) > 0 && len(row) != len(stmt.Rows[0]) {
+			return nil, errf(t.pos, "INSERT rows have inconsistent arity")
+		}
+		stmt.Rows = append(stmt.Rows, row)
+		if !p.eat(tSymbol, ",") {
+			break
+		}
+	}
+	return stmt, nil
+}
+
+func (p *parser) copyStmt() (*CopyStmt, error) {
+	p.i++ // COPY
+	t, err := p.expect(tIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	stmt := &CopyStmt{Table: t.text}
+	if _, err := p.expect(tKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	pt, err := p.expect(tString, "")
+	if err != nil {
+		return nil, err
+	}
+	stmt.Path = pt.text
+	p.eat(tKeyword, "WITH")
+	for {
+		switch {
+		case p.eat(tKeyword, "HEADER"):
+			stmt.Header = true
+		case p.at(tKeyword, "DELIMITER"):
+			p.i++
+			dt, err := p.expect(tString, "")
+			if err != nil {
+				return nil, err
+			}
+			r := []rune(dt.text)
+			if len(r) != 1 {
+				return nil, errf(dt.pos, "DELIMITER must be a single character, got %q", dt.text)
+			}
+			stmt.Delimiter = r[0]
+		default:
+			return stmt, nil
+		}
+	}
+}

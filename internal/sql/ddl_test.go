@@ -1,0 +1,124 @@
+package sql
+
+import (
+	"testing"
+
+	"ocht/internal/vec"
+)
+
+func TestParseCreateTable(t *testing.T) {
+	s, err := ParseStatement(`CREATE TABLE events (
+		id BIGINT NOT NULL, kind TEXT, score DOUBLE, flag TINYINT,
+		code SMALLINT NULL, n INT, label VARCHAR(30))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, ok := s.(*CreateTableStmt)
+	if !ok {
+		t.Fatalf("got %T", s)
+	}
+	if ct.Name != "events" || ct.IfNotExists {
+		t.Fatalf("bad stmt: %+v", ct)
+	}
+	want := []ColDef{
+		{"id", vec.I64, false}, {"kind", vec.Str, true}, {"score", vec.F64, true},
+		{"flag", vec.I8, true}, {"code", vec.I16, true}, {"n", vec.I32, true},
+		{"label", vec.Str, true},
+	}
+	if len(ct.Cols) != len(want) {
+		t.Fatalf("%d cols, want %d", len(ct.Cols), len(want))
+	}
+	for i, w := range want {
+		if ct.Cols[i] != w {
+			t.Errorf("col %d = %+v, want %+v", i, ct.Cols[i], w)
+		}
+	}
+
+	s, err = ParseStatement("CREATE TABLE IF NOT EXISTS t (a INT)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.(*CreateTableStmt).IfNotExists {
+		t.Fatal("IF NOT EXISTS not parsed")
+	}
+}
+
+func TestParseInsert(t *testing.T) {
+	s, err := ParseStatement(
+		"INSERT INTO t (a, b, c) VALUES (1, 'x', 2.5), (-3, NULL, 0.0)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := s.(*InsertStmt)
+	if ins.Table != "t" || len(ins.Columns) != 3 || len(ins.Rows) != 2 {
+		t.Fatalf("bad stmt: %+v", ins)
+	}
+	if _, ok := ins.Rows[0][0].(*IntLit); !ok {
+		t.Fatalf("row0 col0: %T", ins.Rows[0][0])
+	}
+	if _, ok := ins.Rows[1][0].(*NegOp); !ok {
+		t.Fatalf("row1 col0: %T", ins.Rows[1][0])
+	}
+	if _, ok := ins.Rows[1][1].(*NullLit); !ok {
+		t.Fatalf("row1 col1: %T", ins.Rows[1][1])
+	}
+
+	// Positional insert, no column list.
+	s, err = ParseStatement("INSERT INTO t VALUES (1, 2)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.(*InsertStmt); got.Columns != nil || len(got.Rows) != 1 {
+		t.Fatalf("bad stmt: %+v", got)
+	}
+}
+
+func TestParseCopy(t *testing.T) {
+	s, err := ParseStatement("COPY t FROM 'data/file.csv' WITH HEADER DELIMITER '|'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := s.(*CopyStmt)
+	if cp.Table != "t" || cp.Path != "data/file.csv" || !cp.Header || cp.Delimiter != '|' {
+		t.Fatalf("bad stmt: %+v", cp)
+	}
+	s, err = ParseStatement("COPY t FROM 'f.csv'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp = s.(*CopyStmt)
+	if cp.Header || cp.Delimiter != 0 {
+		t.Fatalf("bad defaults: %+v", cp)
+	}
+}
+
+func TestParseStatementSelect(t *testing.T) {
+	s, err := ParseStatement("SELECT COUNT(*) FROM t WHERE a > 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.(*SelectStmt); !ok {
+		t.Fatalf("got %T", s)
+	}
+}
+
+func TestParseStatementErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"DROP TABLE t",
+		"CREATE TABLE t ()",
+		"CREATE TABLE t (a WIDGET)",
+		"CREATE TABLE (a INT)",
+		"INSERT INTO t (a, b) VALUES (1)",
+		"INSERT INTO t VALUES (1), (1, 2)",
+		"INSERT INTO t VALUES",
+		"COPY t FROM missing_quotes.csv",
+		"COPY t FROM 'f.csv' DELIMITER 'ab'",
+		"CREATE TABLE t (a INT) garbage",
+	}
+	for _, q := range bad {
+		if _, err := ParseStatement(q); err == nil {
+			t.Errorf("ParseStatement(%q): expected error", q)
+		}
+	}
+}

@@ -33,11 +33,25 @@ func FuzzParse(f *testing.F) {
 		"\x00\xff\xfe",
 		strings.Repeat("(", 100),
 		strings.Repeat("SELECT ", 50),
+		// Write-path statements.
+		"CREATE TABLE t (a BIGINT NOT NULL, b TEXT, c DOUBLE)",
+		"CREATE TABLE IF NOT EXISTS t (a INT)",
+		"INSERT INTO t (a, b) VALUES (1, 'x'), (-2, NULL)",
+		"INSERT INTO t VALUES (1, 2.5, 'z')",
+		"COPY t FROM 'f.csv' WITH HEADER DELIMITER '|'",
+		"CREATE TABLE t (a VARCHAR(30))",
+		"INSERT INTO t VALUES",
+		"COPY t FROM",
 	}
 	for _, s := range seeds {
 		f.Add(s)
 	}
 	f.Fuzz(func(t *testing.T, query string) {
+		// ParseStatement covers the DDL/DML grammar too; same contract:
+		// a statement or an error, never a panic.
+		if s, err := ParseStatement(query); err == nil && s == nil {
+			t.Fatalf("ParseStatement(%q) returned nil statement and nil error", query)
+		}
 		stmt, err := Parse(query)
 		if err != nil {
 			if stmt != nil {

@@ -37,6 +37,12 @@ var keywords = map[string]bool{
 	"OUTER": true, "ON": true, "ASC": true, "DESC": true, "SUM": true,
 	"COUNT": true, "MIN": true, "MAX": true, "AVG": true, "DISTINCT": true,
 	"SUBSTRING": true, "EXISTS": true, "CAST": true, "FLOAT": true,
+	// DDL/DML (the ingest write path).
+	"CREATE": true, "TABLE": true, "IF": true, "INSERT": true, "INTO": true,
+	"VALUES": true, "COPY": true, "WITH": true, "HEADER": true,
+	"DELIMITER": true, "TINYINT": true, "SMALLINT": true, "INT": true,
+	"INTEGER": true, "BIGINT": true, "DOUBLE": true, "TEXT": true,
+	"VARCHAR": true, "STRING": true,
 }
 
 type lexer struct {

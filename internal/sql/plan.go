@@ -8,18 +8,27 @@ import (
 	"ocht/internal/agg"
 	"ocht/internal/exec"
 	"ocht/internal/storage"
+	"ocht/internal/vec"
 )
+
+// Tables resolves table names at plan time. Both *storage.Catalog and
+// *storage.Snapshot implement it; planning against a snapshot pins the
+// query to one immutable catalog version while ingest commits continue
+// to land (DESIGN.md, "Write path & snapshots").
+type Tables interface {
+	Table(name string) *storage.Table
+}
 
 // Run parses, plans and executes a SELECT statement under the given query
 // context (which carries the technique flags).
-func Run(query string, cat *storage.Catalog, qc *exec.QCtx) (*exec.Result, error) {
+func Run(query string, cat Tables, qc *exec.QCtx) (*exec.Result, error) {
 	return RunCtx(context.Background(), query, cat, qc)
 }
 
 // RunCtx is Run under a cancellation context: the deadline (or caller
 // cancellation) is polled per batch by every operator, so long scans
 // stop and the call returns an error wrapping exec.ErrCanceled.
-func RunCtx(ctx context.Context, query string, cat *storage.Catalog, qc *exec.QCtx) (*exec.Result, error) {
+func RunCtx(ctx context.Context, query string, cat Tables, qc *exec.QCtx) (*exec.Result, error) {
 	stmt, err := Parse(query)
 	if err != nil {
 		return nil, err
@@ -43,7 +52,7 @@ func RunCtx(ctx context.Context, query string, cat *storage.Catalog, qc *exec.QC
 
 // Plan compiles a parsed statement to an operator tree plus the post-run
 // ordering and limit.
-func Plan(stmt *SelectStmt, cat *storage.Catalog) (exec.Op, []exec.SortKey, int, error) {
+func Plan(stmt *SelectStmt, cat Tables) (exec.Op, []exec.SortKey, int, error) {
 	p := &planner{cat: cat}
 	op, err := p.plan(stmt)
 	if err != nil {
@@ -57,7 +66,7 @@ func Plan(stmt *SelectStmt, cat *storage.Catalog) (exec.Op, []exec.SortKey, int,
 }
 
 type planner struct {
-	cat *storage.Catalog
+	cat Tables
 }
 
 func (p *planner) plan(stmt *SelectStmt) (exec.Op, error) {
@@ -199,6 +208,12 @@ func (p *planner) planAggregate(stmt *SelectStmt, op exec.Op) (exec.Op, error) {
 				arg, err := compile(f.Args[0], inMeta)
 				if err != nil {
 					return err
+				}
+				// The aggregator folds integer (scaled-decimal) inputs;
+				// a DOUBLE argument would panic deep in Update, so reject
+				// it at plan time. COUNT never reads the values.
+				if arg.Type() == vec.F64 && f.Name != "COUNT" {
+					return errf(f.nodePos(), "%s over a DOUBLE expression is not supported", f.Name)
 				}
 				ae.Arg = arg
 			}

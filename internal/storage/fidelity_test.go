@@ -1,0 +1,150 @@
+// Fidelity of out-of-band metadata across persistence: a table written to
+// disk and reloaded must drive the paper's machinery — DGPS domains from
+// zone maps (Section II-A) and per-block dictionaries feeding the USSR
+// (Section IV-A) — exactly like the in-memory original. These tests pin
+// that contract, which the ingest seal/persist pipeline relies on.
+package storage_test
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"ocht/internal/agg"
+	"ocht/internal/core"
+	"ocht/internal/exec"
+	"ocht/internal/storage"
+	"ocht/internal/strs"
+	"ocht/internal/vec"
+)
+
+// fidelityTable spans several blocks with skewed integer ranges (distinct
+// zone maps per block), per-block string dictionaries and NULLs.
+func fidelityTable(rows int) *storage.Table {
+	k := storage.NewColumn("k", vec.I64, false)
+	g := storage.NewColumn("g", vec.Str, false)
+	v := storage.NewColumn("v", vec.I32, true)
+	groups := []string{"aa", "bb", "cc", "dd", "ee", "ff", "gg"}
+	for i := 0; i < rows; i++ {
+		block := i / storage.BlockRows
+		k.AppendInt(int64(i%1000) + int64(block)*100_000)
+		g.AppendString(groups[(i+block)%len(groups)])
+		if i%13 == 0 {
+			v.AppendNull()
+		} else {
+			v.AppendInt(int64(i % 512))
+		}
+	}
+	t := storage.NewTable("fidelity", k, g, v)
+	t.Seal()
+	return t
+}
+
+func reload(t *testing.T, tab *storage.Table) *storage.Table {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := storage.WriteTable(&buf, tab); err != nil {
+		t.Fatal(err)
+	}
+	got, err := storage.ReadTable(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+// TestZoneMapFidelity: every per-block and cumulative Domain() of the
+// reloaded table matches the original, so DGPS width decisions are
+// identical on freshly loaded data.
+func TestZoneMapFidelity(t *testing.T) {
+	orig := fidelityTable(storage.BlockRows*2 + 1234)
+	got := reload(t, orig)
+
+	for ci, oc := range orig.Cols {
+		gc := got.Cols[ci]
+		if oc.Blocks() != gc.Blocks() {
+			t.Fatalf("col %s: %d blocks vs %d", oc.Name, gc.Blocks(), oc.Blocks())
+		}
+		for bi := 0; bi < oc.Blocks(); bi++ {
+			od, gd := oc.Domain(bi, bi+1), gc.Domain(bi, bi+1)
+			if od != gd {
+				t.Errorf("col %s block %d: domain %+v vs %+v", oc.Name, bi, gd, od)
+			}
+		}
+		if oc.TotalDomain() != gc.TotalDomain() {
+			t.Errorf("col %s: total domain %+v vs %+v", oc.Name, gc.TotalDomain(), oc.TotalDomain())
+		}
+	}
+}
+
+// TestDictionaryFidelity: per-block dictionaries (contents and order, so
+// codes stay valid) and the Table III candidate statistics survive the
+// round trip.
+func TestDictionaryFidelity(t *testing.T) {
+	orig := fidelityTable(storage.BlockRows + 99)
+	got := reload(t, orig)
+
+	oc, gc := orig.Col("g"), got.Col("g")
+	if oc.DictStats() != gc.DictStats() {
+		t.Fatalf("dict stats %d vs %d", gc.DictStats(), oc.DictStats())
+	}
+	for bi := 0; bi < oc.Blocks(); bi++ {
+		ob, gb := oc.Block(bi), gc.Block(bi)
+		if !reflect.DeepEqual(ob.Dict, gb.Dict) {
+			t.Fatalf("block %d dict mismatch: %v vs %v", bi, gb.Dict, ob.Dict)
+		}
+		if !reflect.DeepEqual(ob.Codes, gb.Codes) {
+			t.Fatalf("block %d codes mismatch", bi)
+		}
+	}
+
+	// Scans through a plain store materialize identical strings.
+	so, sg := strs.NewStore(false), strs.NewStore(false)
+	bo, bg := vec.New(vec.Str, storage.BlockRows), vec.New(vec.Str, storage.BlockRows)
+	for bi := 0; bi < oc.Blocks(); bi++ {
+		n := oc.ScanBlock(bi, bo, so)
+		if m := gc.ScanBlock(bi, bg, sg); m != n {
+			t.Fatalf("block %d rows %d vs %d", bi, m, n)
+		}
+		for i := 0; i < n; i++ {
+			if so.Get(bo.Str[i]) != sg.Get(bg.Str[i]) {
+				t.Fatalf("block %d row %d: %q vs %q", bi, i,
+					sg.Get(bg.Str[i]), so.Get(bo.Str[i]))
+			}
+		}
+	}
+}
+
+// TestCompressedLayoutFidelity runs the same compressed aggregation over
+// the original and the reloaded table under full paper flags: results
+// and the optimistically compressed hash-table footprint (i.e., the DGPS
+// layout chosen from the derived domains) must be identical.
+func TestCompressedLayoutFidelity(t *testing.T) {
+	orig := fidelityTable(storage.BlockRows + 4567)
+	got := reload(t, orig)
+
+	run := func(tab *storage.Table) (*exec.Result, int, int) {
+		qc := exec.NewQCtx(core.All())
+		sc := exec.NewScan(tab, "g", "k", "v")
+		m := sc.Meta()
+		h := exec.NewHashAgg(sc,
+			[]string{"g"}, []*exec.Expr{exec.Col(m, "g")},
+			[]exec.AggExpr{
+				{Func: agg.Sum, Arg: exec.Col(m, "k"), Name: "s"},
+				{Func: agg.Count, Arg: exec.Col(m, "v"), Name: "c"},
+			})
+		res := exec.Run(qc, h)
+		res.OrderBy(exec.SortKey{Col: 0})
+		return res, qc.HashTableBytes(), qc.HashTableHotBytes()
+	}
+	ro, bo, ho := run(orig)
+	rg, bg, hg := run(got)
+
+	if fmt.Sprint(ro.Rows) != fmt.Sprint(rg.Rows) {
+		t.Fatalf("results differ:\n%v\nvs\n%v", ro, rg)
+	}
+	if bo != bg || ho != hg {
+		t.Fatalf("hash table layout differs: %d/%d bytes vs %d/%d", bg, hg, bo, ho)
+	}
+}

@@ -154,7 +154,20 @@ func WriteTable(w io.Writer, t *Table) error {
 	return bw.Flush()
 }
 
-// ReadTable deserializes a table written by WriteTable.
+// Sanity caps for ReadTable: a corrupted or truncated file must produce
+// an error, never a panic or a multi-gigabyte allocation driven by a
+// damaged length field. The caps are far above anything WriteTable emits.
+const (
+	maxFileStrLen = 1 << 26 // 64 MiB per string
+	maxFileCols   = 1 << 14
+	maxFileBlocks = 1 << 24
+)
+
+// ReadTable deserializes a table written by WriteTable. Damaged input —
+// truncated streams, corrupted headers or footers, out-of-range lengths,
+// dictionary codes past the dictionary — returns an error; ReadTable
+// never panics, which the WAL-recovery path relies on when it loads the
+// persisted block file underneath a log replay.
 func ReadTable(r io.Reader) (*Table, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
 	get := func(v interface{}) error { return binary.Read(br, binary.LittleEndian, v) }
@@ -162,6 +175,9 @@ func ReadTable(r io.Reader) (*Table, error) {
 		var n uint32
 		if err := get(&n); err != nil {
 			return "", err
+		}
+		if n > maxFileStrLen {
+			return "", fmt.Errorf("storage: string length %d exceeds limit", n)
 		}
 		buf := make([]byte, n)
 		if _, err := io.ReadFull(br, buf); err != nil {
@@ -191,6 +207,9 @@ func ReadTable(r io.Reader) (*Table, error) {
 	if err := get(&nCols); err != nil {
 		return nil, err
 	}
+	if nCols > maxFileCols {
+		return nil, fmt.Errorf("storage: column count %d exceeds limit", nCols)
+	}
 	cols := make([]*Column, nCols)
 	for ci := range cols {
 		cname, err := getStr()
@@ -201,6 +220,11 @@ func ReadTable(r io.Reader) (*Table, error) {
 		if err := get(&typ); err != nil {
 			return nil, err
 		}
+		switch vec.Type(typ) {
+		case vec.I8, vec.I16, vec.I32, vec.I64, vec.F64, vec.Str:
+		default:
+			return nil, fmt.Errorf("storage: bad column type %d", typ)
+		}
 		if err := get(&nullable); err != nil {
 			return nil, err
 		}
@@ -209,10 +233,16 @@ func ReadTable(r io.Reader) (*Table, error) {
 		if err := get(&nBlocks); err != nil {
 			return nil, err
 		}
+		if nBlocks > maxFileBlocks {
+			return nil, fmt.Errorf("storage: block count %d exceeds limit", nBlocks)
+		}
 		for bi := uint32(0); bi < nBlocks; bi++ {
 			var rows uint32
 			if err := get(&rows); err != nil {
 				return nil, err
+			}
+			if rows > BlockRows {
+				return nil, fmt.Errorf("storage: block of %d rows exceeds BlockRows", rows)
 			}
 			b := &Block{N: int(rows)}
 			switch c.Type {
@@ -236,6 +266,10 @@ func ReadTable(r io.Reader) (*Table, error) {
 				if err = get(&nDict); err != nil {
 					break
 				}
+				if nDict > BlockRows {
+					err = fmt.Errorf("storage: dictionary of %d entries exceeds BlockRows", nDict)
+					break
+				}
 				b.Dict = make([]string, nDict)
 				for di := range b.Dict {
 					if b.Dict[di], err = getStr(); err != nil {
@@ -244,7 +278,14 @@ func ReadTable(r io.Reader) (*Table, error) {
 				}
 				if err == nil {
 					b.Codes = make([]int32, rows)
-					err = get(b.Codes)
+					if err = get(b.Codes); err == nil {
+						for _, code := range b.Codes {
+							if code < 0 || int(code) >= len(b.Dict) {
+								err = fmt.Errorf("storage: dictionary code %d out of range [0,%d)", code, len(b.Dict))
+								break
+							}
+						}
+					}
 				}
 			default:
 				err = fmt.Errorf("storage: bad column type %d", typ)
@@ -301,7 +342,11 @@ func (c *Catalog) Save(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	for name, t := range c.tables {
+	for _, name := range c.Names() {
+		t, ok := c.TableOK(name)
+		if !ok {
+			continue
+		}
 		f, err := os.Create(filepath.Join(dir, name+".ocht"))
 		if err != nil {
 			return err

@@ -12,6 +12,9 @@ package storage
 
 import (
 	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
 
 	"ocht/internal/domain"
 	"ocht/internal/strs"
@@ -350,33 +353,138 @@ func (t *Table) ColIndex(name string) int {
 	return i
 }
 
-// Catalog maps table names to tables.
+// Catalog maps table names to tables. It is safe for concurrent use:
+// readers take a read lock (or pin a Snapshot), writers a write lock, and
+// the version counter is read without any lock. Tables themselves are
+// immutable once registered — mutation is modeled as replacing a table
+// with a new value (copy-on-write, see ExtendTable), so a reader holding
+// a *Table from before a replacement keeps a consistent view.
 type Catalog struct {
+	mu      sync.RWMutex
 	tables  map[string]*Table
-	version uint64
+	version atomic.Uint64
 }
 
 // NewCatalog creates an empty catalog.
 func NewCatalog() *Catalog { return &Catalog{tables: map[string]*Table{}} }
 
-// Add registers a table and bumps the catalog version.
+// Add registers (or replaces) a table and bumps the catalog version.
 func (c *Catalog) Add(t *Table) {
+	c.mu.Lock()
 	c.tables[t.Name] = t
-	c.version++
+	c.version.Add(1)
+	c.mu.Unlock()
 }
 
 // Version counts catalog mutations. Plan caches key on it so a cached
 // plan is never reused against a catalog whose tables changed.
-func (c *Catalog) Version() uint64 { return c.version }
+func (c *Catalog) Version() uint64 { return c.version.Load() }
 
 // Table looks a table up by name.
 func (c *Catalog) Table(name string) *Table {
-	t, ok := c.tables[name]
+	t, ok := c.TableOK(name)
 	if !ok {
 		panic("storage: unknown table " + name)
 	}
 	return t
 }
 
+// TableOK looks a table up by name without panicking.
+func (c *Catalog) TableOK(name string) (*Table, bool) {
+	c.mu.RLock()
+	t, ok := c.tables[name]
+	c.mu.RUnlock()
+	return t, ok
+}
+
 // Tables returns the number of registered tables.
-func (c *Catalog) Tables() int { return len(c.tables) }
+func (c *Catalog) Tables() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.tables)
+}
+
+// Names returns the registered table names, sorted.
+func (c *Catalog) Names() []string {
+	c.mu.RLock()
+	names := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		names = append(names, n)
+	}
+	c.mu.RUnlock()
+	sort.Strings(names)
+	return names
+}
+
+// Snapshot pins the current catalog contents. The snapshot is immutable:
+// concurrent Adds replace tables in the catalog but never mutate the
+// tables the snapshot references, so a query planned and executed against
+// a snapshot sees one frozen row count per table no matter how many
+// commits land while it runs.
+func (c *Catalog) Snapshot() *Snapshot {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	tabs := make(map[string]*Table, len(c.tables))
+	for n, t := range c.tables {
+		tabs[n] = t
+	}
+	return &Snapshot{tables: tabs, version: c.version.Load()}
+}
+
+// Snapshot is an immutable view of a catalog at one version.
+type Snapshot struct {
+	tables  map[string]*Table
+	version uint64
+}
+
+// Table looks a table up by name.
+func (s *Snapshot) Table(name string) *Table {
+	t, ok := s.tables[name]
+	if !ok {
+		panic("storage: unknown table " + name)
+	}
+	return t
+}
+
+// TableOK looks a table up by name without panicking.
+func (s *Snapshot) TableOK(name string) (*Table, bool) {
+	t, ok := s.tables[name]
+	return t, ok
+}
+
+// Version is the catalog version the snapshot was taken at.
+func (s *Snapshot) Version() uint64 { return s.version }
+
+// Tables returns the number of tables in the snapshot.
+func (s *Snapshot) Tables() int { return len(s.tables) }
+
+// ExtendTable builds a new table whose columns hold base's sealed blocks
+// followed by delta's — the copy-on-write append step of the ingest write
+// path. Block and zone-map slices are freshly allocated so the result
+// shares no mutable state with base; the blocks themselves are shared,
+// which is safe because sealed blocks are never written again. Both
+// tables must be sealed and schema-identical.
+func ExtendTable(base, delta *Table) *Table {
+	if len(base.Cols) != len(delta.Cols) {
+		panic(fmt.Sprintf("storage: ExtendTable %s: %d vs %d columns",
+			base.Name, len(base.Cols), len(delta.Cols)))
+	}
+	cols := make([]*Column, len(base.Cols))
+	for i, bc := range base.Cols {
+		dc := delta.Cols[i]
+		if bc.cur != nil || dc.cur != nil {
+			panic("storage: ExtendTable on unsealed column " + bc.Name)
+		}
+		if bc.Type != dc.Type || bc.Name != dc.Name {
+			panic(fmt.Sprintf("storage: ExtendTable %s: column %d mismatch (%s %s vs %s %s)",
+				base.Name, i, bc.Name, bc.Type, dc.Name, dc.Type))
+		}
+		nc := &Column{Name: bc.Name, Type: bc.Type, Nullable: bc.Nullable || dc.Nullable}
+		nc.blocks = make([]*Block, 0, len(bc.blocks)+len(dc.blocks))
+		nc.blocks = append(append(nc.blocks, bc.blocks...), dc.blocks...)
+		nc.zones = make([]zoneMap, 0, len(bc.zones)+len(dc.zones))
+		nc.zones = append(append(nc.zones, bc.zones...), dc.zones...)
+		cols[i] = nc
+	}
+	return NewTable(base.Name, cols...)
+}
