@@ -1,0 +1,84 @@
+// Command ocht-vet runs the ocht engine-invariant analyzers over the
+// module. It loads every package from source using only the standard
+// library (go/parser + go/types) and reports diagnostics in the usual
+// file:line:col format, exiting non-zero if any analyzer fires.
+//
+// Usage:
+//
+//	ocht-vet [-run name[,name...]] [dir]
+//
+// dir defaults to the current directory; the module root is discovered by
+// walking up to go.mod. -run restricts the suite to the named analyzers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ocht/internal/analysis"
+)
+
+func main() {
+	runFilter := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	suite := analysis.Suite()
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *runFilter != "" {
+		want := map[string]bool{}
+		for _, name := range strings.Split(*runFilter, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+		var kept []*analysis.Analyzer
+		for _, a := range suite {
+			if want[a.Name] {
+				kept = append(kept, a)
+				delete(want, a.Name)
+			}
+		}
+		for name := range want {
+			fmt.Fprintf(os.Stderr, "ocht-vet: unknown analyzer %q\n", name)
+			os.Exit(2)
+		}
+		suite = kept
+	}
+
+	dir := "."
+	if flag.NArg() > 0 {
+		// Accept a directory or the conventional ./... pattern; loading is
+		// always whole-module.
+		arg := strings.TrimSuffix(flag.Arg(0), "...")
+		arg = strings.TrimSuffix(arg, "/")
+		if arg != "" && arg != "." {
+			dir = arg
+		}
+	}
+
+	loader, err := analysis.NewLoader(dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ocht-vet: %v\n", err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ocht-vet: %v\n", err)
+		os.Exit(2)
+	}
+
+	diags := analysis.Run(pkgs, suite)
+	for _, d := range diags {
+		fmt.Printf("%s: %s: %s\n", d.Pos, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "ocht-vet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

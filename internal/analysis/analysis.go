@@ -1,0 +1,148 @@
+// Package analysis is a stdlib-only static-analysis framework for the
+// engine's own invariants: selection-vector discipline in vectorized
+// kernels, unsafe-pointer hygiene around the USSR region, 64-bit atomic
+// alignment, cancellation polls in long loops, and durable-write error
+// handling in the WAL paths.
+//
+// It deliberately depends on nothing outside the standard library
+// (go/parser + go/ast + go/types); the repository's no-dependency
+// constraint applies to its tooling too. The shape mirrors
+// golang.org/x/tools/go/analysis — an Analyzer holds a Run function over
+// a Pass carrying one type-checked package — but is cut down to exactly
+// what the ocht-vet suite needs.
+//
+// Each static rule has a dynamic counterpart in the ocht_debug
+// build-tag-gated assertion layer (vec.AssertSel, ussr.AssertResident,
+// hashtab.AssertPacked); DESIGN.md "Invariants & static analysis" maps
+// the rules to their runtime twins.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -run filters.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run inspects one package and reports violations via pass.Reportf.
+	Run func(*Pass)
+}
+
+// Pass carries one type-checked package through an analyzer run.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Path     string // import path (virtual for fixture packages)
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Diagnostic is one reported violation.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Reportf records a violation at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// PathHasSuffix reports whether the package's import path ends in one of
+// the given module-relative suffixes (e.g. "internal/ingest"). Fixture
+// packages override their virtual path with a //ocht:path directive, so
+// path-scoped analyzers behave identically under test.
+func (p *Pass) PathHasSuffix(suffixes ...string) bool {
+	for _, s := range suffixes {
+		if p.Path == s || strings.HasSuffix(p.Path, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+// TypeOf returns the static type of e, or nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	return p.Info.TypeOf(e)
+}
+
+// Run executes the analyzers over the packages and returns all
+// diagnostics sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Path:     pkg.Path,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				diags:    &diags,
+			}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags
+}
+
+// funcDocHasDirective reports whether the function's doc comment carries
+// the given //ocht:<name> directive on a line of its own.
+func funcDocHasDirective(fd *ast.FuncDecl, directive string) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.TrimSpace(c.Text) == "//"+directive {
+			return true
+		}
+	}
+	return false
+}
+
+// walkFuncBody visits every node of a function body except nested
+// function literals, which have their own execution context (a closure's
+// body does not run when the enclosing loop iterates).
+func walkFuncBody(body ast.Node, f func(ast.Node) bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit && n != body {
+			f(n) // visible to the callback (e.g. hotalloc flags the closure itself)
+			return false
+		}
+		return f(n)
+	})
+}

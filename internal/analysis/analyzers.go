@@ -1,0 +1,24 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Suite returns every ocht analyzer, in the order ocht-vet runs them.
+func Suite() []*Analyzer {
+	return []*Analyzer{
+		HotAlloc,
+		SelVec,
+		UnsafePtr,
+		AtomicField,
+		CancelPoll,
+		WALErr,
+	}
+}
+
+// exprKey renders an expression to a stable string for use as a map key
+// and in diagnostics.
+func exprKey(e ast.Expr) string {
+	return types.ExprString(e)
+}

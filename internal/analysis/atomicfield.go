@@ -1,0 +1,144 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// atomic64Funcs are the sync/atomic entry points operating on raw 64-bit
+// words through a pointer.
+var atomic64Funcs = map[string]bool{
+	"AddInt64": true, "AddUint64": true,
+	"LoadInt64": true, "LoadUint64": true,
+	"StoreInt64": true, "StoreUint64": true,
+	"SwapInt64": true, "SwapUint64": true,
+	"CompareAndSwapInt64": true, "CompareAndSwapUint64": true,
+}
+
+// AtomicField enforces the two rules raw 64-bit atomics need:
+//
+//   - a struct field passed to atomic.*Int64/*Uint64 must sit at an
+//     8-byte-aligned offset under 32-bit struct layout (GOARCH=386 packs
+//     words at 4-byte alignment, and misaligned 64-bit atomics fault on
+//     386/ARM) — the field must be first or preceded only by 8-byte
+//     multiples;
+//   - a field accessed atomically anywhere must be accessed atomically
+//     everywhere: one plain read racing one atomic write is still a data
+//     race.
+//
+// Fields typed atomic.Int64/atomic.Uint64 are exempt from the alignment
+// rule — the runtime guarantees their alignment via the align64 marker —
+// and immune to mixed access because their word is unexported. That is
+// the pattern this analyzer pushes toward; server/metrics.go and the
+// storage catalog version are the references.
+var AtomicField = &Analyzer{
+	Name: "atomicfield",
+	Doc: "flags 64-bit atomic struct fields not alignment-guaranteed on " +
+		"32-bit targets, and fields accessed both atomically and plainly",
+	Run: runAtomicField,
+}
+
+func runAtomicField(pass *Pass) {
+	// Pass 1: find every &x.f handed to a 64-bit atomic and check its
+	// 32-bit layout offset.
+	atomicFields := map[*types.Var]bool{}
+	atomicSelNodes := map[*ast.SelectorExpr]bool{}
+	sizes32 := types.SizesFor("gc", "386")
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomic64Call(pass, call) || len(call.Args) == 0 {
+				return true
+			}
+			un, ok := call.Args[0].(*ast.UnaryExpr)
+			if !ok || un.Op.String() != "&" {
+				return true
+			}
+			se, ok := un.X.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := pass.Info.Selections[se]
+			if !ok || sel.Kind() != types.FieldVal {
+				return true
+			}
+			field, ok := sel.Obj().(*types.Var)
+			if !ok {
+				return true
+			}
+			atomicFields[field] = true
+			atomicSelNodes[se] = true
+			if off, known := fieldOffset32(sizes32, sel); known && off%8 != 0 {
+				pass.Reportf(se.Pos(),
+					"64-bit atomic access to field %s at 32-bit offset %d (not 8-byte aligned); move it to the front of the struct, pad it, or use atomic.Int64/atomic.Uint64",
+					se.Sel.Name, off)
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return
+	}
+	// Pass 2: any other access to those fields is a mixed atomic/plain
+	// access.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			se, ok := n.(*ast.SelectorExpr)
+			if !ok || atomicSelNodes[se] {
+				return true
+			}
+			sel, ok := pass.Info.Selections[se]
+			if !ok || sel.Kind() != types.FieldVal {
+				return true
+			}
+			field, ok := sel.Obj().(*types.Var)
+			if ok && atomicFields[field] {
+				pass.Reportf(se.Pos(),
+					"field %s is accessed atomically elsewhere but plainly here; mixed atomic/non-atomic access is a data race",
+					se.Sel.Name)
+			}
+			return true
+		})
+	}
+}
+
+func isAtomic64Call(pass *Pass, call *ast.CallExpr) bool {
+	se, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !atomic64Funcs[se.Sel.Name] {
+		return false
+	}
+	id, ok := se.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pass.Info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == "sync/atomic"
+}
+
+// fieldOffset32 computes the field's byte offset within its outermost
+// struct under 32-bit (GOARCH=386) layout, following the selection's
+// embedding path. Mirrors go vet's sync/atomic alignment rule: the struct
+// itself is assumed allocation-aligned, so a multiple-of-8 offset is what
+// guarantees the field's alignment.
+func fieldOffset32(sizes types.Sizes, sel *types.Selection) (int64, bool) {
+	recv := sel.Recv()
+	if p, ok := recv.Underlying().(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	var off int64
+	t := recv
+	for _, idx := range sel.Index() {
+		st, ok := t.Underlying().(*types.Struct)
+		if !ok {
+			return 0, false
+		}
+		fields := make([]*types.Var, st.NumFields())
+		for i := 0; i < st.NumFields(); i++ {
+			fields[i] = st.Field(i)
+		}
+		offs := sizes.Offsetsof(fields)
+		off += offs[idx]
+		t = st.Field(idx).Type()
+	}
+	return off, true
+}

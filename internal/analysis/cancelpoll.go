@@ -1,0 +1,202 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// pollNames are the calls that count as a cancellation poll.
+var pollNames = map[string]bool{
+	"checkCancel": true,
+	"CheckCancel": true,
+	"stopped":     true,
+	"Stopped":     true,
+}
+
+// CancelPoll enforces the engine's cancellation discipline: a canceled
+// query (deadline, client disconnect, server drain) must stop within one
+// vector of work.
+//
+//   - In internal/exec, every loop that pulls batches — calls a Next
+//     method with a *QCtx argument — must poll cancellation inside the
+//     loop body (qc.checkCancel(), or a select on a Done()/done channel).
+//   - In internal/ingest, every loop inside a background runner (method
+//     name run*) must either block on channels (a select with a receive
+//     case) or poll a stop signal per iteration; a runner walking tables
+//     with no poll keeps sealing long after Close.
+var CancelPoll = &Analyzer{
+	Name: "cancelpoll",
+	Doc: "flags batch/morsel loops in internal/exec and background-runner " +
+		"loops in internal/ingest with no cancellation poll on any path",
+	Run: runCancelPoll,
+}
+
+func runCancelPoll(pass *Pass) {
+	inExec := pass.PathHasSuffix("internal/exec")
+	inIngest := pass.PathHasSuffix("internal/ingest")
+	if !inExec && !inIngest {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if inExec {
+				checkPullLoops(pass, fd)
+			}
+			if inIngest && strings.HasPrefix(fd.Name.Name, "run") {
+				checkRunnerLoops(pass, fd)
+			}
+		}
+	}
+}
+
+// checkPullLoops flags loops that drain an operator without polling.
+func checkPullLoops(pass *Pass, fd *ast.FuncDecl) {
+	walkFuncBody(fd.Body, func(n ast.Node) bool {
+		body := loopBody(n)
+		if body == nil {
+			return true
+		}
+		if hasNextCall(pass, body) && !hasPoll(body) {
+			pass.Reportf(n.Pos(),
+				"loop in %s pulls batches (.Next(qc)) but never polls cancellation; add qc.checkCancel() so canceled queries stop within one vector",
+				fd.Name.Name)
+		}
+		return true
+	})
+}
+
+// checkRunnerLoops flags background-runner loops that neither block on
+// channels nor poll a stop signal.
+func checkRunnerLoops(pass *Pass, fd *ast.FuncDecl) {
+	walkFuncBody(fd.Body, func(n ast.Node) bool {
+		body := loopBody(n)
+		if body == nil {
+			return true
+		}
+		if !hasChannelWait(body) && !hasPoll(body) {
+			pass.Reportf(n.Pos(),
+				"loop in background runner %s has no channel wait or stop poll; it keeps running after shutdown",
+				fd.Name.Name)
+		}
+		return true
+	})
+}
+
+func loopBody(n ast.Node) *ast.BlockStmt {
+	switch t := n.(type) {
+	case *ast.ForStmt:
+		return t.Body
+	case *ast.RangeStmt:
+		// Ranging over a channel is itself a blocking channel wait;
+		// treated as such by hasChannelWait via the range check there.
+		return t.Body
+	}
+	return nil
+}
+
+// hasNextCall reports whether the body calls a method named Next with a
+// single argument of type *QCtx (matched by type name, so fixtures
+// declaring their own QCtx exercise the rule).
+func hasNextCall(pass *Pass, body ast.Node) bool {
+	found := false
+	walkFuncBody(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		se, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || se.Sel.Name != "Next" || len(call.Args) != 1 {
+			return true
+		}
+		if isQCtxPtr(pass.TypeOf(call.Args[0])) {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+func isQCtxPtr(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := p.Elem().(*types.Named)
+	return ok && named.Obj().Name() == "QCtx"
+}
+
+// hasPoll reports whether the body calls a recognized poll function or
+// selects on a done channel.
+func hasPoll(body ast.Node) bool {
+	found := false
+	walkFuncBody(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch t := n.(type) {
+		case *ast.CallExpr:
+			if se, ok := t.Fun.(*ast.SelectorExpr); ok && pollNames[se.Sel.Name] {
+				found = true
+			}
+			if id, ok := t.Fun.(*ast.Ident); ok && pollNames[id.Name] {
+				found = true
+			}
+		case *ast.SelectStmt:
+			if selectHasReceive(t) {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// hasChannelWait reports whether the body contains a select with a
+// receive case or a direct channel receive.
+func hasChannelWait(body ast.Node) bool {
+	found := false
+	walkFuncBody(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch t := n.(type) {
+		case *ast.SelectStmt:
+			if selectHasReceive(t) {
+				found = true
+			}
+		case *ast.UnaryExpr:
+			if t.Op.String() == "<-" {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func selectHasReceive(sel *ast.SelectStmt) bool {
+	for _, c := range sel.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok || cc.Comm == nil {
+			continue
+		}
+		switch s := cc.Comm.(type) {
+		case *ast.ExprStmt:
+			if u, ok := s.X.(*ast.UnaryExpr); ok && u.Op.String() == "<-" {
+				return true
+			}
+		case *ast.AssignStmt:
+			for _, r := range s.Rhs {
+				if u, ok := r.(*ast.UnaryExpr); ok && u.Op.String() == "<-" {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

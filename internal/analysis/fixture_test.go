@@ -1,0 +1,137 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"ocht/internal/vec"
+)
+
+// runFixtures loads every fixture package under testdata/<analyzer> (the
+// directory itself plus any subdirectories containing Go files), runs the
+// analyzer alone, and matches diagnostics against `// want "substr"`
+// comments: each want line must produce a diagnostic containing the
+// substring, and every diagnostic must land on a want line.
+func runFixtures(t *testing.T, a *Analyzer) {
+	t.Helper()
+	root := filepath.Join("testdata", a.Name)
+	var dirs []string
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		t.Fatalf("reading %s: %v", root, err)
+	}
+	hasGo := false
+	for _, e := range entries {
+		if e.IsDir() {
+			dirs = append(dirs, filepath.Join(root, e.Name()))
+		} else if strings.HasSuffix(e.Name(), ".go") {
+			hasGo = true
+		}
+	}
+	if hasGo {
+		dirs = append(dirs, root)
+	}
+	if len(dirs) == 0 {
+		t.Fatalf("no fixture packages under %s", root)
+	}
+
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := false
+	for _, dir := range dirs {
+		pkg, err := loader.LoadFixture(dir)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", dir, err)
+		}
+		diags := Run([]*Package{pkg}, []*Analyzer{a})
+		fired = fired || len(diags) > 0
+		checkWants(t, pkg, diags)
+	}
+	if !fired {
+		t.Errorf("analyzer %s produced no diagnostics on its fixtures; the seeded violations are not firing", a.Name)
+	}
+}
+
+// checkWants compares diagnostics with the fixture's want comments.
+func checkWants(t *testing.T, pkg *Package, diags []Diagnostic) {
+	t.Helper()
+	type want struct {
+		substr  string
+		matched bool
+	}
+	wants := map[int][]*want{} // line -> expectations
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(strings.TrimSpace(c.Text), "// want ")
+				if !ok {
+					continue
+				}
+				substr, err := strconv.Unquote(strings.TrimSpace(rest))
+				if err != nil {
+					t.Fatalf("%s: bad want comment %q: %v", pkg.Fset.Position(c.Pos()), c.Text, err)
+				}
+				line := pkg.Fset.Position(c.Pos()).Line
+				wants[line] = append(wants[line], &want{substr: substr})
+			}
+		}
+	}
+	for _, d := range diags {
+		ws := wants[d.Pos.Line]
+		matched := false
+		for _, w := range ws {
+			if !w.matched && strings.Contains(d.Message, w.substr) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic %s", d)
+		}
+	}
+	for line, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s:%d: no diagnostic containing %q", pkg.Dir, line, w.substr)
+			}
+		}
+	}
+}
+
+func TestHotAllocFixtures(t *testing.T)    { runFixtures(t, HotAlloc) }
+func TestSelVecFixtures(t *testing.T)      { runFixtures(t, SelVec) }
+func TestUnsafePtrFixtures(t *testing.T)   { runFixtures(t, UnsafePtr) }
+func TestAtomicFieldFixtures(t *testing.T) { runFixtures(t, AtomicField) }
+func TestCancelPollFixtures(t *testing.T)  { runFixtures(t, CancelPoll) }
+func TestWALErrFixtures(t *testing.T)      { runFixtures(t, WALErr) }
+
+// TestVecMaxLenPinned keeps the analyzer's duplicated constant in sync
+// with the engine's real batch capacity.
+func TestVecMaxLenPinned(t *testing.T) {
+	if VecMaxLen != vec.MaxLen {
+		t.Fatalf("analysis.VecMaxLen = %d, vec.MaxLen = %d; update selvec.go", VecMaxLen, vec.MaxLen)
+	}
+}
+
+// TestSuiteNames guards the -run filter contract.
+func TestSuiteNames(t *testing.T) {
+	want := []string{"hotalloc", "selvec", "unsafeptr", "atomicfield", "cancelpoll", "walerr"}
+	suite := Suite()
+	if len(suite) != len(want) {
+		t.Fatalf("suite has %d analyzers, want %d", len(suite), len(want))
+	}
+	for i, a := range suite {
+		if a.Name != want[i] {
+			t.Errorf("suite[%d] = %s, want %s", i, a.Name, want[i])
+		}
+		if a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %s missing doc or run", a.Name)
+		}
+	}
+}

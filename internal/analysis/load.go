@@ -1,0 +1,340 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build/constraint"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Dir   string
+	Path  string // import path; fixtures may override via //ocht:path
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks the module's packages using only the
+// standard library: module-internal imports resolve against the parsed
+// source tree, everything else (the stdlib) goes through the compiler's
+// source importer. No `go list`, no export data, no external tooling.
+type Loader struct {
+	Root   string // module root (directory containing go.mod)
+	Module string // module path from go.mod
+
+	Fset *token.FileSet
+
+	std  types.ImporterFrom
+	pkgs map[string]*loadEntry
+}
+
+type loadEntry struct {
+	dir      string
+	files    []*ast.File
+	pkg      *Package
+	checking bool
+}
+
+// NewLoader creates a loader rooted at the module containing dir.
+func NewLoader(dir string) (*Loader, error) {
+	root, err := findModuleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	module, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	l := &Loader{
+		Root:   root,
+		Module: module,
+		Fset:   fset,
+		pkgs:   map[string]*loadEntry{},
+	}
+	if srcImp, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom); ok {
+		l.std = srcImp
+	} else {
+		return nil, fmt.Errorf("analysis: source importer unavailable")
+	}
+	return l, nil
+}
+
+func findModuleRoot(dir string) (string, error) {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("analysis: no go.mod above %s", dir)
+		}
+		d = parent
+	}
+}
+
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.TrimSpace(strings.Trim(strings.TrimSpace(rest), `"`)), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module directive in %s", gomod)
+}
+
+// LoadAll parses and type-checks every non-test package under the module
+// root, skipping testdata and hidden directories.
+func (l *Loader) LoadAll() ([]*Package, error) {
+	dirs := map[string]bool{}
+	err := filepath.WalkDir(l.Root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if p != l.Root && (strings.HasPrefix(name, ".") || name == "testdata" || name == "_") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(p, ".go") && !strings.HasSuffix(p, "_test.go") {
+			dirs[filepath.Dir(p)] = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var paths []string
+	for dir := range dirs {
+		path, err := l.parseDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		if path != "" {
+			paths = append(paths, path)
+		}
+	}
+	sort.Strings(paths)
+	var out []*Package
+	for _, path := range paths {
+		pkg, err := l.check(path)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// importPathFor maps a directory under the module root to its import path.
+func (l *Loader) importPathFor(dir string) (string, error) {
+	rel, err := filepath.Rel(l.Root, dir)
+	if err != nil {
+		return "", err
+	}
+	if rel == "." {
+		return l.Module, nil
+	}
+	return l.Module + "/" + filepath.ToSlash(rel), nil
+}
+
+// parseDir parses the non-test Go files of dir and registers the package
+// under its import path. Returns "" for directories with no Go files.
+func (l *Loader) parseDir(dir string) (string, error) {
+	path, err := l.importPathFor(dir)
+	if err != nil {
+		return "", err
+	}
+	if _, ok := l.pkgs[path]; ok {
+		return path, nil
+	}
+	files, err := l.parseFiles(dir)
+	if err != nil {
+		return "", err
+	}
+	if len(files) == 0 {
+		return "", nil
+	}
+	l.pkgs[path] = &loadEntry{dir: dir, files: files}
+	return path, nil
+}
+
+func (l *Loader) parseFiles(dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		if !buildTagsSatisfied(f) {
+			continue
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// buildTagsSatisfied evaluates a file's //go:build constraint (if any)
+// under the default build configuration: current GOOS/GOARCH, the gc
+// compiler, and no custom tags. Files gated behind tags like ocht_debug
+// are excluded, matching what `go build ./...` compiles — the analyzers
+// must see exactly one of each //go:build pair.
+func buildTagsSatisfied(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() >= f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				continue
+			}
+			return expr.Eval(func(tag string) bool {
+				return tag == runtime.GOOS || tag == runtime.GOARCH || tag == "gc"
+			})
+		}
+	}
+	return true
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// check type-checks the registered package at path, resolving
+// module-internal imports recursively and stdlib imports via the source
+// importer.
+func (l *Loader) check(path string) (*Package, error) {
+	ent, ok := l.pkgs[path]
+	if !ok {
+		return nil, fmt.Errorf("analysis: package %s not loaded", path)
+	}
+	if ent.pkg != nil {
+		return ent.pkg, nil
+	}
+	if ent.checking {
+		return nil, fmt.Errorf("analysis: import cycle through %s", path)
+	}
+	ent.checking = true
+	defer func() { ent.checking = false }()
+
+	imp := importerFunc(func(ip string) (*types.Package, error) {
+		if e, ok := l.pkgs[ip]; ok {
+			pkg, err := l.check(ip)
+			if err != nil {
+				return nil, err
+			}
+			_ = e
+			return pkg.Types, nil
+		}
+		if strings.HasPrefix(ip, l.Module+"/") {
+			// A module-internal import not seen yet (single-dir loads):
+			// parse it on demand.
+			dir := filepath.Join(l.Root, filepath.FromSlash(strings.TrimPrefix(ip, l.Module+"/")))
+			if _, err := l.parseDir(dir); err != nil {
+				return nil, err
+			}
+			pkg, err := l.check(ip)
+			if err != nil {
+				return nil, err
+			}
+			return pkg.Types, nil
+		}
+		return l.std.Import(ip)
+	})
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := &types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, l.Fset, ent.files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %s: %w", path, err)
+	}
+	ent.pkg = &Package{
+		Dir:   ent.dir,
+		Path:  path,
+		Fset:  l.Fset,
+		Files: ent.files,
+		Types: tpkg,
+		Info:  info,
+	}
+	return ent.pkg, nil
+}
+
+// LoadFixture parses and type-checks a standalone fixture directory
+// (typically under testdata, which LoadAll skips). The fixture's virtual
+// import path defaults to its directory name; a //ocht:path directive in
+// any of its files overrides it, letting fixtures exercise path-scoped
+// analyzers (e.g. the internal/ingest scoping of walerr). Fixtures may
+// import the standard library only.
+func (l *Loader) LoadFixture(dir string) (*Package, error) {
+	files, err := l.parseFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in fixture %s", dir)
+	}
+	path := filepath.Base(dir)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if rest, ok := strings.CutPrefix(strings.TrimSpace(c.Text), "//ocht:path "); ok {
+					path = strings.TrimSpace(rest)
+				}
+			}
+		}
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := &types.Config{Importer: importerFunc(func(ip string) (*types.Package, error) {
+		return l.std.Import(ip)
+	})}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: fixture %s: %w", dir, err)
+	}
+	return &Package{Dir: dir, Path: path, Fset: l.Fset, Files: files, Types: tpkg, Info: info}, nil
+}

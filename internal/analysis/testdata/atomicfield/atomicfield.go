@@ -1,0 +1,55 @@
+// Package fixture seeds 64-bit atomic alignment and mixed-access
+// violations.
+//
+//ocht:path ocht/internal/server
+package fixture
+
+import "sync/atomic"
+
+// badCounter puts the atomic word after a bool: offset 4 under 32-bit
+// layout, which faults on 386/ARM.
+type badCounter struct {
+	closed bool
+	count  int64
+}
+
+func (c *badCounter) inc() {
+	atomic.AddInt64(&c.count, 1) // want "not 8-byte aligned"
+}
+
+// mixed is aligned (field first) but read plainly elsewhere.
+type mixed struct {
+	n     int64
+	label string
+}
+
+func (m *mixed) bump() {
+	atomic.AddInt64(&m.n, 1)
+}
+
+func (m *mixed) read() int64 {
+	return m.n // want "accessed atomically elsewhere but plainly here"
+}
+
+// good pads the word to an 8-byte offset and touches it atomically only.
+type good struct {
+	gen int32
+	_   int32
+	n   uint64
+}
+
+func (g *good) load() uint64 {
+	return atomic.LoadUint64(&g.n)
+}
+
+// typedGood is the pattern the analyzer pushes toward: the typed atomic
+// wrappers are alignment-guaranteed by the runtime and cannot be accessed
+// plainly.
+type typedGood struct {
+	closed bool
+	count  atomic.Int64
+}
+
+func (t *typedGood) inc() {
+	t.count.Add(1)
+}

@@ -1,0 +1,78 @@
+// Package fixture seeds pull-loop cancellation violations. QCtx mirrors
+// the engine's query context by name, which is how the analyzer matches.
+//
+//ocht:path ocht/internal/exec
+package fixture
+
+// QCtx is the fixture's stand-in for exec.QCtx.
+type QCtx struct {
+	done chan struct{}
+}
+
+func (q *QCtx) checkCancel() {}
+
+// Done exposes the cancellation channel.
+func (q *QCtx) Done() <-chan struct{} { return q.done }
+
+// Batch is a unit of pulled work.
+type Batch struct{ N int }
+
+// Operator is the pull interface.
+type Operator interface {
+	Next(qc *QCtx) *Batch
+}
+
+// drainBad pulls batches forever without ever polling cancellation.
+func drainBad(op Operator, qc *QCtx) int {
+	n := 0
+	for { // want "pulls batches (.Next(qc)) but never polls cancellation"
+		b := op.Next(qc)
+		if b == nil {
+			break
+		}
+		n += b.N
+	}
+	return n
+}
+
+// drainGood polls once per pulled batch.
+func drainGood(op Operator, qc *QCtx) int {
+	n := 0
+	for {
+		qc.checkCancel()
+		b := op.Next(qc)
+		if b == nil {
+			break
+		}
+		n += b.N
+	}
+	return n
+}
+
+// drainSelect waits on the done channel instead of polling.
+func drainSelect(op Operator, qc *QCtx) int {
+	n := 0
+	for {
+		select {
+		case <-qc.Done():
+			return n
+		default:
+		}
+		b := op.Next(qc)
+		if b == nil {
+			break
+		}
+		n += b.N
+	}
+	return n
+}
+
+// scalarLoop has no batch pulls; loops without Next calls are out of
+// scope.
+func scalarLoop(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}

@@ -1,0 +1,62 @@
+// Package fixture seeds background-runner loops that outlive shutdown.
+//
+//ocht:path ocht/internal/ingest
+package fixture
+
+type table struct{}
+
+func (t *table) seal() {}
+
+type engine struct {
+	stopCh chan struct{}
+	tick   chan struct{}
+	tables []*table
+}
+
+func (e *engine) stopped() bool {
+	select {
+	case <-e.stopCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// runSealerBad blocks correctly in the outer loop but walks tables with
+// no stop poll: a long table list keeps sealing after Close.
+func (e *engine) runSealerBad() {
+	for {
+		select {
+		case <-e.stopCh:
+			return
+		case <-e.tick:
+		}
+		for _, t := range e.tables { // want "no channel wait or stop poll"
+			t.seal()
+		}
+	}
+}
+
+// runSealerGood polls the stop signal per table.
+func (e *engine) runSealerGood() {
+	for {
+		select {
+		case <-e.stopCh:
+			return
+		case <-e.tick:
+		}
+		for _, t := range e.tables {
+			if e.stopped() {
+				return
+			}
+			t.seal()
+		}
+	}
+}
+
+// drainAll is not a run* background runner; its loops are out of scope.
+func (e *engine) drainAll() {
+	for _, t := range e.tables {
+		t.seal()
+	}
+}

@@ -1,0 +1,50 @@
+// Package fixture exercises the in-allowlist unsafe rules against a
+// USSR-style self-aligned region.
+//
+//ocht:path ocht/internal/ussr
+package fixture
+
+import "unsafe"
+
+const regionBytes = 512 << 10
+
+type region struct {
+	base unsafe.Pointer
+}
+
+// goodMasked keeps the offset inside the region by masking.
+func (r *region) goodMasked(off uint32) unsafe.Pointer {
+	return unsafe.Add(r.base, int(off)&(regionBytes-1))
+}
+
+// goodMod keeps the offset inside the region by wrapping.
+func (r *region) goodMod(off int) unsafe.Pointer {
+	return unsafe.Add(r.base, off%regionBytes)
+}
+
+// goodConst uses a constant offset below the region size.
+func (r *region) goodConst() unsafe.Pointer {
+	return unsafe.Add(r.base, regionBytes-8)
+}
+
+// badUnbounded adds an arbitrary offset that can escape the region.
+func (r *region) badUnbounded(off uint32) unsafe.Pointer {
+	return unsafe.Add(r.base, int(off)) // want "not provably inside the 512 kB self-aligned region"
+}
+
+// badConst addresses one past the region.
+func (r *region) badConst() unsafe.Pointer {
+	return unsafe.Add(r.base, regionBytes) // want "constant pointer offset 524288 outside the 512 kB self-aligned region"
+}
+
+// badOldStyle is the pre-1.17 arithmetic spelling with an unbounded
+// offset.
+func (r *region) badOldStyle(off uintptr) unsafe.Pointer {
+	return unsafe.Pointer(uintptr(r.base) + off) // want "not provably inside the 512 kB self-aligned region"
+}
+
+// badStash stores a uintptr; the GC no longer tracks the pointer.
+func (r *region) badStash() uintptr {
+	p := uintptr(r.base) // want "converted to uintptr and stored"
+	return p
+}

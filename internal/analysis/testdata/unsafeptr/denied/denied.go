@@ -1,0 +1,11 @@
+// Package fixture imports unsafe from outside the allowlist.
+//
+//ocht:path ocht/internal/exec
+package fixture
+
+import "unsafe" // want "import of unsafe outside the allowlist"
+
+// Sizeof is here only to use the import.
+func Sizeof(x int64) uintptr {
+	return unsafe.Sizeof(x)
+}

@@ -1,0 +1,52 @@
+// Package fixture seeds dropped durable-write errors on the WAL path.
+//
+//ocht:path ocht/internal/ingest
+package fixture
+
+import (
+	"bufio"
+	"bytes"
+	"os"
+)
+
+// syncDir fsyncs a directory so a rename within it is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	if err := d.Sync(); err != nil {
+		_ = d.Close()
+		return err
+	}
+	return d.Close()
+}
+
+// finishBad drops every error that decides durability.
+func finishBad(f *os.File, bw *bufio.Writer, dir string) {
+	bw.Flush()   // want "error from bw.Flush dropped"
+	f.Sync()     // want "error from f.Sync dropped"
+	f.Close()    // want "error from f.Close dropped"
+	syncDir(dir) // want "error from syncDir dropped"
+}
+
+// finishGood propagates or explicitly discards each one.
+func finishGood(f *os.File, bw *bufio.Writer, dir string) error {
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close() // explicit discard on the error path: allowed
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// buffered writes to an in-memory buffer; bytes.Buffer writes cannot
+// fail, so dropping the result is fine.
+func buffered(buf *bytes.Buffer, b []byte) {
+	buf.Write(b)
+}

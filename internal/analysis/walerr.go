@@ -1,0 +1,131 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// durableMethods are the file-handle methods whose errors decide whether
+// acknowledged data actually reached disk.
+var durableMethods = map[string]bool{
+	"Write":       true,
+	"WriteString": true,
+	"Sync":        true,
+	"Close":       true,
+	"Truncate":    true,
+	"Flush":       true,
+}
+
+// WALErr flags dropped errors from durable-write calls in the WAL and
+// checkpoint paths (internal/ingest, internal/storage): fsync/Write/Close
+// on *os.File, Flush/Write on *bufio.Writer, Write/Close through io
+// interfaces, and local fsync helpers (func names containing "Sync" or
+// starting with "sync"). A statement-position call discards every result;
+// that is how a torn WAL gets acknowledged.
+//
+// An explicit `_ = f.Close()` is allowed — it is a visible, reviewable
+// statement that the error is intentionally unused (error-path cleanup
+// where a failure is already being returned). Deferred closes are also
+// allowed: this repository's durable paths all close explicitly before
+// rename/ack, so deferred closes are read-side cleanup.
+var WALErr = &Analyzer{
+	Name: "walerr",
+	Doc: "flags dropped errors from fsync/Write/Close/Flush on files and " +
+		"sync helpers in internal/ingest and internal/storage",
+	Run: runWALErr,
+}
+
+func runWALErr(pass *Pass) {
+	if !pass.PathHasSuffix("internal/ingest", "internal/storage") {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name, is := durableCall(pass, call); is && callReturnsError(pass, call) {
+				pass.Reportf(call.Pos(),
+					"error from %s dropped; a failed durable write here acknowledges data that never reached disk — handle it, or discard explicitly with `_ =`",
+					name)
+			}
+			return true
+		})
+	}
+}
+
+// durableCall reports whether the call is a durable-write call and
+// returns a display name for it.
+func durableCall(pass *Pass, call *ast.CallExpr) (string, bool) {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		name := fun.Sel.Name
+		if durableMethods[name] {
+			if sel, ok := pass.Info.Selections[fun]; ok && sel.Kind() == types.MethodVal {
+				if isDurableRecv(sel.Recv()) {
+					return exprKey(fun.X) + "." + name, true
+				}
+				return "", false
+			}
+			// Package-qualified function, e.g. a helper imported elsewhere.
+		}
+		if isSyncHelperName(name) && isFuncCall(pass, fun.Sel) {
+			return name, true
+		}
+	case *ast.Ident:
+		if isSyncHelperName(fun.Name) && isFuncCall(pass, fun) {
+			return fun.Name, true
+		}
+	}
+	return "", false
+}
+
+// isDurableRecv matches *os.File, os.File, *bufio.Writer, and io-style
+// interfaces containing the method. bytes.Buffer and friends (whose
+// writes cannot fail meaningfully) stay exempt.
+func isDurableRecv(recv types.Type) bool {
+	t := recv
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil {
+			switch obj.Pkg().Path() + "." + obj.Name() {
+			case "os.File", "bufio.Writer":
+				return true
+			}
+		}
+	}
+	return types.IsInterface(recv.Underlying())
+}
+
+// isSyncHelperName matches local fsync helpers: syncDir, writeFileSync...
+func isSyncHelperName(name string) bool {
+	return strings.HasPrefix(name, "sync") || strings.Contains(name, "Sync")
+}
+
+func isFuncCall(pass *Pass, id *ast.Ident) bool {
+	_, ok := pass.Info.Uses[id].(*types.Func)
+	return ok
+}
+
+func callReturnsError(pass *Pass, call *ast.CallExpr) bool {
+	sig, ok := pass.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return false
+	}
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if named, ok := res.At(i).Type().(*types.Named); ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil {
+			return true
+		}
+	}
+	return false
+}

@@ -11,6 +11,11 @@ import "ocht/internal/i128"
 // Size is the default number of values per vector.
 const Size = 1024
 
+// MaxLen is the batch capacity: every selection-vector entry is a
+// physical row position and must stay below it. The selvec analyzer and
+// the ocht_debug AssertSel check both enforce this bound.
+const MaxLen = Size
+
 // Type enumerates the physical column types the engine understands.
 type Type uint8
 
