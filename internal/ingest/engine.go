@@ -234,7 +234,7 @@ func (e *Engine) recoverTable(name string) error {
 	persisted := int64(0)
 	if f, err := os.Open(ochtPath); err == nil {
 		t, rerr := storage.ReadTable(bufio.NewReaderSize(f, 1<<20))
-		f.Close()
+		_ = f.Close() // read-only descriptor; ReadTable's error is the signal
 		if rerr != nil {
 			return fmt.Errorf("read %s: %w", ochtPath, rerr)
 		}
@@ -313,11 +313,11 @@ func (e *Engine) recoverTable(name string) error {
 		buf.WriteString(walMagic)
 		appendRecord(&buf, walSchema, encodeSchema(schema))
 		if _, err := wf.Write(buf.Bytes()); err != nil {
-			wf.Close()
+			_ = wf.Close()
 			return err
 		}
 		if err := wf.Sync(); err != nil {
-			wf.Close()
+			_ = wf.Close()
 			return err
 		}
 	}
@@ -388,11 +388,17 @@ func (e *Engine) CreateTable(name string, cols []sql.ColDef, ifNotExists bool) e
 		err = f.Sync()
 	}
 	if err != nil {
-		f.Close()
+		_ = f.Close()
 		os.Remove(walPath)
 		return err
 	}
-	syncDir(e.walDir())
+	if err := syncDir(e.walDir()); err != nil {
+		// The WAL's directory entry may not be durable; a created table
+		// that could vanish on crash must not be acknowledged.
+		_ = f.Close()
+		os.Remove(walPath)
+		return err
+	}
 
 	schema := append([]sql.ColDef(nil), cols...)
 	st := newTableState(name, schema, f, walPath)

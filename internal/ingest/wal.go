@@ -366,9 +366,15 @@ func (e *Engine) runWAL(st *tableState) {
 
 func (e *Engine) finishWAL(st *tableState) {
 	if !e.abandoned.Load() && st.dirty {
-		st.wal.Sync()
+		if err := st.wal.Sync(); err != nil {
+			e.cfg.Logf("ingest: %s: final WAL sync failed: %v", st.name, err)
+		} else {
+			st.dirty = false
+		}
 	}
-	st.wal.Close()
+	if err := st.wal.Close(); err != nil {
+		e.cfg.Logf("ingest: %s: WAL close failed: %v", st.name, err)
+	}
 }
 
 // commitGroup writes one batch of Insert requests as WAL records, makes
@@ -480,10 +486,16 @@ func (e *Engine) compactWAL(st *tableState) {
 		st.mu.Unlock()
 		return
 	}
-	st.wal.Close()
+	if err := st.wal.Close(); err != nil {
+		// The old descriptor held the unlinked pre-compaction inode; its
+		// close cannot lose data but is worth surfacing.
+		e.cfg.Logf("ingest: %s: closing pre-compaction WAL: %v", st.name, err)
+	}
 	st.wal = nf
 	st.dirty = false
-	syncDir(e.walDir())
+	if err := syncDir(e.walDir()); err != nil {
+		e.cfg.Logf("ingest: %s: WAL dir sync after compaction: %v", st.name, err)
+	}
 	e.walCompactions.Add(1)
 }
 

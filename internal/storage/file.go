@@ -352,7 +352,7 @@ func (c *Catalog) Save(dir string) error {
 			return err
 		}
 		if err := WriteTable(f, t); err != nil {
-			f.Close()
+			_ = f.Close() // the write error is already being returned
 			return err
 		}
 		if err := f.Close(); err != nil {
@@ -382,7 +382,7 @@ func LoadCatalog(dir string) (*Catalog, error) {
 			return nil, err
 		}
 		t, err := ReadTable(f)
-		f.Close()
+		_ = f.Close() // read-only descriptor; ReadTable's error is the signal
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", n, err)
 		}
