@@ -24,10 +24,26 @@ func (e *Engine) runSealer() {
 		case <-t.C:
 		}
 		for _, st := range e.tableStates() {
+			// Sealing a big tail takes real time per table; a shutdown
+			// during the walk must not wait for the whole list.
+			if e.stopped() {
+				return
+			}
 			if err := e.sealTable(st); err != nil {
 				e.cfg.Logf("ingest: %s: seal: %v", st.name, err)
 			}
 		}
+	}
+}
+
+// stopped is the non-blocking poll background runners use between units
+// of work.
+func (e *Engine) stopped() bool {
+	select {
+	case <-e.stopCh:
+		return true
+	default:
+		return false
 	}
 }
 
