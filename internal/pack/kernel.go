@@ -152,6 +152,8 @@ func (p *Plan) PackWordMode(w int, cols []*vec.Vector, rows []int32, out []uint6
 // active positions lies inside its domain. Probe-side values outside the
 // build-side domain cannot match any stored key, so compressed comparison
 // first filters them out (Section II-D).
+//
+//ocht:hot
 func (p *Plan) InDomain(cols []*vec.Vector, rows []int32, match []bool) {
 	for _, r := range rows {
 		match[r] = true
@@ -323,6 +325,8 @@ func HashWords(probeWords [][]uint64, rows []int32, out []uint64) {
 
 // Mix64 is a cheap invertible 64-bit finalizer (splitmix64 finalization),
 // the hash function used across the hash tables in this repository.
+//
+//ocht:hot
 func Mix64(x uint64) uint64 {
 	x ^= x >> 30
 	x *= 0xbf58476d1ce4e5b9
