@@ -50,6 +50,9 @@ func (f *Filter) Next(qc *QCtx) *vec.Batch {
 		if len(f.sel) == 0 {
 			continue
 		}
+		if vec.DebugAsserts {
+			vec.AssertSel(f.sel, vec.MaxLen)
+		}
 		f.out.Vecs = b.Vecs
 		f.out.Sel = f.sel
 		f.out.N = len(f.sel)

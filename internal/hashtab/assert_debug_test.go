@@ -1,0 +1,46 @@
+//go:build ocht_debug
+
+package hashtab
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// TestAssertPacked finalizes a CHT (which self-checks under ocht_debug),
+// then corrupts the packed representation and checks the assertion fires.
+func TestAssertPacked(t *testing.T) {
+	c := NewConcise(16, 128)
+	rec := make([]byte, 16)
+	for k := uint64(1); k <= 100; k++ {
+		binary.LittleEndian.PutUint64(rec, k)
+		binary.LittleEndian.PutUint64(rec[8:], k*10)
+		c.Insert(k, rec)
+	}
+	c.Finalize() // wired assertion: must pass on a healthy table
+	c.AssertPacked()
+
+	expectPanic := func(name string, corrupt, restore func()) {
+		t.Helper()
+		corrupt()
+		defer restore()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected assertion panic, got none", name)
+			}
+		}()
+		c.AssertPacked()
+	}
+	var savedPrefix uint32
+	expectPanic("corrupted prefix count",
+		func() { savedPrefix = c.prefix[len(c.prefix)-1]; c.prefix[len(c.prefix)-1]++ },
+		func() { c.prefix[len(c.prefix)-1] = savedPrefix })
+	var savedWord uint64
+	expectPanic("corrupted bitmap word",
+		func() { savedWord = c.words[0]; c.words[0] ^= 1 << 63 },
+		func() { c.words[0] = savedWord })
+	var savedDense []byte
+	expectPanic("truncated dense array",
+		func() { savedDense = c.dense; c.dense = c.dense[:len(c.dense)-1] },
+		func() { c.dense = savedDense })
+}

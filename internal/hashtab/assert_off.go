@@ -1,0 +1,10 @@
+//go:build !ocht_debug
+
+package hashtab
+
+// DebugAsserts reports whether the ocht_debug assertion layer is compiled
+// in.
+const DebugAsserts = false
+
+// AssertPacked is a no-op in release builds; see assert_on.go.
+func (t *Concise) AssertPacked() {}

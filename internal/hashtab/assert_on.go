@@ -1,0 +1,37 @@
+//go:build ocht_debug
+
+package hashtab
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// DebugAsserts reports whether the ocht_debug assertion layer is compiled
+// in.
+const DebugAsserts = true
+
+// AssertPacked panics if the finalized CHT's packed representation is
+// inconsistent: the prefix counts must equal the running popcount of the
+// bitmap words, and the dense array must hold exactly one record per set
+// bit. Lookup's rank arithmetic (prefix[w] + popcount of lower bits)
+// silently reads the wrong record if any of this drifts.
+func (t *Concise) AssertPacked() {
+	if !t.final {
+		panic("hashtab: AssertPacked on a non-finalized CHT")
+	}
+	if len(t.prefix) != len(t.words) {
+		panic(fmt.Sprintf("hashtab: %d prefix counts for %d bitmap words", len(t.prefix), len(t.words)))
+	}
+	var total uint32
+	for w, word := range t.words {
+		if t.prefix[w] != total {
+			panic(fmt.Sprintf("hashtab: prefix[%d] = %d, want running popcount %d", w, t.prefix[w], total))
+		}
+		total += uint32(bits.OnesCount64(word))
+	}
+	if len(t.dense) != int(total)*t.rowWidth {
+		panic(fmt.Sprintf("hashtab: dense array holds %d bytes, want %d (%d records x %d)",
+			len(t.dense), int(total)*t.rowWidth, total, t.rowWidth))
+	}
+}

@@ -107,6 +107,9 @@ func (t *Concise) Finalize() {
 	}
 	t.bufKeys = nil
 	t.bufRecs = nil
+	if DebugAsserts {
+		t.AssertPacked()
+	}
 }
 
 // denseIndex maps an occupied virtual position to its dense array index:

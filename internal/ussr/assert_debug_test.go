@@ -1,0 +1,45 @@
+//go:build ocht_debug
+
+package ussr
+
+import (
+	"testing"
+
+	"ocht/internal/vec"
+)
+
+// TestAssertResident checks the residency assertion on real, forged and
+// stale references, including through the wired Hash path.
+func TestAssertResident(t *testing.T) {
+	u := New()
+	r, ok := u.Insert("hello")
+	if !ok {
+		t.Fatal("insert of a short string should succeed")
+	}
+	u.AssertResident(r) // real reference: no panic
+	if got := u.Get(r); got != "hello" {
+		t.Fatalf("Get = %q, want %q", got, "hello")
+	}
+
+	expectPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected assertion panic, got none", name)
+			}
+		}()
+		f()
+	}
+	expectPanic("untagged reference", func() {
+		u.AssertResident(vec.StrRef(3))
+	})
+	expectPanic("slot past allocation", func() {
+		u.AssertResident(vec.USSRTag | vec.StrRef(u.next+1))
+	})
+	expectPanic("slot zero", func() {
+		u.AssertResident(vec.USSRTag)
+	})
+	expectPanic("Hash on forged reference", func() {
+		u.Hash(vec.USSRTag | vec.StrRef(DataSlots-1))
+	})
+}

@@ -1,0 +1,12 @@
+//go:build !ocht_debug
+
+package ussr
+
+import "ocht/internal/vec"
+
+// DebugAsserts reports whether the ocht_debug assertion layer is compiled
+// in.
+const DebugAsserts = false
+
+// AssertResident is a no-op in release builds; see assert_on.go.
+func (u *USSR) AssertResident(r vec.StrRef) {}

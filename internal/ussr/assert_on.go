@@ -1,0 +1,28 @@
+//go:build ocht_debug
+
+package ussr
+
+import (
+	"fmt"
+
+	"ocht/internal/vec"
+)
+
+// DebugAsserts reports whether the ocht_debug assertion layer is compiled
+// in.
+const DebugAsserts = true
+
+// AssertResident panics if r is not a reference to an allocated USSR
+// slot: the tag bit must be set and the slot must lie inside the
+// allocated prefix of the data region (hash word at slot-1, string bytes
+// from slot). Hash and Get trust the reference completely — a forged or
+// stale reference reads another string's bytes, silently.
+func (u *USSR) AssertResident(r vec.StrRef) {
+	if !r.InUSSR() {
+		panic(fmt.Sprintf("ussr: reference %#x has no USSR tag", uint64(r)))
+	}
+	slot := int(r.USSRSlot())
+	if slot < firstSlot || slot >= u.next {
+		panic(fmt.Sprintf("ussr: slot %d outside allocated region [%d, %d)", slot, firstSlot, u.next))
+	}
+}

@@ -211,11 +211,17 @@ func (u *USSR) Lookup(s string) (vec.StrRef, bool) {
 // Hash returns the pre-computed hash of a resident string: a single load
 // from the slot preceding the string (Section IV-E).
 func (u *USSR) Hash(r vec.StrRef) uint64 {
+	if DebugAsserts {
+		u.AssertResident(r)
+	}
 	return u.data[r.USSRSlot()-1]
 }
 
 // Get materializes the resident string r.
 func (u *USSR) Get(r vec.StrRef) string {
+	if DebugAsserts {
+		u.AssertResident(r)
+	}
 	slot := r.USSRSlot()
 	return string(u.bytesAt(slot))
 }

@@ -1,0 +1,56 @@
+//go:build ocht_debug
+
+package vec
+
+import "testing"
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected assertion panic, got none", name)
+		}
+	}()
+	f()
+}
+
+// TestAssertSelCorrupted deliberately corrupts selection vectors in each
+// of the ways a broken kernel could, and checks the assertion fires.
+func TestAssertSelCorrupted(t *testing.T) {
+	mustPanic(t, "descending", func() {
+		AssertSel([]int32{5, 3, 7}, MaxLen)
+	})
+	mustPanic(t, "duplicate", func() {
+		AssertSel([]int32{3, 3}, MaxLen)
+	})
+	mustPanic(t, "out of range", func() {
+		AssertSel([]int32{0, int32(MaxLen)}, MaxLen)
+	})
+	mustPanic(t, "negative", func() {
+		AssertSel([]int32{-1}, MaxLen)
+	})
+	mustPanic(t, "past physical rows", func() {
+		AssertSel([]int32{0, 8}, 8)
+	})
+	mustPanic(t, "too long", func() {
+		sel := make([]int32, MaxLen+1)
+		for i := range sel {
+			sel[i] = int32(i)
+		}
+		AssertSel(sel, MaxLen+2)
+	})
+}
+
+func TestAssertSelValid(t *testing.T) {
+	AssertSel(nil, MaxLen)
+	AssertSel([]int32{}, MaxLen)
+	AssertSel([]int32{0}, 1)
+	AssertSel([]int32{2, 5, 1023}, MaxLen)
+	AssertSel(FullSel, MaxLen)
+}
+
+func TestDebugAssertsEnabled(t *testing.T) {
+	if !DebugAsserts {
+		t.Fatal("ocht_debug build must set DebugAsserts")
+	}
+}

@@ -1,0 +1,11 @@
+//go:build !ocht_debug
+
+package vec
+
+// DebugAsserts reports whether the ocht_debug assertion layer is compiled
+// in. This is the release build: the assertions below are empty and
+// inline to nothing.
+const DebugAsserts = false
+
+// AssertSel is a no-op in release builds; see assert_on.go.
+func AssertSel(sel []int32, phys int) {}

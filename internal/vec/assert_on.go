@@ -1,0 +1,33 @@
+//go:build ocht_debug
+
+package vec
+
+import "fmt"
+
+// DebugAsserts reports whether the ocht_debug assertion layer is compiled
+// in. Release builds compile the assertions out entirely (assert_off.go).
+const DebugAsserts = true
+
+// AssertSel panics if sel is not a valid selection vector over phys
+// physical rows: at most MaxLen entries, each in [0, phys), strictly
+// ascending. Selection vectors are ordered subsets of physical positions
+// (the selvec analyzer enforces the same invariant statically); a
+// violation here means a kernel wrote garbage positions.
+func AssertSel(sel []int32, phys int) {
+	if sel == nil {
+		return
+	}
+	if len(sel) > MaxLen {
+		panic(fmt.Sprintf("vec: selection vector has %d entries, max %d", len(sel), MaxLen))
+	}
+	prev := int32(-1)
+	for i, r := range sel {
+		if int(r) < 0 || int(r) >= phys {
+			panic(fmt.Sprintf("vec: selection entry sel[%d] = %d outside [0, %d)", i, r, phys))
+		}
+		if r <= prev {
+			panic(fmt.Sprintf("vec: selection vector not strictly ascending at sel[%d]: %d after %d", i, r, prev))
+		}
+		prev = r
+	}
+}
