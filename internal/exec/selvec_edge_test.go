@@ -1,0 +1,162 @@
+package exec
+
+import (
+	"testing"
+
+	"ocht/internal/agg"
+	"ocht/internal/core"
+	"ocht/internal/storage"
+	"ocht/internal/vec"
+)
+
+// idTable builds n rows with id = 0..n-1 and a 4-way group key, sized so
+// every batch is exactly full and the last physical position of a batch
+// (vec.MaxLen-1) is reachable by predicate.
+func idTable(n int) *storage.Table {
+	id := storage.NewColumn("id", vec.I64, false)
+	k := storage.NewColumn("k", vec.I64, false)
+	for i := 0; i < n; i++ {
+		id.AppendInt(int64(i))
+		k.AppendInt(int64(i % 4))
+	}
+	t := storage.NewTable("ids", id, k)
+	t.Seal()
+	return t
+}
+
+// trailingDim maps the trailing id of each batch to a label, so a join
+// probed through a trailing-max selection finds exactly those rows.
+func trailingDim(n int) *storage.Table {
+	id := storage.NewColumn("did", vec.I64, false)
+	name := storage.NewColumn("name", vec.Str, false)
+	for i := vec.MaxLen - 1; i < n; i += vec.MaxLen {
+		id.AppendInt(int64(i))
+		name.AppendString("tail")
+	}
+	t := storage.NewTable("dim", id, name)
+	t.Seal()
+	return t
+}
+
+// selPredicates are the three selection-vector edge shapes, expressed as
+// filter predicates over the id column: a selection with no entries, the
+// full identity selection, and a selection whose only entry is the last
+// physical position of each batch (vec.MaxLen-1, the trailing max index).
+func selPredicates(n int, m []Meta) map[string]*Expr {
+	return map[string]*Expr{
+		"empty": Lt(Col(m, "id"), Int(0)),
+		"full":  Ge(Col(m, "id"), Int(0)),
+		"trailing-max": Eq(
+			Mod(Col(m, "id"), Int(int64(vec.MaxLen))),
+			Int(int64(vec.MaxLen-1)),
+		),
+	}
+}
+
+// TestFilterSelEdges drives the filter through each edge selection and
+// checks exact row membership under every engine configuration.
+func TestFilterSelEdges(t *testing.T) {
+	const n = 3 * vec.MaxLen
+	tab := idTable(n)
+	wantRows := map[string]int{"empty": 0, "full": n, "trailing-max": 3}
+	for name := range wantRows {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			results := runAll(t, func() Op {
+				scan := NewScan(tab, "id", "k")
+				m := scan.Meta()
+				return NewFilter(scan, selPredicates(n, m)[name])
+			})
+			assertAllEqual(t, results)
+			r := results[flagName(core.Flags{})]
+			if len(r.Rows) != wantRows[name] {
+				t.Fatalf("%s: got %d rows, want %d", name, len(r.Rows), wantRows[name])
+			}
+			if name == "trailing-max" {
+				for _, row := range r.Rows {
+					if (row[0].I+1)%int64(vec.MaxLen) != 0 {
+						t.Fatalf("trailing-max selected id %d, not a batch-final row", row[0].I)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestAggSelEdges aggregates through each edge selection: counts and sums
+// must reflect exactly the selected rows.
+func TestAggSelEdges(t *testing.T) {
+	const n = 3 * vec.MaxLen
+	tab := idTable(n)
+	type want struct {
+		groups int
+		count  int64
+	}
+	wants := map[string]want{
+		"empty":        {0, 0},
+		"full":         {4, n},
+		"trailing-max": {1, 3}, // ids 1023, 2047, 3071 are all k=3
+	}
+	for name := range wants {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			results := runAll(t, func() Op {
+				scan := NewScan(tab, "id", "k")
+				m := scan.Meta()
+				f := NewFilter(scan, selPredicates(n, m)[name])
+				return NewHashAgg(f,
+					[]string{"k"}, []*Expr{Col(m, "k")},
+					[]AggExpr{
+						{Func: agg.CountStar, Name: "cnt"},
+						{Func: agg.Sum, Arg: Col(m, "id"), Name: "sum_id"},
+					})
+			})
+			assertAllEqual(t, results)
+			r := results[flagName(core.All())]
+			w := wants[name]
+			if len(r.Rows) != w.groups {
+				t.Fatalf("%s: got %d groups, want %d", name, len(r.Rows), w.groups)
+			}
+			var total int64
+			for _, row := range r.Rows {
+				total += row[1].I
+			}
+			if total != w.count {
+				t.Fatalf("%s: counts sum to %d, want %d", name, total, w.count)
+			}
+		})
+	}
+}
+
+// TestJoinSelEdges probes a hash join through each edge selection; the
+// build side holds only batch-trailing ids, so matches exist exactly when
+// the selection reaches position vec.MaxLen-1.
+func TestJoinSelEdges(t *testing.T) {
+	const n = 3 * vec.MaxLen
+	tab := idTable(n)
+	dim := trailingDim(n)
+	wantRows := map[string]int{"empty": 0, "full": 3, "trailing-max": 3}
+	for name := range wantRows {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			results := runAll(t, func() Op {
+				scan := NewScan(tab, "id", "k")
+				m := scan.Meta()
+				f := NewFilter(scan, selPredicates(n, m)[name])
+				return NewHashJoin(Inner, f,
+					NewScan(dim, "did", "name"),
+					[]string{"id"}, []string{"did"}, []string{"name"})
+			})
+			assertAllEqual(t, results)
+			r := results[flagName(core.All())]
+			if len(r.Rows) != wantRows[name] {
+				t.Fatalf("%s: join produced %d rows, want %d", name, len(r.Rows), wantRows[name])
+			}
+			for _, row := range r.Rows {
+				if (row[0].I+1)%int64(vec.MaxLen) != 0 {
+					t.Fatalf("%s: joined id %d is not a batch-final row", name, row[0].I)
+				}
+			}
+		})
+	}
+}
