@@ -33,6 +33,7 @@ func main() {
 	flag.IntVar(&cfg.MaxCard, "maxcard", cfg.MaxCard, "Fig 8 maximum build cardinality")
 	flag.Int64Var(&cfg.Seed, "seed", cfg.Seed, "generator seed")
 	flag.IntVar(&cfg.Workers, "workers", cfg.Workers, "parallel workers for the scaling experiment")
+	jsonOut := flag.String("json-out", "", "write a machine-readable join/agg/scaling perf report to this file and exit")
 	serveURL := flag.String("serve-url", "", "load-generator mode: base URL of a running ocht-serve")
 	clients := flag.Int("clients", 4, "loadgen concurrent clients")
 	duration := flag.Duration("duration", 10*time.Second, "loadgen run length")
@@ -57,6 +58,20 @@ func main() {
 		for _, name := range bench.RunnerNames {
 			fmt.Println(name)
 		}
+		return
+	}
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := bench.PerfJSON(f, cfg); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
 		return
 	}
 	if *exp == "all" {

@@ -15,6 +15,8 @@ var hotPackages = []string{
 	"internal/agg",
 	"internal/join",
 	"internal/exec",
+	"internal/core",
+	"internal/hashtab",
 }
 
 // hotNameRE is the primitive naming convention: the paper-style kernel

@@ -45,6 +45,7 @@ var Runners = map[string]func(w io.Writer, cfg Config){
 	"fig11":   Fig11,
 	"scaling": Scaling,
 	"ingest":  IngestExp,
+	"joinsel": JoinSel,
 }
 
 // RunnerNames lists the experiments in paper order; the scaling and
@@ -53,6 +54,7 @@ var Runners = map[string]func(w io.Writer, cfg Config){
 var RunnerNames = []string{
 	"fig4", "table2", "fig5", "table3", "fig6",
 	"fig7", "fig8", "fig9", "table4", "fig10", "fig11", "scaling", "ingest",
+	"joinsel",
 }
 
 // All runs every experiment in paper order.

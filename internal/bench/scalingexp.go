@@ -28,24 +28,7 @@ func Scaling(w io.Writer, cfg Config) {
 	fmt.Fprintf(w, "rows=%d blocks=%d morsel=%d rows (one storage block)\n",
 		rows, blocks, storage.BlockRows)
 
-	plan := func() exec.Op {
-		sc := exec.NewScan(fact, "returnflag", "linestatus", "quantity", "extendedprice", "discount", "shipdate")
-		m := sc.Meta()
-		fl := exec.NewFilter(sc, exec.Le(exec.Col(m, "shipdate"), exec.Int(19980902)))
-		fm := fl.Meta()
-		price := exec.Col(fm, "extendedprice")
-		disc := exec.Col(fm, "discount")
-		return exec.NewHashAgg(fl,
-			[]string{"returnflag", "linestatus"},
-			[]*exec.Expr{exec.Col(fm, "returnflag"), exec.Col(fm, "linestatus")},
-			[]exec.AggExpr{
-				{Func: agg.Sum, Arg: exec.Col(fm, "quantity"), Name: "sum_qty"},
-				{Func: agg.Sum, Arg: price, Name: "sum_base_price"},
-				{Func: agg.Sum, Arg: exec.Mul(price, exec.Sub(exec.Int(100), disc)), Name: "sum_disc_price"},
-				{Func: exec.Avg, Arg: exec.Col(fm, "quantity"), Name: "avg_qty"},
-				{Func: agg.CountStar, Name: "count_order"},
-			})
-	}
+	plan := func() exec.Op { return scalingPlan(fact, -1) }
 
 	series := []int{1, 2, 4}
 	if cfg.Workers > 4 {
@@ -98,6 +81,29 @@ func Scaling(w io.Writer, cfg Config) {
 		js, _ := json.Marshal(rec)
 		fmt.Fprintln(w, string(js))
 	}
+}
+
+// scalingPlan builds the Q1-style aggregation over the fact table with
+// the given radix width for the group table (-1 = adaptive).
+func scalingPlan(fact *storage.Table, bits int) exec.Op {
+	sc := exec.NewScan(fact, "returnflag", "linestatus", "quantity", "extendedprice", "discount", "shipdate")
+	m := sc.Meta()
+	fl := exec.NewFilter(sc, exec.Le(exec.Col(m, "shipdate"), exec.Int(19980902)))
+	fm := fl.Meta()
+	price := exec.Col(fm, "extendedprice")
+	disc := exec.Col(fm, "discount")
+	ha := exec.NewHashAgg(fl,
+		[]string{"returnflag", "linestatus"},
+		[]*exec.Expr{exec.Col(fm, "returnflag"), exec.Col(fm, "linestatus")},
+		[]exec.AggExpr{
+			{Func: agg.Sum, Arg: exec.Col(fm, "quantity"), Name: "sum_qty"},
+			{Func: agg.Sum, Arg: price, Name: "sum_base_price"},
+			{Func: agg.Sum, Arg: exec.Mul(price, exec.Sub(exec.Int(100), disc)), Name: "sum_disc_price"},
+			{Func: exec.Avg, Arg: exec.Col(fm, "quantity"), Name: "avg_qty"},
+			{Func: agg.CountStar, Name: "count_order"},
+		})
+	ha.PartitionBits = bits
+	return ha
 }
 
 // scalingFact generates a lineitem-like fact table: big enough to span

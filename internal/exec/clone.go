@@ -46,17 +46,21 @@ func clonePipeline(o Op, morsels *storage.MorselQueue) Op {
 			panic("exec: cloning a HashJoin whose build has not run")
 		}
 		return &HashJoin{
-			Build:     t.Build, // shared, never opened by the clone
-			Probe:     clonePipeline(t.Probe, morsels),
-			BuildKeys: t.BuildKeys,
-			ProbeKeys: t.ProbeKeys,
-			Payload:   t.Payload,
-			Kind:      t.Kind,
-			Selective: t.Selective,
-			prebuilt:  t.j,
+			Build:         t.Build, // shared, never opened by the clone
+			Probe:         clonePipeline(t.Probe, morsels),
+			BuildKeys:     t.BuildKeys,
+			ProbeKeys:     t.ProbeKeys,
+			Payload:       t.Payload,
+			Kind:          t.Kind,
+			Selective:     t.Selective,
+			PartitionBits: t.PartitionBits,
+			BloomMode:     t.BloomMode,
+			prebuilt:      t.j,
 		}
 	case *HashAgg:
-		return NewHashAgg(clonePipeline(t.Child, morsels), t.KeyNames, cloneExprs(t.Keys), cloneAggs(t.Aggs))
+		c := NewHashAgg(clonePipeline(t.Child, morsels), t.KeyNames, cloneExprs(t.Keys), cloneAggs(t.Aggs))
+		c.PartitionBits = t.PartitionBits
+		return c
 	default:
 		panic(fmt.Sprintf("exec: cannot clone operator %T", o))
 	}
@@ -79,9 +83,13 @@ func ClonePlan(o Op) Op {
 	case *HashJoin:
 		c := NewHashJoin(t.Kind, ClonePlan(t.Probe), ClonePlan(t.Build), t.ProbeKeys, t.BuildKeys, t.Payload)
 		c.Selective = t.Selective
+		c.PartitionBits = t.PartitionBits
+		c.BloomMode = t.BloomMode
 		return c
 	case *HashAgg:
-		return NewHashAgg(ClonePlan(t.Child), t.KeyNames, cloneExprs(t.Keys), cloneAggs(t.Aggs))
+		c := NewHashAgg(ClonePlan(t.Child), t.KeyNames, cloneExprs(t.Keys), cloneAggs(t.Aggs))
+		c.PartitionBits = t.PartitionBits
+		return c
 	default:
 		panic(fmt.Sprintf("exec: cannot clone operator %T", o))
 	}

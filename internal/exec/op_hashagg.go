@@ -31,13 +31,17 @@ type HashAgg struct {
 	Keys     []*Expr
 	KeyNames []string
 	Aggs     []AggExpr
+	// PartitionBits sets the radix width of the group table: negative
+	// (the constructor default) picks it adaptively from the group-count
+	// bound, 0 forces one monolithic table, positive forces 2^bits.
+	PartitionBits int
 
 	meta     []Meta
 	keyCols  []core.KeyCol
 	nullCode []int64 // per key: NULL code for int keys, math.MinInt64 = none
 	schema   *core.KeySchema
 	ag       *agg.Aggregator
-	tab      *core.Table
+	pt       *core.PartTable
 
 	// skipBuild makes Open set up the schema, aggregator and (empty)
 	// table without draining the child. The parallel driver opens the
@@ -48,16 +52,26 @@ type HashAgg struct {
 	// pass over the plan above the frontier) must not rebuild anything.
 	driverOpened bool
 
-	specs   []agg.Spec
-	specOf  []aggMap // output aggregate -> internal spec(s)
+	specs  []agg.Spec
+	specOf []aggMap // output aggregate -> internal spec(s)
+	argOf  []*Expr  // per spec: the aggregate argument expression, or nil
 	scratch struct {
 		keys   []*vec.Vector
-		hashes []uint64
-		recs   []int32
-		subset []int32
+		args   []*vec.Vector
+		hashes  []uint64
+		recs    []int32
+		subset  []int32
+		partLen []int32 // per-partition record count before the batch
 	}
-	emit int
-	out  vec.Batch
+	// order logs each group's encoded (partition, record) in insertion
+	// order. Emission walks it so result order stays the first-occurrence
+	// order of the input stream — independent of the radix width and of
+	// the flag-dependent hash that routes rows to partitions.
+	order    []int32
+	emit     int // orders already emitted
+	emitRecs [][]int32 // per-partition local records of the current chunk
+	emitRows [][]int32 // matching output positions
+	out      vec.Batch
 }
 
 type aggMap struct {
@@ -66,9 +80,10 @@ type aggMap struct {
 	isAvg bool
 }
 
-// NewHashAgg builds a grouped aggregation.
+// NewHashAgg builds a grouped aggregation with adaptive radix
+// partitioning.
 func NewHashAgg(child Op, keyNames []string, keys []*Expr, aggs []AggExpr) *HashAgg {
-	return &HashAgg{Child: child, Keys: keys, KeyNames: keyNames, Aggs: aggs}
+	return &HashAgg{Child: child, Keys: keys, KeyNames: keyNames, Aggs: aggs, PartitionBits: DefaultPartitionBits}
 }
 
 // Meta implements Op. Aggregate output types are flag-independent so that
@@ -222,17 +237,39 @@ func (h *HashAgg) Open(qc *QCtx) {
 		panic(err)
 	}
 	h.ag = agg.NewAggregator(flags, h.specs)
+
+	// Per-spec argument expressions, resolved once so the build loop does
+	// not rescan specOf per batch.
+	h.argOf = make([]*Expr, len(h.specs))
+	for oi, m := range h.specOf {
+		h.argOf[m.spec] = h.Aggs[oi].Arg
+		if m.cnt >= 0 {
+			h.argOf[m.cnt] = h.Aggs[oi].Arg
+		}
+	}
+
 	hint := h.MaxRows()
 	if hint > 1<<12 {
 		hint = 1 << 12 // the directory grows with the table
 	}
-	h.tab = core.NewTable(h.schema, h.ag.HotBytes, h.ag.ColdBytes, int(hint))
-	qc.register(h.tab)
+	bits := h.PartitionBits
+	if bits < 0 {
+		bits = core.ChoosePartitionBits(h.MaxRows(), h.schema.KeyBytes()+h.ag.HotBytes)
+	}
+	h.pt = core.NewPartTable(h.schema, h.ag.HotBytes, h.ag.ColdBytes, int(hint), bits)
+	for _, t := range h.pt.Parts() {
+		qc.register(t)
+	}
 
 	h.scratch.keys = make([]*vec.Vector, len(h.Keys))
+	h.scratch.args = make([]*vec.Vector, len(h.specs))
 	h.scratch.hashes = make([]uint64, vec.Size)
 	h.scratch.recs = make([]int32, vec.Size)
 	h.scratch.subset = make([]int32, 0, vec.Size)
+	h.order = h.order[:0]
+	h.scratch.partLen = make([]int32, h.pt.NParts())
+	h.emitRecs = make([][]int32, h.pt.NParts())
+	h.emitRows = make([][]int32, h.pt.NParts())
 	if !h.skipBuild {
 		h.build(qc)
 	}
@@ -260,43 +297,69 @@ func (h *HashAgg) build(qc *QCtx) {
 			h.scratch.keys[i] = h.remapKey(i, k, v, rows, phys)
 		}
 
+		// Evaluate every aggregate argument once, before the partition
+		// loop, so the per-partition updates share one set of input
+		// vectors.
+		for si := range h.specs {
+			if e := h.argOf[si]; e != nil {
+				h.scratch.args[si] = e.Eval(qc, b)
+			} else {
+				h.scratch.args[si] = nil
+			}
+		}
+
 		p := h.schema.Prepare(h.scratch.keys, rows)
 		start := time.Now()
 		h.schema.Hash(p, rows, h.scratch.hashes)
 		qc.Stats.Add(StatHash, time.Since(start))
 
-		start = time.Now()
-		_, newRecs := h.tab.FindOrInsert(p, h.scratch.hashes, rows, h.scratch.recs)
-		qc.Stats.Add(StatLookup, time.Since(start))
-		h.ag.Init(h.tab, newRecs)
-
-		for si, spec := range h.specs {
-			var arg *vec.Vector
-			var argExpr *Expr
-			for oi, m := range h.specOf {
-				if m.spec == si || m.cnt == si {
-					argExpr = h.Aggs[oi].Arg
-				}
+		// Route each row to its radix partition, then insert and update
+		// partition by partition: each sub-table stays cache-resident
+		// while its rows are applied. scratch.recs is row-indexed, and
+		// partitions own disjoint row sets, so one buffer serves all.
+		for pi := range h.scratch.partLen {
+			h.scratch.partLen[pi] = int32(h.pt.Part(pi).Len())
+		}
+		groups := h.pt.PartitionRows(h.scratch.hashes, rows)
+		for pi, g := range groups {
+			if len(g) == 0 {
+				continue
 			}
-			updateRows := rows
-			if argExpr != nil {
-				arg = argExpr.Eval(qc, b)
-				// SQL semantics: NULL inputs do not contribute.
-				if argExpr.Nullable() && arg.Nulls != nil {
+			t := h.pt.Part(pi)
+			start = time.Now()
+			_, newRecs := t.FindOrInsert(p, h.scratch.hashes, g, h.scratch.recs)
+			qc.Stats.Add(StatLookup, time.Since(start))
+			h.ag.Init(t, newRecs)
+
+			for si := range h.specs {
+				arg := h.scratch.args[si]
+				argExpr := h.argOf[si]
+				updateRows := g
+				if argExpr != nil && argExpr.Nullable() && arg.Nulls != nil {
+					// SQL semantics: NULL inputs do not contribute.
 					h.scratch.subset = h.scratch.subset[:0]
-					for _, r := range rows {
+					for _, r := range g {
 						if !arg.Nulls[r] {
 							h.scratch.subset = append(h.scratch.subset, r)
 						}
 					}
 					updateRows = h.scratch.subset
 				}
-			} else if spec.Func == agg.Count {
-				// COUNT over a NULL-free column behaves like COUNT(*).
+				start = time.Now()
+				h.ag.Update(t, si, h.scratch.recs, updateRows, arg)
+				qc.Stats.Add(StatAggregate, time.Since(start))
 			}
-			start = time.Now()
-			h.ag.Update(h.tab, si, h.scratch.recs, updateRows, arg)
-			qc.Stats.Add(StatAggregate, time.Since(start))
+		}
+		// Log new groups in first-occurrence row order, so emission order
+		// matches the monolithic table's insertion order. Records append
+		// sequentially within a partition, so a per-partition watermark
+		// identifies each group's creating row in one ordered pass.
+		for _, r := range rows {
+			pi := h.pt.PartOf(h.scratch.hashes[r])
+			if rec := h.scratch.recs[r]; rec >= h.scratch.partLen[pi] {
+				h.order = append(h.order, h.pt.EncodeRec(pi, rec))
+				h.scratch.partLen[pi] = rec + 1
+			}
 		}
 	}
 }
@@ -336,26 +399,36 @@ func (h *HashAgg) prepareOut() {
 	}
 }
 
-// Next implements Op: emits the group results.
+// Next implements Op: emits the group results in insertion order.
 func (h *HashAgg) Next(qc *QCtx) *vec.Batch {
 	qc.checkCancel() // emission never touches a scan; poll here too
-	if h.emit >= h.tab.Len() {
+	if h.emit >= len(h.order) {
 		return nil
 	}
-	n := h.tab.Len() - h.emit
+	n := len(h.order) - h.emit
 	if n > vec.Size {
 		n = vec.Size
 	}
-	recIdx := make([]int32, n)
-	rows := make([]int32, n)
-	for i := 0; i < n; i++ {
-		recIdx[i] = int32(h.emit + i)
-		rows[i] = int32(i)
+	// Split the chunk by partition: output positions keep insertion
+	// order, the per-partition record lists feed the gather calls.
+	for pi := range h.emitRecs {
+		h.emitRecs[pi] = h.emitRecs[pi][:0]
+		h.emitRows[pi] = h.emitRows[pi][:0]
+	}
+	for i, grec := range h.order[h.emit : h.emit+n] {
+		pi, local := h.pt.DecodeRec(grec)
+		h.emitRecs[pi] = append(h.emitRecs[pi], local)
+		h.emitRows[pi] = append(h.emitRows[pi], int32(i))
 	}
 
 	for ci := range h.Keys {
 		out := h.out.Vecs[ci]
-		h.tab.LoadKey(ci, recIdx, out, rows)
+		for pi := range h.emitRecs {
+			if len(h.emitRecs[pi]) == 0 {
+				continue
+			}
+			h.pt.Part(pi).LoadKey(ci, h.emitRecs[pi], out, h.emitRows[pi])
+		}
 		// Remap NULL codes back to SQL NULLs.
 		if h.Keys[ci].Nullable() {
 			if out.Nulls == nil {
@@ -376,8 +449,8 @@ func (h *HashAgg) Next(qc *QCtx) *vec.Batch {
 		if m.isAvg {
 			sum := vec.New(h.ag.ResultType(m.spec), n)
 			cnt := vec.New(vec.I64, n)
-			h.ag.Result(h.tab, m.spec, recIdx, sum, rows)
-			h.ag.Result(h.tab, m.cnt, recIdx, cnt, rows)
+			h.resultParts(m.spec, sum)
+			h.resultParts(m.cnt, cnt)
 			for i := 0; i < n; i++ {
 				c := cnt.I64[i]
 				if c == 0 {
@@ -391,14 +464,14 @@ func (h *HashAgg) Next(qc *QCtx) *vec.Batch {
 		want := h.meta[len(h.Keys)+oi].Type
 		got := h.ag.ResultType(m.spec)
 		if want == got {
-			h.ag.Result(h.tab, m.spec, recIdx, out, rows)
+			h.resultParts(m.spec, out)
 			continue
 		}
 		// Storage kind differs from the declared output type (e.g. an
 		// optimistic 128-bit sum emitted where vanilla declared I64, or
 		// vice versa): convert through a temporary.
 		tmp := vec.New(got, n)
-		h.ag.Result(h.tab, m.spec, recIdx, tmp, rows)
+		h.resultParts(m.spec, tmp)
 		for i := 0; i < n; i++ {
 			if want == vec.I128 {
 				out.I128[i] = i128.FromInt64(tmp.I64[i])
@@ -414,8 +487,27 @@ func (h *HashAgg) Next(qc *QCtx) *vec.Batch {
 	return &h.out
 }
 
+// resultParts gathers one aggregate of the current emission chunk across
+// its partitions.
+func (h *HashAgg) resultParts(spec int, out *vec.Vector) {
+	for pi := range h.emitRecs {
+		if len(h.emitRecs[pi]) == 0 {
+			continue
+		}
+		h.ag.Result(h.pt.Part(pi), spec, h.emitRecs[pi], out, h.emitRows[pi])
+	}
+}
+
 // Table exposes the aggregation hash table for footprint experiments.
-func (h *HashAgg) Table() *core.Table { return h.tab }
+// With PartitionBits != 0 it returns partition 0 only; use Tables for
+// the full radix set.
+func (h *HashAgg) Table() *core.Table { return h.pt.Part(0) }
+
+// Tables exposes every radix partition of the aggregation table.
+func (h *HashAgg) Tables() []*core.Table { return h.pt.Parts() }
+
+// Len reports the total group count across all partitions.
+func (h *HashAgg) Len() int { return h.pt.Len() }
 
 func sumAsF64(v *vec.Vector, i int) float64 {
 	if v.Typ == vec.I64 {

@@ -22,6 +22,11 @@ const (
 // HashJoin joins Probe (outer/left) against Build (inner/right) on equal
 // keys, materializing the build side into an optimistically compressed
 // hash table. Payload lists the build columns carried to the output.
+//
+// The probe pipeline is cache-conscious: each probe batch is hashed once
+// (PrepareProbe), a Bloom pre-pass sheds proven misses for selective
+// joins, and the surviving selection vector is walked in a staged
+// two-phase sweep over the radix-partitioned build tables.
 type HashJoin struct {
 	Build, Probe Op
 	BuildKeys    []string
@@ -29,8 +34,17 @@ type HashJoin struct {
 	Payload      []string
 	Kind         JoinKind
 	// Selective hints that most probes miss; with Optimistic Splitting
-	// the payload then moves to the cold area (Section III-B).
+	// the payload then moves to the cold area (Section III-B) and the
+	// join carries a Bloom filter under join.BloomAuto.
 	Selective bool
+	// PartitionBits sets the build side's radix-partitioning width:
+	// negative (the constructor default) picks it adaptively from the
+	// build-side cardinality bound, 0 forces one monolithic table, and
+	// positive values force 2^bits partitions.
+	PartitionBits int
+	// BloomMode is the join.Bloom* pre-pass mode; the zero value
+	// (BloomAuto) enables the filter exactly for selective joins.
+	BloomMode int
 
 	// prebuilt, when set, is a join whose hash table was already built
 	// (serially, by the parallel driver on the template pipeline). Open
@@ -50,33 +64,41 @@ type HashJoin struct {
 	matchRecs []int32
 	matchPos  int
 	sel       []int32
-	matched   []bool // per physical row, reused across batches
+	nullSel   []int32 // dropNullKeyRows scratch, reused across batches
+	matched   []bool  // per physical row, reused across batches
 	keyVecs   []*vec.Vector
 	out       vec.Batch
 	outBufs   []*vec.Vector
 
-	// Probe chunking state: the rows of curBatch still to be probed, plus
-	// running multiplicity totals that size the next Probe call.
+	// Match-list scratch reused across probe chunks, and emitChunk's
+	// (row, record, null-row) gather scratch — no per-Next allocations.
+	mRows, mRecs                 []int32
+	emitRows, emitRecs, emitNull []int32
+
+	// Probe chunking state: the Bloom-surviving rows of curBatch still to
+	// be probed, plus running multiplicity totals sizing the next chunk.
 	probeRows    []int32
 	probePos     int
 	probedRows   int64
 	matchedTotal int64
 }
 
-// One hash-table Probe call is uninterruptible: it walks every matching
+// One staged probe sweep is uninterruptible: it walks every matching
 // chain entry before returning, so a high-multiplicity join (many build
 // rows per key) could emit millions of matches between cancellation
 // polls and blow the match-list allocation. Probe calls are therefore
 // sized from the multiplicity observed so far to yield about
 // probeTargetMatches matches, with a small bootstrap chunk while the
-// first estimate is collected. Joins near multiplicity 1 converge to
-// whole-batch probes after the bootstrap.
+// first estimate is collected. The chunks (and the multiplicity
+// estimate) are taken over post-Bloom survivors — rows the pre-pass
+// sheds never reach a sweep, so they must not inflate its budget.
 const (
 	probeBootstrapRows = 64
 	probeTargetMatches = 16 * vec.Size
 )
 
-// probeChunkRows picks how many probe rows the next Probe call gets.
+// probeChunkRows picks how many surviving probe rows the next staged
+// sweep gets.
 func (h *HashJoin) probeChunkRows(remaining int) int {
 	n := remaining
 	if h.probedRows == 0 {
@@ -107,12 +129,19 @@ func (h *HashJoin) matchedMask(n int) []bool {
 	return m
 }
 
-// NewHashJoin constructs a join.
+// NewHashJoin constructs a join with adaptive radix partitioning.
+// DefaultPartitionBits is the PartitionBits the operator constructors
+// assign: -1 picks the radix width adaptively from cardinality
+// estimates, 0 forces monolithic tables, positive pins 2^bits. The
+// benchmark CLIs override it to compare widths engine-wide.
+var DefaultPartitionBits = -1
+
 func NewHashJoin(kind JoinKind, probe, build Op, probeKeys, buildKeys, payload []string) *HashJoin {
 	return &HashJoin{
 		Build: build, Probe: probe,
 		BuildKeys: buildKeys, ProbeKeys: probeKeys,
 		Payload: payload, Kind: kind,
+		PartitionBits: DefaultPartitionBits,
 	}
 }
 
@@ -175,8 +204,8 @@ func (h *HashJoin) Open(qc *QCtx) {
 			h.payloadIdx = append(h.payloadIdx, colIndex(bm, p))
 		}
 		// Clone with this worker's store so probe-side fast/slow counters
-		// and scratch buffers stay private; the underlying table is shared
-		// read-only and was already registered by the template, so it is
+		// and scratch buffers stay private; the underlying tables are shared
+		// read-only and were already registered by the template, so they are
 		// not registered again here.
 		h.j = h.prebuilt.ProbeClone(qc.Store)
 		h.outBufs = make([]*vec.Vector, len(h.meta))
@@ -233,12 +262,19 @@ func (h *HashJoin) Open(qc *QCtx) {
 		flags.Compress = false
 	}
 	var err error
-	h.j, err = join.New(flags, keyCols, payloadCols, qc.Store,
-		join.Options{Selective: h.Selective || h.Kind == Semi || h.Kind == Anti, CapacityHint: int(hint)})
+	h.j, err = join.New(flags, keyCols, payloadCols, qc.Store, join.Options{
+		Selective:     h.Selective || h.Kind == Semi || h.Kind == Anti,
+		CapacityHint:  int(hint),
+		PartitionBits: h.PartitionBits,
+		EstRows:       h.Build.MaxRows(),
+		Bloom:         h.BloomMode,
+	})
 	if err != nil {
 		panic(err)
 	}
-	qc.register(h.j.Table())
+	for _, t := range h.j.Tables() {
+		qc.register(t)
+	}
 
 	// Drain the build side.
 	keyVecs := make([]*vec.Vector, len(h.buildIdx))
@@ -313,6 +349,26 @@ func (h *HashJoin) Next(qc *QCtx) *vec.Batch {
 	}
 }
 
+// startBatch readies a fresh probe batch: bind key vectors, drop NULL
+// keys, hash once and run the Bloom pre-pass. It returns the surviving
+// selection vector (owned by the join handle, valid until the next
+// PrepareProbe).
+func (h *HashJoin) startBatch(qc *QCtx, b *vec.Batch) []int32 {
+	rows := b.Rows()
+	if h.keyVecs == nil {
+		h.keyVecs = make([]*vec.Vector, len(h.probeIdx))
+	}
+	for i, pi := range h.probeIdx {
+		h.keyVecs[i] = b.Vecs[pi]
+	}
+	probeRows, nsel := dropNullKeyRows(rows, h.keyVecs, h.nullSel)
+	h.nullSel = nsel
+	start := time.Now()
+	survivors := h.j.PrepareProbe(h.keyVecs, probeRows)
+	qc.Stats.Add(StatLookup, time.Since(start))
+	return survivors
+}
+
 // nextInner emits (probe row, payload) pairs, chunking when one probe
 // batch yields more than a vector of matches. For LeftOuter, unmatched
 // probe rows are emitted with NULL payloads.
@@ -323,13 +379,13 @@ func (h *HashJoin) nextInner(qc *QCtx) *vec.Batch {
 			return h.emitChunk(qc)
 		}
 		if h.curBatch != nil && h.probePos < len(h.probeRows) {
-			// Probe a bounded slice of the current batch. A row's matches
-			// all come from its own Probe call, so per-chunk outer-join
+			// Sweep a bounded slice of the surviving rows. A row's matches
+			// all come from its own sweep, so per-chunk outer-join
 			// bookkeeping stays correct.
 			chunk := h.probeRows[h.probePos : h.probePos+h.probeChunkRows(len(h.probeRows)-h.probePos)]
 			h.probePos += len(chunk)
 			start := time.Now()
-			mr, mc := h.j.Probe(h.keyVecs, chunk)
+			mr, mc := h.j.ProbeStaged(chunk, h.mRows[:0], h.mRecs[:0])
 			qc.Stats.Add(StatLookup, time.Since(start))
 			h.probedRows += int64(len(chunk))
 			h.matchedTotal += int64(len(mr))
@@ -345,6 +401,7 @@ func (h *HashJoin) nextInner(qc *QCtx) *vec.Batch {
 					}
 				}
 			}
+			h.mRows, h.mRecs = mr, mc
 			if len(mr) == 0 {
 				continue
 			}
@@ -356,33 +413,29 @@ func (h *HashJoin) nextInner(qc *QCtx) *vec.Batch {
 		if b == nil {
 			return nil
 		}
-		rows := b.Rows()
-		if h.keyVecs == nil {
-			h.keyVecs = make([]*vec.Vector, len(h.probeIdx))
-		}
-		for i, pi := range h.probeIdx {
-			h.keyVecs[i] = b.Vecs[pi]
-		}
-		probeRows, _ := dropNullKeyRows(rows, h.keyVecs, h.sel)
+		survivors := h.startBatch(qc, b)
 		h.curBatch = b
-		h.probeRows = probeRows
+		h.probeRows = survivors
 		h.probePos = 0
 		h.matchRows, h.matchRecs = nil, nil
 		h.matchPos = 0
-		if h.Kind == LeftOuter && len(probeRows) < len(rows) {
-			// NULL-key rows never reach a Probe call; queue their NULL
-			// emissions for the outer join up front.
+		rows := b.Rows()
+		if h.Kind == LeftOuter && len(survivors) < len(rows) {
+			// Rows shed before any table sweep — NULL keys and Bloom
+			// rejects — are proven misses; queue their NULL emissions for
+			// the outer join up front.
 			inProbe := h.matchedMask(physOf(b))
-			for _, r := range probeRows {
+			for _, r := range survivors {
 				inProbe[r] = true
 			}
-			var mr, mc []int32
+			mr, mc := h.mRows[:0], h.mRecs[:0]
 			for _, r := range rows {
 				if !inProbe[r] {
 					mr = append(mr, r)
 					mc = append(mc, -1)
 				}
 			}
+			h.mRows, h.mRecs = mr, mc
 			h.matchRows, h.matchRecs = mr, mc
 		}
 	}
@@ -402,19 +455,22 @@ func (h *HashJoin) emitChunk(qc *QCtx) *vec.Batch {
 	for ci := range pm {
 		src := h.curBatch.Vecs[ci]
 		dst := h.outBufs[ci]
+		if src.Nulls != nil && dst.Nulls == nil {
+			dst.Nulls = make([]bool, dst.Len())
+		}
 		gather(dst, src, mr)
 	}
 	// Fetch build payloads; rows with record -1 (outer misses) get NULL.
-	outRows := make([]int32, 0, n)
-	recs := make([]int32, 0, n)
-	var nullRows []int32
+	h.emitRows = h.emitRows[:0]
+	h.emitRecs = h.emitRecs[:0]
+	h.emitNull = h.emitNull[:0]
 	for i, rec := range mc {
 		if rec < 0 {
-			nullRows = append(nullRows, int32(i))
+			h.emitNull = append(h.emitNull, int32(i))
 			continue
 		}
-		outRows = append(outRows, int32(i))
-		recs = append(recs, rec)
+		h.emitRows = append(h.emitRows, int32(i))
+		h.emitRecs = append(h.emitRecs, rec)
 	}
 	for pi := range h.payloadIdx {
 		dst := h.outBufs[len(pm)+pi]
@@ -423,8 +479,8 @@ func (h *HashJoin) emitChunk(qc *QCtx) *vec.Batch {
 				dst.Nulls[i] = false
 			}
 		}
-		h.j.FetchPayload(pi, recs, dst, outRows)
-		for _, i := range nullRows {
+		h.j.FetchPayload(pi, h.emitRecs, dst, h.emitRows)
+		for _, i := range h.emitNull {
 			dst.SetNull(int(i))
 		}
 	}
@@ -435,7 +491,9 @@ func (h *HashJoin) emitChunk(qc *QCtx) *vec.Batch {
 }
 
 // nextSemiAnti emits probe rows filtered by match existence, reusing the
-// probe batch with a narrowed selection (no copying).
+// probe batch with a narrowed selection (no copying). Bloom-shed rows are
+// proven misses (the filter has no false negatives), so they simply never
+// reach the table sweep and stay unmatched.
 func (h *HashJoin) nextSemiAnti(qc *QCtx) *vec.Batch {
 	for {
 		qc.checkCancel()
@@ -444,18 +502,13 @@ func (h *HashJoin) nextSemiAnti(qc *QCtx) *vec.Batch {
 			return nil
 		}
 		rows := b.Rows()
-		if h.keyVecs == nil {
-			h.keyVecs = make([]*vec.Vector, len(h.probeIdx))
-		}
-		for i, pi := range h.probeIdx {
-			h.keyVecs[i] = b.Vecs[pi]
-		}
-		probeRows, _ := dropNullKeyRows(rows, h.keyVecs, nil)
+		survivors := h.startBatch(qc, b)
 		matched := h.matchedMask(physOf(b))
-		if len(probeRows) > 0 {
+		if len(survivors) > 0 {
 			start := time.Now()
-			mr, _ := h.j.Probe(h.keyVecs, probeRows)
+			mr, mc := h.j.ProbeStaged(survivors, h.mRows[:0], h.mRecs[:0])
 			qc.Stats.Add(StatLookup, time.Since(start))
+			h.mRows, h.mRecs = mr, mc
 			for _, r := range mr {
 				matched[r] = true
 			}
@@ -478,16 +531,20 @@ func (h *HashJoin) nextSemiAnti(qc *QCtx) *vec.Batch {
 
 func (h *HashJoin) curVecs(b *vec.Batch) []*vec.Vector { return b.Vecs }
 
-// Table exposes the join hash table for footprint experiments.
+// Table exposes the first partition of the join hash table for footprint
+// experiments; Join exposes the full handle (all partitions, Bloom).
 func (h *HashJoin) Table() *core.Table { return h.j.Table() }
 
+// Join exposes the underlying join handle (Bloom counters, partitions).
+func (h *HashJoin) Join() *join.Join { return h.j }
+
 // gather copies src values at the given physical rows densely into
-// dst[0:len(rows)].
+// dst[0:len(rows)]. The caller pre-sizes dst.Nulls when src carries a
+// NULL mask.
+//
+//ocht:hot
 func gather(dst, src *vec.Vector, rows []int32) {
 	if src.Nulls != nil {
-		if dst.Nulls == nil {
-			dst.Nulls = make([]bool, dst.Len())
-		}
 		for i, r := range rows {
 			dst.Nulls[i] = src.Nulls[r]
 		}

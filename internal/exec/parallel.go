@@ -233,7 +233,7 @@ func runParallelAgg(qc *QCtx, root Op, sp spine) *Result {
 // split aggregates, whose hot/cold exception handling is the reason this
 // is aggregate-kind-specific rather than a byte copy.
 func mergePartial(dst, src *HashAgg) {
-	n := src.tab.Len()
+	n := len(src.order)
 	if n == 0 {
 		return
 	}
@@ -243,29 +243,65 @@ func mergePartial(dst, src *HashAgg) {
 	}
 	hashes := make([]uint64, vec.Size)
 	recs := make([]int32, vec.Size)
-	recIdx := make([]int32, vec.Size)
 	rows := make([]int32, vec.Size)
+	srcRecs := make([][]int32, src.pt.NParts())
+	srcRows := make([][]int32, src.pt.NParts())
 	for base := 0; base < n; base += vec.Size {
 		cnt := n - base
 		if cnt > vec.Size {
 			cnt = vec.Size
 		}
+		// Walk the worker's groups in ITS insertion order (src.order), so
+		// the template's order log — and with it the final emission order
+		// — is independent of how either side was partitioned.
+		chunk := src.order[base : base+cnt]
+		for pi := range srcRecs {
+			srcRecs[pi] = srcRecs[pi][:0]
+			srcRows[pi] = srcRows[pi][:0]
+		}
+		for i, grec := range chunk {
+			pi, local := src.pt.DecodeRec(grec)
+			srcRecs[pi] = append(srcRecs[pi], local)
+			srcRows[pi] = append(srcRows[pi], int32(i))
+		}
 		for i := 0; i < cnt; i++ {
-			recIdx[i] = int32(base + i)
 			rows[i] = int32(i)
 		}
 		rr := rows[:cnt]
 		// Keys come back NULL-coded exactly as stored, so they feed the
 		// template's Prepare without re-remapping.
 		for ci := range keyVecs {
-			src.tab.LoadKey(ci, recIdx[:cnt], keyVecs[ci], rr)
+			for pi := range srcRecs {
+				if len(srcRecs[pi]) == 0 {
+					continue
+				}
+				src.pt.Part(pi).LoadKey(ci, srcRecs[pi], keyVecs[ci], srcRows[pi])
+			}
 		}
 		p := dst.schema.Prepare(keyVecs, rr)
 		dst.schema.Hash(p, rr, hashes)
-		_, newRecs := dst.tab.FindOrInsert(p, hashes, rr, recs)
-		dst.ag.Init(dst.tab, newRecs)
-		for i := 0; i < cnt; i++ {
-			dst.ag.Merge(dst.tab, recs[i], src.tab, recIdx[i])
+		// Worker and template tables may use different radix widths, so
+		// the rows are re-routed against the template's partitions.
+		for dpi := range dst.scratch.partLen {
+			dst.scratch.partLen[dpi] = int32(dst.pt.Part(dpi).Len())
+		}
+		groups := dst.pt.PartitionRows(hashes, rr)
+		for dpi, g := range groups {
+			if len(g) == 0 {
+				continue
+			}
+			dt := dst.pt.Part(dpi)
+			_, newRecs := dt.FindOrInsert(p, hashes, g, recs)
+			dst.ag.Init(dt, newRecs)
+		}
+		for i, grec := range chunk {
+			spi, slocal := src.pt.DecodeRec(grec)
+			dpi := dst.pt.PartOf(hashes[i])
+			dst.ag.Merge(dst.pt.Part(int(dpi)), recs[i], src.pt.Part(int(spi)), slocal)
+			if rec := recs[i]; rec >= dst.scratch.partLen[dpi] {
+				dst.order = append(dst.order, dst.pt.EncodeRec(dpi, rec))
+				dst.scratch.partLen[dpi] = rec + 1
+			}
 		}
 	}
 }

@@ -4,11 +4,19 @@
 // second plan packs the payload columns. With Optimistic Splitting
 // enabled, selective joins can move payloads to the cold area so that
 // probe misses only touch the thin key records (Section III-B).
+//
+// The build and probe paths are cache-conscious: the build side can be
+// radix-partitioned into per-partition tables sized to fit L2
+// (core.PartTable), probes run as a two-phase staged sweep over the
+// selection vector, and selective joins consult a blocked Bloom filter
+// in a vectorized pre-pass that shrinks the selection vector before any
+// table access.
 package join
 
 import (
 	"ocht/internal/core"
 	"ocht/internal/domain"
+	"ocht/internal/hashtab"
 	"ocht/internal/pack"
 	"ocht/internal/strs"
 	"ocht/internal/ussr"
@@ -33,6 +41,15 @@ type PayloadCol struct {
 	SampleDom domain.D
 }
 
+// Bloom filter modes for Options.Bloom.
+const (
+	// BloomAuto builds the filter exactly when the join is Selective:
+	// that is where shedding misses before the table probe pays.
+	BloomAuto = iota
+	BloomOn
+	BloomOff
+)
+
 // Options tunes the join layout.
 type Options struct {
 	// Selective marks joins where most probes are expected to miss; with
@@ -41,17 +58,32 @@ type Options struct {
 	Selective bool
 	// CapacityHint pre-sizes the table.
 	CapacityHint int
+	// PartitionBits sets the radix-partitioning width of the build side:
+	// 0 keeps one monolithic table (the zero-value default preserves the
+	// historical layout), positive values force 2^bits partitions, and a
+	// negative value picks the width adaptively from EstRows so each
+	// partition's hot area fits the L2 budget.
+	PartitionBits int
+	// EstRows is the optimizer's build-side cardinality bound (zone-map
+	// derived); it drives the adaptive partition width and the Bloom
+	// filter sizing. Zero falls back to CapacityHint.
+	EstRows int64
+	// Bloom selects the Bloom pre-pass mode (BloomAuto/BloomOn/BloomOff).
+	Bloom int
 }
 
 // Join is a hash join: Build inserts the inner relation, Probe streams the
 // outer relation and emits matching (row, record) pairs, FetchPayload
-// reconstructs build-side columns for the matches.
+// reconstructs build-side columns for the matches. Probing is split into
+// PrepareProbe (hash once per batch + Bloom pre-pass) and ProbeStaged
+// (two-phase chain walk over any sub-chunk of the survivors).
 type Join struct {
 	Flags   core.Flags
 	Schema  *core.KeySchema
 	Payload []PayloadCol
 
-	tab           *core.Table
+	pt            *core.PartTable
+	bloom         *hashtab.Bloom
 	payloadPlan   *pack.Plan // compressed payloads (integer columns + codes)
 	payloadOffs   []int      // direct payload offsets (vanilla mode / uncoded strings)
 	payloadCode   []bool     // per column: stored as a 16-bit USSR slot code
@@ -60,9 +92,21 @@ type Join struct {
 	codeColdOff   []int      // per coded column: cold offset of the exception value
 	exceptBytes   int        // cold bytes for payload exceptions
 	payloadSize   int
-	scratch       []uint64
-	hashBuf       []uint64
-	recBuf        []int32
+
+	// Per-handle scratch; ProbeClone resets all of it so clones never
+	// share mutable state with the build-side handle.
+	scratch   []uint64
+	hashBuf   []uint64
+	recBuf    []int32
+	recIdx    []int32
+	headBuf   []int32
+	survivors []int32
+	probePrep *core.Prepared
+	gRecs     [][]int32 // fetch-side per-partition local records
+	gRows     [][]int32 // fetch-side per-partition output rows
+
+	bloomChecked int64
+	bloomDropped int64
 }
 
 func (j *Join) buffers(n int) ([]uint64, []int32) {
@@ -156,19 +200,60 @@ func New(flags core.Flags, keys []core.KeyCol, payload []PayloadCol, store *strs
 	if cap == 0 {
 		cap = 1024
 	}
-	j.tab = core.NewTable(schema, hotExtra, coldExtra, cap)
+	est := opts.EstRows
+	if est <= 0 {
+		est = int64(cap)
+	}
+	bits := opts.PartitionBits
+	if bits < 0 {
+		bits = core.ChoosePartitionBits(est, schema.KeyBytes()+hotExtra)
+	}
+	j.pt = core.NewPartTable(schema, hotExtra, coldExtra, cap, bits)
+	if opts.Bloom == BloomOn || (opts.Bloom == BloomAuto && opts.Selective) {
+		j.bloom = hashtab.NewBloom(int(est))
+	}
+	j.gRecs = make([][]int32, j.pt.NParts())
+	j.gRows = make([][]int32, j.pt.NParts())
 	return j, nil
 }
 
-// Table exposes the underlying compressed table (footprint accounting).
-func (j *Join) Table() *core.Table { return j.tab }
+// Table exposes the first partition's table. With the default monolithic
+// layout (Bits() == 0) this is the whole join table; partitioned callers
+// should use Tables() instead.
+func (j *Join) Table() *core.Table { return j.pt.Part(0) }
+
+// Tables exposes every partition's table (footprint accounting).
+func (j *Join) Tables() []*core.Table { return j.pt.Parts() }
+
+// Bits returns the radix-partitioning width of the build side.
+func (j *Join) Bits() int { return j.pt.Bits() }
+
+// Len returns the number of build-side records across partitions.
+func (j *Join) Len() int { return j.pt.Len() }
+
+// MemoryBytes returns the total table footprint, Bloom filter included.
+func (j *Join) MemoryBytes() int {
+	n := j.pt.MemoryBytes()
+	if j.bloom != nil {
+		n += j.bloom.MemoryBytes()
+	}
+	return n
+}
+
+// BloomStats reports how many probe rows the Bloom pre-pass inspected and
+// how many it shed before any table access, for this handle.
+func (j *Join) BloomStats() (checked, dropped int64) { return j.bloomChecked, j.bloomDropped }
+
+// HasBloom reports whether the join carries a Bloom filter.
+func (j *Join) HasBloom() bool { return j.bloom != nil }
 
 // ProbeClone returns a handle on the same (fully built, now immutable)
-// table for concurrent probing by another goroutine. The clone shares the
-// table and payload layout but owns a fresh key schema — and therefore
-// fresh per-batch scratch — bound to the caller's store, so probe-side
-// hashing, matching and fast/slow accounting never touch shared state.
-// The underlying table must not be Built after cloning.
+// tables for concurrent probing by another goroutine. The clone shares
+// the partitioned table, Bloom filter and payload layout but owns a fresh
+// key schema — and therefore fresh per-batch scratch — bound to the
+// caller's store, so probe-side hashing, matching and fast/slow
+// accounting never touch shared state. The join must not be Built after
+// cloning.
 func (j *Join) ProbeClone(store *strs.Store) *Join {
 	clone := *j
 	schema, err := core.NewKeySchema(j.Flags, j.Schema.Cols, store)
@@ -180,34 +265,55 @@ func (j *Join) ProbeClone(store *strs.Store) *Join {
 	clone.scratch = nil
 	clone.hashBuf = nil
 	clone.recBuf = nil
+	clone.recIdx = nil
+	clone.headBuf = nil
+	clone.survivors = nil
+	clone.probePrep = nil
+	clone.gRecs = make([][]int32, j.pt.NParts())
+	clone.gRows = make([][]int32, j.pt.NParts())
+	clone.bloomChecked = 0
+	clone.bloomDropped = 0
 	return &clone
 }
 
 // payloadArea returns the byte area, stride and base offset where
-// payloads live.
-func (j *Join) payloadArea() (buf []byte, stride, base int) {
+// payloads live in partition table t.
+func (j *Join) payloadArea(t *core.Table) (buf []byte, stride, base int) {
 	if j.payloadCold {
-		return j.tab.RawCold(), j.tab.ColdWidth(), j.tab.Schema.ColdBytes()
+		return t.RawCold(), t.ColdWidth(), t.Schema.ColdBytes()
 	}
-	return j.tab.RawHot(), j.tab.HotWidth(), j.tab.Schema.KeyBytes()
+	return t.RawHot(), t.HotWidth(), t.Schema.KeyBytes()
 }
 
-// Build inserts the active rows of the inner relation.
+// bloomAddBatch inserts the active rows' hashes into the Bloom filter.
+//
+//ocht:hot
+func (j *Join) bloomAddBatch(hashes []uint64, rows []int32) {
+	b := j.bloom
+	for _, r := range rows {
+		b.Add(hashes[r])
+	}
+}
+
+// Build inserts the active rows of the inner relation: hash once, feed
+// the Bloom filter, group the batch by radix partition, then insert and
+// scatter payloads partition at a time so each insert run stays inside
+// one partition's working set.
 func (j *Join) Build(keyCols, payloadCols []*vec.Vector, rows []int32) {
 	n := physLen(keyCols, payloadCols, rows)
 	p := j.Schema.Prepare(keyCols, rows)
 	hashes, recs := j.buffers(n)
 	j.Schema.Hash(p, rows, hashes)
-	j.tab.InsertBatch(p, hashes, rows, recs)
-
-	// Scatter payloads into the records.
-	buf, stride, base := j.payloadArea()
-	recIdx := make([]int32, len(rows))
-	for i, r := range rows {
-		recIdx[i] = recs[r]
+	if j.bloom != nil {
+		j.bloomAddBatch(hashes, rows)
 	}
+
+	// Translate coded payload columns once per batch, in row-position
+	// space; the per-partition loop below only scatters.
+	var ints []*vec.Vector
+	var exVec []*vec.Vector // per payload col: cold exception source, or nil
 	if j.payloadPlan != nil {
-		var ints []*vec.Vector
+		exVec = make([]*vec.Vector, len(j.Payload))
 		for i := range j.Payload {
 			if j.payloadOffs[i] >= 0 {
 				continue
@@ -225,8 +331,7 @@ func (j *Join) Build(keyCols, payloadCols []*vec.Vector, rows []int32) {
 						codes.Str[r] = 0
 					}
 				}
-				storeDirect(j.tab.RawCold(), j.tab.ColdWidth(),
-					j.tab.Schema.ColdBytes()+j.codeColdOff[i], vec.Str, v, rows, recIdx)
+				exVec[i] = v
 				v = codes
 			case j.payloadSample[i]:
 				// Sample-guided code: offset+1 inside the sample domain,
@@ -241,8 +346,7 @@ func (j *Join) Build(keyCols, payloadCols []*vec.Vector, rows []int32) {
 						codes.I64[r] = 0
 					}
 				}
-				storeDirect(j.tab.RawCold(), j.tab.ColdWidth(),
-					j.tab.Schema.ColdBytes()+j.codeColdOff[i], vec.I64, asI64(v, rows), rows, recIdx)
+				exVec[i] = asI64(v, rows)
 				v = codes
 			}
 			ints = append(ints, v)
@@ -250,31 +354,124 @@ func (j *Join) Build(keyCols, payloadCols []*vec.Vector, rows []int32) {
 		if cap(j.scratch) < n {
 			j.scratch = make([]uint64, n)
 		}
-		j.payloadPlan.PackRecords(ints, rows, buf, recIdx, stride, base, j.scratch[:n])
 	}
-	for i, c := range j.Payload {
-		off := j.payloadOffs[i]
-		if off < 0 {
-			continue // packed above
+
+	groups := j.pt.PartitionRows(hashes, rows)
+	for pi, g := range groups {
+		if len(g) == 0 {
+			continue
 		}
-		storeDirect(buf, stride, base+off, c.Type, payloadCols[i], rows, recIdx)
+		t := j.pt.Part(pi)
+		t.InsertBatch(p, hashes, g, recs)
+		if cap(j.recIdx) < len(g) {
+			j.recIdx = make([]int32, len(g))
+		}
+		recIdx := j.recIdx[:len(g)]
+		for k, r := range g {
+			recIdx[k] = recs[r]
+		}
+		buf, stride, base := j.payloadArea(t)
+		if j.payloadPlan != nil {
+			for i := range j.Payload {
+				if ev := exVec[i]; ev != nil {
+					et := vec.I64
+					if j.payloadCode[i] {
+						et = vec.Str
+					}
+					storeDirect(t.RawCold(), t.ColdWidth(),
+						t.Schema.ColdBytes()+j.codeColdOff[i], et, ev, g, recIdx)
+				}
+			}
+			j.payloadPlan.PackRecords(ints, g, buf, recIdx, stride, base, j.scratch[:n])
+		}
+		for i, c := range j.Payload {
+			off := j.payloadOffs[i]
+			if off < 0 {
+				continue // packed above
+			}
+			storeDirect(buf, stride, base+off, c.Type, payloadCols[i], g, recIdx)
+		}
 	}
 }
 
-// Probe matches the active rows of the outer relation against the table
-// and returns the matching (probe row, build record) pairs.
-func (j *Join) Probe(keyCols []*vec.Vector, rows []int32) (matchRows, matchRecs []int32) {
+// PrepareProbe readies a probe batch: one Prepare+Hash sweep, then the
+// Bloom pre-pass that sheds rows whose key cannot be in the build side.
+// It returns the surviving selection vector (in probe-row order), valid
+// until the next PrepareProbe/Build on this handle. Bloom filters have no
+// false negatives, so a shed row is a proven miss: selective joins can
+// treat it as unmatched without ever touching the table.
+func (j *Join) PrepareProbe(keyCols []*vec.Vector, rows []int32) []int32 {
 	n := physLen(keyCols, nil, rows)
 	p := j.Schema.Prepare(keyCols, rows)
 	hashes, _ := j.buffers(n)
 	j.Schema.Hash(p, rows, hashes)
-	return j.tab.ProbeChains(p, hashes, rows, nil, nil)
+	j.probePrep = p
+	if j.bloom != nil {
+		j.survivors = j.bloom.Filter(hashes, rows, j.survivors[:0])
+		j.bloomChecked += int64(len(rows))
+		j.bloomDropped += int64(len(rows) - len(j.survivors))
+	} else {
+		j.survivors = append(j.survivors[:0], rows...)
+	}
+	return j.survivors
+}
+
+// ProbeStaged walks the chains for rows (a sub-chunk of the selection
+// vector returned by the last PrepareProbe) in the two-phase staged
+// sweep, appending matching (probe row, build record) pairs to the given
+// slices. Records are partition-encoded; pass them back to FetchPayload /
+// FetchKey unchanged.
+func (j *Join) ProbeStaged(rows []int32, outRows, outRecs []int32) ([]int32, []int32) {
+	if cap(j.headBuf) < len(rows) {
+		j.headBuf = make([]int32, len(rows))
+	}
+	return j.pt.ProbeChainsStaged(j.probePrep, j.hashBuf, rows, j.headBuf[:len(rows)], outRows, outRecs)
+}
+
+// Probe matches the active rows of the outer relation against the table
+// and returns the matching (probe row, build record) pairs: PrepareProbe
+// plus a single ProbeStaged sweep over the survivors.
+func (j *Join) Probe(keyCols []*vec.Vector, rows []int32) (matchRows, matchRecs []int32) {
+	surv := j.PrepareProbe(keyCols, rows)
+	return j.ProbeStaged(surv, nil, nil)
+}
+
+// groupByPart splits parallel (record, row) pairs by record partition
+// into reused scratch, so the per-partition fetch loops below touch one
+// partition's area at a time. Identity (single group) when monolithic.
+func (j *Join) groupByPart(recs, rows []int32) (gRecs, gRows [][]int32) {
+	if j.pt.Bits() == 0 {
+		j.gRecs[0] = append(j.gRecs[0][:0], recs...)
+		j.gRows[0] = append(j.gRows[0][:0], rows...)
+		return j.gRecs, j.gRows
+	}
+	for p := range j.gRecs {
+		j.gRecs[p] = j.gRecs[p][:0]
+		j.gRows[p] = j.gRows[p][:0]
+	}
+	for i, grec := range recs {
+		part, local := j.pt.DecodeRec(grec)
+		j.gRecs[part] = append(j.gRecs[part], local)
+		j.gRows[part] = append(j.gRows[part], rows[i])
+	}
+	return j.gRecs, j.gRows
 }
 
 // FetchPayload reconstructs payload column ci of the given build records
 // into out at positions rows (tuple reconstruction after the probe).
+// recs are partition-encoded records as returned by the probe.
 func (j *Join) FetchPayload(ci int, recs []int32, out *vec.Vector, rows []int32) {
-	buf, stride, base := j.payloadArea()
+	gRecs, gRows := j.groupByPart(recs, rows)
+	for pi := range gRecs {
+		if len(gRecs[pi]) == 0 {
+			continue
+		}
+		j.fetchPayloadPart(j.pt.Part(pi), ci, gRecs[pi], out, gRows[pi])
+	}
+}
+
+func (j *Join) fetchPayloadPart(t *core.Table, ci int, recs []int32, out *vec.Vector, rows []int32) {
+	buf, stride, base := j.payloadArea(t)
 	off := j.payloadOffs[ci]
 	if off < 0 {
 		// Packed column: find its plan index.
@@ -289,13 +486,13 @@ func (j *Join) FetchPayload(ci int, recs []int32, out *vec.Vector, rows []int32)
 		case j.payloadCode != nil && j.payloadCode[ci]:
 			// Slot codes back to references: base + slot*8, or the cold
 			// exception reference for code 0 (Section IV-F).
-			cold := j.tab.RawCold()
-			coldOff := j.tab.Schema.ColdBytes() + j.codeColdOff[ci]
+			cold := t.RawCold()
+			coldOff := t.Schema.ColdBytes() + j.codeColdOff[ci]
 			for i, r := range rows {
 				if code := uint16(out.Str[r]); code != 0 {
 					out.Str[r] = ussr.RefForSlot(code)
 				} else {
-					pos := int(recs[i])*j.tab.ColdWidth() + coldOff
+					pos := int(recs[i])*t.ColdWidth() + coldOff
 					out.Str[r] = vec.StrRef(getU64(cold[pos:]))
 				}
 			}
@@ -303,14 +500,14 @@ func (j *Join) FetchPayload(ci int, recs []int32, out *vec.Vector, rows []int32)
 			// Sample-guided codes back to values; 0 fetches the cold
 			// outlier (Section III-B).
 			sd := j.Payload[ci].SampleDom
-			cold := j.tab.RawCold()
-			coldOff := j.tab.Schema.ColdBytes() + j.codeColdOff[ci]
+			cold := t.RawCold()
+			coldOff := t.Schema.ColdBytes() + j.codeColdOff[ci]
 			for i, r := range rows {
 				code := out.Int64At(int(r))
 				if code != 0 {
 					out.SetInt64(int(r), sd.Min+code-1)
 				} else {
-					pos := int(recs[i])*j.tab.ColdWidth() + coldOff
+					pos := int(recs[i])*t.ColdWidth() + coldOff
 					out.SetInt64(int(r), int64(getU64(cold[pos:])))
 				}
 			}
@@ -321,8 +518,15 @@ func (j *Join) FetchPayload(ci int, recs []int32, out *vec.Vector, rows []int32)
 }
 
 // FetchKey reconstructs key column ci for the given build records.
+// recs are partition-encoded records as returned by the probe.
 func (j *Join) FetchKey(ci int, recs []int32, out *vec.Vector, rows []int32) {
-	j.tab.LoadKey(ci, recs, out, rows)
+	gRecs, gRows := j.groupByPart(recs, rows)
+	for pi := range gRecs {
+		if len(gRecs[pi]) == 0 {
+			continue
+		}
+		j.pt.Part(pi).LoadKey(ci, gRecs[pi], out, gRows[pi])
+	}
 }
 
 // asI64 widens an integer vector to int64 at the active rows.
