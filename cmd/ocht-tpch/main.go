@@ -47,6 +47,8 @@ func main() {
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel workers (1 = serial)")
 	timeout := flag.Duration("timeout", 0, "per-query deadline (0 = none); timed-out queries report CANCELED")
 	partBits := flag.Int("partbits", -1, "hash-table radix partition bits (-1 = adaptive, 0 = monolithic)")
+	eagerScan := flag.Bool("eager-scan", false, "decompress every block at scan time (disables compressed execution)")
+	noZoneSkip := flag.Bool("no-zone-skip", false, "read every block even when zone maps prove it empty")
 	flag.Parse()
 	exec.DefaultPartitionBits = *partBits
 
@@ -61,6 +63,8 @@ func main() {
 	run := func(q int) {
 		qc := exec.NewQCtx(flags)
 		qc.Workers = *workers
+		qc.EagerMaterialize = *eagerScan
+		qc.DisableZoneSkip = *noZoneSkip
 		ctx := context.Background()
 		if *timeout > 0 {
 			var cancel context.CancelFunc
@@ -77,6 +81,9 @@ func main() {
 		fmt.Printf("Q%-3d %10v  rows=%-6d HT=%-10d peak=%d",
 			q, el.Round(time.Microsecond), len(res.Rows),
 			qc.HashTableBytes(), qc.PeakMemoryBytes())
+		if skipped := qc.Stats.Counter(exec.CtrBlocksSkipped); skipped > 0 {
+			fmt.Printf("  zskip=%d/%d", skipped, skipped+qc.Stats.Counter(exec.CtrBlocksRead))
+		}
 		if fp := qc.WorkerFootprints(); len(fp) > 0 {
 			fmt.Printf("  workerHT=%v", fp)
 		}

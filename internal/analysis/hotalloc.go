@@ -17,6 +17,7 @@ var hotPackages = []string{
 	"internal/exec",
 	"internal/core",
 	"internal/hashtab",
+	"internal/storage", // block unpack/view kernels feed every scan
 }
 
 // hotNameRE is the primitive naming convention: the paper-style kernel

@@ -46,6 +46,7 @@ var Runners = map[string]func(w io.Writer, cfg Config){
 	"scaling": Scaling,
 	"ingest":  IngestExp,
 	"joinsel": JoinSel,
+	"scansel": ScanSel,
 }
 
 // RunnerNames lists the experiments in paper order; the scaling and
@@ -54,7 +55,7 @@ var Runners = map[string]func(w io.Writer, cfg Config){
 var RunnerNames = []string{
 	"fig4", "table2", "fig5", "table3", "fig6",
 	"fig7", "fig8", "fig9", "table4", "fig10", "fig11", "scaling", "ingest",
-	"joinsel",
+	"joinsel", "scansel",
 }
 
 // All runs every experiment in paper order.

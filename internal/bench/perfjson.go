@@ -19,6 +19,7 @@ type PerfReport struct {
 	Join    []JoinSelVariant `json:"join"`
 	Agg     []AggPoint       `json:"agg"`
 	Scaling []ScalePoint     `json:"scaling"`
+	Scan    []ScanPoint      `json:"scan"`
 }
 
 // AggPoint measures the Q1-style grouped aggregation end to end for one
@@ -45,6 +46,7 @@ func PerfJSON(w io.Writer, cfg Config) error {
 		Join:    JoinSelRun(cfg),
 		Agg:     aggPoints(cfg),
 		Scaling: scalePoints(cfg),
+		Scan:    ScanSelRun(cfg),
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

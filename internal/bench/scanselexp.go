@@ -1,0 +1,131 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"ocht/internal/agg"
+	"ocht/internal/core"
+	"ocht/internal/exec"
+	"ocht/internal/storage"
+	"ocht/internal/tpch"
+)
+
+// ScanPoint is one variant of the selective-scan experiment, in the shape
+// the -json-out perf report records. BlocksRead/BlocksSkipped partition
+// the blocks the scan considered; BytesDecompressed counts bytes actually
+// produced by decompression (zero-copy encoded views only pay their
+// per-block dictionary tables).
+type ScanPoint struct {
+	Name              string  `json:"name"`
+	NsPerRow          float64 `json:"ns_per_row"`
+	BlocksRead        int64   `json:"blocks_read"`
+	BlocksSkipped     int64   `json:"blocks_skipped"`
+	BytesDecompressed int64   `json:"bytes_decompressed"`
+	ResultRows        int     `json:"result_rows"`
+}
+
+// The scansel experiment needs a multi-block lineitem so zone-map
+// skipping has blocks to skip; SF 0.1 yields ~600k rows (~10 blocks).
+const scanSelMinSF = 0.1
+
+var (
+	scanSelMu   sync.Mutex
+	scanSelSF   float64
+	scanSelSeed int64
+	scanSelCat  *storage.Catalog
+)
+
+func scanSelCatalog(cfg Config) *storage.Catalog {
+	sf := cfg.TPCHSF
+	if sf < scanSelMinSF {
+		sf = scanSelMinSF
+	}
+	scanSelMu.Lock()
+	defer scanSelMu.Unlock()
+	if scanSelCat == nil || scanSelSF != sf || scanSelSeed != cfg.Seed {
+		scanSelCat = tpch.Gen(sf, cfg.Seed)
+		scanSelSF, scanSelSeed = sf, cfg.Seed
+	}
+	return scanSelCat
+}
+
+// scanSelPlan builds the selective aggregation the experiment measures: a
+// ~5% l_orderkey range filter over lineitem feeding a small group-by.
+// lineitem is generated in orderkey order, so block zone maps carve the
+// key space into disjoint ranges and the filter's pushed-down zone range
+// prunes most blocks.
+func scanSelPlan(t *storage.Table) exec.Op {
+	sc := exec.NewScan(t, "l_orderkey", "l_returnflag", "l_extendedprice")
+	m := sc.Meta()
+	dom := m[0].Dom
+	span := dom.Max - dom.Min
+	lo := dom.Min + span*45/100
+	hi := dom.Min + span*50/100
+	f := exec.NewFilter(sc, exec.Between(exec.Col(m, "l_orderkey"), exec.Int(lo), exec.Int(hi)))
+	return exec.NewHashAgg(f,
+		[]string{"l_returnflag"}, []*exec.Expr{exec.Col(m, "l_returnflag")},
+		[]exec.AggExpr{
+			{Func: agg.Sum, Arg: exec.Col(m, "l_extendedprice"), Name: "sum_price"},
+			{Func: agg.CountStar, Name: "cnt"},
+		})
+}
+
+// ScanSelRun measures the selective scan in three configurations: the
+// eager-materializing baseline (every block decompressed, no skipping),
+// compressed execution without zone skipping (isolates the zero-copy
+// encoded views), and the full compressed default (encoded views + zone
+// pruning).
+func ScanSelRun(cfg Config) []ScanPoint {
+	cat := scanSelCatalog(cfg)
+	t := cat.Table("lineitem")
+	rows := t.Rows()
+	variants := []struct {
+		name   string
+		eager  bool
+		noskip bool
+	}{
+		{"materialized", true, true},
+		{"compressed-noskip", false, true},
+		{"compressed", false, false},
+	}
+	out := make([]ScanPoint, 0, len(variants))
+	for _, v := range variants {
+		bestD := time.Duration(1<<63 - 1)
+		p := ScanPoint{Name: v.name}
+		for rep := 0; rep < cfg.Reps; rep++ {
+			qc := exec.NewQCtx(core.All())
+			qc.EagerMaterialize = v.eager
+			qc.DisableZoneSkip = v.noskip
+			plan := scanSelPlan(t)
+			start := time.Now()
+			res := exec.Run(qc, plan)
+			if el := time.Since(start); el < bestD {
+				bestD = el
+				p.NsPerRow = float64(el.Nanoseconds()) / float64(rows)
+				p.BlocksRead = qc.Stats.Counter(exec.CtrBlocksRead)
+				p.BlocksSkipped = qc.Stats.Counter(exec.CtrBlocksSkipped)
+				p.BytesDecompressed = qc.Stats.Counter(exec.CtrBytesDecompressed)
+				p.ResultRows = len(res.Rows)
+			}
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// ScanSel prints the selective-scan experiment.
+func ScanSel(w io.Writer, cfg Config) {
+	cat := scanSelCatalog(cfg)
+	t := cat.Table("lineitem")
+	header(w, "ScanSel: selective scan with compressed blocks and zone-map skipping")
+	fmt.Fprintf(w, "lineitem=%d rows, ~5%% l_orderkey range filter into group-by\n", t.Rows())
+	line(w, "variant", "ns/row", "blocks-read", "blocks-skipped", "bytes-decompressed", "rows")
+	for _, p := range ScanSelRun(cfg) {
+		fmt.Fprintf(w, "%-18s %8.1f %11d %14d %18s %6d\n",
+			p.Name, p.NsPerRow, p.BlocksRead, p.BlocksSkipped,
+			humanBytes(int(p.BytesDecompressed)), p.ResultRows)
+	}
+}

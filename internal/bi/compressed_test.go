@@ -1,0 +1,37 @@
+package bi
+
+import (
+	"fmt"
+	"testing"
+
+	"ocht/internal/core"
+	"ocht/internal/exec"
+)
+
+// TestAllQueriesCompressedMatchEager checks the string-heavy BI workload —
+// where scans emit dictionary-coded blocks and LIKE/EQ predicates run on
+// codes — against the eager-materialize oracle at every worker count.
+func TestAllQueriesCompressedMatchEager(t *testing.T) {
+	cat := catFor(t)
+	for q := 1; q <= NumQueries; q++ {
+		oracle := exec.NewQCtx(core.All())
+		oracle.EagerMaterialize = true
+		oracle.DisableZoneSkip = true
+		want := resKey(Q(q, cat, oracle))
+		for _, workers := range []int{1, 2, 4, 8} {
+			t.Run(fmt.Sprintf("q%d/w%d", q, workers), func(t *testing.T) {
+				qc := exec.NewQCtx(core.All())
+				qc.Workers = workers
+				got := resKey(Q(q, cat, qc))
+				if len(got) != len(want) {
+					t.Fatalf("compressed %d rows, eager oracle %d", len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("row %d:\n  compressed %s\n  eager      %s", i, got[i], want[i])
+					}
+				}
+			})
+		}
+	}
+}

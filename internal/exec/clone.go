@@ -21,6 +21,9 @@ func cloneExpr(e *Expr) *Expr {
 	c := *e
 	c.buf = nil
 	c.scratch = nil
+	c.codeOK = nil
+	c.codeDict = nil
+	c.codeStale = false
 	c.l = cloneExpr(e.l)
 	c.r = cloneExpr(e.r)
 	c.el = cloneExpr(e.el)
@@ -36,7 +39,7 @@ func cloneExpr(e *Expr) *Expr {
 func clonePipeline(o Op, morsels *storage.MorselQueue) Op {
 	switch t := o.(type) {
 	case *Scan:
-		return &Scan{Table: t.Table, Columns: t.Columns, Morsels: morsels}
+		return &Scan{Table: t.Table, Columns: t.Columns, Morsels: morsels, Zones: t.Zones}
 	case *Filter:
 		return NewFilter(clonePipeline(t.Child, morsels), cloneExpr(t.Pred))
 	case *Project:
@@ -75,7 +78,7 @@ func clonePipeline(o Op, morsels *storage.MorselQueue) Op {
 func ClonePlan(o Op) Op {
 	switch t := o.(type) {
 	case *Scan:
-		return &Scan{Table: t.Table, Columns: t.Columns}
+		return &Scan{Table: t.Table, Columns: t.Columns, Zones: t.Zones}
 	case *Filter:
 		return NewFilter(ClonePlan(t.Child), cloneExpr(t.Pred))
 	case *Project:

@@ -37,6 +37,19 @@ type QCtx struct {
 	// phase (DESIGN.md, "Parallel execution").
 	Workers int
 
+	// EagerMaterialize forces scans to decompress every block into plain
+	// vectors before any operator runs — the pre-compressed-execution
+	// behavior, kept as the mandatory fallback and equivalence oracle. The
+	// default (false) is holistic compressed execution: scans emit
+	// dictionary codes and bit-packed words zero-copy and operators
+	// materialize late.
+	EagerMaterialize bool
+
+	// DisableZoneSkip turns off zone-map block skipping independent of the
+	// scan encoding; the scansel experiment uses it as its measurement
+	// baseline.
+	DisableZoneSkip bool
+
 	tables []*core.Table
 
 	// workerFootprints records, per parallel worker, the bytes of the
@@ -297,17 +310,38 @@ func cellValue(qc *QCtx, v *vec.Vector, t vec.Type, i int) Value {
 	case vec.F64:
 		val.F = v.F64[i]
 	case vec.Str:
-		if v.Str[i] == nullStrRef {
+		ref := v.StrRefAt(i)
+		if ref == nullStrRef {
 			val.Null = true
 			return val
 		}
-		val.S = qc.Store.Get(v.Str[i])
+		val.S = qc.Store.Get(ref)
 	case vec.I128:
 		val.I128 = v.I128[i]
 	default:
 		val.I = v.Int64At(i)
 	}
 	return val
+}
+
+// ensurePlain returns v unchanged when it is plain; otherwise it decodes
+// the given physical rows into *bufp — a reusable per-slot scratch vector,
+// (re)allocated only on first use or growth — and returns the scratch.
+// This is the late-materialization boundary in front of the hash-table
+// kernels (core/join/agg), which operate on raw slices: only rows that
+// survived filtering pay decompression. The scratch grows to the largest
+// batch and is then allocation-free.
+func ensurePlain(v *vec.Vector, rows []int32, bufp **vec.Vector, phys int) *vec.Vector {
+	if v.Enc == vec.EncPlain {
+		return v
+	}
+	buf := *bufp
+	if buf == nil || buf.Typ != v.Typ || buf.Len() < phys {
+		buf = vec.New(v.Typ, phys)
+		*bufp = buf
+	}
+	v.MaterializeRowsInto(buf, rows)
+	return buf
 }
 
 // SortKey orders a result column.

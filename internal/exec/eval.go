@@ -138,8 +138,20 @@ func (e *Expr) Eval(qc *QCtx, b *vec.Batch) *vec.Vector {
 
 	case eCmp:
 		l := e.l.Eval(qc, b)
-		r := e.r.Eval(qc, b)
 		out := e.ensureBuf(vec.Bool, phys)
+		// Compressed-execution fast paths: compare packed vectors in the
+		// pack domain (constant translated once per batch) and
+		// dictionary-coded vectors on their codes (code table pre-filtered
+		// once per block's dictionary). Neither materializes the column.
+		if l.Enc == vec.EncPacked && e.r.kind == eConstInt {
+			e.cmpPackedConst(l, e.r.cInt, rows, out)
+			return out
+		}
+		if l.Enc == vec.EncDict && e.r.kind == eConstStr {
+			e.cmpDictConst(qc, l, rows, out)
+			return out
+		}
+		r := e.r.Eval(qc, b)
 		e.evalCmp(qc, l, r, rows, out)
 		return out
 
@@ -174,7 +186,7 @@ func (e *Expr) Eval(qc *QCtx, b *vec.Batch) *vec.Vector {
 		out := e.ensureBuf(vec.Bool, phys)
 		want := e.kind == eIsNull
 		for _, i := range rows {
-			null := l.IsNull(int(i)) || (l.Typ == vec.Str && l.Str[i] == nullStrRef)
+			null := l.IsNull(int(i)) || (l.Typ == vec.Str && l.StrRefAt(int(i)) == nullStrRef)
 			out.Bool[i] = null == want
 		}
 		return out
@@ -186,13 +198,24 @@ func (e *Expr) Eval(qc *QCtx, b *vec.Batch) *vec.Vector {
 		if e.scratch == nil {
 			e.scratch = make([]byte, 0, 64)
 		}
+		if l.Enc == vec.EncDict {
+			// Dictionary fast path: run the pattern over each distinct
+			// string once per block, then map codes through the verdict
+			// table.
+			e.likeDictTable(qc, l, want)
+			for _, i := range rows {
+				out.Bool[i] = e.codeOK[l.Codes[i]] && !l.IsNull(int(i))
+			}
+			return out
+		}
 		for _, i := range rows {
-			if l.IsNull(int(i)) || l.Str[i] == nullStrRef {
+			ref := l.StrRefAt(int(i))
+			if l.IsNull(int(i)) || ref == nullStrRef {
 				out.Bool[i] = false
 				continue
 			}
 			var raw []byte
-			raw, e.scratch = qc.Store.Raw(l.Str[i], e.scratch)
+			raw, e.scratch = qc.Store.Raw(ref, e.scratch)
 			out.Bool[i] = e.like.match(raw) == want
 		}
 		return out
@@ -201,11 +224,12 @@ func (e *Expr) Eval(qc *QCtx, b *vec.Batch) *vec.Vector {
 		l := e.l.Eval(qc, b)
 		out := e.ensureBuf(vec.Str, phys)
 		for _, i := range rows {
-			if l.IsNull(int(i)) || l.Str[i] == nullStrRef {
+			ref := l.StrRefAt(int(i))
+			if l.IsNull(int(i)) || ref == nullStrRef {
 				out.Str[i] = nullStrRef
 				continue
 			}
-			s := qc.Store.Get(l.Str[i])
+			s := qc.Store.Get(ref)
 			if int64(len(s)) > e.cInt {
 				s = s[:e.cInt]
 			}
@@ -243,8 +267,8 @@ func (e *Expr) Eval(qc *QCtx, b *vec.Batch) *vec.Vector {
 func (e *Expr) evalCmp(qc *QCtx, l, r *vec.Vector, rows []int32, out *vec.Vector) {
 	nullFalse := func(i int32) bool {
 		return l.IsNull(int(i)) || r.IsNull(int(i)) ||
-			(l.Typ == vec.Str && l.Str[i] == nullStrRef) ||
-			(r.Typ == vec.Str && r.Str[i] == nullStrRef)
+			(l.Typ == vec.Str && l.StrRefAt(int(i)) == nullStrRef) ||
+			(r.Typ == vec.Str && r.StrRefAt(int(i)) == nullStrRef)
 	}
 	switch {
 	case l.Typ == vec.Str:
@@ -254,15 +278,15 @@ func (e *Expr) evalCmp(qc *QCtx, l, r *vec.Vector, rows []int32, out *vec.Vector
 				out.Bool[i] = false
 				continue
 			}
+			lr, rr := l.StrRefAt(int(i)), r.StrRefAt(int(i))
 			var v bool
 			switch e.op {
 			case opEQ:
-				v = st.Equal(l.Str[i], r.Str[i])
+				v = st.Equal(lr, rr)
 			case opNE:
-				v = !st.Equal(l.Str[i], r.Str[i])
+				v = !st.Equal(lr, rr)
 			default:
-				c := st.Compare(l.Str[i], r.Str[i])
-				v = cmpHolds(e.op, c)
+				v = cmpHolds(e.op, st.Compare(lr, rr))
 			}
 			out.Bool[i] = v
 		}
@@ -297,6 +321,121 @@ func (e *Expr) evalCmp(qc *QCtx, l, r *vec.Vector, rows []int32, out *vec.Vector
 			out.Bool[i] = cmpHolds(e.op, c)
 		}
 	}
+}
+
+// cmpPackedConst compares a frame-of-reference packed vector against an
+// integer constant without unpacking: the constant is translated into the
+// pack domain once, then each row compares its raw bit-packed offset.
+// Constants outside the pack domain collapse to a constant verdict.
+//
+//ocht:hot
+func (e *Expr) cmpPackedConst(l *vec.Vector, c int64, rows []int32, out *vec.Vector) {
+	co := c - l.PackMin
+	bits := uint(l.PackBits)
+	per := 64 / l.PackBits
+	mask := uint64(1)<<bits - 1
+	if co < 0 || uint64(co) > mask {
+		// The constant lies outside any representable offset, so every
+		// non-NULL row resolves the same way.
+		var res bool
+		switch e.op {
+		case opEQ:
+			res = false
+		case opNE:
+			res = true
+		case opLT, opLE:
+			res = co > int64(mask)
+		case opGT, opGE:
+			res = co < 0
+		}
+		for _, i := range rows {
+			out.Bool[i] = res && !l.IsNull(int(i))
+		}
+		return
+	}
+	cu := uint64(co)
+	op := e.op
+	for _, i := range rows {
+		j := l.PackOff + int(i)
+		off := (l.Packed[j/per] >> (uint(j%per) * bits)) & mask
+		var v bool
+		switch op {
+		case opEQ:
+			v = off == cu
+		case opNE:
+			v = off != cu
+		case opLT:
+			v = off < cu
+		case opLE:
+			v = off <= cu
+		case opGT:
+			v = off > cu
+		case opGE:
+			v = off >= cu
+		}
+		out.Bool[i] = v && !l.IsNull(int(i))
+	}
+}
+
+// cmpDictConst compares a dictionary-coded string vector against a string
+// constant by pre-filtering the code table: each distinct string is
+// compared once per block, then rows just index the verdict table.
+//
+//ocht:hot
+func (e *Expr) cmpDictConst(qc *QCtx, l *vec.Vector, rows []int32, out *vec.Vector) {
+	e.ensureCodeOK(l)
+	if e.codeStale {
+		e.codeStale = false
+		st := qc.Store
+		cref := vec.StrRef(e.r.cInt)
+		for c, ref := range l.DictRefs {
+			var v bool
+			switch e.op {
+			case opEQ:
+				v = st.Equal(ref, cref)
+			case opNE:
+				v = !st.Equal(ref, cref)
+			default:
+				v = cmpHolds(e.op, st.Compare(ref, cref))
+			}
+			e.codeOK[c] = v
+		}
+	}
+	for _, i := range rows {
+		out.Bool[i] = e.codeOK[l.Codes[i]] && !l.IsNull(int(i))
+	}
+}
+
+// likeDictTable (re)builds the per-code LIKE verdict table when the block's
+// dictionary changed since the last batch.
+func (e *Expr) likeDictTable(qc *QCtx, l *vec.Vector, want bool) {
+	e.ensureCodeOK(l)
+	if !e.codeStale {
+		return
+	}
+	e.codeStale = false
+	for c, ref := range l.DictRefs {
+		var raw []byte
+		raw, e.scratch = qc.Store.Raw(ref, e.scratch)
+		e.codeOK[c] = e.like.match(raw) == want
+	}
+}
+
+// ensureCodeOK sizes the per-code verdict table for l's dictionary and
+// marks it stale when the dictionary is not the one it was built for.
+// Batches windowed out of one block share the same DictRefs slice, so the
+// identity check amortizes the rebuild over the whole block.
+func (e *Expr) ensureCodeOK(l *vec.Vector) {
+	d := l.DictRefs
+	if len(e.codeDict) == len(d) && len(d) > 0 && &e.codeDict[0] == &d[0] {
+		return
+	}
+	if cap(e.codeOK) < len(d) {
+		e.codeOK = make([]bool, len(d))
+	}
+	e.codeOK = e.codeOK[:len(d)]
+	e.codeDict = d
+	e.codeStale = true
 }
 
 func cmpHolds(op cmpOp, c int) bool {

@@ -69,6 +69,13 @@ type Expr struct {
 	l, r, el *Expr  // operands; el is CASE's else branch
 	scratch  []byte // reusable string buffer (LIKE, SUBSTRING)
 
+	// Per-dictionary verdict table for comparisons/LIKE over
+	// dictionary-coded vectors: one bool per code, rebuilt only when the
+	// block dictionary (identified by codeDict) changes.
+	codeOK    []bool
+	codeDict  []vec.StrRef
+	codeStale bool
+
 	typ      vec.Type
 	dom      domain.D
 	nullable bool

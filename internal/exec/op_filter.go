@@ -25,6 +25,13 @@ func (f *Filter) MaxRows() int64 { return f.Child.MaxRows() }
 
 // Open implements Op.
 func (f *Filter) Open(qc *QCtx) {
+	// A filter sitting directly on a scan pushes its conjunctive integer
+	// ranges down as zone ranges before the scan opens, letting it skip
+	// whole blocks by zone map. Derived every Open so cloned worker
+	// pipelines get it too.
+	if sc, ok := f.Child.(*Scan); ok {
+		sc.Zones = zoneRangesOf(f.Pred, sc.Meta())
+	}
 	f.Child.Open(qc)
 	f.Pred.intern(qc.Store)
 	if f.sel == nil {

@@ -55,9 +55,15 @@ type HashAgg struct {
 	specs  []agg.Spec
 	specOf []aggMap // output aggregate -> internal spec(s)
 	argOf  []*Expr  // per spec: the aggregate argument expression, or nil
+	// keyBufs/argBufs are the late-materialization scratch at the
+	// aggregation boundary: encoded or NULL-remapped key vectors and
+	// encoded aggregate arguments are decoded into them (active rows only),
+	// reused across batches.
+	keyBufs []*vec.Vector
+	argBufs []*vec.Vector
 	scratch struct {
-		keys   []*vec.Vector
-		args   []*vec.Vector
+		keys    []*vec.Vector
+		args    []*vec.Vector
 		hashes  []uint64
 		recs    []int32
 		subset  []int32
@@ -68,7 +74,7 @@ type HashAgg struct {
 	// order of the input stream — independent of the radix width and of
 	// the flag-dependent hash that routes rows to partitions.
 	order    []int32
-	emit     int // orders already emitted
+	emit     int       // orders already emitted
 	emitRecs [][]int32 // per-partition local records of the current chunk
 	emitRows [][]int32 // matching output positions
 	out      vec.Batch
@@ -263,6 +269,8 @@ func (h *HashAgg) Open(qc *QCtx) {
 
 	h.scratch.keys = make([]*vec.Vector, len(h.Keys))
 	h.scratch.args = make([]*vec.Vector, len(h.specs))
+	h.keyBufs = make([]*vec.Vector, len(h.Keys))
+	h.argBufs = make([]*vec.Vector, len(h.specs))
 	h.scratch.hashes = make([]uint64, vec.Size)
 	h.scratch.recs = make([]int32, vec.Size)
 	h.scratch.subset = make([]int32, 0, vec.Size)
@@ -302,7 +310,10 @@ func (h *HashAgg) build(qc *QCtx) {
 		// vectors.
 		for si := range h.specs {
 			if e := h.argOf[si]; e != nil {
-				h.scratch.args[si] = e.Eval(qc, b)
+				// The aggregate kernels consume raw slices; encoded column
+				// arguments materialize (active rows only) into reusable
+				// per-spec scratch.
+				h.scratch.args[si] = ensurePlain(e.Eval(qc, b), rows, &h.argBufs[si], phys)
 			} else {
 				h.scratch.args[si] = nil
 			}
@@ -365,18 +376,24 @@ func (h *HashAgg) build(qc *QCtx) {
 }
 
 // remapKey folds SQL NULLs into the key coding: integer NULLs become the
-// extended domain code, string NULLs the null reference.
+// extended domain code, string NULLs the null reference. Encoded key
+// vectors materialize into the per-key scratch on the way (the key schema
+// hashes raw slices); plain non-nullable keys pass through untouched.
 func (h *HashAgg) remapKey(i int, k *Expr, v *vec.Vector, rows []int32, phys int) *vec.Vector {
 	if !k.Nullable() {
-		return v
+		return ensurePlain(v, rows, &h.keyBufs[i], phys)
 	}
-	out := vec.New(v.Typ, phys)
+	out := h.keyBufs[i]
+	if out == nil || out.Typ != v.Typ || out.Len() < phys {
+		out = vec.New(v.Typ, phys)
+		h.keyBufs[i] = out
+	}
 	if v.Typ == vec.Str {
 		for _, r := range rows {
 			if v.IsNull(int(r)) {
 				out.Str[r] = nullStrRef
 			} else {
-				out.Str[r] = v.Str[r]
+				out.Str[r] = v.StrRefAt(int(r))
 			}
 		}
 		return out

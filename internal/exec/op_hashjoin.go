@@ -67,8 +67,12 @@ type HashJoin struct {
 	nullSel   []int32 // dropNullKeyRows scratch, reused across batches
 	matched   []bool  // per physical row, reused across batches
 	keyVecs   []*vec.Vector
-	out       vec.Batch
-	outBufs   []*vec.Vector
+	// probeKeyBufs holds the per-key materialization scratch for encoded
+	// probe batches (see startBatch); valid across the chunked sweeps of
+	// one batch, rewritten by the next.
+	probeKeyBufs []*vec.Vector
+	out          vec.Batch
+	outBufs      []*vec.Vector
 
 	// Match-list scratch reused across probe chunks, and emitChunk's
 	// (row, record, null-row) gather scratch — no per-Next allocations.
@@ -276,9 +280,14 @@ func (h *HashJoin) Open(qc *QCtx) {
 		qc.register(t)
 	}
 
-	// Drain the build side.
+	// Drain the build side. The hash-table kernels (core.KeySchema,
+	// join.Build) read raw slices, so encoded vectors are materialized here
+	// at the operator boundary — but only the rows that survived the NULL
+	// drop, into per-slot scratch reused across batches.
 	keyVecs := make([]*vec.Vector, len(h.buildIdx))
 	plVecs := make([]*vec.Vector, len(h.payloadIdx))
+	keyBufs := make([]*vec.Vector, len(h.buildIdx))
+	plBufs := make([]*vec.Vector, len(h.payloadIdx))
 	var sel []int32
 	for {
 		qc.checkCancel()
@@ -297,6 +306,13 @@ func (h *HashJoin) Open(qc *QCtx) {
 		rows, sel = dropNullKeyRows(rows, keyVecs, sel)
 		if len(rows) == 0 {
 			continue
+		}
+		phys := physOf(b)
+		for i := range keyVecs {
+			keyVecs[i] = ensurePlain(keyVecs[i], rows, &keyBufs[i], phys)
+		}
+		for i := range plVecs {
+			plVecs[i] = ensurePlain(plVecs[i], rows, &plBufs[i], phys)
 		}
 		start := time.Now()
 		h.j.Build(keyVecs, plVecs, rows)
@@ -327,7 +343,7 @@ func dropNullKeyRows(rows []int32, keys []*vec.Vector, sel []int32) ([]int32, []
 	for _, r := range rows {
 		null := false
 		for _, k := range keys {
-			if k.IsNull(int(r)) || (k.Typ == vec.Str && k.Str[r] == nullStrRef) {
+			if k.IsNull(int(r)) || (k.Typ == vec.Str && k.StrRefAt(int(r)) == nullStrRef) {
 				null = true
 				break
 			}
@@ -363,6 +379,17 @@ func (h *HashJoin) startBatch(qc *QCtx, b *vec.Batch) []int32 {
 	}
 	probeRows, nsel := dropNullKeyRows(rows, h.keyVecs, h.nullSel)
 	h.nullSel = nsel
+	// Late materialization at the probe boundary: hashing and key checks
+	// read raw slices, so encoded key vectors are decoded — NULL-surviving
+	// rows only — into per-slot scratch that stays valid across the staged
+	// probe chunks of this batch.
+	if h.probeKeyBufs == nil {
+		h.probeKeyBufs = make([]*vec.Vector, len(h.probeIdx))
+	}
+	phys := physOf(b)
+	for i := range h.keyVecs {
+		h.keyVecs[i] = ensurePlain(h.keyVecs[i], probeRows, &h.probeKeyBufs[i], phys)
+	}
 	start := time.Now()
 	survivors := h.j.PrepareProbe(h.keyVecs, probeRows)
 	qc.Stats.Add(StatLookup, time.Since(start))
@@ -552,6 +579,21 @@ func gather(dst, src *vec.Vector, rows []int32) {
 		for i := range rows {
 			dst.Nulls[i] = false
 		}
+	}
+	if src.Enc != vec.EncPlain {
+		// Encoded probe columns decode per gathered row — this is where
+		// late materialization pays off: only rows that matched the join
+		// reach here.
+		if src.Typ == vec.Str {
+			for i, r := range rows {
+				dst.Str[i] = src.StrRefAt(int(r))
+			}
+		} else {
+			for i, r := range rows {
+				dst.SetInt64(i, src.Int64At(int(r)))
+			}
+		}
+		return
 	}
 	switch src.Typ {
 	case vec.Bool:

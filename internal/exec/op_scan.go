@@ -7,10 +7,14 @@ import (
 	"ocht/internal/vec"
 )
 
-// Scan reads a stored table block by block, decompressing per-block string
-// dictionaries through the query's string store (priming the USSR,
-// Section IV-D) and deriving column domains from the out-of-band zone maps
-// (Section II-A).
+// Scan reads a stored table block by block. By default it emits each block
+// in its stored encoding — dictionary codes with a per-block reference
+// table for strings (priming the USSR, Section IV-D), frame-of-reference
+// packed words for narrow integers — as zero-copy views, and uses the
+// out-of-band zone maps (Section II-A) both for domain derivation and to
+// skip blocks that cannot satisfy pushed-down predicate ranges. With
+// qc.EagerMaterialize it decompresses every block into plain vectors, the
+// classic pipeline all operators still accept.
 type Scan struct {
 	Table   *storage.Table
 	Columns []string
@@ -21,13 +25,25 @@ type Scan struct {
 	// When nil (serial execution) block order is exactly 0..Blocks-1.
 	Morsels *storage.MorselQueue
 
+	// Zones holds conjunctive per-column value ranges pushed down from the
+	// predicate directly above the scan (Filter.Open derives and attaches
+	// them). A block whose zone map proves some range unsatisfiable is
+	// skipped without touching its data. Rows of surviving blocks still
+	// flow through the filter, so zone ranges are purely an optimization.
+	Zones []ZoneRange
+
 	cols     []*storage.Column
+	zcols    []*storage.Column // resolved Zones columns, parallel to Zones
 	meta     []Meta
-	bufs     []*vec.Vector
+	bufs     []*vec.Vector // eager materialization buffers (eager path only)
+	views    []*vec.Vector // per-column whole-block views, reused per block
+	win      []*vec.Vector // per-column window views handed out, reused per Next
+	dictRefs [][]vec.StrRef
 	out      *vec.Batch
 	block    int
 	blockLen int
 	pos      int
+	eager    bool
 }
 
 // NewScan creates a scan over the named columns (all columns when nil).
@@ -62,16 +78,33 @@ func (s *Scan) MaxRows() int64 { return int64(s.Table.Rows()) }
 // Open implements Op.
 func (s *Scan) Open(qc *QCtx) {
 	s.Meta()
+	s.eager = qc.EagerMaterialize
 	s.cols = s.cols[:0]
-	s.bufs = s.bufs[:0]
 	for _, name := range s.Columns {
-		c := s.Table.Col(name)
-		s.cols = append(s.cols, c)
-		buf := vec.New(c.Type, storage.BlockRows)
-		if c.Nullable {
-			buf.Nulls = make([]bool, storage.BlockRows)
+		s.cols = append(s.cols, s.Table.Col(name))
+	}
+	if s.eager {
+		s.bufs = s.bufs[:0]
+		for _, c := range s.cols {
+			buf := vec.New(c.Type, storage.BlockRows)
+			if c.Nullable {
+				buf.Nulls = make([]bool, storage.BlockRows)
+			}
+			s.bufs = append(s.bufs, buf)
 		}
-		s.bufs = append(s.bufs, buf)
+	}
+	if len(s.views) != len(s.cols) {
+		s.views = make([]*vec.Vector, len(s.cols))
+		s.win = make([]*vec.Vector, len(s.cols))
+		s.dictRefs = make([][]vec.StrRef, len(s.cols))
+		for i := range s.views {
+			s.views[i] = &vec.Vector{}
+			s.win[i] = &vec.Vector{}
+		}
+	}
+	s.zcols = s.zcols[:0]
+	for _, zr := range s.Zones {
+		s.zcols = append(s.zcols, s.Table.Col(zr.Col))
 	}
 	s.out = &vec.Batch{Vecs: make([]*vec.Vector, len(s.cols))}
 	s.block, s.blockLen, s.pos = 0, 0, 0
@@ -81,14 +114,34 @@ func (s *Scan) Open(qc *QCtx) {
 func (s *Scan) Next(qc *QCtx) *vec.Batch {
 	qc.checkCancel() // scans are the leaves every pull loop bottoms out in
 	if s.pos >= s.blockLen {
-		bi, ok := s.nextBlock()
-		if !ok {
-			return nil
+		var bi int
+		for {
+			var ok bool
+			bi, ok = s.nextBlock()
+			if !ok {
+				return nil
+			}
+			if s.skipBlock(qc, bi) {
+				qc.Stats.Count(CtrBlocksSkipped, 1)
+				continue
+			}
+			break
 		}
+		qc.Stats.Count(CtrBlocksRead, 1)
 		start := time.Now()
+		bytes := 0
 		for i, c := range s.cols {
-			s.blockLen = c.ScanBlock(bi, s.bufs[i], qc.Store)
+			if s.eager {
+				s.blockLen = c.ScanBlock(bi, s.bufs[i], qc.Store)
+				bytes += s.blockLen * c.Type.Width()
+			} else {
+				n, refs, db := c.ViewBlock(bi, s.views[i], qc.Store, s.dictRefs[i])
+				s.dictRefs[i] = refs
+				s.blockLen = n
+				bytes += db
+			}
 		}
+		qc.Stats.Count(CtrBytesDecompressed, int64(bytes))
 		qc.Stats.Add(StatScan, time.Since(start))
 		s.pos = 0
 	}
@@ -96,13 +149,34 @@ func (s *Scan) Next(qc *QCtx) *vec.Batch {
 	if n > vec.Size {
 		n = vec.Size
 	}
-	for i, buf := range s.bufs {
-		s.out.Vecs[i] = viewOf(buf, s.pos, n)
+	for i := range s.cols {
+		src := s.views[i]
+		if s.eager {
+			src = s.bufs[i]
+		}
+		windowInto(s.win[i], src, s.pos, n)
+		s.out.Vecs[i] = s.win[i]
 	}
 	s.out.Sel = nil
 	s.out.N = n
 	s.pos += n
 	return s.out
+}
+
+// skipBlock reports whether block bi provably fails a pushed-down range.
+// NULL rows never satisfy a comparison predicate and zone maps cover only
+// non-NULL values, so skipping on the zone interval is exact.
+func (s *Scan) skipBlock(qc *QCtx, bi int) bool {
+	if qc.DisableZoneSkip || len(s.zcols) == 0 {
+		return false
+	}
+	for i, zr := range s.Zones {
+		min, max, ok := s.zcols[i].Zone(bi)
+		if ok && (max < zr.Lo || min > zr.Hi) {
+			return true
+		}
+	}
+	return false
 }
 
 // nextBlock claims the next block to read: from the morsel queue when one
@@ -122,29 +196,46 @@ func (s *Scan) nextBlock() (int, bool) {
 	return bi, true
 }
 
-// viewOf returns a window [pos, pos+n) of v without copying.
-func viewOf(v *vec.Vector, pos, n int) *vec.Vector {
-	out := &vec.Vector{Typ: v.Typ}
+// windowInto points out at the window [pos, pos+n) of v without copying
+// and without allocating: the same scratch vector is rewritten every Next.
+// Encoded views stay encoded — dictionary windows share the block's code
+// table, packed windows shift their word offset.
+//
+//ocht:hot
+func windowInto(out, v *vec.Vector, pos, n int) {
+	w := vec.Vector{Typ: v.Typ, Enc: v.Enc}
 	if v.Nulls != nil {
-		out.Nulls = v.Nulls[pos : pos+n]
+		w.Nulls = v.Nulls[pos : pos+n]
 	}
-	switch v.Typ {
-	case vec.Bool:
-		out.Bool = v.Bool[pos : pos+n]
-	case vec.I8:
-		out.I8 = v.I8[pos : pos+n]
-	case vec.I16:
-		out.I16 = v.I16[pos : pos+n]
-	case vec.I32:
-		out.I32 = v.I32[pos : pos+n]
-	case vec.I64:
-		out.I64 = v.I64[pos : pos+n]
-	case vec.I128:
-		out.I128 = v.I128[pos : pos+n]
-	case vec.F64:
-		out.F64 = v.F64[pos : pos+n]
-	case vec.Str:
-		out.Str = v.Str[pos : pos+n]
+	switch v.Enc {
+	case vec.EncDict:
+		w.Codes = v.Codes[pos : pos+n]
+		w.DictRefs = v.DictRefs
+	case vec.EncPacked:
+		w.Packed = v.Packed
+		w.PackBits = v.PackBits
+		w.PackMin = v.PackMin
+		w.PackOff = v.PackOff + pos
+		w.PackLen = n
+	default:
+		switch v.Typ {
+		case vec.Bool:
+			w.Bool = v.Bool[pos : pos+n]
+		case vec.I8:
+			w.I8 = v.I8[pos : pos+n]
+		case vec.I16:
+			w.I16 = v.I16[pos : pos+n]
+		case vec.I32:
+			w.I32 = v.I32[pos : pos+n]
+		case vec.I64:
+			w.I64 = v.I64[pos : pos+n]
+		case vec.I128:
+			w.I128 = v.I128[pos : pos+n]
+		case vec.F64:
+			w.F64 = v.F64[pos : pos+n]
+		case vec.Str:
+			w.Str = v.Str[pos : pos+n]
+		}
 	}
-	return out
+	*out = w
 }

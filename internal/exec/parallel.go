@@ -137,7 +137,10 @@ func forkCtx(qc *QCtx, n int) []*QCtx {
 	for i := range wqcs {
 		// Workers share the query's cancellation signal so a deadline or
 		// client disconnect stops every morsel loop, not just the driver.
-		wqcs[i] = &QCtx{Flags: qc.Flags, Store: stores[i], Stats: NewStats(), done: qc.done}
+		wqcs[i] = &QCtx{
+			Flags: qc.Flags, Store: stores[i], Stats: NewStats(), done: qc.done,
+			EagerMaterialize: qc.EagerMaterialize, DisableZoneSkip: qc.DisableZoneSkip,
+		}
 	}
 	return wqcs
 }

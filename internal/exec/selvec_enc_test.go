@@ -1,0 +1,208 @@
+package exec
+
+import (
+	"testing"
+
+	"ocht/internal/agg"
+	"ocht/internal/storage"
+	"ocht/internal/strs"
+	"ocht/internal/vec"
+)
+
+// encEdgeTable mirrors idTable but adds a dictionary-coded tag column whose
+// "edge" value marks exactly the batch-final physical positions, so the
+// selection-vector edge shapes (empty / full / trailing-max) can be produced
+// by predicates on the dictionary codes themselves.
+func encEdgeTable(n int) *storage.Table {
+	id := storage.NewColumn("id", vec.I64, false)
+	grp := storage.NewColumn("grp", vec.Str, false)
+	tag := storage.NewColumn("tag", vec.Str, false)
+	names := []string{"g0", "g1", "g2", "g3"}
+	for i := 0; i < n; i++ {
+		id.AppendInt(int64(i))
+		grp.AppendString(names[i%len(names)])
+		if (i+1)%vec.MaxLen == 0 {
+			tag.AppendString("edge")
+		} else {
+			tag.AppendString("mid")
+		}
+	}
+	t := storage.NewTable("encids", id, grp, tag)
+	t.Seal()
+	return t
+}
+
+// TestEncEdgeTableEncodings pins the fixture's storage form: the test is
+// only meaningful if id really is bit-packed and tag really is
+// dictionary-coded when the scan views the block.
+func TestEncEdgeTableEncodings(t *testing.T) {
+	tab := encEdgeTable(3 * vec.MaxLen)
+	st := strs.NewStore(false)
+	out := &vec.Vector{}
+	var refs []vec.StrRef
+	if _, _, _ = tab.Col("id").ViewBlock(0, out, st, refs); out.Enc != vec.EncPacked {
+		t.Fatalf("id block encoding %v, want packed", out.Enc)
+	}
+	if _, refs, _ = tab.Col("tag").ViewBlock(0, out, st, refs); out.Enc != vec.EncDict {
+		t.Fatalf("tag block encoding %v, want dict", out.Enc)
+	}
+	_ = refs
+}
+
+// dictSelPredicates produces the three edge selections through the
+// dictionary-code compare path: an absent code (empty), NE on an absent
+// code (full), and EQ on the code that marks only batch-final positions
+// (trailing-max).
+func dictSelPredicates(m []Meta) map[string]*Expr {
+	return map[string]*Expr{
+		"empty":        Eq(Col(m, "tag"), Str("absent")),
+		"full":         Ne(Col(m, "tag"), Str("absent")),
+		"trailing-max": Eq(Col(m, "tag"), Str("edge")),
+	}
+}
+
+// packedSelPredicates produces the same three shapes through the
+// pack-domain compare path on the bit-packed id column.
+func packedSelPredicates(n int, m []Meta) map[string]*Expr {
+	return map[string]*Expr{
+		"empty": Lt(Col(m, "id"), Int(0)),
+		"full":  Ge(Col(m, "id"), Int(0)),
+		"trailing-max": Eq(
+			Mod(Col(m, "id"), Int(int64(vec.MaxLen))),
+			Int(int64(vec.MaxLen-1)),
+		),
+	}
+}
+
+// TestEncFilterSelEdges drives both encoded compare paths through each
+// edge shape and cross-checks the compressed pipeline against the
+// eager-materialize oracle and every engine flag set.
+func TestEncFilterSelEdges(t *testing.T) {
+	const n = 3 * vec.MaxLen
+	tab := encEdgeTable(n)
+	wantRows := map[string]int{"empty": 0, "full": n, "trailing-max": 3}
+	for _, path := range []string{"dict", "packed"} {
+		path := path
+		for name := range wantRows {
+			name := name
+			t.Run(path+"/"+name, func(t *testing.T) {
+				build := func() Op {
+					scan := NewScan(tab, "id", "grp", "tag")
+					m := scan.Meta()
+					if path == "dict" {
+						return NewFilter(scan, dictSelPredicates(m)[name])
+					}
+					return NewFilter(scan, packedSelPredicates(n, m)[name])
+				}
+				results := runScanConfigs(t, build)
+				flagResults := runAll(t, build)
+				assertAllEqual(t, flagResults)
+				var ref []string
+				for cfg, r := range results {
+					if len(r.Rows) != wantRows[name] {
+						t.Fatalf("%s: got %d rows, want %d", cfg, len(r.Rows), wantRows[name])
+					}
+					got := sortedRows(r)
+					if ref == nil {
+						ref = got
+						continue
+					}
+					for i := range ref {
+						if ref[i] != got[i] {
+							t.Fatalf("%s differs at row %d", cfg, i)
+						}
+					}
+				}
+				if name == "trailing-max" {
+					for _, row := range results["compressed"].Rows {
+						if (row[0].I+1)%int64(vec.MaxLen) != 0 {
+							t.Fatalf("selected id %d is not a batch-final row", row[0].I)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestEncAggSelEdges pushes each edge selection into an aggregate whose
+// group key is dictionary-coded and whose argument is bit-packed: the
+// late-materialization gather must honor exactly the selected rows.
+func TestEncAggSelEdges(t *testing.T) {
+	const n = 3 * vec.MaxLen
+	tab := encEdgeTable(n)
+	type want struct {
+		groups int
+		count  int64
+		sumID  int64
+	}
+	// Batch-final ids are 1023, 2047, 3071: all grp g3 ((i%4)==3).
+	wants := map[string]want{
+		"empty":        {0, 0, 0},
+		"full":         {4, n, int64(n) * int64(n-1) / 2},
+		"trailing-max": {1, 3, 1023 + 2047 + 3071},
+	}
+	for name := range wants {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			results := runScanConfigs(t, func() Op {
+				scan := NewScan(tab, "id", "grp", "tag")
+				m := scan.Meta()
+				f := NewFilter(scan, dictSelPredicates(m)[name])
+				return NewHashAgg(f,
+					[]string{"grp"}, []*Expr{Col(m, "grp")},
+					[]AggExpr{
+						{Func: agg.CountStar, Name: "cnt"},
+						{Func: agg.Sum, Arg: Col(m, "id"), Name: "sum_id"},
+					})
+			})
+			w := wants[name]
+			for cfg, r := range results {
+				if len(r.Rows) != w.groups {
+					t.Fatalf("%s: %d groups, want %d", cfg, len(r.Rows), w.groups)
+				}
+				var cnt, sum int64
+				for _, row := range r.Rows {
+					cnt += row[1].I
+					sum += row[2].I
+				}
+				if cnt != w.count || sum != w.sumID {
+					t.Fatalf("%s: count %d sum %d, want %d / %d", cfg, cnt, sum, w.count, w.sumID)
+				}
+			}
+		})
+	}
+}
+
+// TestEncJoinSelEdges probes a join through each dictionary-code edge
+// selection with bit-packed probe keys; matches exist exactly when the
+// selection reaches position vec.MaxLen-1 of a batch.
+func TestEncJoinSelEdges(t *testing.T) {
+	const n = 3 * vec.MaxLen
+	tab := encEdgeTable(n)
+	dim := trailingDim(n)
+	wantRows := map[string]int{"empty": 0, "full": 3, "trailing-max": 3}
+	for name := range wantRows {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			results := runScanConfigs(t, func() Op {
+				scan := NewScan(tab, "id", "grp", "tag")
+				m := scan.Meta()
+				f := NewFilter(scan, dictSelPredicates(m)[name])
+				return NewHashJoin(Inner, f,
+					NewScan(dim, "did", "name"),
+					[]string{"id"}, []string{"did"}, []string{"name"})
+			})
+			for cfg, r := range results {
+				if len(r.Rows) != wantRows[name] {
+					t.Fatalf("%s: join produced %d rows, want %d", cfg, len(r.Rows), wantRows[name])
+				}
+				for _, row := range r.Rows {
+					if (row[0].I+1)%int64(vec.MaxLen) != 0 {
+						t.Fatalf("%s: joined id %d is not a batch-final row", cfg, row[0].I)
+					}
+				}
+			}
+		})
+	}
+}

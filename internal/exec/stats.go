@@ -17,8 +17,9 @@ import (
 // driver folds them into the query's Stats with Merge; the buckets then
 // hold summed CPU time across workers, which can exceed wall-clock time.
 type Stats struct {
-	mu      sync.Mutex
-	buckets map[string]time.Duration
+	mu       sync.Mutex
+	buckets  map[string]time.Duration
+	counters map[string]int64
 }
 
 // Breakdown bucket names.
@@ -31,8 +32,41 @@ const (
 	StatOther     = "remaining primitives"
 )
 
+// Counter names: the compressed-scan accounting behind the scansel
+// experiment. BlocksRead and BlocksSkipped partition the blocks a scan
+// considered; BytesDecompressed counts bytes actually written by
+// decompression (zero-copy encoded views decompress nothing but their
+// per-block dictionary reference tables).
+const (
+	CtrBlocksRead        = "blocks read"
+	CtrBlocksSkipped     = "blocks zone-skipped"
+	CtrBytesDecompressed = "bytes decompressed"
+)
+
 // NewStats creates an empty breakdown.
-func NewStats() *Stats { return &Stats{buckets: map[string]time.Duration{}} }
+func NewStats() *Stats {
+	return &Stats{buckets: map[string]time.Duration{}, counters: map[string]int64{}}
+}
+
+// Count adds n to the named counter.
+func (s *Stats) Count(name string, n int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.counters[name] += n
+	s.mu.Unlock()
+}
+
+// Counter returns the accumulated value of a counter.
+func (s *Stats) Counter(name string) int64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.counters[name]
+}
 
 // Add charges d to the named bucket.
 func (s *Stats) Add(name string, d time.Duration) {
@@ -44,7 +78,7 @@ func (s *Stats) Add(name string, d time.Duration) {
 	s.mu.Unlock()
 }
 
-// Merge folds every bucket of o into s. o is left unchanged.
+// Merge folds every bucket and counter of o into s. o is left unchanged.
 func (s *Stats) Merge(o *Stats) {
 	if s == nil || o == nil {
 		return
@@ -54,10 +88,17 @@ func (s *Stats) Merge(o *Stats) {
 	for k, v := range o.buckets {
 		snapshot[k] = v
 	}
+	ctrs := make(map[string]int64, len(o.counters))
+	for k, v := range o.counters {
+		ctrs[k] = v
+	}
 	o.mu.Unlock()
 	s.mu.Lock()
 	for k, v := range snapshot {
 		s.buckets[k] += v
+	}
+	for k, v := range ctrs {
+		s.counters[k] += v
 	}
 	s.mu.Unlock()
 }

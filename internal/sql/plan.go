@@ -75,6 +75,34 @@ func (p *planner) plan(stmt *SelectStmt) (exec.Op, error) {
 	var op exec.Op
 	baseTab := p.cat.Table(stmt.Table)
 	op = exec.NewScan(baseTab)
+
+	// Predicate pushdown: WHERE conjuncts that touch only base-table
+	// columns filter directly above the base scan, below the joins. That
+	// places them where Filter.Open can derive zone ranges for the scan,
+	// and is semantics-preserving: the base table is the probe side of
+	// every join (Inner and LeftOuter alike), so dropping its rows early
+	// only removes rows the upper filter would drop anyway. The remaining
+	// conjuncts stay above the joins.
+	var residual []Node
+	if stmt.Where != nil {
+		conjuncts := flattenAnd(stmt.Where)
+		var pushed []Node
+		for _, c := range conjuncts {
+			if len(stmt.Joins) > 0 && colsWithin(c, op.Meta()) {
+				pushed = append(pushed, c)
+			} else {
+				residual = append(residual, c)
+			}
+		}
+		if len(pushed) > 0 {
+			pred, err := compile(andAll(pushed), op.Meta())
+			if err != nil {
+				return nil, err
+			}
+			op = exec.NewFilter(op, pred)
+		}
+	}
+
 	for _, j := range stmt.Joins {
 		buildTab := p.cat.Table(j.Table)
 		build := exec.NewScan(buildTab)
@@ -99,8 +127,8 @@ func (p *planner) plan(stmt *SelectStmt) (exec.Op, error) {
 		op = exec.NewHashJoin(kind, op, build, probeKeys, buildKeys, payload)
 	}
 
-	if stmt.Where != nil {
-		pred, err := compile(stmt.Where, op.Meta())
+	if len(residual) > 0 {
+		pred, err := compile(andAll(residual), op.Meta())
 		if err != nil {
 			return nil, err
 		}
@@ -340,6 +368,36 @@ func splitJoinOn(on Node, probeMeta, buildMeta []exec.Meta) (probeKeys, buildKey
 		return nil, nil, errf(on.nodePos(), "JOIN ON needs at least one equality")
 	}
 	return probeKeys, buildKeys, nil
+}
+
+// flattenAnd splits an AST predicate into its top-level AND conjuncts.
+func flattenAnd(n Node) []Node {
+	if b, ok := n.(*BinOp); ok && b.Op == "AND" {
+		return append(flattenAnd(b.L), flattenAnd(b.R)...)
+	}
+	return []Node{n}
+}
+
+// andAll rejoins conjuncts into one predicate tree.
+func andAll(terms []Node) Node {
+	out := terms[0]
+	for _, t := range terms[1:] {
+		out = &BinOp{Op: "AND", L: out, R: t}
+	}
+	return out
+}
+
+// colsWithin reports whether every column the expression references
+// resolves in the given schema.
+func colsWithin(n Node, meta []exec.Meta) bool {
+	ok := true
+	walk(n, func(n Node) error {
+		if c, isCol := n.(*ColRef); isCol && !hasCol(meta, c.Name) {
+			ok = false
+		}
+		return nil
+	})
+	return ok
 }
 
 func hasCol(meta []exec.Meta, name string) bool {

@@ -21,16 +21,28 @@ import (
 //	  name len u32 | name | type u8 | nullable u8 | block count u32
 //	  per block:
 //	    rows u32
-//	    data: ints/floats at type width; strings: dict count u32,
-//	          per entry (len u32 | bytes), then rows x codes u32
+//	    data:
+//	      ints (version >= 2): enc u8; enc 0 = raw values at type width,
+//	        enc 1 = bit-packed: min i64 | bits u8 | ceil(rows/(64/bits))
+//	        x u64 words of frame-of-reference offsets
+//	      ints (version 1): raw values at type width
+//	      floats: raw values
+//	      strings: dict count u32, per entry (len u32 | bytes), then
+//	        rows x codes u32
 //	    nulls flag u8 [+ rows x u8]
 //	footer (out-of-band metadata, Section II-A):
 //	  per column, per block: zonemap valid u8 [+ min i64 + max i64]
 //	magic "THCO"
 const (
 	fileMagic   = "OCHT"
-	fileVersion = 1
+	fileVersion = 2
 	fileFooter  = "THCO"
+)
+
+// Block data encodings (version >= 2, integer columns).
+const (
+	blockEncPlain  = 0
+	blockEncPacked = 1
 )
 
 // WriteTable serializes a sealed table.
@@ -80,6 +92,29 @@ func WriteTable(w io.Writer, t *Table) error {
 			if err := put(uint32(b.N)); err != nil {
 				return err
 			}
+			if c.Type.IsInt() && b.Packed() {
+				if err := put(uint8(blockEncPacked)); err != nil {
+					return err
+				}
+				if err := put(b.PackMin); err != nil {
+					return err
+				}
+				if err := put(uint8(b.PackBits)); err != nil {
+					return err
+				}
+				if err := put(b.PackWords); err != nil {
+					return err
+				}
+				if err := putNulls(put, b); err != nil {
+					return err
+				}
+				continue
+			}
+			if c.Type.IsInt() {
+				if err := put(uint8(blockEncPlain)); err != nil {
+					return err
+				}
+			}
 			switch c.Type {
 			case vec.I8:
 				if err := put(b.I8); err != nil {
@@ -114,17 +149,8 @@ func WriteTable(w io.Writer, t *Table) error {
 					return err
 				}
 			}
-			hasNulls := uint8(0)
-			if b.Nulls != nil {
-				hasNulls = 1
-			}
-			if err := put(hasNulls); err != nil {
+			if err := putNulls(put, b); err != nil {
 				return err
-			}
-			if b.Nulls != nil {
-				if err := put(b.Nulls); err != nil {
-					return err
-				}
 			}
 		}
 	}
@@ -154,13 +180,29 @@ func WriteTable(w io.Writer, t *Table) error {
 	return bw.Flush()
 }
 
+// putNulls writes a block's NULL-mask section.
+func putNulls(put func(interface{}) error, b *Block) error {
+	hasNulls := uint8(0)
+	if b.Nulls != nil {
+		hasNulls = 1
+	}
+	if err := put(hasNulls); err != nil {
+		return err
+	}
+	if b.Nulls != nil {
+		return put(b.Nulls)
+	}
+	return nil
+}
+
 // Sanity caps for ReadTable: a corrupted or truncated file must produce
 // an error, never a panic or a multi-gigabyte allocation driven by a
 // damaged length field. The caps are far above anything WriteTable emits.
 const (
-	maxFileStrLen = 1 << 26 // 64 MiB per string
-	maxFileCols   = 1 << 14
-	maxFileBlocks = 1 << 24
+	maxFileStrLen    = 1 << 26 // 64 MiB per string
+	maxFileCols      = 1 << 14
+	maxFileBlocks    = 1 << 24
+	maxBlockDictData = 1 << 28 // 256 MiB of dictionary strings per block
 )
 
 // ReadTable deserializes a table written by WriteTable. Damaged input —
@@ -196,7 +238,7 @@ func ReadTable(r io.Reader) (*Table, error) {
 	if err := get(&version); err != nil {
 		return nil, err
 	}
-	if version != fileVersion {
+	if version != 1 && version != fileVersion {
 		return nil, fmt.Errorf("storage: unsupported version %d", version)
 	}
 	name, err := getStr()
@@ -245,6 +287,25 @@ func ReadTable(r io.Reader) (*Table, error) {
 				return nil, fmt.Errorf("storage: block of %d rows exceeds BlockRows", rows)
 			}
 			b := &Block{N: int(rows)}
+			enc := uint8(blockEncPlain)
+			if version >= 2 && c.Type.IsInt() {
+				if err := get(&enc); err != nil {
+					return nil, err
+				}
+			}
+			if enc == blockEncPacked {
+				if err := readPackedBlock(get, b, c.Type, int(rows)); err != nil {
+					return nil, err
+				}
+				if err := readNulls(get, b, int(rows)); err != nil {
+					return nil, err
+				}
+				c.blocks = append(c.blocks, b)
+				continue
+			}
+			if enc != blockEncPlain {
+				return nil, fmt.Errorf("storage: bad block encoding %d", enc)
+			}
 			switch c.Type {
 			case vec.I8:
 				b.I8 = make([]int8, rows)
@@ -271,8 +332,13 @@ func ReadTable(r io.Reader) (*Table, error) {
 					break
 				}
 				b.Dict = make([]string, nDict)
+				dictBytes := 0
 				for di := range b.Dict {
 					if b.Dict[di], err = getStr(); err != nil {
+						break
+					}
+					if dictBytes += len(b.Dict[di]); dictBytes > maxBlockDictData {
+						err = fmt.Errorf("storage: block dictionary exceeds %d bytes", maxBlockDictData)
 						break
 					}
 				}
@@ -293,27 +359,25 @@ func ReadTable(r io.Reader) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			var hasNulls uint8
-			if err := get(&hasNulls); err != nil {
+			if err := readNulls(get, b, int(rows)); err != nil {
 				return nil, err
-			}
-			if hasNulls == 1 {
-				b.Nulls = make([]bool, rows)
-				if err := get(b.Nulls); err != nil {
-					return nil, err
-				}
 			}
 			c.blocks = append(c.blocks, b)
 		}
 		cols[ci] = c
 	}
-	// Footer: zone maps.
+	// Footer: zone maps. An inverted zone (min > max) can only come from
+	// corruption and would silently mis-skip blocks under pushdown, so it
+	// is rejected here rather than trusted.
 	for _, c := range cols {
 		c.zones = make([]zoneMap, len(c.blocks))
 		for zi := range c.zones {
 			var valid uint8
 			if err := get(&valid); err != nil {
 				return nil, err
+			}
+			if valid > 1 {
+				return nil, fmt.Errorf("storage: bad zone-map flag %d", valid)
 			}
 			if valid == 1 {
 				var z zoneMap
@@ -323,6 +387,9 @@ func ReadTable(r io.Reader) (*Table, error) {
 				}
 				if err := get(&z.max); err != nil {
 					return nil, err
+				}
+				if z.min > z.max {
+					return nil, fmt.Errorf("storage: inverted zone map [%d, %d]", z.min, z.max)
 				}
 				c.zones[zi] = z
 			}
@@ -335,6 +402,53 @@ func ReadTable(r io.Reader) (*Table, error) {
 		return nil, fmt.Errorf("storage: bad footer %q", magic)
 	}
 	return NewTable(name, cols...), nil
+}
+
+// readPackedBlock decodes a bit-packed integer block, validating the pack
+// header so damaged files error instead of panicking or over-allocating:
+// the bit width must be in [1, 63] and narrow enough that packing actually
+// beats the plain layout WriteTable would otherwise have chosen.
+func readPackedBlock(get func(interface{}) error, b *Block, t vec.Type, rows int) error {
+	if rows == 0 {
+		return fmt.Errorf("storage: packed block with 0 rows")
+	}
+	var min int64
+	var bits uint8
+	if err := get(&min); err != nil {
+		return err
+	}
+	if err := get(&bits); err != nil {
+		return err
+	}
+	if bits < 1 || bits > 63 {
+		return fmt.Errorf("storage: packed block bit width %d out of range", bits)
+	}
+	per := 64 / int(bits)
+	words := (rows + per - 1) / per
+	if words*8 >= rows*t.Width() {
+		return fmt.Errorf("storage: packed block wider than plain (%d bits for %s)", bits, t)
+	}
+	b.PackWords = make([]uint64, words)
+	b.PackBits = int(bits)
+	b.PackMin = min
+	return get(b.PackWords)
+}
+
+// readNulls decodes a block's NULL-mask section.
+func readNulls(get func(interface{}) error, b *Block, rows int) error {
+	var hasNulls uint8
+	if err := get(&hasNulls); err != nil {
+		return err
+	}
+	switch hasNulls {
+	case 0:
+		return nil
+	case 1:
+		b.Nulls = make([]bool, rows)
+		return get(b.Nulls)
+	default:
+		return fmt.Errorf("storage: bad null flag %d", hasNulls)
+	}
 }
 
 // SaveCatalog writes every table to <dir>/<table>.ocht.

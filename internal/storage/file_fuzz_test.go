@@ -9,12 +9,15 @@ import (
 )
 
 // fuzzSeedTable builds a small mixed-type table exercising every column
-// kind the file format serializes: ints with zone maps, floats, strings
-// with per-block dictionaries, and NULL bitmaps.
+// kind the file format serializes: narrow ints sealed as bit-packed
+// blocks, wide ints kept plain, floats, strings with per-block
+// dictionaries, NULL bitmaps, and zone maps for all of them.
 func fuzzSeedTable() *Table {
 	a := NewColumn("a", vec.I64, false)
 	b := NewColumn("b", vec.F64, true)
 	c := NewColumn("c", vec.Str, true)
+	d := NewColumn("d", vec.I64, false) // range > 2^56: stays plain
+	e := NewColumn("e", vec.I32, true)  // packed with a NULL bitmap
 	for i := 0; i < 300; i++ {
 		a.AppendInt(int64(i * 7 % 1000))
 		if i%11 == 0 {
@@ -30,8 +33,14 @@ func fuzzSeedTable() *Table {
 		default:
 			c.AppendString("beta")
 		}
+		d.AppendInt(int64(i) << 57)
+		if i%7 == 0 {
+			e.AppendNull()
+		} else {
+			e.AppendInt(int64(i%19 - 9))
+		}
 	}
-	t := NewTable("fuzz", a, b, c)
+	t := NewTable("fuzz", a, b, c, d, e)
 	t.Seal()
 	return t
 }
@@ -60,29 +69,49 @@ func FuzzTableFile(f *testing.F) {
 	}
 	f.Add([]byte{})
 	f.Add([]byte("OCHT"))
+	// Byte flips spread across the whole file guide the fuzzer into the
+	// v2 per-block structures: encoding tags, packed min/bits headers,
+	// dictionary lengths, and the zone-map footer.
+	for at := 12; at < len(good); at += 37 {
+		bad := append([]byte(nil), good...)
+		bad[at] ^= 0x81
+		f.Add(bad)
+	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		tab, err := ReadTable(bytes.NewReader(data))
 		if err != nil {
 			return
 		}
-		// Whatever parsed must also scan and re-serialize without panics.
-		st := strs.NewStore(false)
-		for _, c := range tab.Cols {
-			out := vec.New(c.Type, BlockRows)
-			if c.Nullable {
-				out.Nulls = make([]bool, BlockRows)
-			}
-			for bi := 0; bi < c.Blocks(); bi++ {
-				c.ScanBlock(bi, out, st)
-			}
-			c.TotalDomain()
-		}
+		// Whatever parsed must also scan (both the decompressing and the
+		// zero-copy view path) and re-serialize without panics.
+		exerciseTable(tab)
 		var rt bytes.Buffer
 		if err := WriteTable(&rt, tab); err != nil {
 			t.Fatalf("re-serialize parsed table: %v", err)
 		}
 	})
+}
+
+// exerciseTable drives every read path over a parsed table: eager block
+// decompression, encoded block views (dictionary interning included), and
+// zone-map access — the full surface a scan touches after WAL recovery.
+func exerciseTable(tab *Table) {
+	st := strs.NewStore(false)
+	out := &vec.Vector{}
+	var refs []vec.StrRef
+	for _, c := range tab.Cols {
+		buf := vec.New(c.Type, BlockRows)
+		if c.Nullable {
+			buf.Nulls = make([]bool, BlockRows)
+		}
+		for bi := 0; bi < c.Blocks(); bi++ {
+			c.ScanBlock(bi, buf, st)
+			_, refs, _ = c.ViewBlock(bi, out, st, refs)
+			c.Zone(bi)
+		}
+		c.TotalDomain()
+	}
 }
 
 // TestReadTableRoundTrip is the deterministic core of the fuzz target:
@@ -125,13 +154,20 @@ func TestReadTableCorruption(t *testing.T) {
 			t.Fatalf("truncation to %d bytes: expected error", n)
 		}
 	}
-	for at := 0; at < len(good); at += 131 {
-		bad := append([]byte(nil), good...)
-		bad[at] ^= 0x40
-		// A flip may land in string payload bytes and still parse; the
-		// requirement is only that it never panics.
-		tab, err := ReadTable(bytes.NewReader(bad))
-		_ = tab
-		_ = err
+	// Flip every byte three ways. A flip may land in string payload bytes
+	// and still parse; the requirement is only that neither parsing nor the
+	// subsequent block reads (decompression, encoded views, zone maps)
+	// panic — packed-block headers, dictionary lengths and zone footers all
+	// live somewhere in this sweep.
+	for at := 0; at < len(good); at++ {
+		for _, mut := range []byte{good[at] ^ 0x40, 0x00, 0xff} {
+			bad := append([]byte(nil), good...)
+			bad[at] = mut
+			tab, err := ReadTable(bytes.NewReader(bad))
+			if err != nil {
+				continue
+			}
+			exerciseTable(tab)
+		}
 	}
 }

@@ -28,6 +28,12 @@ const BlockRows = 1 << 16
 // data slice is populated, matching the column type. String data is
 // dictionary-compressed: Dict holds the distinct strings, Codes the
 // per-row dictionary codes.
+//
+// Integer blocks whose value range is narrow enough are bit-packed at seal
+// time (frame of reference): PackWords holds PackBits-wide offsets from
+// PackMin, no value crossing a word boundary, and the plain slice is
+// dropped. Sealed blocks are immutable, so scans hand out zero-copy views
+// of either form.
 type Block struct {
 	N     int
 	Nulls []bool // nil when no NULLs in this block
@@ -40,7 +46,14 @@ type Block struct {
 
 	Dict  []string
 	Codes []int32
+
+	PackWords []uint64 // non-nil iff the block is bit-packed
+	PackBits  int
+	PackMin   int64
 }
+
+// Packed reports whether the block stores bit-packed integers.
+func (b *Block) Packed() bool { return b.PackWords != nil }
 
 // zoneMap is the out-of-band per-block metadata: min/max for integer
 // blocks (Section II-A stores these in row-group headers or the catalog,
@@ -97,10 +110,114 @@ func (c *Column) sealBlock() {
 	if c.cur == nil {
 		return
 	}
+	compressIntBlock(c.cur, c.Type)
 	c.blocks = append(c.blocks, c.cur)
 	c.zones = append(c.zones, c.curZone)
 	c.cur = nil
 	c.curDict = nil
+}
+
+// compressIntBlock bit-packs an integer block when that shrinks it: values
+// become PackBits-wide offsets from the physical minimum (which, unlike
+// the zone map, includes the zero placeholders NULL rows store) and the
+// plain slice is dropped. Runs once per sealed block, never on a hot path.
+func compressIntBlock(b *Block, t vec.Type) {
+	if b.N == 0 {
+		return
+	}
+	var min, max int64
+	switch t {
+	case vec.I8:
+		min, max = int64(b.I8[0]), int64(b.I8[0])
+		for _, x := range b.I8 {
+			if int64(x) < min {
+				min = int64(x)
+			}
+			if int64(x) > max {
+				max = int64(x)
+			}
+		}
+	case vec.I16:
+		min, max = int64(b.I16[0]), int64(b.I16[0])
+		for _, x := range b.I16 {
+			if int64(x) < min {
+				min = int64(x)
+			}
+			if int64(x) > max {
+				max = int64(x)
+			}
+		}
+	case vec.I32:
+		min, max = int64(b.I32[0]), int64(b.I32[0])
+		for _, x := range b.I32 {
+			if int64(x) < min {
+				min = int64(x)
+			}
+			if int64(x) > max {
+				max = int64(x)
+			}
+		}
+	case vec.I64:
+		min, max = b.I64[0], b.I64[0]
+		for _, x := range b.I64 {
+			if x < min {
+				min = x
+			}
+			if x > max {
+				max = x
+			}
+		}
+	default:
+		return
+	}
+	bits := rangeBits(min, max)
+	if bits == 0 {
+		return
+	}
+	per := 64 / bits
+	words := (b.N + per - 1) / per
+	if words*8 >= b.N*t.Width() {
+		return // packing would not shrink the block
+	}
+	packed := make([]uint64, words)
+	switch t {
+	case vec.I8:
+		for i, x := range b.I8 {
+			packed[i/per] |= uint64(int64(x)-min) << (uint(i%per) * uint(bits))
+		}
+		b.I8 = nil
+	case vec.I16:
+		for i, x := range b.I16 {
+			packed[i/per] |= uint64(int64(x)-min) << (uint(i%per) * uint(bits))
+		}
+		b.I16 = nil
+	case vec.I32:
+		for i, x := range b.I32 {
+			packed[i/per] |= uint64(int64(x)-min) << (uint(i%per) * uint(bits))
+		}
+		b.I32 = nil
+	case vec.I64:
+		for i, x := range b.I64 {
+			packed[i/per] |= uint64(x-min) << (uint(i%per) * uint(bits))
+		}
+		b.I64 = nil
+	}
+	b.PackWords, b.PackBits, b.PackMin = packed, bits, min
+}
+
+// rangeBits returns the offset width needed for [min, max], or 0 when the
+// range is too wide to pack (>= 2^56 distinct offsets — wider than any
+// width that could shrink a block).
+func rangeBits(min, max int64) int {
+	r := uint64(max) - uint64(min) // two's complement: correct for any min <= max
+	if r >= 1<<56 {
+		return 0
+	}
+	bits := 1
+	for uint64(1)<<uint(bits) <= r {
+		bits++
+	}
+	return bits
 }
 
 func (c *Column) ensure() *Block {
@@ -270,6 +387,10 @@ func (c *Column) DictStats() (entries int) {
 // (Section IV-D). Returns the number of rows.
 func (c *Column) ScanBlock(bi int, out *vec.Vector, st *strs.Store) int {
 	b := c.blocks[bi]
+	if b.Packed() {
+		unpackBlockInto(b, c.Type, out)
+		return finishScan(b, out)
+	}
 	switch c.Type {
 	case vec.I8:
 		copy(out.I8, b.I8)
@@ -290,6 +411,11 @@ func (c *Column) ScanBlock(bi int, out *vec.Vector, st *strs.Store) int {
 			out.Str[i] = refs[code]
 		}
 	}
+	return finishScan(b, out)
+}
+
+// finishScan copies the block's NULL mask into the materialization buffer.
+func finishScan(b *Block, out *vec.Vector) int {
 	if b.Nulls != nil {
 		if out.Nulls == nil || len(out.Nulls) < b.N {
 			out.Nulls = make([]bool, out.Len())
@@ -301,6 +427,97 @@ func (c *Column) ScanBlock(bi int, out *vec.Vector, st *strs.Store) int {
 		}
 	}
 	return b.N
+}
+
+// unpackBlockInto decompresses a bit-packed block into out's plain slice.
+func unpackBlockInto(b *Block, t vec.Type, out *vec.Vector) {
+	bits := uint(b.PackBits)
+	per := 64 / b.PackBits
+	mask := uint64(1)<<bits - 1
+	switch t {
+	case vec.I8:
+		for i := 0; i < b.N; i++ {
+			out.I8[i] = int8(b.PackMin + int64((b.PackWords[i/per]>>(uint(i%per)*bits))&mask))
+		}
+	case vec.I16:
+		for i := 0; i < b.N; i++ {
+			out.I16[i] = int16(b.PackMin + int64((b.PackWords[i/per]>>(uint(i%per)*bits))&mask))
+		}
+	case vec.I32:
+		for i := 0; i < b.N; i++ {
+			out.I32[i] = int32(b.PackMin + int64((b.PackWords[i/per]>>(uint(i%per)*bits))&mask))
+		}
+	case vec.I64:
+		for i := 0; i < b.N; i++ {
+			out.I64[i] = b.PackMin + int64((b.PackWords[i/per]>>(uint(i%per)*bits))&mask)
+		}
+	default:
+		badBlockType(t)
+	}
+}
+
+// badBlockType panics for a packed block of an unsupported type; hoisted
+// out of the hot unpack kernel to keep interface boxing off its code path.
+func badBlockType(t vec.Type) {
+	panic("storage: packed block of type " + t.String())
+}
+
+// ViewBlock configures out as a zero-copy encoded view of block bi — the
+// compressed-execution scan path. Plain integer and float blocks alias the
+// sealed slices directly; bit-packed blocks become EncPacked vectors over
+// the stored words; string blocks become EncDict vectors whose code table
+// is built by interning each distinct dictionary string once per block
+// (with the USSR enabled this is the paper's scan-side dictionary
+// insertion, Section IV-D), reusing refScratch across blocks. It returns
+// the row count, the (possibly grown) ref scratch, and the bytes of data
+// actually materialized — dictionary references only; everything else is
+// aliased.
+func (c *Column) ViewBlock(bi int, out *vec.Vector, st *strs.Store, refScratch []vec.StrRef) (rows int, refs []vec.StrRef, bytes int) {
+	b := c.blocks[bi]
+	*out = vec.Vector{Typ: c.Type, Nulls: b.Nulls}
+	switch {
+	case b.Packed():
+		out.Enc = vec.EncPacked
+		out.Packed = b.PackWords
+		out.PackBits = b.PackBits
+		out.PackMin = b.PackMin
+		out.PackOff = 0
+		out.PackLen = b.N
+	case c.Type == vec.Str:
+		refScratch = refScratch[:0]
+		for _, s := range b.Dict {
+			refScratch = append(refScratch, st.Intern(s))
+		}
+		out.Enc = vec.EncDict
+		out.Codes = b.Codes
+		out.DictRefs = refScratch
+		bytes = len(b.Dict) * 8
+	default:
+		switch c.Type {
+		case vec.I8:
+			out.I8 = b.I8
+		case vec.I16:
+			out.I16 = b.I16
+		case vec.I32:
+			out.I32 = b.I32
+		case vec.I64:
+			out.I64 = b.I64
+		case vec.F64:
+			out.F64 = b.F64
+		default:
+			panic("storage: ViewBlock on " + c.Type.String())
+		}
+	}
+	return b.N, refScratch, bytes
+}
+
+// Zone returns the out-of-band zone map of block bi: the min/max over the
+// block's non-NULL values, with ok false when unknown (string and float
+// columns, or all-NULL blocks). This is the pushdown API zone-map block
+// skipping builds on.
+func (c *Column) Zone(bi int) (min, max int64, ok bool) {
+	z := c.zones[bi]
+	return z.min, z.max, z.valid
 }
 
 // Table is a named set of equally-long columns.

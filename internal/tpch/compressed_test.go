@@ -1,0 +1,73 @@
+package tpch
+
+import (
+	"fmt"
+	"testing"
+
+	"ocht/internal/core"
+	"ocht/internal/exec"
+)
+
+// TestAllQueriesCompressedMatchEager is the exec-layer acceptance check of
+// holistic compressed execution: every TPC-H query, at every worker count,
+// must return the same result whether scans emit encoded blocks (the
+// default) or eagerly decompress everything (the EagerMaterialize oracle).
+func TestAllQueriesCompressedMatchEager(t *testing.T) {
+	cat := catFor(t)
+	for q := 1; q <= 22; q++ {
+		oracle := exec.NewQCtx(core.All())
+		oracle.EagerMaterialize = true
+		oracle.DisableZoneSkip = true
+		want := resKey(Q(q, cat, oracle))
+		for _, workers := range []int{1, 2, 4, 8} {
+			t.Run(fmt.Sprintf("q%d/w%d", q, workers), func(t *testing.T) {
+				qc := exec.NewQCtx(core.All())
+				qc.Workers = workers
+				got := resKey(Q(q, cat, qc))
+				if len(got) != len(want) {
+					t.Fatalf("compressed %d rows, eager oracle %d", len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("row %d:\n  compressed %s\n  eager      %s", i, got[i], want[i])
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestQueriesSkipBlocksAtScale runs the date-ranged queries on a catalog
+// large enough for multi-block lineitem and checks the zone maps actually
+// shed blocks without changing any answer.
+func TestQueriesSkipBlocksAtScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-block catalog generation")
+	}
+	cat := Gen(0.02, 42)
+	if b := cat.Table("lineitem").Col("l_shipdate").Blocks(); b < 2 {
+		t.Skipf("lineitem has %d blocks; zone skipping needs at least 2", b)
+	}
+	// Q6 filters l_shipdate to one year; sorted-by-order date columns give
+	// the zone maps real pruning power.
+	skip := exec.NewQCtx(core.All())
+	resSkip := Q(6, cat, skip)
+	noskip := exec.NewQCtx(core.All())
+	noskip.DisableZoneSkip = true
+	resNoskip := Q(6, cat, noskip)
+	a, b := resKey(resSkip), resKey(resNoskip)
+	if len(a) != len(b) {
+		t.Fatalf("row counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("row %d: %s vs %s", i, a[i], b[i])
+		}
+	}
+	if read := skip.Stats.Counter(exec.CtrBlocksRead); read == 0 {
+		t.Fatal("no blocks read")
+	}
+	if skip.Stats.Counter(exec.CtrBytesDecompressed) > noskip.Stats.Counter(exec.CtrBytesDecompressed) {
+		t.Fatal("zone skipping must never decompress more than reading everything")
+	}
+}

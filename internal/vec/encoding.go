@@ -1,0 +1,219 @@
+package vec
+
+// Encoding enumerates the in-flight vector representations. The engine's
+// compressed-execution model (MorphStore-style holistic processing) lets a
+// scan emit blocks in their stored form; operators either understand the
+// encoding (filters compare in the pack domain, pre-filter dictionary code
+// tables) or materialize the active rows into a plain scratch vector at
+// their input boundary.
+type Encoding uint8
+
+// Vector encodings.
+const (
+	// EncPlain is the classic decompressed form: one typed slice.
+	EncPlain Encoding = iota
+	// EncDict is a dictionary-coded string vector: per-row codes plus a
+	// per-block code -> StrRef table.
+	EncDict
+	// EncPacked is a frame-of-reference bit-packed integer vector.
+	EncPacked
+)
+
+// String returns the lowercase encoding name.
+func (e Encoding) String() string {
+	switch e {
+	case EncPlain:
+		return "plain"
+	case EncDict:
+		return "dict"
+	case EncPacked:
+		return "packed"
+	default:
+		return "invalid"
+	}
+}
+
+// IsPlain reports whether the vector holds decompressed data.
+func (v *Vector) IsPlain() bool { return v.Enc == EncPlain }
+
+// packedAt extracts the frame-of-reference value at row i.
+//
+//ocht:hot
+func (v *Vector) packedAt(i int) int64 {
+	per := 64 / v.PackBits
+	j := v.PackOff + i
+	w := v.Packed[j/per]
+	off := (w >> (uint(j%per) * uint(v.PackBits))) & (1<<uint(v.PackBits) - 1)
+	return v.PackMin + int64(off)
+}
+
+// StrRefAt returns the string reference at physical position i, decoding
+// dictionary codes through the per-block reference table.
+//
+//ocht:hot
+func (v *Vector) StrRefAt(i int) StrRef {
+	if v.Enc == EncDict {
+		return v.DictRefs[v.Codes[i]]
+	}
+	return v.Str[i]
+}
+
+// MaterializeInto decodes every row of v into dst, which must be a plain
+// vector of the same type with capacity >= v.Len(). The NULL mask is
+// aliased (physical positions are unchanged by decoding). Plain sources
+// are copied.
+func (v *Vector) MaterializeInto(dst *Vector) {
+	n := v.Len()
+	dst.Nulls = v.Nulls
+	switch v.Enc {
+	case EncDict:
+		out := dst.Str[:n]
+		for i, c := range v.Codes {
+			out[i] = v.DictRefs[c]
+		}
+	case EncPacked:
+		bits := uint(v.PackBits)
+		per := 64 / v.PackBits
+		mask := uint64(1)<<bits - 1
+		switch v.Typ {
+		case I8:
+			out := dst.I8[:n]
+			for i := 0; i < n; i++ {
+				j := v.PackOff + i
+				out[i] = int8(v.PackMin + int64((v.Packed[j/per]>>(uint(j%per)*bits))&mask))
+			}
+		case I16:
+			out := dst.I16[:n]
+			for i := 0; i < n; i++ {
+				j := v.PackOff + i
+				out[i] = int16(v.PackMin + int64((v.Packed[j/per]>>(uint(j%per)*bits))&mask))
+			}
+		case I32:
+			out := dst.I32[:n]
+			for i := 0; i < n; i++ {
+				j := v.PackOff + i
+				out[i] = int32(v.PackMin + int64((v.Packed[j/per]>>(uint(j%per)*bits))&mask))
+			}
+		case I64:
+			out := dst.I64[:n]
+			for i := 0; i < n; i++ {
+				j := v.PackOff + i
+				out[i] = v.PackMin + int64((v.Packed[j/per]>>(uint(j%per)*bits))&mask)
+			}
+		default:
+			panic("vec: packed vector of type " + v.Typ.String())
+		}
+	default:
+		switch v.Typ {
+		case Bool:
+			copy(dst.Bool, v.Bool)
+		case I8:
+			copy(dst.I8, v.I8)
+		case I16:
+			copy(dst.I16, v.I16)
+		case I32:
+			copy(dst.I32, v.I32)
+		case I64:
+			copy(dst.I64, v.I64)
+		case I128:
+			copy(dst.I128, v.I128)
+		case F64:
+			copy(dst.F64, v.F64)
+		case Str:
+			copy(dst.Str, v.Str)
+		}
+	}
+}
+
+// MaterializeRowsInto decodes only the given physical rows of v into the
+// same positions of dst — the late-materialization step: rows shed by
+// filters or Bloom passes never pay decompression. dst must be a plain
+// vector of the same type sized to cover every row position; the NULL mask
+// is aliased.
+//
+//ocht:hot
+func (v *Vector) MaterializeRowsInto(dst *Vector, rows []int32) {
+	dst.Nulls = v.Nulls
+	switch v.Enc {
+	case EncDict:
+		for _, r := range rows {
+			dst.Str[r] = v.DictRefs[v.Codes[r]]
+		}
+	case EncPacked:
+		bits := uint(v.PackBits)
+		p := 64 / v.PackBits
+		mask := uint64(1)<<bits - 1
+		switch v.Typ {
+		case I8:
+			for _, r := range rows {
+				j := v.PackOff + int(r)
+				dst.I8[r] = int8(v.PackMin + int64((v.Packed[j/p]>>(uint(j%p)*bits))&mask))
+			}
+		case I16:
+			for _, r := range rows {
+				j := v.PackOff + int(r)
+				dst.I16[r] = int16(v.PackMin + int64((v.Packed[j/p]>>(uint(j%p)*bits))&mask))
+			}
+		case I32:
+			for _, r := range rows {
+				j := v.PackOff + int(r)
+				dst.I32[r] = int32(v.PackMin + int64((v.Packed[j/p]>>(uint(j%p)*bits))&mask))
+			}
+		case I64:
+			for _, r := range rows {
+				j := v.PackOff + int(r)
+				dst.I64[r] = v.PackMin + int64((v.Packed[j/p]>>(uint(j%p)*bits))&mask)
+			}
+		default:
+			badType("vec: packed vector of type ", v.Typ)
+		}
+	default:
+		switch v.Typ {
+		case Bool:
+			for _, r := range rows {
+				dst.Bool[r] = v.Bool[r]
+			}
+		case I8:
+			for _, r := range rows {
+				dst.I8[r] = v.I8[r]
+			}
+		case I16:
+			for _, r := range rows {
+				dst.I16[r] = v.I16[r]
+			}
+		case I32:
+			for _, r := range rows {
+				dst.I32[r] = v.I32[r]
+			}
+		case I64:
+			for _, r := range rows {
+				dst.I64[r] = v.I64[r]
+			}
+		case I128:
+			for _, r := range rows {
+				dst.I128[r] = v.I128[r]
+			}
+		case F64:
+			for _, r := range rows {
+				dst.F64[r] = v.F64[r]
+			}
+		case Str:
+			for _, r := range rows {
+				dst.Str[r] = v.Str[r]
+			}
+		}
+	}
+}
+
+// Materialize returns v unchanged when it is already plain, otherwise a
+// freshly allocated plain vector holding the decoded values — the mandatory
+// fallback path: every operator works on the result regardless of what a
+// scan emitted.
+func (v *Vector) Materialize() *Vector {
+	if v.Enc == EncPlain {
+		return v
+	}
+	dst := New(v.Typ, v.Len())
+	v.MaterializeInto(dst)
+	return dst
+}

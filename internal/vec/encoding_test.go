@@ -1,0 +1,101 @@
+package vec
+
+import "testing"
+
+// packInto packs vals as offsets from min at the given bit width, the
+// layout EncPacked vectors decode (no value crosses a word boundary).
+func packInto(vals []int64, min int64, bits int) []uint64 {
+	per := 64 / bits
+	words := make([]uint64, (len(vals)+per-1)/per)
+	for i, v := range vals {
+		off := uint64(v - min)
+		words[i/per] |= off << (uint(i%per) * uint(bits))
+	}
+	return words
+}
+
+func packedVec(t Type, vals []int64, min int64, bits, off int) *Vector {
+	padded := make([]int64, off+len(vals))
+	for i := range padded[:off] {
+		padded[i] = min
+	}
+	copy(padded[off:], vals)
+	return &Vector{
+		Typ: t, Enc: EncPacked,
+		Packed:   packInto(padded, min, bits),
+		PackBits: bits, PackMin: min, PackOff: off, PackLen: len(vals),
+	}
+}
+
+func TestPackedAccessors(t *testing.T) {
+	vals := []int64{100, 107, 100, 163, 101}
+	for _, off := range []int{0, 1, 7, 13} {
+		v := packedVec(I64, vals, 100, 7, off)
+		if v.Len() != len(vals) {
+			t.Fatalf("off %d: Len %d", off, v.Len())
+		}
+		for i, want := range vals {
+			if got := v.Int64At(i); got != want {
+				t.Errorf("off %d: Int64At(%d) = %d, want %d", off, i, got, want)
+			}
+		}
+	}
+}
+
+func TestPackedMaterialize(t *testing.T) {
+	vals := []int64{-5, -3, -5, 2, 0, -1}
+	v := packedVec(I32, vals, -5, 3, 2)
+	m := v.Materialize()
+	if !m.IsPlain() || m.Typ != I32 || m.Len() != len(vals) {
+		t.Fatalf("materialized %v enc=%v len=%d", m.Typ, m.Enc, m.Len())
+	}
+	for i, want := range vals {
+		if got := int64(m.I32[i]); got != want {
+			t.Errorf("row %d: %d want %d", i, got, want)
+		}
+	}
+	// Selected-rows path writes only the chosen physical positions.
+	dst := New(I32, len(vals))
+	for i := range dst.I32 {
+		dst.I32[i] = 99
+	}
+	v.MaterializeRowsInto(dst, []int32{1, 3})
+	if dst.I32[1] != -3 || dst.I32[3] != 2 {
+		t.Errorf("selected rows: %v", dst.I32)
+	}
+	if dst.I32[0] != 99 || dst.I32[2] != 99 {
+		t.Errorf("unselected rows must stay untouched: %v", dst.I32)
+	}
+}
+
+func TestDictAccessors(t *testing.T) {
+	refs := []StrRef{10, 20, 30}
+	v := &Vector{Typ: Str, Enc: EncDict, Codes: []int32{2, 0, 1, 0}, DictRefs: refs}
+	if v.Len() != 4 {
+		t.Fatalf("Len %d", v.Len())
+	}
+	want := []StrRef{30, 10, 20, 10}
+	for i, w := range want {
+		if got := v.StrRefAt(i); got != w {
+			t.Errorf("StrRefAt(%d) = %d, want %d", i, got, w)
+		}
+	}
+	m := v.Materialize()
+	for i, w := range want {
+		if m.Str[i] != w {
+			t.Errorf("materialized row %d: %d want %d", i, m.Str[i], w)
+		}
+	}
+	if m.StrRefAt(2) != 20 {
+		t.Error("StrRefAt must work on plain vectors too")
+	}
+}
+
+func TestEncodedNullsAliased(t *testing.T) {
+	v := &Vector{Typ: Str, Enc: EncDict, Codes: []int32{0, 1}, DictRefs: []StrRef{5, 6},
+		Nulls: []bool{false, true}}
+	m := v.Materialize()
+	if !m.IsNull(1) || m.IsNull(0) {
+		t.Error("NULL mask must survive materialization")
+	}
+}

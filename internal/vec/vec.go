@@ -116,9 +116,16 @@ func (r StrRef) USSRSlot() uint16 { return uint16(r) }
 // InUSSR() is false.
 func (r StrRef) HeapOffset() uint64 { return uint64(r) &^ uint64(USSRTag) }
 
-// Vector is a typed array of values. Exactly one of the data slices is
-// non-nil, matching Typ. Nulls, when non-nil, marks NULL values at the same
-// physical positions as the data.
+// Vector is a typed array of values. For plain vectors exactly one of the
+// data slices is non-nil, matching Typ. Nulls, when non-nil, marks NULL
+// values at the same physical positions as the data.
+//
+// A vector may instead carry a compressed encoding (Enc != EncPlain), in
+// which case the plain data slice is nil and the values live in the
+// encoding-specific fields below. The virtual accessors (Int64At, StrRefAt)
+// decode transparently; operators that need raw slices call Materialize
+// first. This is the holistic compressed-execution exchange format: scans
+// emit blocks in their stored encoding and operators materialize late.
 type Vector struct {
 	Typ   Type
 	Nulls []bool
@@ -131,6 +138,29 @@ type Vector struct {
 	I128 []i128.Int
 	F64  []float64
 	Str  []StrRef
+
+	// Enc selects the in-flight representation; EncPlain (the zero value)
+	// means the typed slice above holds the data directly.
+	Enc Encoding
+
+	// EncDict (Str only): Codes holds per-row dictionary codes into
+	// DictRefs, the per-block code -> string-reference table. DictRefs are
+	// ordinary StrRefs (USSR-resident or heap), so string resolution stays
+	// a plain array lookup at emission time.
+	Codes    []int32
+	DictRefs []StrRef
+
+	// EncPacked (integer types): values are stored as PackBits-wide
+	// unsigned offsets from PackMin (frame of reference), packed into
+	// 64-bit words without crossing word boundaries — the same layout the
+	// prefix-suppression kernels use. PackOff is the offset of this view's
+	// row 0 within Packed (vector windows over a block share the block's
+	// words) and PackLen the number of rows.
+	Packed   []uint64
+	PackBits int
+	PackMin  int64
+	PackOff  int
+	PackLen  int
 }
 
 // New allocates a vector of n values of type t.
@@ -159,6 +189,12 @@ func New(t Type, n int) *Vector {
 
 // Len returns the physical length of the vector.
 func (v *Vector) Len() int {
+	switch v.Enc {
+	case EncDict:
+		return len(v.Codes)
+	case EncPacked:
+		return v.PackLen
+	}
 	switch v.Typ {
 	case Bool:
 		return len(v.Bool)
@@ -182,7 +218,12 @@ func (v *Vector) Len() int {
 
 // Int64At returns the value at physical position i widened to int64.
 // It panics for non-integer vectors.
+//
+//ocht:hot
 func (v *Vector) Int64At(i int) int64 {
+	if v.Enc == EncPacked {
+		return v.packedAt(i)
+	}
 	switch v.Typ {
 	case I8:
 		return int64(v.I8[i])
@@ -198,7 +239,14 @@ func (v *Vector) Int64At(i int) int64 {
 		}
 		return 0
 	}
-	panic("vec: Int64At on " + v.Typ.String())
+	badType("vec: Int64At on ", v.Typ)
+	return 0
+}
+
+// badType panics for an unsupported vector type. It is hoisted out of the
+// hot kernels so the panic's interface boxing stays off their code path.
+func badType(msg string, t Type) {
+	panic(msg + t.String())
 }
 
 // SetInt64 stores x at physical position i, narrowing to the vector type.
