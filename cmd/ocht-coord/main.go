@@ -1,0 +1,183 @@
+// Command ocht-coord runs the scatter-gather coordinator: an HTTP/JSON
+// SQL front-end that hash-partitions writes across shard engine
+// processes and answers SELECTs by pushing filters and partial
+// aggregation down to the shards, then merging the partials locally.
+//
+// Usage:
+//
+//	ocht-coord -addr :8090 -shards http://localhost:8081,http://localhost:8082
+//	ocht-coord -shards http://s0,http://s1 -replicas 'http://s0r;http://s1r' -replica-reads
+//	ocht-coord -shards ... -partition-keys 'orders=o_orderkey,lineitem=l_orderkey' -broadcast region,nation
+//	curl -s localhost:8090/query -d '{"sql":"SELECT COUNT(*) FROM lineitem"}'
+//
+// -replicas takes one comma-separated replica list per shard, with ';'
+// separating shards, aligned with -shards order. An empty slot means
+// the shard has no replicas.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"ocht/internal/core"
+	"ocht/internal/dist"
+	"ocht/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8090", "listen address")
+	shardsFlag := flag.String("shards", "", "comma-separated shard primary base URLs (required)")
+	replicasFlag := flag.String("replicas", "", "per-shard replica URLs: ';' between shards, ',' within a shard")
+	partKeys := flag.String("partition-keys", "", "table=column pairs, comma-separated")
+	broadcast := flag.String("broadcast", "", "comma-separated tables replicated to every shard")
+	replicaReads := flag.Bool("replica-reads", false, "route reads to caught-up replicas")
+	workers := flag.Int("workers", 0, "per-shard subquery parallelism (0 = shard default)")
+	shardTimeout := flag.Duration("shard-timeout", 30*time.Second, "per-shard subquery deadline")
+	retries := flag.Int("retries", 2, "retries per shard after transient failures")
+	retryBackoff := flag.Duration("retry-backoff", 100*time.Millisecond, "initial retry backoff (doubles per attempt)")
+	hedgeDelay := flag.Duration("hedge-delay", 500*time.Millisecond, "straggler hedge delay (0 = no hedging)")
+	statusTTL := flag.Duration("status-ttl", time.Second, "replica catch-up status cache TTL")
+	flag.Parse()
+
+	if *shardsFlag == "" {
+		fmt.Fprintln(os.Stderr, "-shards is required")
+		os.Exit(1)
+	}
+	var shards []dist.ShardConfig
+	for _, p := range strings.Split(*shardsFlag, ",") {
+		shards = append(shards, dist.ShardConfig{Primary: strings.TrimSuffix(strings.TrimSpace(p), "/")})
+	}
+	if *replicasFlag != "" {
+		groups := strings.Split(*replicasFlag, ";")
+		if len(groups) > len(shards) {
+			fmt.Fprintf(os.Stderr, "-replicas lists %d shards, -shards has %d\n", len(groups), len(shards))
+			os.Exit(1)
+		}
+		for i, g := range groups {
+			for _, rep := range strings.Split(g, ",") {
+				if rep = strings.TrimSuffix(strings.TrimSpace(rep), "/"); rep != "" {
+					shards[i].Replicas = append(shards[i].Replicas, rep)
+				}
+			}
+		}
+	}
+	keys := map[string]string{}
+	if *partKeys != "" {
+		for _, pair := range strings.Split(*partKeys, ",") {
+			table, col, ok := strings.Cut(strings.TrimSpace(pair), "=")
+			if !ok {
+				fmt.Fprintf(os.Stderr, "bad -partition-keys entry %q (want table=column)\n", pair)
+				os.Exit(1)
+			}
+			keys[table] = col
+		}
+	}
+	bcast := map[string]bool{}
+	if *broadcast != "" {
+		for _, t := range strings.Split(*broadcast, ",") {
+			bcast[strings.TrimSpace(t)] = true
+		}
+	}
+
+	coord, err := dist.New(dist.Config{
+		Shards:        shards,
+		PartitionKeys: keys,
+		Broadcast:     bcast,
+		Workers:       *workers,
+		Flags:         core.All(),
+		ReplicaReads:  *replicaReads,
+		StatusTTL:     *statusTTL,
+		Fanout: dist.FanoutConfig{
+			ShardTimeout: *shardTimeout,
+			Retries:      *retries,
+			RetryBackoff: *retryBackoff,
+			HedgeDelay:   *hedgeDelay,
+		},
+	}, nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeJSON(w, http.StatusMethodNotAllowed, server.QueryResponse{Error: "POST only"})
+			return
+		}
+		var req server.QueryRequest
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+			writeJSON(w, http.StatusBadRequest, server.QueryResponse{Error: "bad request body: " + err.Error()})
+			return
+		}
+		start := time.Now()
+		res, err := coord.Query(r.Context(), req.SQL)
+		if err != nil {
+			status := http.StatusBadRequest
+			if r.Context().Err() != nil {
+				status = 499
+			}
+			writeJSON(w, status, server.QueryResponse{Error: err.Error()})
+			return
+		}
+		resp := server.QueryResponse{
+			Columns:      res.Columns,
+			RowCount:     len(res.Rows),
+			RowsAffected: res.RowsAffected,
+			ElapsedMs:    float64(time.Since(start).Microseconds()) / 1000,
+		}
+		resp.Rows = make([][]any, len(res.Rows))
+		for i, row := range res.Rows {
+			cells := make([]any, len(row))
+			for j, v := range row {
+				cells[j] = dist.RenderCell(v)
+			}
+			resp.Rows[i] = cells
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("/cluster/status", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"shards":   shards,
+			"replicas": coord.ReplicaState(),
+		})
+	})
+
+	httpSrv := &http.Server{Addr: *addr, Handler: mux}
+	done := make(chan os.Signal, 1)
+	signal.Notify(done, os.Interrupt, syscall.SIGTERM)
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "coordinating %d shards on %s\n", len(shards), *addr)
+
+	select {
+	case sig := <-done:
+		fmt.Fprintf(os.Stderr, "received %v, draining...\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "shutdown: %v\n", err)
+			os.Exit(1)
+		}
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

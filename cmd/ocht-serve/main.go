@@ -7,6 +7,7 @@
 //	ocht-serve -addr :8080 -data tpch -sf 0.01
 //	ocht-serve -load ./dataset -max-inflight 8 -queue 64
 //	ocht-serve -data none -data-dir ./state -fsync always
+//	ocht-serve -data none -data-dir ./replica -replica-of http://localhost:8080
 //	curl -s localhost:8080/query -d '{"sql":"SELECT COUNT(*) FROM lineitem"}'
 //	curl -s localhost:8080/query -d '{"sql":"CREATE TABLE ev (id BIGINT NOT NULL, kind TEXT)"}'
 //	curl -s localhost:8080/metrics
@@ -35,6 +36,7 @@ import (
 
 	"ocht/internal/bi"
 	"ocht/internal/core"
+	"ocht/internal/dist"
 	"ocht/internal/ingest"
 	"ocht/internal/server"
 	"ocht/internal/sql"
@@ -76,7 +78,14 @@ func main() {
 	maxRows := flag.Int("max-result-rows", 1<<20, "rows returned per response before truncation")
 	dataDir := flag.String("data-dir", "", "enable the write path: WAL + checkpoint directory (recovered at boot)")
 	fsync := flag.String("fsync", "always", "WAL durability: always | interval | none (with -data-dir)")
+	replicaOf := flag.String("replica-of", "", "run as a read replica of this primary base URL (requires -data-dir; refuses client writes)")
+	pollInterval := flag.Duration("replica-poll", 250*time.Millisecond, "WAL poll period when caught up (with -replica-of)")
 	flag.Parse()
+
+	if *replicaOf != "" && *dataDir == "" {
+		fmt.Fprintln(os.Stderr, "-replica-of requires -data-dir for the replayed state")
+		os.Exit(1)
+	}
 
 	flags, err := parseFlags(*flagsName)
 	if err != nil {
@@ -139,6 +148,22 @@ func main() {
 	// for lazy initialization paths.
 	warmup(cat)
 
+	// Replica mode: tail the primary's WAL before serving, then keep
+	// pulling in the background. The server refuses client writes; all
+	// rows arrive through segment replay.
+	var repl *dist.Replica
+	var replicaStatus func() server.ReplicaStatus
+	if *replicaOf != "" {
+		repl = &dist.Replica{Primary: *replicaOf, Engine: eng, Interval: *pollInterval}
+		if _, err := repl.CatchUp(context.Background()); err != nil {
+			fmt.Fprintf(os.Stderr, "replica: initial catch-up: %v (will keep retrying)\n", err)
+		} else {
+			fmt.Fprintf(os.Stderr, "replica: caught up with %s\n", *replicaOf)
+		}
+		go repl.Run()
+		replicaStatus = repl.Status
+	}
+
 	srv := server.New(cat, server.Config{
 		Flags:          flags,
 		Workers:        *workers,
@@ -150,6 +175,8 @@ func main() {
 		PlanCacheSize:  *planCache,
 		MaxResultRows:  *maxRows,
 		Ingest:         eng,
+		ReadOnly:       *replicaOf != "",
+		ReplicaStatus:  replicaStatus,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
@@ -172,6 +199,9 @@ func main() {
 		}
 		// Requests have drained; seal, checkpoint and close the WAL so
 		// the next boot recovers from checkpoints instead of replaying.
+		if repl != nil {
+			repl.Stop()
+		}
 		if eng != nil {
 			if err := eng.Close(); err != nil {
 				fmt.Fprintf(os.Stderr, "ingest close: %v\n", err)

@@ -1,0 +1,76 @@
+package agg
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ocht/internal/core"
+	"ocht/internal/i128"
+	"ocht/internal/vec"
+)
+
+// Partial is one finalized partial-aggregate value, as produced by
+// Result on some other aggregation table — typically on another shard of
+// a distributed query, where it crossed the wire as a row of the shard
+// subquery result. LoadPartial writes it back into record state so that
+// Merge can fold it exactly as the parallel worker merge folds in-memory
+// partial tables: the scatter-gather reducer is the same code path as
+// the single-node merge phase.
+type Partial struct {
+	// Null marks "this shard saw no values for the group" (string MIN/MAX
+	// over an all-NULL group). Null partials must not be loaded; callers
+	// skip the merge instead.
+	Null bool
+	// Sum carries SUM partials (exact 128-bit).
+	Sum i128.Int
+	// I carries COUNT and integer MIN/MAX partials.
+	I int64
+	// Str carries string MIN/MAX partials as a reference into the store
+	// the destination table's key schema resolves against.
+	Str vec.StrRef
+}
+
+// LoadPartial overwrites the state of aggregate ai in record rec with the
+// given finalized partial value — the inverse of Result. Every hot and
+// cold byte of the aggregate's layout is written, so a single scratch
+// record can be reloaded for each incoming partial without re-running
+// Init. The loaded state obeys the same invariants Update maintains:
+// split sums store (Lo, Hi) as (common, exception), split counts keep the
+// hot counter below the 0xFFFF flush threshold, and split MIN/MAX store
+// the exact value cold with a conservative saturating bound hot — so a
+// subsequent Merge from the scratch record is exact.
+func (a *Aggregator) LoadPartial(tab *core.Table, rec int32, ai int, p Partial) {
+	if p.Null {
+		panic("agg: LoadPartial of a NULL partial; skip the merge instead")
+	}
+	l := a.layouts[ai]
+	h := a.hot(tab, rec, ai)
+	switch l.kind {
+	case kSumI64:
+		binary.LittleEndian.PutUint64(h, uint64(p.Sum.Int64()))
+	case kSumFull128:
+		binary.LittleEndian.PutUint64(h, p.Sum.Lo)
+		binary.LittleEndian.PutUint64(h[8:], uint64(p.Sum.Hi))
+	case kSumSplit, kSumSplitPos:
+		// The optimistic pair is the (Lo, Hi) of the 128-bit sum; Merge
+		// re-adds with carry, so loading the words directly is exact.
+		binary.LittleEndian.PutUint64(h, p.Sum.Lo)
+		binary.LittleEndian.PutUint64(a.cold(tab, rec, ai), uint64(p.Sum.Hi))
+	case kCountFull:
+		binary.LittleEndian.PutUint64(h, uint64(p.I))
+	case kCountSplit:
+		// Hot counter 0 keeps the "< 0xFFFF" invariant Merge relies on;
+		// the whole count rides in the exception word.
+		binary.LittleEndian.PutUint16(h, 0)
+		binary.LittleEndian.PutUint64(a.cold(tab, rec, ai), uint64(p.I))
+	case kMinFull, kMaxFull:
+		binary.LittleEndian.PutUint64(h, uint64(p.I))
+	case kMinSplit, kMaxSplit:
+		binary.LittleEndian.PutUint32(h, boundOf(p.I, l.domMin))
+		binary.LittleEndian.PutUint64(a.cold(tab, rec, ai), uint64(p.I))
+	case kMinStr, kMaxStr:
+		binary.LittleEndian.PutUint64(h, uint64(p.Str))
+	default:
+		panic(fmt.Sprintf("agg: LoadPartial of unknown kind %d", l.kind))
+	}
+}

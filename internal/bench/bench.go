@@ -47,6 +47,7 @@ var Runners = map[string]func(w io.Writer, cfg Config){
 	"ingest":  IngestExp,
 	"joinsel": JoinSel,
 	"scansel": ScanSel,
+	"dist":    DistExp,
 }
 
 // RunnerNames lists the experiments in paper order; the scaling and
@@ -55,7 +56,7 @@ var Runners = map[string]func(w io.Writer, cfg Config){
 var RunnerNames = []string{
 	"fig4", "table2", "fig5", "table3", "fig6",
 	"fig7", "fig8", "fig9", "table4", "fig10", "fig11", "scaling", "ingest",
-	"joinsel", "scansel",
+	"joinsel", "scansel", "dist",
 }
 
 // All runs every experiment in paper order.

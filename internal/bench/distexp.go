@@ -1,0 +1,220 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"time"
+
+	"ocht/internal/core"
+	"ocht/internal/dist"
+	"ocht/internal/exec"
+	"ocht/internal/ingest"
+	"ocht/internal/server"
+	"ocht/internal/sql"
+	"ocht/internal/storage"
+)
+
+// DistExp measures scatter-gather execution: the same aggregate workload
+// through a coordinator at 1, 2 and 4 shards versus a single-node engine
+// holding all the data, with results checked for equality per query. The
+// shard count is the knob: partial aggregation below the exchange keeps
+// the merged row volume proportional to group count, not row count, so
+// the coordinator's merge cost stays flat as shards scale.
+func DistExp(w io.Writer, cfg Config) {
+	header(w, "Dist: scatter-gather aggregates, coordinator vs single node")
+	rows := cfg.BIRows
+	if rows > 200_000 {
+		rows = 200_000
+	}
+	fmt.Fprintf(w, "rows=%d reps=%d (hot run reported)\n", rows, cfg.Reps)
+
+	writes := distWrites(rows)
+	queries := []string{
+		"SELECT COUNT(*) FROM dx",
+		"SELECT grp, COUNT(*), SUM(v), MIN(v), MAX(v) FROM dx GROUP BY grp",
+		"SELECT grp, SUM(v) FROM dx WHERE v > 100 GROUP BY grp HAVING SUM(v) > 1000",
+		"SELECT grp, AVG(v) FROM dx GROUP BY grp",
+	}
+
+	// Single-node reference: same rows, one engine, direct execution.
+	refDir, err := os.MkdirTemp("", "ocht-dist-bench-*")
+	if err != nil {
+		fmt.Fprintf(w, "dist: %v\n", err)
+		return
+	}
+	defer os.RemoveAll(refDir)
+	refCat := storage.NewCatalog()
+	refEng, err := ingest.Open(refDir, refCat, ingest.Config{DisableSealer: true})
+	if err != nil {
+		fmt.Fprintf(w, "dist: %v\n", err)
+		return
+	}
+	defer refEng.Close()
+	for _, stmt := range writes {
+		s, perr := sql.ParseStatement(stmt)
+		if perr != nil {
+			fmt.Fprintf(w, "dist: %v\n", perr)
+			return
+		}
+		if _, aerr := refEng.Apply(s); aerr != nil {
+			fmt.Fprintf(w, "dist: %v\n", aerr)
+			return
+		}
+	}
+	refAnswer := map[string][]string{}
+	for _, q := range queries {
+		best := time.Duration(1<<62 - 1)
+		for rep := 0; rep < cfg.Reps; rep++ {
+			start := time.Now()
+			res, rerr := sql.Run(q, refCat, exec.NewQCtx(core.All()))
+			if rerr != nil {
+				fmt.Fprintf(w, "dist: %v\n", rerr)
+				return
+			}
+			if d := time.Since(start); d < best {
+				best = d
+			}
+			refAnswer[q] = renderDistRows(res.Rows)
+		}
+		emitDistPoint(w, 0, q, best, len(refAnswer[q]), true)
+	}
+
+	for _, nShards := range []int{1, 2, 4} {
+		var shardEnvs []func()
+		var shards []dist.ShardConfig
+		fail := false
+		for i := 0; i < nShards; i++ {
+			dir, derr := os.MkdirTemp("", "ocht-dist-shard-*")
+			if derr != nil {
+				fmt.Fprintf(w, "dist: %v\n", derr)
+				return
+			}
+			cat := storage.NewCatalog()
+			eng, oerr := ingest.Open(dir, cat, ingest.Config{DisableSealer: true})
+			if oerr != nil {
+				fmt.Fprintf(w, "dist: %v\n", oerr)
+				os.RemoveAll(dir)
+				return
+			}
+			srv := server.New(cat, server.Config{Flags: core.All(), Workers: 1, Ingest: eng})
+			ts := httptest.NewServer(srv.Handler())
+			shards = append(shards, dist.ShardConfig{Primary: ts.URL})
+			shardEnvs = append(shardEnvs, func() { ts.Close(); eng.Close(); os.RemoveAll(dir) })
+		}
+		coord, cerr := dist.New(dist.Config{
+			Shards: shards,
+			Flags:  core.All(),
+			Fanout: dist.FanoutConfig{ShardTimeout: time.Minute, Retries: 1},
+		}, nil)
+		if cerr != nil {
+			fmt.Fprintf(w, "dist: %v\n", cerr)
+			fail = true
+		}
+		ctx := context.Background()
+		if !fail {
+			for _, stmt := range writes {
+				if _, werr := coord.Query(ctx, stmt); werr != nil {
+					fmt.Fprintf(w, "dist: shard load: %v\n", werr)
+					fail = true
+					break
+				}
+			}
+		}
+		if !fail {
+			for _, q := range queries {
+				best := time.Duration(1<<62 - 1)
+				var got []string
+				for rep := 0; rep < cfg.Reps; rep++ {
+					start := time.Now()
+					res, qerr := coord.Query(ctx, q)
+					if qerr != nil {
+						fmt.Fprintf(w, "dist: %v\n", qerr)
+						fail = true
+						break
+					}
+					if d := time.Since(start); d < best {
+						best = d
+					}
+					got = renderDistRows(res.Rows)
+				}
+				if fail {
+					break
+				}
+				match := fmt.Sprint(got) == fmt.Sprint(refAnswer[q])
+				emitDistPoint(w, nShards, q, best, len(got), match)
+				if !match {
+					fmt.Fprintf(w, "dist: MISMATCH at shards=%d for %q\n", nShards, q)
+				}
+			}
+		}
+		for _, cleanup := range shardEnvs {
+			cleanup()
+		}
+		if fail {
+			return
+		}
+	}
+}
+
+// distWrites builds the workload: one partitioned fact table with a
+// low-cardinality group column and skewed values, loaded in 1k batches.
+func distWrites(rows int) []string {
+	writes := []string{"CREATE TABLE dx (k BIGINT NOT NULL, grp TEXT NOT NULL, v BIGINT)"}
+	const batch = 1000
+	for base := 0; base < rows; base += batch {
+		stmt := "INSERT INTO dx VALUES "
+		n := batch
+		if base+n > rows {
+			n = rows - base
+		}
+		for i := 0; i < n; i++ {
+			k := base + i
+			if i > 0 {
+				stmt += ", "
+			}
+			v := fmt.Sprintf("%d", (k*2654435761)%10_000)
+			if k%31 == 0 {
+				v = "NULL"
+			}
+			stmt += fmt.Sprintf("(%d, 'g%d', %s)", k, k%23, v)
+		}
+		writes = append(writes, stmt)
+	}
+	return writes
+}
+
+func renderDistRows(rows [][]exec.Value) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		s := ""
+		for j, v := range r {
+			if j > 0 {
+				s += "|"
+			}
+			s += fmt.Sprint(dist.RenderCell(v))
+		}
+		out[i] = s
+	}
+	sort.Strings(out)
+	return out
+}
+
+// emitDistPoint prints one JSON record; shards=0 is the single-node
+// reference.
+func emitDistPoint(w io.Writer, shards int, query string, d time.Duration, rows int, match bool) {
+	rec := map[string]any{
+		"exp":         "dist",
+		"shards":      shards,
+		"query":       query,
+		"ms":          float64(d.Microseconds()) / 1000,
+		"result_rows": rows,
+		"match":       match,
+	}
+	b, _ := json.Marshal(rec)
+	fmt.Fprintln(w, string(b))
+}

@@ -1,0 +1,202 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"ocht/internal/server"
+)
+
+// FanoutConfig tunes the scatter phase of a distributed query.
+type FanoutConfig struct {
+	// ShardTimeout bounds each individual shard attempt (0 = rely on the
+	// parent context only).
+	ShardTimeout time.Duration
+	// Retries is how many additional attempts a shard gets after a
+	// transient failure.
+	Retries int
+	// RetryBackoff is the wait before the first retry; it doubles per
+	// attempt.
+	RetryBackoff time.Duration
+	// HedgeDelay starts a duplicate request at the shard's next endpoint
+	// when the current one has not answered in time (0 = no hedging).
+	// Hedging trades duplicate work on the slow tail for latency: shard
+	// subqueries are read-only and idempotent, so the duplicate is safe.
+	HedgeDelay time.Duration
+}
+
+// ShardCall is one shard's slice of the scatter: the subquery plus the
+// endpoints that can serve it in preference order (caught-up replicas
+// first when replica reads are enabled, the primary as the fallback).
+type ShardCall struct {
+	Endpoints []string
+	Req       server.ShardRequest
+}
+
+// Fanout scatters the calls concurrently and gathers every shard's
+// result. The first fatal shard error cancels all in-flight siblings —
+// there is no point finishing a scatter that can no longer produce a
+// complete answer — and cancellation of ctx (e.g. the client hung up on
+// the coordinator) propagates into every outstanding shard request.
+func Fanout(ctx context.Context, c *Client, cfg FanoutConfig, calls []ShardCall) ([]*ShardResult, error) {
+	fctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	results := make([]*ShardResult, len(calls))
+	errs := make([]error, len(calls))
+	var wg sync.WaitGroup
+	for i := range calls {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := c.callShard(fctx, cfg, calls[i])
+			if err != nil {
+				errs[i] = err
+				cancel() // first failure: stop paying for the rest
+				return
+			}
+			results[i] = res
+		}(i)
+	}
+	wg.Wait()
+
+	// Prefer reporting the root cause over the "context canceled" noise
+	// that cancellation fans out to the sibling shards.
+	var firstErr error
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		wrapped := fmt.Errorf("shard %d: %w", i, err)
+		if firstErr == nil {
+			firstErr = wrapped
+		}
+		if !isCancel(err) {
+			firstErr = wrapped
+			break
+		}
+	}
+	if firstErr != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		return nil, firstErr
+	}
+	return results, nil
+}
+
+func isCancel(err error) bool {
+	return err == context.Canceled || err == context.DeadlineExceeded
+}
+
+// callShard runs one shard's subquery to completion: hedged across the
+// shard's endpoints, retried with exponential backoff on transient
+// failure, abandoned immediately on a fatal error (a query that failed
+// to compile fails everywhere — retrying cannot fix it).
+func (c *Client) callShard(ctx context.Context, cfg FanoutConfig, call ShardCall) (*ShardResult, error) {
+	if len(call.Endpoints) == 0 {
+		return nil, fmt.Errorf("dist: shard has no endpoints")
+	}
+	backoff := cfg.RetryBackoff
+	if backoff <= 0 {
+		backoff = 50 * time.Millisecond
+	}
+	var lastErr error
+	for attempt := 0; attempt <= cfg.Retries; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+		}
+		res, err := c.hedged(ctx, cfg, call)
+		if err == nil {
+			return res, nil
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		if !Transient(err) {
+			return nil, err
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+// hedged issues the subquery to call.Endpoints[0], starting the next
+// endpoint when HedgeDelay passes without an answer or immediately when
+// an endpoint fails transiently. The first success wins; a fatal error
+// from any endpoint ends the round (the same query fails the same way
+// everywhere).
+func (c *Client) hedged(ctx context.Context, cfg FanoutConfig, call ShardCall) (*ShardResult, error) {
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel() // reels in the losing duplicate
+
+	type outcome struct {
+		res *ShardResult
+		err error
+		ep  string
+	}
+	outcomes := make(chan outcome, len(call.Endpoints))
+	started := 0
+	launch := func() {
+		ep := call.Endpoints[started]
+		started++
+		go func() {
+			attempt := hctx
+			if cfg.ShardTimeout > 0 {
+				var acancel context.CancelFunc
+				attempt, acancel = context.WithTimeout(hctx, cfg.ShardTimeout)
+				defer acancel()
+			}
+			res, err := c.ShardQuery(attempt, ep, call.Req)
+			outcomes <- outcome{res: res, err: err, ep: ep}
+		}()
+	}
+
+	launch()
+	inflight := 1
+	var hedgeAt <-chan time.Time
+	if cfg.HedgeDelay > 0 && started < len(call.Endpoints) {
+		t := time.NewTimer(cfg.HedgeDelay)
+		defer t.Stop()
+		hedgeAt = t.C
+	}
+	var firstErr error
+	for {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-hedgeAt:
+			hedgeAt = nil
+			if started < len(call.Endpoints) {
+				launch()
+				inflight++
+			}
+		case o := <-outcomes:
+			inflight--
+			switch {
+			case o.err == nil:
+				return o.res, nil
+			case !Transient(o.err):
+				return nil, fmt.Errorf("%s: %w", o.ep, o.err)
+			}
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%s: %w", o.ep, o.err)
+			}
+			// A transient failure frees this slot: move on to the next
+			// endpoint right away rather than waiting out the hedge timer.
+			if started < len(call.Endpoints) {
+				launch()
+				inflight++
+			} else if inflight == 0 {
+				return nil, firstErr
+			}
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package dist
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"ocht/internal/ingest"
+	"ocht/internal/server"
+)
+
+// Replica tails a primary's WAL over HTTP: it polls /wal/status for new
+// work, pulls segments through /wal/export, and replays them into its
+// local engine via ApplySegment — the same code path crash recovery
+// uses, so a replica that dies mid-replay recovers like any engine.
+type Replica struct {
+	// Primary is the base URL of the primary being tailed.
+	Primary string
+	// Engine is the local engine segments replay into.
+	Engine *ingest.Engine
+	// Client is the HTTP client (nil = default).
+	Client *Client
+	// Interval is the poll period when caught up (default 250ms).
+	Interval time.Duration
+	// SegmentRows caps rows per pulled segment (0 = primary's default).
+	SegmentRows int
+
+	mu       sync.Mutex
+	caughtUp bool
+	lastErr  string
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// CatchUp performs one full pull pass: for every table the primary
+// reports, pull and apply segments until the replica reaches the LSN
+// the status poll observed. Returns whether the pass found nothing
+// missing (the replica was already caught up when it started).
+func (r *Replica) CatchUp(ctx context.Context) (bool, error) {
+	targets, _, err := r.client().WALStatus(ctx, r.Primary)
+	if err != nil {
+		r.note(false, err)
+		return false, err
+	}
+	clean := true
+	for table, target := range targets {
+		lsn, _ := r.Engine.TableLSN(table)
+		if lsn < target {
+			clean = false
+		}
+		for lsn < target {
+			seg, next, gerr := r.client().WALExport(ctx, r.Primary, table, lsn, r.SegmentRows)
+			if gerr != nil {
+				r.note(false, gerr)
+				return false, gerr
+			}
+			_, newLSN, aerr := r.Engine.ApplySegment(table, seg)
+			if aerr != nil {
+				r.note(false, aerr)
+				return false, aerr
+			}
+			if newLSN == lsn && next == lsn {
+				break // the primary has nothing past lsn; avoid spinning
+			}
+			lsn = newLSN
+		}
+	}
+	r.note(true, nil)
+	return clean, nil
+}
+
+func (r *Replica) client() *Client {
+	if r.Client != nil {
+		return r.Client
+	}
+	return &Client{}
+}
+
+func (r *Replica) note(caughtUp bool, err error) {
+	r.mu.Lock()
+	r.caughtUp = caughtUp
+	if err != nil {
+		r.lastErr = err.Error()
+	} else {
+		r.lastErr = ""
+	}
+	r.mu.Unlock()
+}
+
+// Run polls until Stop is called. Pull errors are recorded in the
+// status (the primary may be restarting) and retried next period.
+func (r *Replica) Run() {
+	r.mu.Lock()
+	if r.stop == nil {
+		r.stop = make(chan struct{})
+		r.done = make(chan struct{})
+	}
+	stop, done := r.stop, r.done
+	r.mu.Unlock()
+	defer close(done)
+
+	interval := r.Interval
+	if interval <= 0 {
+		interval = 250 * time.Millisecond
+	}
+	for {
+		ctx, cancel := context.WithCancel(context.Background())
+		go func() {
+			select {
+			case <-stop:
+				cancel()
+			case <-ctx.Done():
+			}
+		}()
+		_, _ = r.CatchUp(ctx)
+		cancel()
+		select {
+		case <-stop:
+			return
+		case <-time.After(interval):
+		}
+	}
+}
+
+// Stop ends Run and waits for the in-flight pass to finish.
+func (r *Replica) Stop() {
+	r.mu.Lock()
+	if r.stop == nil {
+		r.stop = make(chan struct{})
+		r.done = make(chan struct{})
+		close(r.done)
+	}
+	stop, done := r.stop, r.done
+	r.mu.Unlock()
+	r.stopOnce.Do(func() { close(stop) })
+	<-done
+}
+
+// Status implements the server's Config.ReplicaStatus hook.
+func (r *Replica) Status() server.ReplicaStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return server.ReplicaStatus{
+		Primary:  r.Primary,
+		Tables:   r.Engine.TableLSNs(),
+		CaughtUp: r.caughtUp,
+		LastErr:  r.lastErr,
+	}
+}

@@ -93,6 +93,11 @@ func ClonePlan(o Op) Op {
 		c := NewHashAgg(ClonePlan(t.Child), t.KeyNames, cloneExprs(t.Keys), cloneAggs(t.Aggs))
 		c.PartitionBits = t.PartitionBits
 		return c
+	case *Exchange:
+		// Rows are never mutated by execution; clones may share them.
+		return NewExchange(t.Names, t.Types, t.Rows)
+	case *MergeAgg:
+		return NewMergeAgg(ClonePlan(t.Child), t.NKeys, t.Specs)
 	default:
 		panic(fmt.Sprintf("exec: cannot clone operator %T", o))
 	}

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"ocht/internal/i128"
 	"ocht/internal/vec"
 )
 
@@ -88,6 +89,28 @@ func (e *Expr) Eval(qc *QCtx, b *vec.Batch) *vec.Vector {
 					}
 				}
 				out.F64[i] = v
+			}
+		} else if e.typ == vec.I128 {
+			for _, i := range rows {
+				a, bb := asI128(l, int(i)), asI128(r, int(i))
+				var v i128.Int
+				switch e.kind {
+				case eAdd:
+					v = i128.Add(a, bb)
+				case eSub:
+					v = i128.Sub(a, bb)
+				case eMul:
+					v = i128.MulInt64(a.Int64(), bb.Int64())
+				case eDiv:
+					if d := bb.Int64(); d != 0 {
+						v = i128.FromInt64(a.Int64() / d)
+					}
+				case eMod:
+					if d := bb.Int64(); d != 0 {
+						v = i128.FromInt64(a.Int64() % d)
+					}
+				}
+				out.I128[i] = v
 			}
 		} else {
 			for _, i := range rows {
@@ -305,6 +328,14 @@ func (e *Expr) evalCmp(qc *QCtx, l, r *vec.Vector, rows []int32, out *vec.Vector
 			}
 			out.Bool[i] = cmpHolds(e.op, c)
 		}
+	case l.Typ == vec.I128 || r.Typ == vec.I128:
+		for _, i := range rows {
+			if nullFalse(i) {
+				out.Bool[i] = false
+				continue
+			}
+			out.Bool[i] = cmpHolds(e.op, i128.Cmp(asI128(l, int(i)), asI128(r, int(i))))
+		}
 	default:
 		for _, i := range rows {
 			if nullFalse(i) {
@@ -457,10 +488,22 @@ func cmpHolds(op cmpOp, c int) bool {
 }
 
 func asF64(v *vec.Vector, i int) float64 {
-	if v.Typ == vec.F64 {
+	switch v.Typ {
+	case vec.F64:
 		return v.F64[i]
+	case vec.I128:
+		x := v.I128[i]
+		return float64(x.Hi)*(1<<32)*(1<<32) + float64(x.Lo)
 	}
 	return float64(v.Int64At(i))
+}
+
+// asI128 reads a row as a 128-bit integer, widening narrow integers.
+func asI128(v *vec.Vector, i int) i128.Int {
+	if v.Typ == vec.I128 {
+		return v.I128[i]
+	}
+	return i128.FromInt64(v.Int64At(i))
 }
 
 func propagateNulls(out *vec.Vector, rows []int32, ln bool, l *vec.Vector, rn bool, r *vec.Vector) {

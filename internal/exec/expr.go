@@ -139,6 +139,14 @@ func arith(kind exprKind, l, r *Expr) *Expr {
 		e.dom = domain.Unknown
 		return e
 	}
+	if l.typ == vec.I128 || r.typ == vec.I128 {
+		// Wide operands (merged SUM partials) stay wide: addition and
+		// subtraction are exact in 128 bits; multiplicative ops compute on
+		// the wrapped low 64 bits, matching int64 overflow semantics.
+		e.typ = vec.I128
+		e.dom = domain.Unknown
+		return e
+	}
 	e.typ = vec.I64
 	switch kind {
 	case eAdd:

@@ -1,0 +1,103 @@
+package exec
+
+import (
+	"ocht/internal/domain"
+	"ocht/internal/vec"
+)
+
+// Exchange is the receive side of a distributed exchange boundary: a
+// source operator over rows that crossed the process boundary as
+// materialized values (shard subquery results gathered by the
+// coordinator). It re-vectorizes them into standard batches so the plan
+// fragment above the exchange — merge aggregation, HAVING filters, final
+// projections — runs through the ordinary engine unchanged. Strings are
+// interned into the query's store on the way in, so downstream operators
+// compare references exactly as they would against scanned columns.
+type Exchange struct {
+	// Names and Types describe the columns of Rows. Column domains are
+	// unknown by construction (the values come from another process) and
+	// every column is treated as nullable.
+	Names []string
+	Types []vec.Type
+	// Rows is the gathered row set. It is never mutated by execution, so
+	// cloned plans may share it.
+	Rows [][]Value
+
+	meta []Meta
+	next int
+	out  vec.Batch
+}
+
+// NewExchange builds an exchange source over gathered rows.
+func NewExchange(names []string, types []vec.Type, rows [][]Value) *Exchange {
+	return &Exchange{Names: names, Types: types, Rows: rows}
+}
+
+// Meta implements Op.
+func (e *Exchange) Meta() []Meta {
+	if e.meta != nil {
+		return e.meta
+	}
+	for i, n := range e.Names {
+		e.meta = append(e.meta, Meta{Name: n, Type: e.Types[i], Dom: domain.Unknown, Nullable: true})
+	}
+	return e.meta
+}
+
+// MaxRows implements Op.
+func (e *Exchange) MaxRows() int64 { return int64(len(e.Rows)) }
+
+// Open implements Op.
+func (e *Exchange) Open(qc *QCtx) {
+	e.Meta()
+	e.next = 0
+	if e.out.Vecs == nil {
+		e.out.Vecs = make([]*vec.Vector, len(e.Types))
+		for i, t := range e.Types {
+			v := vec.New(t, vec.Size)
+			v.Nulls = make([]bool, vec.Size)
+			e.out.Vecs[i] = v
+		}
+	}
+}
+
+// Next implements Op.
+func (e *Exchange) Next(qc *QCtx) *vec.Batch {
+	qc.checkCancel()
+	if e.next >= len(e.Rows) {
+		return nil
+	}
+	n := len(e.Rows) - e.next
+	if n > vec.Size {
+		n = vec.Size
+	}
+	for ci, t := range e.Types {
+		out := e.out.Vecs[ci]
+		for i := 0; i < n; i++ {
+			cell := e.Rows[e.next+i][ci]
+			out.Nulls[i] = cell.Null
+			switch t {
+			case vec.Str:
+				if cell.Null {
+					out.Str[i] = nullStrRef
+				} else {
+					out.Str[i] = qc.Store.Intern(cell.S)
+				}
+			case vec.F64:
+				out.F64[i] = cell.F
+			case vec.I128:
+				out.I128[i] = cell.I128
+			default:
+				if !cell.Null {
+					out.SetInt64(i, cell.I)
+				} else {
+					out.SetInt64(i, 0)
+				}
+			}
+		}
+	}
+	e.next += n
+	e.out.Sel = nil
+	e.out.N = n
+	return &e.out
+}

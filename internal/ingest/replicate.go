@@ -1,0 +1,245 @@
+package ingest
+
+import (
+	"bytes"
+	"fmt"
+
+	"ocht/internal/sql"
+	"ocht/internal/storage"
+	"ocht/internal/vec"
+)
+
+// Replication ships committed rows from a primary to read replicas as
+// self-contained segments in the WAL's own record framing (magic, schema
+// record, CRC-checked insert records with absolute start rows). A
+// replica applies a segment through the ordinary Insert path, so shipped
+// rows land in the replica's WAL, survive its crashes through the
+// existing recovery code, and publish through the same copy-on-write
+// catalog versions queries read.
+//
+// The replication position (LSN) of a table is simply its committed row
+// count: the WAL writer is the only appender, so row numbering is dense
+// and commit-ordered, and "replica caught up" means per-table row counts
+// match the primary's.
+
+// DefaultSegmentRows bounds how many rows one exported segment carries.
+const DefaultSegmentRows = 1 << 14
+
+// TableLSN returns the committed row count of one table.
+func (e *Engine) TableLSN(table string) (int64, bool) {
+	e.mu.RLock()
+	st, ok := e.tables[table]
+	e.mu.RUnlock()
+	if !ok {
+		return 0, false
+	}
+	st.mu.Lock()
+	lsn := st.sealedRows + int64(len(st.tail))
+	st.mu.Unlock()
+	return lsn, true
+}
+
+// TableLSNs returns the committed row count of every writable table.
+func (e *Engine) TableLSNs() map[string]int64 {
+	e.mu.RLock()
+	sts := make(map[string]*tableState, len(e.tables))
+	for name, st := range e.tables {
+		sts[name] = st
+	}
+	e.mu.RUnlock()
+	out := make(map[string]int64, len(sts))
+	for name, st := range sts {
+		st.mu.Lock()
+		out[name] = st.sealedRows + int64(len(st.tail))
+		st.mu.Unlock()
+	}
+	return out
+}
+
+// ExportSegment builds a replication segment for table holding up to
+// maxRows committed rows starting at absolute row fromRow (maxRows <= 0
+// means DefaultSegmentRows). The segment always carries a schema record,
+// so a zero-row segment still replicates CREATE TABLE. It returns the
+// segment and the next fetch position (fromRow plus the rows included).
+func (e *Engine) ExportSegment(table string, fromRow int64, maxRows int) ([]byte, int64, error) {
+	e.mu.RLock()
+	st, ok := e.tables[table]
+	e.mu.RUnlock()
+	if !ok {
+		return nil, 0, e.tableErr(table)
+	}
+	if fromRow < 0 {
+		fromRow = 0
+	}
+	if maxRows <= 0 {
+		maxRows = DefaultSegmentRows
+	}
+
+	st.mu.Lock()
+	sealed := st.sealed
+	sealedRows := st.sealedRows
+	committed := sealedRows + int64(len(st.tail))
+	end := fromRow + int64(maxRows)
+	if end > committed {
+		end = committed
+	}
+	var tailPart []Row
+	if end > sealedRows && end > fromRow {
+		lo := fromRow
+		if lo < sealedRows {
+			lo = sealedRows
+		}
+		tailPart = append([]Row(nil), st.tail[lo-sealedRows:end-sealedRows]...)
+	}
+	st.mu.Unlock()
+	if fromRow > committed {
+		return nil, 0, fmt.Errorf("ingest: %s: export from row %d is past the %d committed rows", table, fromRow, committed)
+	}
+
+	var rows []Row
+	if fromRow < sealedRows && end > fromRow {
+		hi := end
+		if hi > sealedRows {
+			hi = sealedRows
+		}
+		rows = sealedRowRange(sealed, st.schema, fromRow, hi)
+	}
+	rows = append(rows, tailPart...)
+
+	var buf bytes.Buffer
+	buf.WriteString(walMagic)
+	appendRecord(&buf, walSchema, encodeSchema(st.schema))
+	if len(rows) > 0 {
+		appendRecord(&buf, walInsert, encodeInsert(st.schema, fromRow, rows))
+	}
+	return buf.Bytes(), fromRow + int64(len(rows)), nil
+}
+
+// ApplySegment replays one replication segment. The table is created if
+// it does not exist yet (replicating CREATE TABLE); rows the replica has
+// already committed are clipped by their absolute start row, so applying
+// the same segment twice — a retried ship — is a no-op. Unlike crash
+// recovery, which truncates a torn tail, any framing or checksum defect
+// here is a hard error: the transport delivered the bytes intact or not
+// at all. It returns the rows applied and the table's new LSN.
+func (e *Engine) ApplySegment(table string, seg []byte) (int64, int64, error) {
+	schema, recs, keep, err := parseWAL(seg)
+	if err != nil {
+		return 0, 0, fmt.Errorf("ingest: %s: bad replication segment: %w", table, err)
+	}
+	if schema == nil || keep != int64(len(seg)) {
+		return 0, 0, fmt.Errorf("ingest: %s: corrupt replication segment (valid prefix %d of %d bytes)", table, keep, len(seg))
+	}
+
+	if cur, ok := e.Schema(table); ok {
+		if err := sameSchema(cur, schema); err != nil {
+			return 0, 0, fmt.Errorf("ingest: %s: replication schema mismatch: %w", table, err)
+		}
+	} else {
+		if err := e.CreateTable(table, schema, true); err != nil {
+			return 0, 0, err
+		}
+	}
+
+	lsn, _ := e.TableLSN(table)
+	var applied int64
+	for _, rec := range recs {
+		end := rec.startRow + int64(len(rec.rows))
+		if end <= lsn {
+			continue // already committed here
+		}
+		rows := rec.rows
+		start := rec.startRow
+		if start < lsn {
+			rows = rows[lsn-start:]
+			start = lsn
+		}
+		if start != lsn {
+			return applied, lsn, fmt.Errorf("ingest: %s: replication gap: segment resumes at row %d, replica is at %d", table, start, lsn)
+		}
+		n, err := e.Insert(table, rows)
+		applied += n
+		lsn += n
+		if err != nil {
+			return applied, lsn, err
+		}
+	}
+	return applied, lsn, nil
+}
+
+func sameSchema(a, b []sql.ColDef) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("%d columns here, %d in segment", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return fmt.Errorf("column %d is %s %s here, %s %s in segment",
+				i, a[i].Name, a[i].Type, b[i].Name, b[i].Type)
+		}
+	}
+	return nil
+}
+
+// sealedRowRange extracts rows [from, to) of a sealed table back into
+// ingest rows, decoding each block form in place (plain, bit-packed,
+// dictionary) without materializing whole vectors.
+func sealedRowRange(t *storage.Table, schema []sql.ColDef, from, to int64) []Row {
+	rows := make([]Row, to-from)
+	for i := range rows {
+		rows[i] = make(Row, len(schema))
+	}
+	for ci, c := range t.Cols {
+		base := int64(0)
+		for bi := 0; bi < c.Blocks(); bi++ {
+			b := c.Block(bi)
+			bend := base + int64(b.N)
+			if bend <= from {
+				base = bend
+				continue
+			}
+			if base >= to {
+				break
+			}
+			lo, hi := from, to
+			if lo < base {
+				lo = base
+			}
+			if hi > bend {
+				hi = bend
+			}
+			for r := lo; r < hi; r++ {
+				rows[r-from][ci] = blockDatum(b, c.Type, int(r-base))
+			}
+			base = bend
+		}
+	}
+	return rows
+}
+
+// blockDatum reads one value out of a sealed block.
+func blockDatum(b *storage.Block, t vec.Type, i int) Datum {
+	if b.Nulls != nil && b.Nulls[i] {
+		return Datum{Null: true}
+	}
+	if b.Packed() {
+		bits := uint(b.PackBits)
+		per := 64 / b.PackBits
+		mask := uint64(1)<<bits - 1
+		return Datum{I: b.PackMin + int64((b.PackWords[i/per]>>(uint(i%per)*bits))&mask)}
+	}
+	switch t {
+	case vec.I8:
+		return Datum{I: int64(b.I8[i])}
+	case vec.I16:
+		return Datum{I: int64(b.I16[i])}
+	case vec.I32:
+		return Datum{I: int64(b.I32[i])}
+	case vec.I64:
+		return Datum{I: b.I64[i]}
+	case vec.F64:
+		return Datum{F: b.F64[i]}
+	case vec.Str:
+		return Datum{S: b.Dict[b.Codes[i]]}
+	}
+	panic("ingest: blockDatum on " + t.String())
+}

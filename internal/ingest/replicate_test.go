@@ -1,0 +1,153 @@
+package ingest_test
+
+import (
+	"testing"
+
+	"ocht/internal/ingest"
+	"ocht/internal/storage"
+)
+
+// catchUp pulls segments from primary until replica's LSN matches, using
+// small segment sizes to exercise multi-segment shipping.
+func catchUp(t *testing.T, primary, replica *ingest.Engine, table string, segRows int) int64 {
+	t.Helper()
+	target, ok := primary.TableLSN(table)
+	if !ok {
+		t.Fatalf("primary has no table %s", table)
+	}
+	var lsn int64
+	if cur, ok := replica.TableLSN(table); ok {
+		lsn = cur
+	}
+	for {
+		seg, next, err := primary.ExportSegment(table, lsn, segRows)
+		if err != nil {
+			t.Fatalf("export %s from %d: %v", table, lsn, err)
+		}
+		if _, got, err := replica.ApplySegment(table, seg); err != nil {
+			t.Fatalf("apply %s at %d: %v", table, lsn, err)
+		} else if got != next {
+			t.Fatalf("apply %s: replica LSN %d, segment said next %d", table, got, next)
+		}
+		lsn = next
+		if lsn >= target {
+			return lsn
+		}
+	}
+}
+
+// TestReplicateSealedAndTail ships a table whose rows live partly in
+// sealed checkpointed blocks (bit-packed and dictionary forms included)
+// and partly in the in-memory WAL tail, and checks the replica serves
+// byte-identical query results.
+func TestReplicateSealedAndTail(t *testing.T) {
+	primary, pcat := openEngine(t, t.TempDir(), ingest.Config{DisableSealer: true})
+	defer primary.Close()
+	apply(t, primary, createTP)
+	fillTP(t, primary, 0, storage.BlockRows+300)
+	if err := primary.Flush(); err != nil { // seal + checkpoint the full block
+		t.Fatalf("flush: %v", err)
+	}
+	fillTP(t, primary, storage.BlockRows+300, 700) // stays in the tail
+
+	replica, rcat := openEngine(t, t.TempDir(), ingest.Config{DisableSealer: true})
+	defer replica.Close()
+	lsn := catchUp(t, primary, replica, "tp", 10_000)
+	if want, _ := primary.TableLSN("tp"); lsn != want {
+		t.Fatalf("replica LSN %d, primary %d", lsn, want)
+	}
+
+	for _, q := range []string{
+		"SELECT COUNT(*), SUM(v), MIN(v), MAX(v) FROM tp",
+		"SELECT tag, COUNT(*), SUM(v) FROM tp GROUP BY tag",
+		"SELECT COUNT(*) FROM tp WHERE s IS NULL",
+		"SELECT v, tag FROM tp WHERE v % 9997 = 0 ORDER BY v",
+	} {
+		eq(t, query(t, rcat, q), query(t, pcat, q), q)
+	}
+}
+
+// TestReplicateIdempotentAndIncremental re-applies segments and ships
+// increments, checking clipping by absolute row position.
+func TestReplicateIdempotentAndIncremental(t *testing.T) {
+	primary, pcat := openEngine(t, t.TempDir(), ingest.Config{DisableSealer: true})
+	defer primary.Close()
+	apply(t, primary, createTP)
+	fillTP(t, primary, 0, 1000)
+
+	replica, rcat := openEngine(t, t.TempDir(), ingest.Config{DisableSealer: true})
+	defer replica.Close()
+	catchUp(t, primary, replica, "tp", 300)
+
+	// A retried ship of an already-applied prefix must be a no-op.
+	seg, _, err := primary.ExportSegment("tp", 0, 500)
+	if err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	applied, lsn, err := replica.ApplySegment("tp", seg)
+	if err != nil {
+		t.Fatalf("re-apply: %v", err)
+	}
+	if applied != 0 || lsn != 1000 {
+		t.Fatalf("re-apply: applied %d rows, LSN %d; want 0 and 1000", applied, lsn)
+	}
+
+	// New primary writes ship incrementally.
+	fillTP(t, primary, 1000, 250)
+	catchUp(t, primary, replica, "tp", 100)
+	eq(t, query(t, rcat, "SELECT COUNT(*), SUM(v) FROM tp"),
+		query(t, pcat, "SELECT COUNT(*), SUM(v) FROM tp"), "after increment")
+
+	// A gapped segment (beyond the replica's LSN) must be rejected.
+	gap, _, err := primary.ExportSegment("tp", 1250, 10)
+	if err != nil {
+		t.Fatalf("export at head: %v", err)
+	}
+	fillTP(t, primary, 1250, 10)
+	gap2, _, err := primary.ExportSegment("tp", 1255, 5)
+	if err != nil {
+		t.Fatalf("export past replica: %v", err)
+	}
+	_ = gap
+	if _, _, err := replica.ApplySegment("tp", gap2); err == nil {
+		t.Fatal("applying a gapped segment should fail")
+	}
+
+	// Export past the committed head errors.
+	if _, _, err := primary.ExportSegment("tp", 99_999, 10); err == nil {
+		t.Fatal("export past head should fail")
+	}
+}
+
+// TestReplicateCreateOnly ships a zero-row table: the schema record alone
+// must create it on the replica.
+func TestReplicateCreateOnly(t *testing.T) {
+	primary, _ := openEngine(t, t.TempDir(), ingest.Config{DisableSealer: true})
+	defer primary.Close()
+	apply(t, primary, `CREATE TABLE empty_t (a BIGINT NOT NULL, b TEXT)`)
+
+	replica, rcat := openEngine(t, t.TempDir(), ingest.Config{DisableSealer: true})
+	defer replica.Close()
+	seg, next, err := primary.ExportSegment("empty_t", 0, 100)
+	if err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	if next != 0 {
+		t.Fatalf("next LSN %d for empty table", next)
+	}
+	if _, _, err := replica.ApplySegment("empty_t", seg); err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+	if !replica.Managed("empty_t") {
+		t.Fatal("replica did not create empty_t")
+	}
+	eq(t, query(t, rcat, "SELECT a, b FROM empty_t"), nil, "empty table")
+
+	// Schema drift between primary and replica is a hard error.
+	replica2, _ := openEngine(t, t.TempDir(), ingest.Config{DisableSealer: true})
+	defer replica2.Close()
+	apply(t, replica2, `CREATE TABLE empty_t (a BIGINT NOT NULL, b BIGINT)`)
+	if _, _, err := replica2.ApplySegment("empty_t", seg); err == nil {
+		t.Fatal("schema mismatch should fail")
+	}
+}

@@ -238,6 +238,13 @@ func readWAL(path string) (schema []sql.ColDef, recs []insertRec, keep int64, er
 	if err != nil {
 		return nil, nil, 0, err
 	}
+	return parseWAL(data)
+}
+
+// parseWAL decodes the WAL record stream from a byte slice. It backs both
+// crash recovery (readWAL) and replication, which ships byte-identical
+// framing over the wire (see ExportSegment / ApplySegment).
+func parseWAL(data []byte) (schema []sql.ColDef, recs []insertRec, keep int64, err error) {
 	if len(data) < len(walMagic) || string(data[:len(walMagic)]) != walMagic {
 		return nil, nil, 0, fmt.Errorf("bad WAL header")
 	}

@@ -1,0 +1,268 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+
+	"ocht/internal/core"
+	"ocht/internal/ingest"
+	"ocht/internal/sql"
+	"ocht/internal/storage"
+)
+
+func postShard(tb testing.TB, url string, req ShardRequest) (ShardResponse, int) {
+	tb.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(url+"/shard/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		tb.Fatalf("POST /shard/query: %v", err)
+	}
+	defer resp.Body.Close()
+	var sr ShardResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		tb.Fatalf("decode shard response: %v", err)
+	}
+	return sr, resp.StatusCode
+}
+
+// TestShardQueryEndpoint checks the exchange wire format: declared types,
+// no truncation (partials must arrive whole), and the catalog-version
+// gate replicas are routed through.
+func TestShardQueryEndpoint(t *testing.T) {
+	cat := testCatalog(t)
+	srv := New(cat, Config{Flags: core.All(), Workers: 2, MaxResultRows: 1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	sr, status := postShard(t, ts.URL, ShardRequest{
+		SQL: "SELECT o_orderstatus AS __k0, COUNT(*) AS __a0 FROM orders GROUP BY o_orderstatus",
+	})
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, sr.Error)
+	}
+	if len(sr.Types) != 2 || sr.Types[0] != "STR" || sr.Types[1] != "I64" {
+		t.Fatalf("types = %v", sr.Types)
+	}
+	// MaxResultRows is 1, yet every group must come back.
+	if sr.RowCount < 2 || len(sr.Rows) != sr.RowCount {
+		t.Fatalf("shard response truncated: row_count=%d rows=%d", sr.RowCount, len(sr.Rows))
+	}
+
+	// The staleness gate: demanding a future catalog version is a 409.
+	_, status = postShard(t, ts.URL, ShardRequest{
+		SQL:               "SELECT COUNT(*) AS __a0 FROM orders",
+		MinCatalogVersion: cat.Version() + 100,
+	})
+	if status != http.StatusConflict {
+		t.Fatalf("future min_catalog_version: status %d, want 409", status)
+	}
+}
+
+// TestWALEndpointsAndReplicaServer drives the full replica loop over
+// HTTP: a primary with a write path, a replica engine pulling segments
+// through /wal/status + /wal/export, and a replica server that refuses
+// writes but serves identical reads.
+func TestWALEndpointsAndReplicaServer(t *testing.T) {
+	pcat := storage.NewCatalog()
+	peng, err := ingest.Open(t.TempDir(), pcat, ingest.Config{DisableSealer: true})
+	if err != nil {
+		t.Fatalf("open primary engine: %v", err)
+	}
+	defer peng.Close()
+	psrv := New(pcat, Config{Flags: core.All(), Workers: 1, Ingest: peng})
+	pts := httptest.NewServer(psrv.Handler())
+	defer pts.Close()
+
+	if qr, status := postQuery(t, pts.URL, QueryRequest{SQL: "CREATE TABLE kv (k BIGINT NOT NULL, v TEXT)"}); status != http.StatusOK {
+		t.Fatalf("create: %d %s", status, qr.Error)
+	}
+	for i := 0; i < 3; i++ {
+		stmt := fmt.Sprintf("INSERT INTO kv VALUES (%d, 'v%d'), (%d, NULL)", i*2, i, i*2+1)
+		if qr, status := postQuery(t, pts.URL, QueryRequest{SQL: stmt}); status != http.StatusOK {
+			t.Fatalf("insert: %d %s", status, qr.Error)
+		}
+	}
+
+	// Pull loop against the HTTP surface.
+	rcat := storage.NewCatalog()
+	reng, err := ingest.Open(t.TempDir(), rcat, ingest.Config{DisableSealer: true})
+	if err != nil {
+		t.Fatalf("open replica engine: %v", err)
+	}
+	defer reng.Close()
+
+	var status struct {
+		Tables map[string]int64 `json:"tables"`
+	}
+	resp, err := http.Get(pts.URL + "/wal/status")
+	if err != nil {
+		t.Fatalf("GET /wal/status: %v", err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+		t.Fatalf("decode /wal/status: %v", err)
+	}
+	resp.Body.Close()
+	if status.Tables["kv"] != 6 {
+		t.Fatalf("/wal/status says kv at %d, want 6", status.Tables["kv"])
+	}
+	for table, target := range status.Tables {
+		var lsn int64
+		for lsn < target {
+			resp, err := http.Get(fmt.Sprintf("%s/wal/export?table=%s&from=%d&max=2", pts.URL, table, lsn))
+			if err != nil {
+				t.Fatalf("GET /wal/export: %v", err)
+			}
+			seg, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("/wal/export status %d: %s", resp.StatusCode, seg)
+			}
+			next, err := strconv.ParseInt(resp.Header.Get("X-Ocht-Next-Lsn"), 10, 64)
+			if err != nil {
+				t.Fatalf("bad X-Ocht-Next-Lsn: %v", err)
+			}
+			if _, got, err := reng.ApplySegment(table, seg); err != nil {
+				t.Fatalf("apply segment: %v", err)
+			} else if got != next {
+				t.Fatalf("replica at %d, header said %d", got, next)
+			}
+			lsn = next
+		}
+	}
+
+	rsrv := New(rcat, Config{Flags: core.All(), Workers: 1, Ingest: reng, ReadOnly: true,
+		ReplicaStatus: func() ReplicaStatus {
+			return ReplicaStatus{Primary: pts.URL, Tables: reng.TableLSNs(), CaughtUp: true}
+		}})
+	rts := httptest.NewServer(rsrv.Handler())
+	defer rts.Close()
+
+	const q = "SELECT k, v FROM kv ORDER BY k"
+	want, _ := postQuery(t, pts.URL, QueryRequest{SQL: q})
+	got, st := postQuery(t, rts.URL, QueryRequest{SQL: q})
+	if st != http.StatusOK {
+		t.Fatalf("replica read: %d %s", st, got.Error)
+	}
+	if fmt.Sprint(renderResp(got)) != fmt.Sprint(renderResp(want)) {
+		t.Fatalf("replica rows differ\n got: %v\nwant: %v", renderResp(got), renderResp(want))
+	}
+
+	// A replica must refuse direct writes even with an engine attached.
+	if qr, st := postQuery(t, rts.URL, QueryRequest{SQL: "INSERT INTO kv VALUES (99, 'x')"}); st != http.StatusForbidden {
+		t.Fatalf("replica write: status %d (%s), want 403", st, qr.Error)
+	}
+
+	var rs ReplicaStatus
+	resp, err = http.Get(rts.URL + "/replication/status")
+	if err != nil {
+		t.Fatalf("GET /replication/status: %v", err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rs); err != nil {
+		t.Fatalf("decode /replication/status: %v", err)
+	}
+	resp.Body.Close()
+	if !rs.CaughtUp || rs.Tables["kv"] != 6 {
+		t.Fatalf("replication status = %+v", rs)
+	}
+}
+
+// TestPlanCacheReplicationStaleness pins the satellite: a replica's plan
+// cache entry must die when segment replay advances the catalog, both
+// for new rows and for replayed DDL that changes what a query means.
+func TestPlanCacheReplicationStaleness(t *testing.T) {
+	pcat := storage.NewCatalog()
+	peng, err := ingest.Open(t.TempDir(), pcat, ingest.Config{DisableSealer: true})
+	if err != nil {
+		t.Fatalf("open primary: %v", err)
+	}
+	defer peng.Close()
+	mustApply := func(eng *ingest.Engine, stmt string) {
+		t.Helper()
+		s, perr := sql.ParseStatement(stmt)
+		if perr != nil {
+			t.Fatalf("parse %q: %v", stmt, perr)
+		}
+		if _, aerr := eng.Apply(s); aerr != nil {
+			t.Fatalf("apply %q: %v", stmt, aerr)
+		}
+	}
+	mustApply(peng, "CREATE TABLE m (a BIGINT NOT NULL)")
+	mustApply(peng, "INSERT INTO m VALUES (1), (2)")
+
+	rcat := storage.NewCatalog()
+	reng, err := ingest.Open(t.TempDir(), rcat, ingest.Config{DisableSealer: true})
+	if err != nil {
+		t.Fatalf("open replica: %v", err)
+	}
+	defer reng.Close()
+	ship := func(table string) {
+		t.Helper()
+		var lsn int64
+		if cur, ok := reng.TableLSN(table); ok {
+			lsn = cur
+		}
+		for {
+			seg, next, serr := peng.ExportSegment(table, lsn, 0)
+			if serr != nil {
+				t.Fatalf("export: %v", serr)
+			}
+			if _, _, aerr := reng.ApplySegment(table, seg); aerr != nil {
+				t.Fatalf("apply: %v", aerr)
+			}
+			if next == lsn {
+				return
+			}
+			lsn = next
+		}
+	}
+	ship("m")
+
+	rsrv := New(rcat, Config{Flags: core.All(), Workers: 1, Ingest: reng, ReadOnly: true})
+	rts := httptest.NewServer(rsrv.Handler())
+	defer rts.Close()
+
+	const q = "SELECT COUNT(*) FROM m"
+	qr, _ := postQuery(t, rts.URL, QueryRequest{SQL: q})
+	if qr.PlanCache != "miss" {
+		t.Fatalf("first query: plan_cache=%s", qr.PlanCache)
+	}
+	qr, _ = postQuery(t, rts.URL, QueryRequest{SQL: q})
+	if qr.PlanCache != "hit" {
+		t.Fatalf("second query: plan_cache=%s", qr.PlanCache)
+	}
+	if fmt.Sprint(qr.Rows) != "[[2]]" {
+		t.Fatalf("count = %v", qr.Rows)
+	}
+
+	// New rows replayed through replication must retire the cached plan:
+	// the stale plan's scan pins the old table version and would count 2.
+	mustApply(peng, "INSERT INTO m VALUES (3), (4), (5)")
+	ship("m")
+	qr, _ = postQuery(t, rts.URL, QueryRequest{SQL: q})
+	if qr.PlanCache != "miss" {
+		t.Fatalf("after replay: plan_cache=%s, stale plan served", qr.PlanCache)
+	}
+	if fmt.Sprint(qr.Rows) != "[[5]]" {
+		t.Fatalf("count after replay = %v, want [[5]]", qr.Rows)
+	}
+
+	// Replayed DDL: a table that did not exist when the query first
+	// failed must become visible (the failure is not cached, and the
+	// catalog version moved anyway).
+	if _, st := postQuery(t, rts.URL, QueryRequest{SQL: "SELECT COUNT(*) FROM late_t"}); st == http.StatusOK {
+		t.Fatal("query on missing table should fail")
+	}
+	mustApply(peng, "CREATE TABLE late_t (x BIGINT NOT NULL)")
+	mustApply(peng, "INSERT INTO late_t VALUES (7)")
+	ship("late_t")
+	qr, st := postQuery(t, rts.URL, QueryRequest{SQL: "SELECT COUNT(*) FROM late_t"})
+	if st != http.StatusOK || fmt.Sprint(qr.Rows) != "[[1]]" {
+		t.Fatalf("replayed DDL not visible: status %d rows %v (%s)", st, qr.Rows, qr.Error)
+	}
+}

@@ -52,6 +52,16 @@ type Config struct {
 	// Ingest is the optional write path. When nil the server is
 	// read-only and write statements are rejected with 403.
 	Ingest *ingest.Engine
+
+	// ReadOnly rejects client writes even with an ingest engine attached.
+	// Read replicas run this way: their engine exists solely to apply
+	// replication segments, never to accept direct INSERTs that would
+	// fork the replica's history from its primary.
+	ReadOnly bool
+
+	// ReplicaStatus, when set, marks this server as a read replica and
+	// backs GET /replication/status; the WAL puller supplies it.
+	ReplicaStatus func() ReplicaStatus
 }
 
 // DefaultConfig returns serving defaults sized for one machine.
@@ -129,6 +139,11 @@ func New(cat *storage.Catalog, cfg Config) *Server {
 		mux:   http.NewServeMux(),
 	}
 	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/shard/query", s.handleShardQuery)
+	s.mux.HandleFunc("/tables", s.handleTables)
+	s.mux.HandleFunc("/wal/status", s.handleWALStatus)
+	s.mux.HandleFunc("/wal/export", s.handleWALExport)
+	s.mux.HandleFunc("/replication/status", s.handleReplicationStatus)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -258,6 +273,10 @@ func isWriteSQL(q string) bool {
 // to the catalog, so a client that sees the response can immediately
 // query its own write.
 func (s *Server) executeWrite(req *QueryRequest) (QueryResponse, int) {
+	if s.cfg.ReadOnly {
+		return QueryResponse{Error: "server is a read replica: writes must go to the primary"},
+			http.StatusForbidden
+	}
 	if s.ing == nil {
 		return QueryResponse{Error: "server is read-only: no ingest engine attached (start with -data-dir)"},
 			http.StatusForbidden

@@ -675,6 +675,16 @@ func (s *Snapshot) Version() uint64 { return s.version }
 // Tables returns the number of tables in the snapshot.
 func (s *Snapshot) Tables() int { return len(s.tables) }
 
+// Names returns the snapshot's table names, sorted.
+func (s *Snapshot) Names() []string {
+	names := make([]string, 0, len(s.tables))
+	for n := range s.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
 // ExtendTable builds a new table whose columns hold base's sealed blocks
 // followed by delta's — the copy-on-write append step of the ingest write
 // path. Block and zone-map slices are freshly allocated so the result
