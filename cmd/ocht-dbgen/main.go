@@ -24,11 +24,18 @@ func main() {
 	rows := flag.Int("rows", 100_000, "BI workload rows")
 	seed := flag.Int64("seed", 42, "generator seed")
 	out := flag.String("out", "", "output directory (required)")
+	sealCompress := flag.String("seal-compress", "auto", "string-block seal compression: on | off | auto (keep only when smaller)")
 	flag.Parse()
 	if *out == "" {
 		fmt.Fprintln(os.Stderr, "-out is required")
 		os.Exit(1)
 	}
+	mode, err := storage.ParseCompressMode(*sealCompress)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	storage.SetSealCompression(mode)
 	var cat *storage.Catalog
 	switch *data {
 	case "tpch":

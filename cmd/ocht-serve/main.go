@@ -80,6 +80,7 @@ func main() {
 	fsync := flag.String("fsync", "always", "WAL durability: always | interval | none (with -data-dir)")
 	replicaOf := flag.String("replica-of", "", "run as a read replica of this primary base URL (requires -data-dir; refuses client writes)")
 	pollInterval := flag.Duration("replica-poll", 250*time.Millisecond, "WAL poll period when caught up (with -replica-of)")
+	sealCompress := flag.String("seal-compress", "auto", "string-block seal compression: on | off | auto (keep only when smaller)")
 	flag.Parse()
 
 	if *replicaOf != "" && *dataDir == "" {
@@ -92,6 +93,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+
+	mode, err := storage.ParseCompressMode(*sealCompress)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	storage.SetSealCompression(mode)
 
 	var cat *storage.Catalog
 	if *load != "" {

@@ -38,7 +38,15 @@ func main() {
 	fsync := flag.String("fsync", "always", "WAL durability: always | interval | none (with -data-dir)")
 	eagerScan := flag.Bool("eager-scan", false, "decompress every block at scan time (disables compressed execution)")
 	noZoneSkip := flag.Bool("no-zone-skip", false, "read every block even when zone maps prove it empty")
+	sealCompress := flag.String("seal-compress", "auto", "string-block seal compression: on | off | auto (keep only when smaller)")
 	flag.Parse()
+
+	mode, err := storage.ParseCompressMode(*sealCompress)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	storage.SetSealCompression(mode)
 
 	var cat *storage.Catalog
 	if *load != "" {

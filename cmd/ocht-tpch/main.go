@@ -19,6 +19,7 @@ import (
 
 	"ocht/internal/core"
 	"ocht/internal/exec"
+	"ocht/internal/storage"
 	"ocht/internal/tpch"
 )
 
@@ -49,6 +50,7 @@ func main() {
 	partBits := flag.Int("partbits", -1, "hash-table radix partition bits (-1 = adaptive, 0 = monolithic)")
 	eagerScan := flag.Bool("eager-scan", false, "decompress every block at scan time (disables compressed execution)")
 	noZoneSkip := flag.Bool("no-zone-skip", false, "read every block even when zone maps prove it empty")
+	sealCompress := flag.String("seal-compress", "auto", "string-block seal compression: on | off | auto (keep only when smaller)")
 	flag.Parse()
 	exec.DefaultPartitionBits = *partBits
 
@@ -57,6 +59,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	mode, err := storage.ParseCompressMode(*sealCompress)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	storage.SetSealCompression(mode)
 	fmt.Printf("generating TPC-H SF %g (seed %d)...\n", *sf, *seed)
 	cat := tpch.Gen(*sf, *seed)
 

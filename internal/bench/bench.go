@@ -32,22 +32,23 @@ func DefaultConfig() Config {
 
 // Runner names every experiment.
 var Runners = map[string]func(w io.Writer, cfg Config){
-	"fig4":    Fig4,
-	"table2":  Table2,
-	"fig5":    Fig5,
-	"table3":  Table3,
-	"fig6":    Fig6,
-	"fig7":    Fig7,
-	"fig8":    Fig8,
-	"fig9":    Fig9,
-	"table4":  Table4,
-	"fig10":   Fig10,
-	"fig11":   Fig11,
-	"scaling": Scaling,
-	"ingest":  IngestExp,
-	"joinsel": JoinSel,
-	"scansel": ScanSel,
-	"dist":    DistExp,
+	"fig4":     Fig4,
+	"table2":   Table2,
+	"fig5":     Fig5,
+	"table3":   Table3,
+	"fig6":     Fig6,
+	"fig7":     Fig7,
+	"fig8":     Fig8,
+	"fig9":     Fig9,
+	"table4":   Table4,
+	"fig10":    Fig10,
+	"fig11":    Fig11,
+	"scaling":  Scaling,
+	"ingest":   IngestExp,
+	"joinsel":  JoinSel,
+	"scansel":  ScanSel,
+	"compress": CompressExp,
+	"dist":     DistExp,
 }
 
 // RunnerNames lists the experiments in paper order; the scaling and
@@ -56,7 +57,7 @@ var Runners = map[string]func(w io.Writer, cfg Config){
 var RunnerNames = []string{
 	"fig4", "table2", "fig5", "table3", "fig6",
 	"fig7", "fig8", "fig9", "table4", "fig10", "fig11", "scaling", "ingest",
-	"joinsel", "scansel", "dist",
+	"joinsel", "scansel", "compress", "dist",
 }
 
 // All runs every experiment in paper order.

@@ -1,0 +1,130 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"ocht/internal/agg"
+	"ocht/internal/core"
+	"ocht/internal/exec"
+	"ocht/internal/storage"
+	"ocht/internal/tpch"
+)
+
+// CompressPoint reports the seal-compression experiment for one
+// string-heavy TPC-H table: resident footprint both ways, point string
+// access latency (the O(1)-ish bucket decode against the plain dictionary
+// lookup), and LIKE-scan throughput where predicates run on codes either
+// way and only the dictionary representation differs.
+type CompressPoint struct {
+	Table           string  `json:"table"`
+	PlainBytes      int64   `json:"plain_bytes"`
+	CompressedBytes int64   `json:"compressed_bytes"`
+	Ratio           float64 `json:"ratio"`
+	NsStrAtPlain    float64 `json:"ns_strat_plain"`
+	NsStrAtComp     float64 `json:"ns_strat_compressed"`
+	NsRowLikePlain  float64 `json:"ns_row_like_plain"`
+	NsRowLikeComp   float64 `json:"ns_row_like_compressed"`
+	ResultRows      int     `json:"result_rows"`
+}
+
+// compressTables names the string-heavy tables and the comment column the
+// LIKE scan and point accesses drive.
+var compressTables = []struct{ table, col, pattern string }{
+	{"orders", "o_comment", "%pending%"},
+	{"customer", "c_comment", "%carefully%"},
+	{"part", "p_name", "%green%"},
+}
+
+// genCompressCat generates the TPC-H catalog under an explicit
+// seal-compression mode, restoring the process defaults afterwards.
+func genCompressCat(cfg Config, mode storage.CompressMode) *storage.Catalog {
+	storage.SetSealCompression(mode)
+	storage.SetCompressMinRows(1)
+	defer func() {
+		storage.SetSealCompression(storage.CompressAuto)
+		storage.SetCompressMinRows(4096)
+	}()
+	return tpch.Gen(cfg.TPCHSF, cfg.Seed)
+}
+
+// strAtNs measures one point string access over the column, cycling
+// through pseudo-random rows of pseudo-random blocks.
+func strAtNs(reps int, c *storage.Column) float64 {
+	const accesses = 1 << 14
+	var scratch []byte
+	nBlocks := c.Blocks()
+	d := best(reps, func() time.Duration {
+		start := time.Now()
+		for i := 0; i < accesses; i++ {
+			bi := int((int64(i) * 2654435761) % int64(nBlocks))
+			row := (i * 7919) % c.Block(bi).N
+			_, _, scratch = c.StrAt(bi, row, scratch)
+		}
+		return time.Since(start)
+	})
+	return float64(d.Nanoseconds()) / accesses
+}
+
+// likeScanNs measures a LIKE-filtered count over the table's comment
+// column, ns per input row; the dictionary verdict table evaluates the
+// pattern once per distinct string, so this is dominated by per-block
+// dictionary setup plus the code-domain row loop.
+func likeScanNs(reps int, t *storage.Table, col, pattern string) (nsPerRow float64, rows int) {
+	d := best(reps, func() time.Duration {
+		qc := exec.NewQCtx(core.All())
+		sc := exec.NewScan(t, col)
+		m := sc.Meta()
+		f := exec.NewFilter(sc, exec.Like(exec.Col(m, col), pattern))
+		plan := exec.NewHashAgg(f, nil, nil,
+			[]exec.AggExpr{{Func: agg.CountStar, Name: "cnt"}})
+		start := time.Now()
+		res := exec.Run(qc, plan)
+		rows = int(res.Rows[0][0].I)
+		return time.Since(start)
+	})
+	return float64(d.Nanoseconds()) / float64(t.Rows()), rows
+}
+
+// CompressRun measures the seal-compression experiment and returns one
+// point per string-heavy table.
+func CompressRun(cfg Config) []CompressPoint {
+	plainCat := genCompressCat(cfg, storage.CompressOff)
+	compCat := genCompressCat(cfg, storage.CompressOn)
+	var out []CompressPoint
+	for _, tc := range compressTables {
+		pt, ct := plainCat.Table(tc.table), compCat.Table(tc.table)
+		_, plainBytes := pt.Footprint()
+		compBytes, _ := ct.Footprint()
+		p := CompressPoint{
+			Table:           tc.table,
+			PlainBytes:      plainBytes,
+			CompressedBytes: compBytes,
+			Ratio:           float64(plainBytes) / float64(compBytes),
+			NsStrAtPlain:    strAtNs(cfg.Reps, pt.Col(tc.col)),
+			NsStrAtComp:     strAtNs(cfg.Reps, ct.Col(tc.col)),
+		}
+		var plainRows int
+		p.NsRowLikePlain, plainRows = likeScanNs(cfg.Reps, pt, tc.col, tc.pattern)
+		p.NsRowLikeComp, p.ResultRows = likeScanNs(cfg.Reps, ct, tc.col, tc.pattern)
+		if p.ResultRows != plainRows {
+			panic(fmt.Sprintf("bench: compress: %s LIKE diverged: %d vs %d rows",
+				tc.table, p.ResultRows, plainRows))
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// CompressExp prints the seal-compression experiment.
+func CompressExp(w io.Writer, cfg Config) {
+	header(w, "Compress: sealed-block string compression (pair-table dictionaries)")
+	fmt.Fprintf(w, "TPC-H SF %g, whole-table resident footprint, point StrAt, LIKE count scan\n", cfg.TPCHSF)
+	line(w, "table", "plain", "compressed", "ratio", "StrAt-plain", "StrAt-comp", "LIKE-plain", "LIKE-comp")
+	for _, p := range CompressRun(cfg) {
+		fmt.Fprintf(w, "%-9s %9s %10s %6.2fx %9.1fns %9.1fns %7.1fns/row %7.1fns/row\n",
+			p.Table, humanBytes(int(p.PlainBytes)), humanBytes(int(p.CompressedBytes)),
+			p.Ratio, p.NsStrAtPlain, p.NsStrAtComp, p.NsRowLikePlain, p.NsRowLikeComp)
+	}
+}

@@ -177,7 +177,7 @@ func distWrites(rows int) []string {
 			if i > 0 {
 				stmt += ", "
 			}
-			v := fmt.Sprintf("%d", (k*2654435761)%10_000)
+			v := fmt.Sprintf("%d", (int64(k)*2654435761)%10_000)
 			if k%31 == 0 {
 				v = "NULL"
 			}

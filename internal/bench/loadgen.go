@@ -42,9 +42,9 @@ type LoadGenReport struct {
 	DurationSec   float64 `json:"duration_sec"`
 	Requests      int64   `json:"requests"`
 	OK            int64   `json:"ok"`
-	Rejected      int64   `json:"rejected"`  // HTTP 429
-	Canceled      int64   `json:"canceled"`  // HTTP 504
-	Failed        int64   `json:"failed"`    // other non-200
+	Rejected      int64   `json:"rejected"` // HTTP 429
+	Canceled      int64   `json:"canceled"` // HTTP 504
+	Failed        int64   `json:"failed"`   // other non-200
 	QPS           float64 `json:"qps"`
 	MeanMs        float64 `json:"mean_ms"`
 	P50Ms         float64 `json:"p50_ms"`

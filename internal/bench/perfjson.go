@@ -14,12 +14,13 @@ import (
 // cache-conscious probe pipeline touches. The checked-in BENCH_join.json
 // at the repo root tracks these numbers across changes.
 type PerfReport struct {
-	Schema  string           `json:"schema"`
-	Seed    int64            `json:"seed"`
-	Join    []JoinSelVariant `json:"join"`
-	Agg     []AggPoint       `json:"agg"`
-	Scaling []ScalePoint     `json:"scaling"`
-	Scan    []ScanPoint      `json:"scan"`
+	Schema   string           `json:"schema"`
+	Seed     int64            `json:"seed"`
+	Join     []JoinSelVariant `json:"join"`
+	Agg      []AggPoint       `json:"agg"`
+	Scaling  []ScalePoint     `json:"scaling"`
+	Scan     []ScanPoint      `json:"scan"`
+	Compress []CompressPoint  `json:"compress"`
 }
 
 // AggPoint measures the Q1-style grouped aggregation end to end for one
@@ -41,12 +42,13 @@ type ScalePoint struct {
 // PerfJSON runs the join/agg/scaling perf probes and writes the report.
 func PerfJSON(w io.Writer, cfg Config) error {
 	rep := PerfReport{
-		Schema:  "ocht-perf/1",
-		Seed:    cfg.Seed,
-		Join:    JoinSelRun(cfg),
-		Agg:     aggPoints(cfg),
-		Scaling: scalePoints(cfg),
-		Scan:    ScanSelRun(cfg),
+		Schema:   "ocht-perf/1",
+		Seed:     cfg.Seed,
+		Join:     JoinSelRun(cfg),
+		Agg:      aggPoints(cfg),
+		Scaling:  scalePoints(cfg),
+		Scan:     ScanSelRun(cfg),
+		Compress: CompressRun(cfg),
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -62,10 +62,10 @@ func Scaling(w io.Writer, cfg Config) {
 			EngineStatsMs map[string]float64 `json:"engine_stats_ms"`
 		}{
 			Exp: "scaling", Workers: workers,
-			TimeMs:  float64(best.Microseconds()) / 1000,
-			Speedup: float64(base) / float64(best),
-			Groups:  nRows,
-			HTBytes: qc.HashTableBytes(),
+			TimeMs:        float64(best.Microseconds()) / 1000,
+			Speedup:       float64(base) / float64(best),
+			Groups:        nRows,
+			HTBytes:       qc.HashTableBytes(),
 			EngineStatsMs: map[string]float64{},
 		}
 		// Snapshot, not per-bucket Get: one consistent race-free copy of

@@ -1,0 +1,58 @@
+package bi
+
+import (
+	"fmt"
+	"testing"
+
+	"ocht/internal/core"
+	"ocht/internal/exec"
+	"ocht/internal/storage"
+)
+
+// TestAllQueriesSealCompressedMatchPlain runs the string-heavy BI workload
+// — LIKE-dominated predicates over wide text columns — against two
+// generations of the same catalog: string blocks sealed compressed versus
+// plain. Every query at every worker count must match byte-identically;
+// with compression on, the dictionary verdict tables evaluate predicates
+// on bit-packed codes and only surviving rows resolve strings.
+func TestAllQueriesSealCompressedMatchPlain(t *testing.T) {
+	gen := func(mode storage.CompressMode) *storage.Catalog {
+		storage.SetSealCompression(mode)
+		storage.SetCompressMinRows(1)
+		defer func() {
+			storage.SetSealCompression(storage.CompressAuto)
+			storage.SetCompressMinRows(4096)
+		}()
+		return Gen(20_000, 9)
+	}
+	plainCat := gen(storage.CompressOff)
+	compCat := gen(storage.CompressOn)
+	ct := compCat.Table("contracts")
+	someCompressed := false
+	for _, c := range ct.Cols {
+		for bi := 0; bi < c.Blocks(); bi++ {
+			someCompressed = someCompressed || c.Block(bi).DictCompressed()
+		}
+	}
+	if !someCompressed {
+		t.Fatal("forced compression sealed no compressed string blocks")
+	}
+	for q := 1; q <= NumQueries; q++ {
+		want := resKey(Q(q, plainCat, exec.NewQCtx(core.All())))
+		for _, workers := range []int{1, 2, 4} {
+			t.Run(fmt.Sprintf("q%d/w%d", q, workers), func(t *testing.T) {
+				qc := exec.NewQCtx(core.All())
+				qc.Workers = workers
+				got := resKey(Q(q, compCat, qc))
+				if len(got) != len(want) {
+					t.Fatalf("compressed %d rows, plain %d", len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("row %d:\n  compressed %s\n  plain      %s", i, got[i], want[i])
+					}
+				}
+			})
+		}
+	}
+}

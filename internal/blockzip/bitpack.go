@@ -1,0 +1,52 @@
+package blockzip
+
+// PackedU32 is a fixed-width bit-packed vector of uint32 values with O(1)
+// random access: each value is Bits wide, packed into 64-bit words with no
+// value crossing a word boundary (the same word layout the storage engine's
+// frame-of-reference integer blocks and the vec.EncPacked views use, so a
+// packed code column can alias straight into a vector view).
+type PackedU32 struct {
+	Bits  int
+	N     int
+	Words []uint64
+}
+
+// bitsForU32 returns the width needed to store values in [0, max].
+func bitsForU32(max uint32) int {
+	bits := 1
+	for uint64(1)<<uint(bits) <= uint64(max) {
+		bits++
+	}
+	return bits
+}
+
+// PackU32 bit-packs vals at the width needed for max. max must be >= every
+// element of vals.
+func PackU32(vals []uint32, max uint32) PackedU32 {
+	bits := bitsForU32(max)
+	per := 64 / bits
+	words := make([]uint64, (len(vals)+per-1)/per)
+	for i, v := range vals {
+		words[i/per] |= uint64(v) << (uint(i%per) * uint(bits))
+	}
+	return PackedU32{Bits: bits, N: len(vals), Words: words}
+}
+
+// At returns element i.
+//
+//ocht:hot
+func (p *PackedU32) At(i int) uint32 {
+	per := 64 / p.Bits
+	w := p.Words[i/per]
+	return uint32((w >> (uint(i%per) * uint(p.Bits))) & (1<<uint(p.Bits) - 1))
+}
+
+// Bytes is the resident size of the packed words.
+func (p *PackedU32) Bytes() int { return len(p.Words) * 8 }
+
+// WordsFor returns the number of 64-bit words a packed vector of n values
+// at the given width occupies — used by deserializers to size reads.
+func WordsFor(n, bits int) int {
+	per := 64 / bits
+	return (n + per - 1) / per
+}

@@ -1,0 +1,145 @@
+package blockzip
+
+import "sort"
+
+// Pair-table codec (OnPair-style): a per-block symbol table where symbols
+// 0..255 are the literal bytes and every further symbol is the
+// concatenation of two existing symbols. Learning greedily admits the most
+// frequent adjacent symbol pairs round by round, so after a few rounds
+// frequent substrings (whole words of a comment vocabulary, shared date or
+// key prefixes) collapse into single 16-bit symbols. Decoding one string is
+// a sequence of table lookups — no shared state with its neighbours — which
+// is what gives the dictionary O(1)-ish random access.
+const (
+	baseSyms     = 256
+	maxSyms      = 1 << 16
+	maxExpansion = 32 // longest byte expansion a symbol may carry
+
+	learnRounds   = 12
+	pairsPerRound = 256
+	minPairCount  = 4
+)
+
+// pairTable maps each symbol to its byte expansion: symbol s expands to
+// ExpBytes[ExpOff[s]:ExpOff[s+1]]. Literals expand to themselves.
+type pairTable struct {
+	expOff   []uint32
+	expBytes []byte
+}
+
+func (t *pairTable) nsym() int { return len(t.expOff) - 1 }
+
+// expansion returns the bytes symbol s decodes to.
+//
+//ocht:hot
+func (t *pairTable) expansion(s uint16) []byte {
+	return t.expBytes[t.expOff[s]:t.expOff[s+1]]
+}
+
+func newLiteralTable() *pairTable {
+	t := &pairTable{
+		expOff:   make([]uint32, baseSyms+1),
+		expBytes: make([]byte, baseSyms),
+	}
+	for i := 0; i < baseSyms; i++ {
+		t.expOff[i] = uint32(i)
+		t.expBytes[i] = byte(i)
+	}
+	t.expOff[baseSyms] = baseSyms
+	return t
+}
+
+// learnPairs trains a pair table on the given payloads and returns the
+// table together with each payload encoded as a symbol sequence. The
+// procedure is deterministic: pair candidates are ranked by (count desc,
+// pair value asc) and replacement is leftmost-first, so the same input
+// always produces the same table and encoding — the file format's
+// byte-identical round trips rely on this.
+func learnPairs(payloads [][]byte) (*pairTable, [][]uint16) {
+	table := newLiteralTable()
+	seqs := make([][]uint16, len(payloads))
+	for i, p := range payloads {
+		s := make([]uint16, len(p))
+		for j, b := range p {
+			s[j] = uint16(b)
+		}
+		seqs[i] = s
+	}
+	expLen := make([]int, baseSyms, maxSyms)
+	for i := range expLen {
+		expLen[i] = 1
+	}
+	counts := make(map[uint32]int32)
+	for round := 0; round < learnRounds && table.nsym() < maxSyms; round++ {
+		for k := range counts {
+			delete(counts, k)
+		}
+		for _, s := range seqs {
+			for k := 0; k+1 < len(s); k++ {
+				a, b := s[k], s[k+1]
+				if expLen[a]+expLen[b] > maxExpansion {
+					continue
+				}
+				counts[uint32(a)<<16|uint32(b)]++
+			}
+		}
+		type cand struct {
+			key uint32
+			cnt int32
+		}
+		cands := make([]cand, 0, len(counts))
+		for key, cnt := range counts {
+			a, b := uint16(key>>16), uint16(key)
+			// Admitting a pair saves 2 bytes per occurrence in the symbol
+			// stream but costs its expansion plus an offset entry in the
+			// table; require the trade to pay off.
+			if cnt >= minPairCount && 2*int(cnt) > expLen[a]+expLen[b]+4 {
+				cands = append(cands, cand{key, cnt})
+			}
+		}
+		if len(cands) == 0 {
+			break
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].cnt != cands[j].cnt {
+				return cands[i].cnt > cands[j].cnt
+			}
+			return cands[i].key < cands[j].key
+		})
+		admit := pairsPerRound
+		if room := maxSyms - table.nsym(); admit > room {
+			admit = room
+		}
+		if admit > len(cands) {
+			admit = len(cands)
+		}
+		newPairs := make(map[uint32]uint16, admit)
+		for _, c := range cands[:admit] {
+			a, b := uint16(c.key>>16), uint16(c.key)
+			sym := uint16(table.nsym())
+			table.expBytes = append(table.expBytes, table.expansion(a)...)
+			table.expBytes = append(table.expBytes, table.expansion(b)...)
+			table.expOff = append(table.expOff, uint32(len(table.expBytes)))
+			expLen = append(expLen, expLen[a]+expLen[b])
+			newPairs[c.key] = sym
+		}
+		// Rewrite every sequence, replacing admitted pairs leftmost-first.
+		for si, s := range seqs {
+			out := s[:0]
+			k := 0
+			for k < len(s) {
+				if k+1 < len(s) {
+					if sym, ok := newPairs[uint32(s[k])<<16|uint32(s[k+1])]; ok {
+						out = append(out, sym)
+						k += 2
+						continue
+					}
+				}
+				out = append(out, s[k])
+				k++
+			}
+			seqs[si] = out
+		}
+	}
+	return table, seqs
+}

@@ -1,0 +1,116 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"ocht/internal/core"
+	"ocht/internal/exec"
+	"ocht/internal/server"
+	"ocht/internal/sql"
+	"ocht/internal/storage"
+	"ocht/internal/vec"
+)
+
+// sealCompressedTable seals the given row subset of a synthetic orders-like
+// table under the given compression policy.
+func sealCompressedTable(mode storage.CompressMode, idx []int) *storage.Table {
+	storage.SetSealCompression(mode)
+	storage.SetCompressMinRows(1)
+	defer func() {
+		storage.SetSealCompression(storage.CompressAuto)
+		storage.SetCompressMinRows(4096)
+	}()
+	words := []string{"pending", "deposits", "furiously", "ironic", "requests",
+		"carefully", "final", "accounts", "bold", "theodolites"}
+	k := storage.NewColumn("k", vec.I64, false)
+	s := storage.NewColumn("s", vec.Str, true)
+	v := storage.NewColumn("v", vec.I64, false)
+	for _, i := range idx {
+		k.AppendInt(int64(i))
+		if i%23 == 0 {
+			s.AppendNull()
+		} else {
+			s.AppendString(fmt.Sprintf("%s %s %s #%d",
+				words[i%10], words[(i/3)%10], words[(i/7)%10], i%50))
+		}
+		v.AppendInt(int64(i % 97))
+	}
+	t := storage.NewTable("ct", k, s, v)
+	t.Seal()
+	return t
+}
+
+// TestCompressedShardsMatchPlain routes queries through a 2-shard
+// coordinator whose shards hold compressed sealed string blocks and checks
+// every answer against a single node holding the same rows sealed plain —
+// the distributed leg of the seal-compression equivalence satellite.
+func TestCompressedShardsMatchPlain(t *testing.T) {
+	const rows = 900
+	var all, even, odd []int
+	for i := 0; i < rows; i++ {
+		all = append(all, i)
+		if i%2 == 0 {
+			even = append(even, i)
+		} else {
+			odd = append(odd, i)
+		}
+	}
+	refCat := storage.NewCatalog()
+	refCat.Add(sealCompressedTable(storage.CompressOff, all))
+
+	var shards []ShardConfig
+	for _, idx := range [][]int{even, odd} {
+		tab := sealCompressedTable(storage.CompressOn, idx)
+		if !tab.Col("s").Block(0).DictCompressed() {
+			t.Fatal("shard table did not seal compressed")
+		}
+		cat := storage.NewCatalog()
+		cat.Add(tab)
+		srv := server.New(cat, server.Config{Flags: core.All(), Workers: 2, ReadOnly: true})
+		ts := httptest.NewServer(srv.Handler())
+		t.Cleanup(ts.Close)
+		shards = append(shards, ShardConfig{Primary: ts.URL})
+	}
+	coord, err := New(Config{
+		Shards: shards,
+		Flags:  core.All(),
+		Fanout: FanoutConfig{ShardTimeout: 30 * time.Second, Retries: 1},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	queries := []struct {
+		sql     string
+		ordered bool
+	}{
+		{"SELECT COUNT(*) FROM ct", false},
+		{"SELECT s, COUNT(*), SUM(v) FROM ct GROUP BY s", false},
+		{"SELECT COUNT(*) FROM ct WHERE s LIKE '%pending%'", false},
+		{"SELECT s, MAX(k) FROM ct WHERE s LIKE 'ironic%' GROUP BY s", false},
+		{"SELECT COUNT(*) FROM ct WHERE s IS NULL", false},
+		{"SELECT k, s FROM ct WHERE v = 13 ORDER BY k LIMIT 9", true},
+		{"SELECT s FROM ct WHERE k = 131", false},
+		{"SELECT MIN(v), MAX(v), AVG(v) FROM ct WHERE s LIKE '%final%'", false},
+	}
+	ctx := context.Background()
+	for _, q := range queries {
+		got, gerr := coord.Query(ctx, q.sql)
+		if gerr != nil {
+			t.Fatalf("distributed %q: %v", q.sql, gerr)
+		}
+		want, rerr := sql.Run(q.sql, refCat, exec.NewQCtx(core.All()))
+		if rerr != nil {
+			t.Fatalf("reference %q: %v", q.sql, rerr)
+		}
+		g := render(got.Rows, q.ordered)
+		w := renderRef(want, q.ordered)
+		if fmt.Sprint(g) != fmt.Sprint(w) {
+			t.Errorf("%q diverged\n got: %v\nwant: %v", q.sql, g, w)
+		}
+	}
+}

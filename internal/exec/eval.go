@@ -226,8 +226,14 @@ func (e *Expr) Eval(qc *QCtx, b *vec.Batch) *vec.Vector {
 			// string once per block, then map codes through the verdict
 			// table.
 			e.likeDictTable(qc, l, want)
-			for _, i := range rows {
-				out.Bool[i] = e.codeOK[l.Codes[i]] && !l.IsNull(int(i))
+			if l.Codes != nil {
+				for _, i := range rows {
+					out.Bool[i] = e.codeOK[l.Codes[i]] && !l.IsNull(int(i))
+				}
+			} else { // bit-packed codes (compressed sealed block)
+				for _, i := range rows {
+					out.Bool[i] = e.codeOK[l.CodeAt(int(i))] && !l.IsNull(int(i))
+				}
 			}
 			return out
 		}
@@ -432,8 +438,14 @@ func (e *Expr) cmpDictConst(qc *QCtx, l *vec.Vector, rows []int32, out *vec.Vect
 			e.codeOK[c] = v
 		}
 	}
-	for _, i := range rows {
-		out.Bool[i] = e.codeOK[l.Codes[i]] && !l.IsNull(int(i))
+	if l.Codes != nil {
+		for _, i := range rows {
+			out.Bool[i] = e.codeOK[l.Codes[i]] && !l.IsNull(int(i))
+		}
+	} else { // bit-packed codes (compressed sealed block)
+		for _, i := range rows {
+			out.Bool[i] = e.codeOK[l.CodeAt(int(i))] && !l.IsNull(int(i))
+		}
 	}
 }
 

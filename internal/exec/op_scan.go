@@ -209,7 +209,16 @@ func windowInto(out, v *vec.Vector, pos, n int) {
 	}
 	switch v.Enc {
 	case vec.EncDict:
-		w.Codes = v.Codes[pos : pos+n]
+		if v.Codes != nil {
+			w.Codes = v.Codes[pos : pos+n]
+		} else {
+			// Bit-packed codes from a compressed sealed block: the window
+			// shares the words and shifts its offset, like EncPacked.
+			w.Packed = v.Packed
+			w.PackBits = v.PackBits
+			w.PackOff = v.PackOff + pos
+			w.PackLen = n
+		}
 		w.DictRefs = v.DictRefs
 	case vec.EncPacked:
 		w.Packed = v.Packed

@@ -239,6 +239,10 @@ func blockDatum(b *storage.Block, t vec.Type, i int) Datum {
 	case vec.F64:
 		return Datum{F: b.F64[i]}
 	case vec.Str:
+		if b.DictCompressed() {
+			s, _, _ := b.ZDict.StrAt(int(b.ZCodes.At(i)), nil)
+			return Datum{S: string(s)}
+		}
 		return Datum{S: b.Dict[b.Codes[i]]}
 	}
 	panic("ingest: blockDatum on " + t.String())

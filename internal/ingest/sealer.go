@@ -68,7 +68,18 @@ func (e *Engine) sealTable(st *tableState) error {
 	full := len(st.tail) / storage.BlockRows
 	if full > 0 {
 		cut := full * storage.BlockRows
+		_, fallbackBefore := storage.CompressionStats()
 		delta := buildTable(st.name, st.schema, st.tail[:cut])
+		// A dictionary-budget overrun during sealing is not silent: the
+		// column records the error, falls back to the plain encoding, and
+		// the event is logged here so operators see why footprint grew.
+		if _, after := storage.CompressionStats(); after > fallbackBefore {
+			for _, c := range delta.Cols {
+				if err := c.CompressErr(); err != nil {
+					e.cfg.Logf("ingest: %s: seal: column %s stays plain: %v", st.name, c.Name, err)
+				}
+			}
+		}
 		st.sealed = storage.ExtendTable(st.sealed, delta)
 		st.sealedRows += int64(cut)
 		st.tail = append([]Row(nil), st.tail[cut:]...)

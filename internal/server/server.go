@@ -430,9 +430,53 @@ type metricsView struct {
 	Workers        int     `json:"workers"`
 	UptimeSec      float64 `json:"uptime_sec"`
 
+	// Storage is the resident-footprint accounting of optimistic seal
+	// compression: per-table compressed (actually resident) bytes against
+	// the would-be-plain size, plus the process-wide seal counters.
+	Storage storageView `json:"storage"`
+
 	// Ingest is present only when a write path is attached; its fields
 	// stay nested so read-only deployments keep a stable flat document.
 	Ingest *ingest.Stats `json:"ingest,omitempty"`
+}
+
+// storageView is the /metrics storage-footprint section.
+type storageView struct {
+	CompressMode      string                    `json:"compress_mode"`
+	CompressedBlocks  int64                     `json:"compressed_blocks"`
+	CompressFallbacks int64                     `json:"compress_fallbacks"`
+	ResidentBytes     int64                     `json:"resident_bytes"`
+	WouldBePlainBytes int64                     `json:"would_be_plain_bytes"`
+	Tables            map[string]tableFootprint `json:"tables"`
+}
+
+// tableFootprint is one table's resident-vs-plain byte accounting.
+type tableFootprint struct {
+	ResidentBytes     int64 `json:"resident_bytes"`
+	WouldBePlainBytes int64 `json:"would_be_plain_bytes"`
+}
+
+// storageMetrics walks the catalog snapshot and sums per-table footprints.
+func (s *Server) storageMetrics() storageView {
+	snap := s.cat.Snapshot()
+	comp, fb := storage.CompressionStats()
+	sv := storageView{
+		CompressMode:      storage.SealCompression().String(),
+		CompressedBlocks:  comp,
+		CompressFallbacks: fb,
+		Tables:            map[string]tableFootprint{},
+	}
+	for _, name := range snap.Names() {
+		t, ok := snap.TableOK(name)
+		if !ok {
+			continue
+		}
+		c, p := t.Footprint()
+		sv.Tables[name] = tableFootprint{ResidentBytes: c, WouldBePlainBytes: p}
+		sv.ResidentBytes += c
+		sv.WouldBePlainBytes += p
+	}
+	return sv
 }
 
 // Metrics assembles the current counter snapshot.
@@ -474,6 +518,8 @@ func (s *Server) Metrics() any {
 		Tables:         s.cat.Tables(),
 		Workers:        s.cfg.Workers,
 		UptimeSec:      time.Since(s.start).Seconds(),
+
+		Storage: s.storageMetrics(),
 
 		Ingest: ing,
 	}

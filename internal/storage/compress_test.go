@@ -1,0 +1,259 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"ocht/internal/blockzip"
+	"ocht/internal/strs"
+	"ocht/internal/vec"
+)
+
+// withCompression runs fn under the given seal-compression policy and
+// restores the defaults afterwards (the knobs are process-global).
+func withCompression(t *testing.T, mode CompressMode, minRows int, budget int64, fn func()) {
+	t.Helper()
+	SetSealCompression(mode)
+	SetCompressMinRows(minRows)
+	SetCompressBudget(budget)
+	defer func() {
+		SetSealCompression(CompressAuto)
+		SetCompressMinRows(4096)
+		SetCompressBudget(blockzip.DefaultBudget)
+	}()
+	fn()
+}
+
+// commentStr generates TPC-H-comment-like redundant text.
+func commentStr(i int) string {
+	words := []string{"pending", "deposits", "sleep", "furiously", "according",
+		"requests", "carefully", "final", "accounts", "ironic"}
+	return fmt.Sprintf("%s %s %s among the %s %s #%d",
+		words[i%10], words[(i/3)%10], words[(i/7)%10],
+		words[(i/11)%10], words[(i/13)%10], i%97)
+}
+
+// buildStrColumn seals rows of generated strings (every 17th row NULL)
+// under the current compression policy.
+func buildStrColumn(rows int) *Column {
+	c := NewColumn("s", vec.Str, true)
+	for i := 0; i < rows; i++ {
+		if i%17 == 0 {
+			c.AppendNull()
+		} else {
+			c.AppendString(commentStr(i))
+		}
+	}
+	c.Seal()
+	return c
+}
+
+// TestCompressedColumnEquivalence checks that a compressed column resolves
+// to exactly the same strings as a plain one through every read path:
+// eager ScanBlock, the zero-copy ViewBlock (virtual accessors over the
+// bit-packed codes), and point StrAt.
+func TestCompressedColumnEquivalence(t *testing.T) {
+	const rows = 2 * BlockRows / 8
+	var plain, comp *Column
+	withCompression(t, CompressOff, 1, blockzip.DefaultBudget, func() {
+		plain = buildStrColumn(rows)
+	})
+	withCompression(t, CompressOn, 1, blockzip.DefaultBudget, func() {
+		comp = buildStrColumn(rows)
+	})
+	if comp.Blocks() != plain.Blocks() {
+		t.Fatalf("block counts differ: %d vs %d", comp.Blocks(), plain.Blocks())
+	}
+	for bi := 0; bi < comp.Blocks(); bi++ {
+		if !comp.Block(bi).DictCompressed() {
+			t.Fatalf("block %d not compressed under CompressOn", bi)
+		}
+	}
+
+	st := strs.NewStore(false)
+	pBuf, cBuf := vec.New(vec.Str, BlockRows), vec.New(vec.Str, BlockRows)
+	pBuf.Nulls = make([]bool, BlockRows)
+	cBuf.Nulls = make([]bool, BlockRows)
+	pView, cView := &vec.Vector{}, &vec.Vector{}
+	var pRefs, cRefs []vec.StrRef
+	var scratch []byte
+	for bi := 0; bi < comp.Blocks(); bi++ {
+		pn := plain.ScanBlock(bi, pBuf, st)
+		cn := comp.ScanBlock(bi, cBuf, st)
+		if pn != cn {
+			t.Fatalf("block %d: %d vs %d rows", bi, cn, pn)
+		}
+		pv, pRefs2, _ := plain.ViewBlock(bi, pView, st, pRefs)
+		cv, cRefs2, _ := comp.ViewBlock(bi, cView, st, cRefs)
+		pRefs, cRefs = pRefs2, cRefs2
+		if pv != cv {
+			t.Fatalf("block %d views: %d vs %d rows", bi, cv, pv)
+		}
+		for i := 0; i < pn; i++ {
+			if pBuf.Nulls[i] != cBuf.Nulls[i] {
+				t.Fatalf("block %d row %d: null mask differs", bi, i)
+			}
+			want := st.Get(pBuf.Str[i])
+			if got := st.Get(cBuf.Str[i]); got != want {
+				t.Fatalf("block %d row %d scan: %q, want %q", bi, i, got, want)
+			}
+			if got := st.Get(cView.StrRefAt(i)); got != want {
+				t.Fatalf("block %d row %d view: %q, want %q", bi, i, got, want)
+			}
+			var s []byte
+			s, _, scratch = comp.StrAt(bi, i, scratch)
+			if string(s) != want {
+				t.Fatalf("block %d row %d StrAt: %q, want %q", bi, i, s, want)
+			}
+		}
+	}
+}
+
+// TestPointAccessDecodesOnlyRequested is the acceptance check for the
+// compressed gather contract: a point StrAt on a compressed sealed block
+// decodes only the requested entry's bucket chain — the per-access decoded
+// byte count must stay far below the dictionary's raw size, and a handful
+// of accesses must not add up to a block's worth of decompression.
+func TestPointAccessDecodesOnlyRequested(t *testing.T) {
+	var c *Column
+	withCompression(t, CompressOn, 1, blockzip.DefaultBudget, func() {
+		c = buildStrColumn(BlockRows / 4)
+	})
+	b := c.Block(0)
+	if !b.DictCompressed() {
+		t.Fatal("block not compressed")
+	}
+	raw := b.ZDict.RawBytes()
+	perAccessCap := int64((1 << blockzip.DefaultBucketShift) * b.ZDict.MaxLen())
+	var total int64
+	var scratch []byte
+	const accesses = 64
+	for i := 0; i < accesses; i++ {
+		row := (i * 7919) % b.N
+		var decoded int
+		_, decoded, scratch = c.StrAt(0, row, scratch)
+		if int64(decoded) > perAccessCap {
+			t.Fatalf("access %d decoded %d bytes, cap %d (bucket chain only)",
+				i, decoded, perAccessCap)
+		}
+		total += int64(decoded)
+	}
+	if total >= raw {
+		t.Fatalf("%d point accesses decoded %d bytes >= whole dictionary (%d)",
+			accesses, total, raw)
+	}
+}
+
+// TestCompressBudgetFallback checks satellite behaviour for oversized
+// dictionaries: the build fails with ErrBudget, the block seals plain with
+// its full dictionary intact (never empty), the failure is counted, and
+// the column surfaces the error.
+func TestCompressBudgetFallback(t *testing.T) {
+	withCompression(t, CompressOn, 1, 64, func() { // 64-byte budget: everything overflows
+		_, fb0 := CompressionStats()
+		c := buildStrColumn(512)
+		b := c.Block(0)
+		if b.DictCompressed() {
+			t.Fatal("block compressed despite budget overflow")
+		}
+		if len(b.Dict) == 0 {
+			t.Fatal("fallback produced an empty dictionary")
+		}
+		if err := c.CompressErr(); err == nil {
+			t.Fatal("CompressErr is nil after budget overflow")
+		}
+		if _, fb := CompressionStats(); fb != fb0+1 {
+			t.Fatalf("fallback counter %d, want %d", fb, fb0+1)
+		}
+		// The plain fallback must still read correctly.
+		st := strs.NewStore(false)
+		buf := vec.New(vec.Str, BlockRows)
+		buf.Nulls = make([]bool, BlockRows)
+		n := c.ScanBlock(0, buf, st)
+		if n != 512 {
+			t.Fatalf("fallback block scans %d rows, want 512", n)
+		}
+	})
+}
+
+// TestCompressAutoSkipsIncompressible checks that auto mode keeps a block
+// plain when compression would not shrink it (a tiny dictionary) and that
+// small blocks below the row threshold never pay dictionary learning.
+func TestCompressAutoSkipsIncompressible(t *testing.T) {
+	withCompression(t, CompressAuto, 1, blockzip.DefaultBudget, func() {
+		c := NewColumn("s", vec.Str, false)
+		for i := 0; i < 64; i++ {
+			c.AppendString([]string{"a", "b", "c"}[i%3])
+		}
+		c.Seal()
+		if c.Block(0).DictCompressed() {
+			t.Fatal("auto mode compressed a 3-entry dictionary")
+		}
+	})
+	withCompression(t, CompressOn, 1<<20, blockzip.DefaultBudget, func() {
+		c := buildStrColumn(512) // below the row threshold
+		if c.Block(0).DictCompressed() {
+			t.Fatal("block below CompressMinRows was compressed")
+		}
+	})
+}
+
+// TestCompressedFileRoundTrip checks the v3 on-disk format: a compressed
+// table round-trips byte-identically and the reloaded blocks stay in the
+// compressed representation.
+func TestCompressedFileRoundTrip(t *testing.T) {
+	var c *Column
+	withCompression(t, CompressOn, 1, blockzip.DefaultBudget, func() {
+		c = buildStrColumn(BlockRows / 8)
+	})
+	orig := NewTable("zt", c)
+	var buf bytes.Buffer
+	if err := WriteTable(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTable(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb := got.Cols[0].Block(0)
+	if !gb.DictCompressed() {
+		t.Fatal("reloaded block lost its compressed dictionary")
+	}
+	ob := orig.Cols[0].Block(0)
+	if gb.DictLen() != ob.DictLen() || gb.N != ob.N {
+		t.Fatalf("reloaded block: %d entries %d rows, want %d/%d",
+			gb.DictLen(), gb.N, ob.DictLen(), ob.N)
+	}
+	var buf2 bytes.Buffer
+	if err := WriteTable(&buf2, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("compressed table round trip is not byte-identical")
+	}
+}
+
+// TestFootprintAccounting checks the resident-footprint report: compressed
+// columns must account fewer resident bytes than their would-be-plain
+// size, and plain columns must report the two as equal.
+func TestFootprintAccounting(t *testing.T) {
+	var comp, plain *Column
+	withCompression(t, CompressOn, 1, blockzip.DefaultBudget, func() {
+		comp = buildStrColumn(BlockRows / 4)
+	})
+	withCompression(t, CompressOff, 1, blockzip.DefaultBudget, func() {
+		plain = buildStrColumn(BlockRows / 4)
+	})
+	cc, cp := comp.Footprint()
+	pc, pp := plain.Footprint()
+	if cc >= cp {
+		t.Fatalf("compressed footprint %d not below plain %d", cc, cp)
+	}
+	if pc != pp {
+		t.Fatalf("plain column footprint %d != would-be-plain %d", pc, pp)
+	}
+	if cp != pp {
+		t.Fatalf("would-be-plain sizes differ: %d vs %d", cp, pp)
+	}
+}

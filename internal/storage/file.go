@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"sort"
 
+	"ocht/internal/blockzip"
 	"ocht/internal/vec"
 )
 
@@ -27,15 +28,19 @@ import (
 //	        x u64 words of frame-of-reference offsets
 //	      ints (version 1): raw values at type width
 //	      floats: raw values
-//	      strings: dict count u32, per entry (len u32 | bytes), then
-//	        rows x codes u32
+//	      strings (version >= 3): strenc u8;
+//	        strenc 0 = plain: dict count u32, per entry (len u32 | bytes),
+//	          then rows x codes u32
+//	        strenc 1 = compressed: blob len u32 | blockzip dictionary blob |
+//	          code bits u8 | ceil(rows/(64/bits)) x u64 packed code words
+//	      strings (version < 3): plain layout, no strenc byte
 //	    nulls flag u8 [+ rows x u8]
 //	footer (out-of-band metadata, Section II-A):
 //	  per column, per block: zonemap valid u8 [+ min i64 + max i64]
 //	magic "THCO"
 const (
 	fileMagic   = "OCHT"
-	fileVersion = 2
+	fileVersion = 3
 	fileFooter  = "THCO"
 )
 
@@ -43,6 +48,12 @@ const (
 const (
 	blockEncPlain  = 0
 	blockEncPacked = 1
+)
+
+// String block encodings (version >= 3, string columns).
+const (
+	strEncPlain      = 0
+	strEncCompressed = 1
 )
 
 // WriteTable serializes a sealed table.
@@ -137,6 +148,28 @@ func WriteTable(w io.Writer, t *Table) error {
 					return err
 				}
 			case vec.Str:
+				if b.DictCompressed() {
+					if err := put(uint8(strEncCompressed)); err != nil {
+						return err
+					}
+					blob := b.ZDict.Marshal()
+					if err := put(uint32(len(blob))); err != nil {
+						return err
+					}
+					if _, err := bw.Write(blob); err != nil {
+						return err
+					}
+					if err := put(uint8(b.ZCodes.Bits)); err != nil {
+						return err
+					}
+					if err := put(b.ZCodes.Words); err != nil {
+						return err
+					}
+					break
+				}
+				if err := put(uint8(strEncPlain)); err != nil {
+					return err
+				}
 				if err := put(uint32(len(b.Dict))); err != nil {
 					return err
 				}
@@ -238,7 +271,7 @@ func ReadTable(r io.Reader) (*Table, error) {
 	if err := get(&version); err != nil {
 		return nil, err
 	}
-	if version != 1 && version != fileVersion {
+	if version < 1 || version > fileVersion {
 		return nil, fmt.Errorf("storage: unsupported version %d", version)
 	}
 	name, err := getStr()
@@ -323,6 +356,20 @@ func ReadTable(r io.Reader) (*Table, error) {
 				b.F64 = make([]float64, rows)
 				err = get(b.F64)
 			case vec.Str:
+				strenc := uint8(strEncPlain)
+				if version >= 3 {
+					if err = get(&strenc); err != nil {
+						break
+					}
+				}
+				if strenc == strEncCompressed {
+					err = readCompressedStrBlock(br, get, b, int(rows))
+					break
+				}
+				if strenc != strEncPlain {
+					err = fmt.Errorf("storage: bad string block encoding %d", strenc)
+					break
+				}
 				var nDict uint32
 				if err = get(&nDict); err != nil {
 					break
@@ -432,6 +479,56 @@ func readPackedBlock(get func(interface{}) error, b *Block, t vec.Type, rows int
 	b.PackBits = int(bits)
 	b.PackMin = min
 	return get(b.PackWords)
+}
+
+// readCompressedStrBlock decodes a v3 compressed string block: a marshaled
+// blockzip dictionary blob plus a bit-packed code column. Every field is
+// validated — the blob through blockzip.Unmarshal's structural check, the
+// bit width against the packable range, every code against the dictionary
+// length — so damaged files error here instead of panicking later in the
+// scan path.
+func readCompressedStrBlock(br *bufio.Reader, get func(interface{}) error, b *Block, rows int) error {
+	if rows == 0 {
+		return fmt.Errorf("storage: compressed string block with 0 rows")
+	}
+	var blobLen uint32
+	if err := get(&blobLen); err != nil {
+		return err
+	}
+	if blobLen > maxBlockDictData {
+		return fmt.Errorf("storage: compressed dictionary of %d bytes exceeds limit", blobLen)
+	}
+	blob := make([]byte, blobLen)
+	if _, err := io.ReadFull(br, blob); err != nil {
+		return err
+	}
+	d, err := blockzip.Unmarshal(blob)
+	if err != nil {
+		return fmt.Errorf("storage: compressed dictionary: %w", err)
+	}
+	var bits uint8
+	if err := get(&bits); err != nil {
+		return err
+	}
+	if bits < 1 || bits > 32 {
+		return fmt.Errorf("storage: code bit width %d out of range", bits)
+	}
+	codes := blockzip.PackedU32{
+		Bits:  int(bits),
+		N:     rows,
+		Words: make([]uint64, blockzip.WordsFor(rows, int(bits))),
+	}
+	if err := get(codes.Words); err != nil {
+		return err
+	}
+	for i := 0; i < rows; i++ {
+		if int(codes.At(i)) >= d.Len() {
+			return fmt.Errorf("storage: dictionary code %d out of range [0,%d)", codes.At(i), d.Len())
+		}
+	}
+	b.ZDict = d
+	b.ZCodes = codes
+	return nil
 }
 
 // readNulls decodes a block's NULL-mask section.

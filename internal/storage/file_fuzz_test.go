@@ -2,6 +2,7 @@ package storage
 
 import (
 	"bytes"
+	"fmt"
 	"testing"
 
 	"ocht/internal/strs"
@@ -11,13 +12,34 @@ import (
 // fuzzSeedTable builds a small mixed-type table exercising every column
 // kind the file format serializes: narrow ints sealed as bit-packed
 // blocks, wide ints kept plain, floats, strings with per-block
-// dictionaries, NULL bitmaps, and zone maps for all of them.
+// dictionaries (one plain, one sealed compressed), NULL bitmaps, and zone
+// maps for all of them.
 func fuzzSeedTable() *Table {
 	a := NewColumn("a", vec.I64, false)
 	b := NewColumn("b", vec.F64, true)
 	c := NewColumn("c", vec.Str, true)
 	d := NewColumn("d", vec.I64, false) // range > 2^56: stays plain
 	e := NewColumn("e", vec.I32, true)  // packed with a NULL bitmap
+	z := NewColumn("z", vec.Str, true)  // sealed with a compressed dictionary
+	for i := 0; i < 300; i++ {
+		if i%13 == 0 {
+			z.AppendNull()
+		} else {
+			z.AppendString(fmt.Sprintf("customer comment %d: pending deposits %d", i%120, i%7))
+		}
+	}
+	// Seal z alone under forced compression so the format's compressed
+	// string-block layout (strenc 1) is in every fuzz seed; the remaining
+	// columns seal under the default policy and keep c's dictionary plain.
+	mode := SealCompression()
+	SetSealCompression(CompressOn)
+	SetCompressMinRows(1)
+	z.Seal()
+	SetSealCompression(mode)
+	SetCompressMinRows(4096)
+	if !z.Block(0).DictCompressed() {
+		panic("fuzz seed: column z did not seal compressed")
+	}
 	for i := 0; i < 300; i++ {
 		a.AppendInt(int64(i * 7 % 1000))
 		if i%11 == 0 {
@@ -40,7 +62,7 @@ func fuzzSeedTable() *Table {
 			e.AppendInt(int64(i%19 - 9))
 		}
 	}
-	t := NewTable("fuzz", a, b, c, d, e)
+	t := NewTable("fuzz", a, b, c, d, e, z)
 	t.Seal()
 	return t
 }
@@ -94,12 +116,14 @@ func FuzzTableFile(f *testing.F) {
 }
 
 // exerciseTable drives every read path over a parsed table: eager block
-// decompression, encoded block views (dictionary interning included), and
+// decompression, encoded block views (dictionary interning included),
+// point string access through the compressed-dictionary bucket decode, and
 // zone-map access — the full surface a scan touches after WAL recovery.
 func exerciseTable(tab *Table) {
 	st := strs.NewStore(false)
 	out := &vec.Vector{}
 	var refs []vec.StrRef
+	var scratch []byte
 	for _, c := range tab.Cols {
 		buf := vec.New(c.Type, BlockRows)
 		if c.Nullable {
@@ -108,6 +132,14 @@ func exerciseTable(tab *Table) {
 		for bi := 0; bi < c.Blocks(); bi++ {
 			c.ScanBlock(bi, buf, st)
 			_, refs, _ = c.ViewBlock(bi, out, st, refs)
+			if c.Type == vec.Str {
+				n := c.Block(bi).N
+				for _, row := range []int{0, n / 2, n - 1} {
+					if row >= 0 && row < n {
+						_, _, scratch = c.StrAt(bi, row, scratch)
+					}
+				}
+			}
 			c.Zone(bi)
 		}
 		c.TotalDomain()

@@ -71,6 +71,10 @@ func (c *Column) WarmDictionaries(st *strs.Store) {
 		return
 	}
 	for _, b := range c.blocks {
+		if b.DictCompressed() {
+			b.ZDict.ForEach(func(_ int, s []byte) { st.Warm(string(s)) })
+			continue
+		}
 		for _, s := range b.Dict {
 			st.Warm(s)
 		}

@@ -16,6 +16,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"ocht/internal/blockzip"
 	"ocht/internal/domain"
 	"ocht/internal/strs"
 	"ocht/internal/vec"
@@ -23,6 +24,83 @@ import (
 
 // BlockRows is the number of values per block.
 const BlockRows = 1 << 16
+
+// CompressMode selects how string blocks are compressed at seal time.
+type CompressMode int32
+
+// Seal-compression modes.
+const (
+	// CompressAuto compresses a string block only when the pair-table +
+	// front-coded form is actually smaller than the plain dictionary.
+	CompressAuto CompressMode = iota
+	// CompressOn always keeps the compressed form when building succeeds
+	// (budget failures still fall back to plain, explicitly).
+	CompressOn
+	// CompressOff never compresses.
+	CompressOff
+)
+
+// ParseCompressMode maps the -seal-compress flag values.
+func ParseCompressMode(s string) (CompressMode, error) {
+	switch s {
+	case "auto", "":
+		return CompressAuto, nil
+	case "on":
+		return CompressOn, nil
+	case "off":
+		return CompressOff, nil
+	}
+	return CompressAuto, fmt.Errorf("storage: bad compress mode %q (want on, off or auto)", s)
+}
+
+// String returns the flag spelling of the mode.
+func (m CompressMode) String() string {
+	switch m {
+	case CompressOn:
+		return "on"
+	case CompressOff:
+		return "off"
+	default:
+		return "auto"
+	}
+}
+
+// Seal-compression knobs. The mode is process-global (sealing happens in
+// column builders created all over the engine); the row threshold keeps
+// the per-commit tail republication on the ingest write path from paying
+// pair-table learning for tiny deltas.
+var (
+	sealCompression  atomic.Int32 // CompressMode, default CompressAuto
+	compressMinRows  atomic.Int32
+	compressBudget   atomic.Int64
+	compressedBlocks atomic.Int64 // string blocks sealed compressed
+	compressFallback atomic.Int64 // budget/build failures sealed plain
+)
+
+func init() {
+	compressMinRows.Store(4096)
+	compressBudget.Store(blockzip.DefaultBudget)
+}
+
+// SetSealCompression sets the process-wide seal-compression mode.
+func SetSealCompression(m CompressMode) { sealCompression.Store(int32(m)) }
+
+// SealCompression returns the current mode.
+func SealCompression() CompressMode { return CompressMode(sealCompression.Load()) }
+
+// SetCompressMinRows sets the minimum block row count for compression
+// (tests lower it to exercise compression on small blocks).
+func SetCompressMinRows(n int) { compressMinRows.Store(int32(n)) }
+
+// SetCompressBudget sets the per-block dictionary raw-byte budget.
+func SetCompressBudget(n int64) { compressBudget.Store(n) }
+
+// CompressionStats reports how many string blocks sealed compressed and
+// how many fell back to plain encoding because dictionary building failed
+// (e.g. the per-block budget was exceeded).
+func CompressionStats() (compressed, fallbacks int64) {
+	return compressedBlocks.Load(), compressFallback.Load()
+}
 
 // Block holds the values of one column over BlockRows rows. Exactly one
 // data slice is populated, matching the column type. String data is
@@ -47,6 +125,13 @@ type Block struct {
 	Dict  []string
 	Codes []int32
 
+	// Compressed string form (seal-time, see compressStrBlock): when ZDict
+	// is non-nil the plain Dict/Codes slices are dropped, the dictionary
+	// lives pair-table-compressed and front-coded in ZDict (sorted order),
+	// and the per-row codes are bit-packed in ZCodes.
+	ZDict  *blockzip.Dict
+	ZCodes blockzip.PackedU32
+
 	PackWords []uint64 // non-nil iff the block is bit-packed
 	PackBits  int
 	PackMin   int64
@@ -54,6 +139,27 @@ type Block struct {
 
 // Packed reports whether the block stores bit-packed integers.
 func (b *Block) Packed() bool { return b.PackWords != nil }
+
+// DictCompressed reports whether the block stores its string dictionary
+// in the compressed form.
+func (b *Block) DictCompressed() bool { return b.ZDict != nil }
+
+// DictLen returns the number of distinct dictionary entries of a string
+// block, in either representation.
+func (b *Block) DictLen() int {
+	if b.ZDict != nil {
+		return b.ZDict.Len()
+	}
+	return len(b.Dict)
+}
+
+// CodeAt returns the dictionary code of row i, in either representation.
+func (b *Block) CodeAt(i int) int32 {
+	if b.ZDict != nil {
+		return int32(b.ZCodes.At(i))
+	}
+	return b.Codes[i]
+}
 
 // zoneMap is the out-of-band per-block metadata: min/max for integer
 // blocks (Section II-A stores these in row-group headers or the catalog,
@@ -76,7 +182,17 @@ type Column struct {
 	cur     *Block
 	curZone zoneMap
 	curDict map[string]int32
+
+	// compressErr records the most recent dictionary-build failure that
+	// forced a plain-encoding fallback at seal time (per-block budget
+	// exceeded). The block still seals correctly — plain — but the error
+	// is surfaced instead of silently producing an empty dictionary.
+	compressErr error
 }
+
+// CompressErr returns the most recent seal-compression fallback error, or
+// nil when every sealed block compressed (or was left plain by policy).
+func (c *Column) CompressErr() error { return c.compressErr }
 
 // NewColumn creates an empty column.
 func NewColumn(name string, t vec.Type, nullable bool) *Column {
@@ -111,10 +227,63 @@ func (c *Column) sealBlock() {
 		return
 	}
 	compressIntBlock(c.cur, c.Type)
+	if c.Type == vec.Str {
+		if err := compressStrBlock(c.cur); err != nil {
+			// Explicit plain fallback: the block keeps its full Dict/Codes,
+			// the failure is counted and surfaced — never an empty dict.
+			c.compressErr = err
+			compressFallback.Add(1)
+		}
+	}
 	c.blocks = append(c.blocks, c.cur)
 	c.zones = append(c.zones, c.curZone)
 	c.cur = nil
 	c.curDict = nil
+}
+
+// compressStrBlock rewrites a string block into the compressed sealed
+// form when the seal-compression policy asks for it: the dictionary is
+// sorted (front-coding wants ordered neighbours), codes are remapped
+// through the sort permutation and bit-packed, and the dictionary is
+// pair-table compressed. Under CompressAuto the rewrite is kept only when
+// it beats the plain resident footprint. A build error (budget exceeded)
+// leaves the block plain and is returned for the sealer to surface.
+func compressStrBlock(b *Block) error {
+	mode := SealCompression()
+	if mode == CompressOff || len(b.Dict) == 0 || b.N < int(compressMinRows.Load()) {
+		return nil
+	}
+	sorted, remap := blockzip.SortWithPermutation(b.Dict)
+	d, err := blockzip.Build(sorted, int(compressBudget.Load()))
+	if err != nil {
+		return err
+	}
+	codes := make([]uint32, b.N)
+	for i, old := range b.Codes {
+		codes[i] = uint32(remap[old])
+	}
+	packed := blockzip.PackU32(codes, uint32(d.Len()-1))
+	if mode == CompressAuto {
+		comp := int64(d.CompressedBytes() + packed.Bytes())
+		if comp >= plainStrBytes(b) {
+			return nil
+		}
+	}
+	b.ZDict = d
+	b.ZCodes = packed
+	b.Dict, b.Codes = nil, nil
+	compressedBlocks.Add(1)
+	return nil
+}
+
+// plainStrBytes is the resident footprint of a plain string block: the
+// dictionary bytes, one 16-byte string header per entry, and 4-byte codes.
+func plainStrBytes(b *Block) int64 {
+	var n int64
+	for _, s := range b.Dict {
+		n += int64(len(s))
+	}
+	return n + 16*int64(len(b.Dict)) + 4*int64(b.N)
 }
 
 // compressIntBlock bit-packs an integer block when that shrinks it: values
@@ -374,9 +543,49 @@ func (c *Column) TotalDomain() domain.D { return c.Domain(0, len(c.blocks)) }
 // statistics of Table III.
 func (c *Column) DictStats() (entries int) {
 	for _, b := range c.blocks {
-		entries += len(b.Dict)
+		entries += b.DictLen()
 	}
 	return entries
+}
+
+// Footprint returns the column's resident sealed bytes (compressed, the
+// form actually held in RAM) against the would-be-plain bytes the same
+// data would occupy fully decompressed — the accounting surfaced on
+// /metrics and in the bench perf JSON.
+func (c *Column) Footprint() (compressed, plain int64) {
+	for _, b := range c.blocks {
+		nulls := int64(len(b.Nulls))
+		switch {
+		case b.ZDict != nil:
+			compressed += int64(b.ZDict.CompressedBytes()+b.ZCodes.Bytes()) + nulls
+			plain += b.ZDict.RawBytes() + 16*int64(b.ZDict.Len()) + 4*int64(b.N) + nulls
+		case c.Type == vec.Str:
+			p := plainStrBytes(b) + nulls
+			compressed += p
+			plain += p
+		case b.Packed():
+			compressed += 8*int64(len(b.PackWords)) + nulls
+			plain += int64(c.Type.Width()*b.N) + nulls
+		default:
+			w := int64(c.Type.Width() * b.N)
+			if c.Type == vec.F64 {
+				w = 8 * int64(b.N)
+			}
+			compressed += w + nulls
+			plain += w + nulls
+		}
+	}
+	return compressed, plain
+}
+
+// Footprint sums the per-column footprints of the table.
+func (t *Table) Footprint() (compressed, plain int64) {
+	for _, c := range t.Cols {
+		cc, pp := c.Footprint()
+		compressed += cc
+		plain += pp
+	}
+	return compressed, plain
 }
 
 // ScanBlock materializes block bi into out (which must have capacity for
@@ -403,6 +612,16 @@ func (c *Column) ScanBlock(bi int, out *vec.Vector, st *strs.Store) int {
 	case vec.F64:
 		copy(out.F64, b.F64)
 	case vec.Str:
+		if b.ZDict != nil {
+			refs := make([]vec.StrRef, b.ZDict.Len())
+			b.ZDict.ForEach(func(i int, s []byte) {
+				refs[i] = st.Intern(string(s))
+			})
+			for i := 0; i < b.N; i++ {
+				out.Str[i] = refs[b.ZCodes.At(i)]
+			}
+			break
+		}
 		refs := make([]vec.StrRef, len(b.Dict))
 		for i, s := range b.Dict {
 			refs[i] = st.Intern(s)
@@ -412,6 +631,24 @@ func (c *Column) ScanBlock(bi int, out *vec.Vector, st *strs.Store) int {
 		}
 	}
 	return finishScan(b, out)
+}
+
+// StrAt decodes the single string at (block bi, row) and returns it with
+// the number of bytes the access decompressed: for a compressed block only
+// the entry's bucket chain is decoded — never the dictionary, never the
+// block — which is the point-gather contract the acceptance counter test
+// pins. scratch is reused across calls; the returned string aliases it.
+func (c *Column) StrAt(bi, row int, scratch []byte) (s []byte, decoded int, scratchOut []byte) {
+	if c.Type != vec.Str {
+		panic("storage: StrAt on " + c.Type.String())
+	}
+	b := c.blocks[bi]
+	if b.ZDict != nil {
+		return b.ZDict.StrAt(int(b.ZCodes.At(row)), scratch)
+	}
+	v := b.Dict[b.Codes[row]]
+	scratch = append(scratch[:0], v...)
+	return scratch, 0, scratch
 }
 
 // finishScan copies the block's NULL mask into the materialization buffer.
@@ -483,6 +720,24 @@ func (c *Column) ViewBlock(bi int, out *vec.Vector, st *strs.Store, refScratch [
 		out.PackMin = b.PackMin
 		out.PackOff = 0
 		out.PackLen = b.N
+	case c.Type == vec.Str && b.ZDict != nil:
+		// Compressed dictionary: decode each distinct string exactly once
+		// (that is the only decompression the block view pays — row codes
+		// stay bit-packed and alias the sealed words zero-copy), and count
+		// the decoded dictionary bytes against the decompression budget.
+		refScratch = refScratch[:0]
+		b.ZDict.ForEach(func(_ int, s []byte) {
+			refScratch = append(refScratch, st.Intern(string(s)))
+			bytes += len(s)
+		})
+		out.Enc = vec.EncDict
+		out.DictRefs = refScratch
+		out.Packed = b.ZCodes.Words
+		out.PackBits = b.ZCodes.Bits
+		out.PackMin = 0
+		out.PackOff = 0
+		out.PackLen = b.N
+		bytes += b.ZDict.Len() * 8
 	case c.Type == vec.Str:
 		refScratch = refScratch[:0]
 		for _, s := range b.Dict {

@@ -1,0 +1,93 @@
+package tpch
+
+import (
+	"fmt"
+	"testing"
+
+	"ocht/internal/core"
+	"ocht/internal/exec"
+	"ocht/internal/storage"
+	"ocht/internal/vec"
+)
+
+// genSealed generates the benchmark catalog under the given seal-compression
+// policy and restores the process defaults afterwards.
+func genSealed(mode storage.CompressMode, minRows int) *storage.Catalog {
+	storage.SetSealCompression(mode)
+	storage.SetCompressMinRows(minRows)
+	defer func() {
+		storage.SetSealCompression(storage.CompressAuto)
+		storage.SetCompressMinRows(4096)
+	}()
+	return Gen(0.005, 42)
+}
+
+// compressedBlocks counts string blocks held in the compressed sealed form.
+func compressedBlocks(cat *storage.Catalog) int {
+	n := 0
+	for _, name := range cat.Names() {
+		for _, c := range cat.Table(name).Cols {
+			if c.Type != vec.Str {
+				continue
+			}
+			for bi := 0; bi < c.Blocks(); bi++ {
+				if c.Block(bi).DictCompressed() {
+					n++
+				}
+			}
+		}
+	}
+	return n
+}
+
+// TestAllQueriesSealCompressedMatchPlain is the storage-layer acceptance
+// check of optimistic seal compression: every TPC-H query, at every worker
+// count, must return byte-identical results whether the catalog's string
+// blocks were sealed compressed (pair-table dictionaries + bit-packed
+// codes) or plain.
+func TestAllQueriesSealCompressedMatchPlain(t *testing.T) {
+	plainCat := genSealed(storage.CompressOff, 1)
+	compCat := genSealed(storage.CompressOn, 1)
+	if n := compressedBlocks(compCat); n == 0 {
+		t.Fatal("forced compression sealed no compressed string blocks")
+	}
+	if n := compressedBlocks(plainCat); n != 0 {
+		t.Fatalf("CompressOff sealed %d compressed blocks", n)
+	}
+	for q := 1; q <= 22; q++ {
+		ref := exec.NewQCtx(core.All())
+		want := resKey(Q(q, plainCat, ref))
+		for _, workers := range []int{1, 2, 4} {
+			t.Run(fmt.Sprintf("q%d/w%d", q, workers), func(t *testing.T) {
+				qc := exec.NewQCtx(core.All())
+				qc.Workers = workers
+				got := resKey(Q(q, compCat, qc))
+				if len(got) != len(want) {
+					t.Fatalf("compressed %d rows, plain %d", len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("row %d:\n  compressed %s\n  plain      %s", i, got[i], want[i])
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestSealCompressedFootprint is the footprint smoke gate (run by CI): on
+// the string-heavy TPC-H tables, sealing compressed must cut the resident
+// string footprint to at most 60% of plain while the whole-table scans
+// above stay byte-identical.
+func TestSealCompressedFootprint(t *testing.T) {
+	compCat := genSealed(storage.CompressOn, 1)
+	for _, name := range []string{"orders", "customer", "part"} {
+		comp, plain := compCat.Table(name).Footprint()
+		if comp >= plain*60/100 {
+			t.Errorf("%s: compressed footprint %d bytes > 60%% of plain %d", name, comp, plain)
+		} else {
+			t.Logf("%s: %d -> %d resident bytes (%.1f%%)",
+				name, plain, comp, 100*float64(comp)/float64(plain))
+		}
+	}
+}

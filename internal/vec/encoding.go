@@ -53,9 +53,25 @@ func (v *Vector) packedAt(i int) int64 {
 //ocht:hot
 func (v *Vector) StrRefAt(i int) StrRef {
 	if v.Enc == EncDict {
-		return v.DictRefs[v.Codes[i]]
+		if v.Codes != nil {
+			return v.DictRefs[v.Codes[i]]
+		}
+		return v.DictRefs[v.packedAt(i)]
 	}
 	return v.Str[i]
+}
+
+// CodeAt returns the dictionary code at physical position i of an EncDict
+// vector, reading either the plain code slice or the bit-packed code words
+// a compressed sealed block aliases into the view (PackMin is always 0
+// for code words).
+//
+//ocht:hot
+func (v *Vector) CodeAt(i int) int32 {
+	if v.Codes != nil {
+		return v.Codes[i]
+	}
+	return int32(v.packedAt(i))
 }
 
 // MaterializeInto decodes every row of v into dst, which must be a plain
@@ -68,8 +84,14 @@ func (v *Vector) MaterializeInto(dst *Vector) {
 	switch v.Enc {
 	case EncDict:
 		out := dst.Str[:n]
-		for i, c := range v.Codes {
-			out[i] = v.DictRefs[c]
+		if v.Codes != nil {
+			for i, c := range v.Codes {
+				out[i] = v.DictRefs[c]
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				out[i] = v.DictRefs[v.packedAt(i)]
+			}
 		}
 	case EncPacked:
 		bits := uint(v.PackBits)
@@ -136,8 +158,14 @@ func (v *Vector) MaterializeRowsInto(dst *Vector, rows []int32) {
 	dst.Nulls = v.Nulls
 	switch v.Enc {
 	case EncDict:
-		for _, r := range rows {
-			dst.Str[r] = v.DictRefs[v.Codes[r]]
+		if v.Codes != nil {
+			for _, r := range rows {
+				dst.Str[r] = v.DictRefs[v.Codes[r]]
+			}
+		} else {
+			for _, r := range rows {
+				dst.Str[r] = v.DictRefs[v.packedAt(int(r))]
+			}
 		}
 	case EncPacked:
 		bits := uint(v.PackBits)

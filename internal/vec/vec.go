@@ -146,7 +146,10 @@ type Vector struct {
 	// EncDict (Str only): Codes holds per-row dictionary codes into
 	// DictRefs, the per-block code -> string-reference table. DictRefs are
 	// ordinary StrRefs (USSR-resident or heap), so string resolution stays
-	// a plain array lookup at emission time.
+	// a plain array lookup at emission time. When Codes is nil the codes
+	// are instead bit-packed in the Packed* fields below (PackMin 0) —
+	// the zero-copy view of a compressed sealed block's code column; use
+	// CodeAt/StrRefAt, or branch on Codes once per kernel.
 	Codes    []int32
 	DictRefs []StrRef
 
@@ -191,7 +194,10 @@ func New(t Type, n int) *Vector {
 func (v *Vector) Len() int {
 	switch v.Enc {
 	case EncDict:
-		return len(v.Codes)
+		if v.Codes != nil {
+			return len(v.Codes)
+		}
+		return v.PackLen // bit-packed codes from a compressed sealed block
 	case EncPacked:
 		return v.PackLen
 	}
