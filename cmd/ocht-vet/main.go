@@ -5,10 +5,19 @@
 //
 // Usage:
 //
-//	ocht-vet [-run name[,name...]] [dir]
+//	ocht-vet [-run name[,name...]] [-pkg suffix[,suffix...]] \
+//	         [-json] [-baseline file] [dir]
 //
 // dir defaults to the current directory; the module root is discovered by
-// walking up to go.mod. -run restricts the suite to the named analyzers.
+// walking up to go.mod. Loading and analysis are always whole-module
+// (cross-package facts need every dependency visited); -run restricts
+// which analyzers run, -pkg restricts which packages' findings are
+// *reported* (import-path suffix match, e.g. -pkg internal/dist).
+//
+// -json writes a machine-readable report to stdout. -baseline subtracts
+// the findings recorded in the given vet-baseline.json first: only new
+// findings are reported and only new findings fail the run — CI stays
+// green on a known debt while refusing fresh violations.
 package main
 
 import (
@@ -22,6 +31,9 @@ import (
 
 func main() {
 	runFilter := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	pkgFilter := flag.String("pkg", "", "comma-separated import-path suffixes to report on (default: all)")
+	jsonOut := flag.Bool("json", false, "write findings as JSON to stdout")
+	baseline := flag.String("baseline", "", "baseline report; findings present in it are not reported")
 	list := flag.Bool("list", false, "list analyzers and exit")
 	flag.Parse()
 
@@ -74,11 +86,47 @@ func main() {
 	}
 
 	diags := analysis.Run(pkgs, suite)
-	for _, d := range diags {
-		fmt.Printf("%s: %s: %s\n", d.Pos, d.Analyzer, d.Message)
+	if *pkgFilter != "" {
+		var suffixes []string
+		for _, s := range strings.Split(*pkgFilter, ",") {
+			if s = strings.TrimSpace(s); s != "" {
+				suffixes = append(suffixes, s)
+			}
+		}
+		var kept []analysis.Diagnostic
+		for _, d := range diags {
+			for _, s := range suffixes {
+				if d.PkgPath == s || strings.HasSuffix(d.PkgPath, "/"+s) {
+					kept = append(kept, d)
+					break
+				}
+			}
+		}
+		diags = kept
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "ocht-vet: %d finding(s)\n", len(diags))
+
+	report := analysis.NewReport(loader.Root, diags)
+	if *baseline != "" {
+		base, err := analysis.LoadBaseline(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ocht-vet: %v\n", err)
+			os.Exit(2)
+		}
+		report = report.Subtract(base)
+	}
+
+	if *jsonOut {
+		if err := report.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "ocht-vet: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range report.Findings {
+			fmt.Printf("%s:%d:%d: %s: %s\n", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+		}
+	}
+	if n := len(report.Findings); n > 0 {
+		fmt.Fprintf(os.Stderr, "ocht-vet: %d finding(s)\n", n)
 		os.Exit(1)
 	}
 }

@@ -46,6 +46,7 @@ type Pass struct {
 	Info     *types.Info
 
 	diags *[]Diagnostic
+	facts *factStore
 }
 
 // Diagnostic is one reported violation.
@@ -53,6 +54,7 @@ type Diagnostic struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+	PkgPath  string // import path of the package the finding is in
 }
 
 func (d Diagnostic) String() string {
@@ -65,6 +67,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		Pos:      p.Fset.Position(pos),
 		Analyzer: p.Analyzer.Name,
 		Message:  fmt.Sprintf(format, args...),
+		PkgPath:  p.Path,
 	})
 }
 
@@ -87,8 +90,16 @@ func (p *Pass) TypeOf(e ast.Expr) types.Type {
 }
 
 // Run executes the analyzers over the packages and returns all
-// diagnostics sorted by position.
+// diagnostics sorted by position, after filtering suppressions.
+//
+// The packages must be in dependency order (imports first) — that is the
+// order Loader.LoadAll returns — so facts an analyzer exports while
+// visiting a package are available to its passes over every importing
+// package. Findings carrying a same-line or preceding-line
+// //ocht:allow(<analyzer>) directive with a justification are filtered
+// out; malformed or unused directives become findings themselves.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	facts := newFactStore()
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
@@ -100,10 +111,12 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 				Pkg:      pkg.Types,
 				Info:     pkg.Info,
 				diags:    &diags,
+				facts:    facts,
 			}
 			a.Run(pass)
 		}
 	}
+	diags = applyAllows(pkgs, analyzers, diags)
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i].Pos, diags[j].Pos
 		if a.Filename != b.Filename {

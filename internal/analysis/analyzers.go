@@ -14,6 +14,11 @@ func Suite() []*Analyzer {
 		AtomicField,
 		CancelPoll,
 		WALErr,
+		EncSwitch,
+		ViewLife,
+		GoCtx,
+		GuardedBy,
+		ErrClass,
 	}
 }
 

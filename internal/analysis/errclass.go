@@ -1,0 +1,204 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// wireFact marks a function whose errors originate from the shard wire
+// protocol: methods on the dist Client (seed) and, transitively, every
+// error-returning function that calls one (Replica.CatchUp wraps
+// Client.WALEntries; its callers face wire errors too).
+type wireFact struct{}
+
+func (wireFact) AFact() {}
+
+// ErrClass enforces the wire-error classification rule in internal/dist:
+// errors crossing the shard boundary split into transient faults (worth a
+// retry or a hedge) and fatal protocol/application errors (retrying loops
+// forever or hides corruption), and the Transient classifier is the one
+// place that decides. Two patterns defeat it:
+//
+//   - discarding a wire call's error (blank assignment or bare call
+//     statement) — the fatal case vanishes;
+//   - a retry loop (one that can `continue` past a wire call) that never
+//     consults Transient — fatal errors are retried forever.
+var ErrClass = &Analyzer{
+	Name: "errclass",
+	Doc: "flags wire-boundary errors in internal/dist that bypass the " +
+		"Transient classifier: discarded Client-call errors and retry loops " +
+		"that never classify before retrying",
+	Run: runErrClass,
+}
+
+func runErrClass(pass *Pass) {
+	if !pass.PathHasSuffix("internal/dist") {
+		return
+	}
+	// Rounds 1-2 derive wire facts (declaration order independent),
+	// round 3 reports.
+	for round := 0; round < 3; round++ {
+		report := round == 2
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				deriveWireFact(pass, fd)
+				if report {
+					checkErrClass(pass, fd)
+				}
+			}
+		}
+	}
+}
+
+// deriveWireFact seeds methods on *Client and propagates to
+// error-returning functions that call a wire function.
+func deriveWireFact(pass *Pass, fd *ast.FuncDecl) {
+	obj := pass.Info.Defs[fd.Name]
+	if obj == nil || pass.HasObjectFact(obj, &wireFact{}) {
+		return
+	}
+	if isClientMethod(pass, fd) && returnsError(obj) {
+		pass.ExportObjectFact(obj, &wireFact{})
+		return
+	}
+	if !returnsError(obj) {
+		return
+	}
+	wire := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if wire {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if callee := calleeObject(pass, call); callee != nil && pass.HasObjectFact(callee, &wireFact{}) {
+				wire = true
+			}
+		}
+		return !wire
+	})
+	if wire {
+		pass.ExportObjectFact(obj, &wireFact{})
+	}
+}
+
+func isClientMethod(pass *Pass, fd *ast.FuncDecl) bool {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return false
+	}
+	t := pass.TypeOf(fd.Recv.List[0].Type)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Client"
+}
+
+func returnsError(obj types.Object) bool {
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	return errorResultIndex(sig) >= 0
+}
+
+// errorResultIndex returns the position of the (last) error result, or -1.
+func errorResultIndex(sig *types.Signature) int {
+	res := sig.Results()
+	for i := res.Len() - 1; i >= 0; i-- {
+		if named, ok := res.At(i).Type().(*types.Named); ok && named.Obj().Name() == "error" {
+			return i
+		}
+	}
+	return -1
+}
+
+func checkErrClass(pass *Pass, fd *ast.FuncDecl) {
+	// Rule 1: discarded wire errors, anywhere in the body (including
+	// closures: a hedge goroutine dropping errors is still a drop).
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch t := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := t.X.(*ast.CallExpr); ok {
+				if name, idx := wireCallWithError(pass, call); idx >= 0 {
+					pass.Reportf(call.Pos(),
+						"error from wire call %s discarded; run it through Transient and surface fatal errors instead of dropping them",
+						name)
+				}
+			}
+			return false
+		case *ast.AssignStmt:
+			if len(t.Rhs) == 1 {
+				if call, ok := t.Rhs[0].(*ast.CallExpr); ok {
+					if name, idx := wireCallWithError(pass, call); idx >= 0 && idx < len(t.Lhs) {
+						if id, ok := t.Lhs[idx].(*ast.Ident); ok && id.Name == "_" {
+							pass.Reportf(call.Pos(),
+								"error from wire call %s assigned to _; run it through Transient and surface fatal errors instead of dropping them",
+								name)
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	// Rule 2: retry loops without classification. Closures spawned inside
+	// the loop run on their own schedule, so walkFuncBody skips them here.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		var body *ast.BlockStmt
+		switch t := n.(type) {
+		case *ast.ForStmt:
+			body = t.Body
+		case *ast.RangeStmt:
+			body = t.Body
+		default:
+			return true
+		}
+		wireName := ""
+		canRetry := false
+		classified := false
+		walkFuncBody(body, func(n ast.Node) bool {
+			switch t := n.(type) {
+			case *ast.CallExpr:
+				if name, idx := wireCallWithError(pass, t); idx >= 0 && wireName == "" {
+					wireName = name
+				}
+			case *ast.BranchStmt:
+				if t.Tok.String() == "continue" {
+					canRetry = true
+				}
+			case *ast.Ident:
+				if t.Name == "Transient" {
+					classified = true
+				}
+			}
+			return true
+		})
+		if wireName != "" && canRetry && !classified {
+			pass.Reportf(n.Pos(),
+				"retry loop around wire call %s never consults Transient; classify the error before retrying so fatal errors stop the loop",
+				wireName)
+		}
+		return true
+	})
+}
+
+// wireCallWithError returns the callee name and the error-result index of
+// a call to a wire-fact function, or ("", -1).
+func wireCallWithError(pass *Pass, call *ast.CallExpr) (string, int) {
+	obj := calleeObject(pass, call)
+	if obj == nil || !pass.HasObjectFact(obj, &wireFact{}) {
+		return "", -1
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok {
+		return "", -1
+	}
+	return obj.Name(), errorResultIndex(sig)
+}

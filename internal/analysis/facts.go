@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"go/types"
+	"reflect"
+	"sort"
+)
+
+// Fact is a typed statement an analyzer exports about one declaration —
+// "this function materializes its vector result", "this function makes a
+// wire call" — for passes over downstream packages to consume. The shape
+// mirrors golang.org/x/tools go/analysis facts, cut down to the in-process
+// case: the whole module is loaded at once, packages run in dependency
+// order (see Loader.LoadAll), so a fact exported while analyzing package P
+// is visible to every pass over a package that imports P. No encoding, no
+// fact files.
+//
+// Facts are namespaced per analyzer: an analyzer only sees facts it
+// exported itself. Each fact type should be a small struct implementing
+// AFact; lookups match on the concrete type.
+type Fact interface{ AFact() }
+
+// factStore holds every exported fact for one Run, keyed by analyzer,
+// object and concrete fact type.
+type factStore struct {
+	m map[factKey]Fact
+}
+
+type factKey struct {
+	analyzer string
+	obj      types.Object
+	typ      reflect.Type
+}
+
+func newFactStore() *factStore {
+	return &factStore{m: map[factKey]Fact{}}
+}
+
+// ExportObjectFact records a fact about obj, visible to later passes of
+// the same analyzer (including passes over importing packages — packages
+// run in dependency order). Re-exporting overwrites, which is what the
+// within-package fixpoint loops want.
+func (p *Pass) ExportObjectFact(obj types.Object, f Fact) {
+	if obj == nil || f == nil {
+		return
+	}
+	p.facts.m[factKey{p.Analyzer.Name, obj, reflect.TypeOf(f)}] = f
+}
+
+// ImportObjectFact copies the fact of f's concrete type about obj into f
+// and reports whether one was found. f must be a pointer to a fact struct.
+func (p *Pass) ImportObjectFact(obj types.Object, f Fact) bool {
+	if obj == nil {
+		return false
+	}
+	got, ok := p.facts.m[factKey{p.Analyzer.Name, obj, reflect.TypeOf(f)}]
+	if !ok {
+		return false
+	}
+	reflect.ValueOf(f).Elem().Set(reflect.ValueOf(got).Elem())
+	return true
+}
+
+// HasObjectFact reports whether a fact of f's concrete type exists for obj
+// without copying it.
+func (p *Pass) HasObjectFact(obj types.Object, f Fact) bool {
+	if obj == nil {
+		return false
+	}
+	_, ok := p.facts.m[factKey{p.Analyzer.Name, obj, reflect.TypeOf(f)}]
+	return ok
+}
+
+// FactedObjects returns every object the analyzer exported a fact of f's
+// concrete type about, sorted by name for deterministic iteration. Used by
+// tests to pin the cross-package fact contract.
+func (p *Pass) FactedObjects(f Fact) []types.Object {
+	t := reflect.TypeOf(f)
+	var out []types.Object
+	for k := range p.facts.m {
+		if k.analyzer == p.Analyzer.Name && k.typ == t {
+			out = append(out, k.obj)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}

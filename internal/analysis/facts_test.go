@@ -1,0 +1,49 @@
+package analysis
+
+import "testing"
+
+type testFact struct{ Tag string }
+
+func (testFact) AFact() {}
+
+// TestObjectFacts pins the fact store contract: per-analyzer namespacing,
+// copy-out semantics, and cross-pass visibility (two passes sharing a
+// store model one analyzer visiting two packages in dependency order).
+func TestObjectFacts(t *testing.T) {
+	pkg := loadSrc(t, `package p
+
+func A() {}
+func B() {}
+`)
+	objA := pkg.Types.Scope().Lookup("A")
+	objB := pkg.Types.Scope().Lookup("B")
+	if objA == nil || objB == nil {
+		t.Fatal("fixture objects missing")
+	}
+
+	store := newFactStore()
+	exporter := &Pass{Analyzer: &Analyzer{Name: "one"}, facts: store}
+	exporter.ExportObjectFact(objA, &testFact{Tag: "wire"})
+
+	// A later pass of the same analyzer (downstream package) sees it.
+	consumer := &Pass{Analyzer: &Analyzer{Name: "one"}, facts: store}
+	var got testFact
+	if !consumer.ImportObjectFact(objA, &got) || got.Tag != "wire" {
+		t.Fatalf("ImportObjectFact = %v, %q; want true, wire", true, got.Tag)
+	}
+	if consumer.HasObjectFact(objB, &testFact{}) {
+		t.Error("fact leaked to an object it was not exported on")
+	}
+
+	// A different analyzer sees nothing: facts are namespaced.
+	other := &Pass{Analyzer: &Analyzer{Name: "two"}, facts: store}
+	if other.HasObjectFact(objA, &testFact{}) {
+		t.Error("fact leaked across analyzers")
+	}
+
+	exporter.ExportObjectFact(objB, &testFact{Tag: "also"})
+	objs := consumer.FactedObjects(&testFact{})
+	if len(objs) != 2 || objs[0].Name() != "A" || objs[1].Name() != "B" {
+		t.Fatalf("FactedObjects = %v, want [A B]", objs)
+	}
+}

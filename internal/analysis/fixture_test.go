@@ -110,6 +110,11 @@ func TestUnsafePtrFixtures(t *testing.T)   { runFixtures(t, UnsafePtr) }
 func TestAtomicFieldFixtures(t *testing.T) { runFixtures(t, AtomicField) }
 func TestCancelPollFixtures(t *testing.T)  { runFixtures(t, CancelPoll) }
 func TestWALErrFixtures(t *testing.T)      { runFixtures(t, WALErr) }
+func TestEncSwitchFixtures(t *testing.T)   { runFixtures(t, EncSwitch) }
+func TestViewLifeFixtures(t *testing.T)    { runFixtures(t, ViewLife) }
+func TestGoCtxFixtures(t *testing.T)       { runFixtures(t, GoCtx) }
+func TestGuardedByFixtures(t *testing.T)   { runFixtures(t, GuardedBy) }
+func TestErrClassFixtures(t *testing.T)    { runFixtures(t, ErrClass) }
 
 // TestVecMaxLenPinned keeps the analyzer's duplicated constant in sync
 // with the engine's real batch capacity.
@@ -121,7 +126,10 @@ func TestVecMaxLenPinned(t *testing.T) {
 
 // TestSuiteNames guards the -run filter contract.
 func TestSuiteNames(t *testing.T) {
-	want := []string{"hotalloc", "selvec", "unsafeptr", "atomicfield", "cancelpoll", "walerr"}
+	want := []string{
+		"hotalloc", "selvec", "unsafeptr", "atomicfield", "cancelpoll", "walerr",
+		"encswitch", "viewlife", "goctx", "guardedby", "errclass",
+	}
 	suite := Suite()
 	if len(suite) != len(want) {
 		t.Fatalf("suite has %d analyzers, want %d", len(suite), len(want))

@@ -1,0 +1,194 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// goctxPackages are the layers that spawn background goroutines: the
+// distribution fan-out, the HTTP server, and the ingest WAL/sealer
+// runners. Pure kernel packages never spawn and stay out of scope.
+var goctxPackages = []string{
+	"internal/dist",
+	"internal/server",
+	"internal/ingest",
+}
+
+// goctxPollNames are the cancellation-poll helpers (shared with the
+// cancelpoll analyzer): calling one inside the goroutine body counts as a
+// shutdown path.
+var goctxPollNames = map[string]bool{
+	"checkCancel": true,
+	"CheckCancel": true,
+	"stopped":     true,
+	"Stopped":     true,
+}
+
+// GoCtx enforces goroutine shutdown discipline in the long-running
+// layers: every `go` statement must spawn work that can be told to stop —
+// by selecting/receiving on ctx.Done() or a stop/done/quit channel, by
+// calling a stop-poll helper, by being WaitGroup-joined (wg.Done in the
+// body), or by bounding all its work with a context it passes downstream.
+// A goroutine with none of these outlives Close() and leaks.
+var GoCtx = &Analyzer{
+	Name: "goctx",
+	Doc: "flags goroutines in internal/dist, internal/server and " +
+		"internal/ingest with no shutdown path (no ctx.Done()/stop-channel " +
+		"select, no WaitGroup join, no context-bounded calls)",
+	Run: runGoCtx,
+}
+
+func runGoCtx(pass *Pass) {
+	if !pass.PathHasSuffix(goctxPackages...) {
+		return
+	}
+	// Resolve named spawn targets to their same-package bodies.
+	bodies := map[types.Object]*ast.BlockStmt{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj := pass.Info.Defs[fd.Name]; obj != nil {
+					bodies[obj] = fd.Body
+				}
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			var body ast.Node
+			switch fun := gs.Call.Fun.(type) {
+			case *ast.FuncLit:
+				body = fun.Body
+			default:
+				if obj := calleeObject(pass, gs.Call); obj != nil {
+					if b, ok := bodies[obj]; ok {
+						body = b
+					}
+				}
+			}
+			// A context handed to the spawned function bounds it even when
+			// the body is out of reach (external callee).
+			if goCallPassesContext(pass, gs.Call) {
+				return true
+			}
+			if body == nil {
+				pass.Reportf(gs.Pos(),
+					"goroutine spawns an unresolvable function with no context argument; give it a ctx or a stop channel so Close() can reach it")
+				return true
+			}
+			if !hasShutdownPath(pass, body) {
+				pass.Reportf(gs.Pos(),
+					"goroutine has no shutdown path: select/receive on ctx.Done() or a stop channel, join it with a WaitGroup (wg.Done), or bound its work with a context")
+			}
+			return true
+		})
+	}
+}
+
+// goCallPassesContext reports whether the go statement's call carries a
+// context.Context argument.
+func goCallPassesContext(pass *Pass, call *ast.CallExpr) bool {
+	for _, a := range call.Args {
+		if isContextType(pass.TypeOf(a)) {
+			return true
+		}
+	}
+	return false
+}
+
+// hasShutdownPath scans a goroutine body for any accepted stop mechanism.
+func hasShutdownPath(pass *Pass, body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch t := n.(type) {
+		case *ast.UnaryExpr:
+			if t.Op == token.ARROW && isStopSource(pass, t.X) {
+				found = true
+			}
+		case *ast.RangeStmt:
+			// Ranging over a channel ends when the sender closes it.
+			if typ := pass.TypeOf(t.X); typ != nil {
+				if _, ok := typ.Underlying().(*types.Chan); ok {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			switch fun := t.Fun.(type) {
+			case *ast.Ident:
+				if goctxPollNames[fun.Name] {
+					found = true
+				}
+			case *ast.SelectorExpr:
+				if goctxPollNames[fun.Sel.Name] {
+					found = true
+				}
+				if fun.Sel.Name == "Done" && isWaitGroup(pass.TypeOf(fun.X)) {
+					found = true // joined: the spawner's Wait bounds its lifetime
+				}
+			}
+			if goCallPassesContext(pass, t) {
+				found = true // work is bounded by a context downstream
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isStopSource matches the receive operand: ctx.Done() (or any Done()
+// call returning a channel) and channels whose name says shutdown.
+func isStopSource(pass *Pass, e ast.Expr) bool {
+	switch t := e.(type) {
+	case *ast.CallExpr:
+		if sel, ok := t.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+			return true
+		}
+	case *ast.Ident:
+		return isStopName(t.Name)
+	case *ast.SelectorExpr:
+		return isStopName(t.Sel.Name)
+	}
+	return false
+}
+
+func isStopName(name string) bool {
+	n := strings.ToLower(name)
+	for _, w := range []string{"stop", "done", "quit", "close", "shutdown"} {
+		if strings.Contains(n, w) {
+			return true
+		}
+	}
+	return false
+}
+
+func isContextType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+func isWaitGroup(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "WaitGroup"
+}

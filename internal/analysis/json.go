@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Finding is one diagnostic in the machine-readable report. File paths are
+// module-root-relative so the checked-in baseline is stable across
+// checkouts; Line/Col are informational and deliberately excluded from
+// baseline matching (a baselined finding must not resurface as "new" just
+// because unrelated edits shifted it).
+type Finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Package  string `json:"package"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// Report is the -json output document and the vet-baseline.json schema.
+type Report struct {
+	Findings []Finding `json:"findings"`
+}
+
+// NewReport converts diagnostics into a report, relativizing file paths
+// against the module root.
+func NewReport(root string, diags []Diagnostic) *Report {
+	r := &Report{Findings: []Finding{}}
+	for _, d := range diags {
+		file := d.Pos.Filename
+		if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = filepath.ToSlash(rel)
+		}
+		r.Findings = append(r.Findings, Finding{
+			File:     file,
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Package:  d.PkgPath,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	return r
+}
+
+// WriteJSON renders the report with stable formatting.
+func (r *Report) WriteJSON(w *os.File) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// LoadBaseline reads a baseline report from disk. A missing file is an
+// empty baseline, so a fresh checkout without one still vets strictly.
+func LoadBaseline(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return &Report{}, nil
+		}
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("analysis: baseline %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// baselineKey identifies a finding for baseline matching: file + analyzer
+// + message, not line/col (see Finding).
+func baselineKey(f Finding) string {
+	return f.File + "\x00" + f.Analyzer + "\x00" + f.Message
+}
+
+// Subtract returns the findings of r not covered by the baseline. The
+// baseline is a multiset: two identical findings with one baselined leave
+// one new.
+func (r *Report) Subtract(base *Report) *Report {
+	budget := map[string]int{}
+	for _, f := range base.Findings {
+		budget[baselineKey(f)]++
+	}
+	out := &Report{Findings: []Finding{}}
+	for _, f := range r.Findings {
+		k := baselineKey(f)
+		if budget[k] > 0 {
+			budget[k]--
+			continue
+		}
+		out.Findings = append(out.Findings, f)
+	}
+	return out
+}

@@ -23,6 +23,9 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+	// Imports lists the module-internal packages this package imports —
+	// the edges LoadAll orders the result by.
+	Imports []string
 }
 
 // Loader parses and type-checks the module's packages using only the
@@ -144,7 +147,43 @@ func (l *Loader) LoadAll() ([]*Package, error) {
 		}
 		out = append(out, pkg)
 	}
-	return out, nil
+	return topoSort(out), nil
+}
+
+// topoSort orders packages so every package comes after the packages it
+// imports. Cross-package facts require this: an analyzer visiting
+// internal/exec must already have visited internal/vec, or the facts it
+// wants to consume were never exported. The input's alphabetical order
+// only satisfied that by accident of current package names ("exec" >
+// "core" but also "agg" < "vec" — aggregation consumes vec facts and
+// would have run first). Ties keep alphabetical order so the output is
+// deterministic.
+func topoSort(pkgs []*Package) []*Package {
+	byPath := make(map[string]*Package, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.Path] = p
+	}
+	out := make([]*Package, 0, len(pkgs))
+	state := map[string]int{} // 0 unvisited, 1 visiting, 2 done
+	var visit func(p *Package)
+	visit = func(p *Package) {
+		switch state[p.Path] {
+		case 1, 2:
+			return // cycle (rejected earlier by check) or already emitted
+		}
+		state[p.Path] = 1
+		for _, imp := range p.Imports {
+			if dep, ok := byPath[imp]; ok {
+				visit(dep)
+			}
+		}
+		state[p.Path] = 2
+		out = append(out, p)
+	}
+	for _, p := range pkgs { // input is alphabetical: deterministic ties
+		visit(p)
+	}
+	return out
 }
 
 // importPathFor maps a directory under the module root to its import path.
@@ -287,13 +326,26 @@ func (l *Loader) check(path string) (*Package, error) {
 	if err != nil {
 		return nil, fmt.Errorf("analysis: %s: %w", path, err)
 	}
+	var internal []string
+	seen := map[string]bool{}
+	for _, f := range ent.files {
+		for _, spec := range f.Imports {
+			ip := strings.Trim(spec.Path.Value, `"`)
+			if (ip == l.Module || strings.HasPrefix(ip, l.Module+"/")) && !seen[ip] {
+				seen[ip] = true
+				internal = append(internal, ip)
+			}
+		}
+	}
+	sort.Strings(internal)
 	ent.pkg = &Package{
-		Dir:   ent.dir,
-		Path:  path,
-		Fset:  l.Fset,
-		Files: ent.files,
-		Types: tpkg,
-		Info:  info,
+		Dir:     ent.dir,
+		Path:    path,
+		Fset:    l.Fset,
+		Files:   ent.files,
+		Types:   tpkg,
+		Info:    info,
+		Imports: internal,
 	}
 	return ent.pkg, nil
 }

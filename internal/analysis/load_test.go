@@ -1,0 +1,66 @@
+package analysis
+
+import "testing"
+
+// TestTopoSortOrdersImportsFirst pins the load-order fix: alphabetical
+// order put "ocht/a" before its dependency "ocht/z", so fact-consuming
+// passes ran before the facts existed.
+func TestTopoSortOrdersImportsFirst(t *testing.T) {
+	pkgs := []*Package{
+		{Path: "ocht/a", Imports: []string{"ocht/z"}},
+		{Path: "ocht/m", Imports: []string{"ocht/a", "ocht/z"}},
+		{Path: "ocht/z"},
+	}
+	got := topoSort(pkgs)
+	index := map[string]int{}
+	for i, p := range got {
+		index[p.Path] = i
+	}
+	if len(got) != len(pkgs) {
+		t.Fatalf("topoSort dropped packages: %d != %d", len(got), len(pkgs))
+	}
+	if !(index["ocht/z"] < index["ocht/a"] && index["ocht/a"] < index["ocht/m"]) {
+		order := make([]string, len(got))
+		for i, p := range got {
+			order[i] = p.Path
+		}
+		t.Fatalf("wrong order: %v", order)
+	}
+}
+
+// TestLoadAllDependencyOrder loads the real module and checks every
+// package appears after all of its module-internal imports — the
+// invariant cross-package facts depend on.
+func TestLoadAllDependencyOrder(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module load in -short mode")
+	}
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 5 {
+		t.Fatalf("suspiciously few packages loaded: %d", len(pkgs))
+	}
+	index := map[string]int{}
+	for i, p := range pkgs {
+		index[p.Path] = i
+	}
+	for _, p := range pkgs {
+		for _, imp := range p.Imports {
+			di, ok := index[imp]
+			if !ok {
+				t.Errorf("%s imports %s, which LoadAll did not return", p.Path, imp)
+				continue
+			}
+			if di >= index[p.Path] {
+				t.Errorf("%s (index %d) loaded before its import %s (index %d)",
+					p.Path, index[p.Path], imp, di)
+			}
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// AllowName is the pseudo-analyzer name diagnostics about the suppression
+// mechanism itself are reported under (missing justification, unused
+// directives).
+const AllowName = "allow"
+
+// allowRE matches a suppression directive. The justification text after
+// the closing parenthesis is mandatory: an allow with no reason is itself
+// a finding — future readers must know why the rule does not apply.
+var allowRE = regexp.MustCompile(`^//ocht:allow\(([a-zA-Z0-9_-]+)\)[ \t]*(.*)$`)
+
+// allowEntry is one parsed //ocht:allow(<analyzer>) <justification>
+// directive. Line-level entries suppress findings on their own line or the
+// line directly below (trailing comments and the comment-above idiom);
+// entries inside a function's doc comment suppress findings of that
+// analyzer anywhere in the function body.
+type allowEntry struct {
+	file          string
+	line          int
+	analyzer      string
+	justification string
+	pkgPath       string
+	// bodyStart/bodyEnd, when non-zero, widen the entry to a whole
+	// function (the directive sat in its doc comment).
+	bodyStart, bodyEnd int
+	used               bool
+}
+
+// applyAllows filters suppressed diagnostics and appends diagnostics for
+// malformed (justification-free) and unused directives. Unused directives
+// are only reported for analyzers that actually ran, so a -run subset
+// never flags the other analyzers' suppressions.
+func applyAllows(pkgs []*Package, analyzers []*Analyzer, diags []Diagnostic) []Diagnostic {
+	ran := map[string]bool{}
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+
+	var entries []*allowEntry
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			// Doc-comment directives widen to the declared function's body.
+			funcRange := map[int][2]int{} // directive line -> body line range
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Doc == nil || fd.Body == nil {
+					continue
+				}
+				start := pkg.Fset.Position(fd.Body.Pos()).Line
+				end := pkg.Fset.Position(fd.Body.End()).Line
+				for _, c := range fd.Doc.List {
+					if allowRE.MatchString(strings.TrimSpace(c.Text)) {
+						funcRange[pkg.Fset.Position(c.Pos()).Line] = [2]int{start, end}
+					}
+				}
+			}
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := allowRE.FindStringSubmatch(strings.TrimSpace(c.Text))
+					if m == nil {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					e := &allowEntry{
+						file:          pos.Filename,
+						line:          pos.Line,
+						analyzer:      m[1],
+						justification: strings.TrimSpace(m[2]),
+						pkgPath:       pkg.Path,
+					}
+					if r, ok := funcRange[pos.Line]; ok {
+						e.bodyStart, e.bodyEnd = r[0], r[1]
+					}
+					if e.justification == "" {
+						out = append(out, Diagnostic{
+							Pos:      pos,
+							Analyzer: AllowName,
+							Message:  "//ocht:allow(" + e.analyzer + ") is missing its justification; say why the rule does not apply here",
+							PkgPath:  pkg.Path,
+						})
+						continue // a justification-free allow suppresses nothing
+					}
+					entries = append(entries, e)
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		suppressed := false
+		for _, e := range entries {
+			if e.analyzer != d.Analyzer || e.file != d.Pos.Filename {
+				continue
+			}
+			if d.Pos.Line == e.line || d.Pos.Line == e.line+1 ||
+				(e.bodyStart != 0 && d.Pos.Line >= e.bodyStart && d.Pos.Line <= e.bodyEnd) {
+				e.used = true
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			out = append(out, d)
+		}
+	}
+
+	for _, e := range entries {
+		if !e.used && ran[e.analyzer] {
+			out = append(out, Diagnostic{
+				Pos:      positionAt(e),
+				Analyzer: AllowName,
+				Message:  "unused //ocht:allow(" + e.analyzer + "): it suppresses nothing; remove it",
+				PkgPath:  e.pkgPath,
+			})
+		}
+	}
+	return out
+}
+
+func positionAt(e *allowEntry) (p token.Position) {
+	p.Filename = e.file
+	p.Line = e.line
+	p.Column = 1
+	return p
+}

@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"go/ast"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadSrc parses+checks one in-memory fixture package.
+func loadSrc(t *testing.T, src string) *Package {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "p.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadFixture(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg
+}
+
+// fakeCallVet reports every call to val(); the tests below aim allow
+// directives at its diagnostics.
+var fakeCallVet = &Analyzer{
+	Name: "fake",
+	Doc:  "test analyzer: flags calls to val",
+	Run: func(p *Pass) {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "val" {
+						p.Reportf(call.Pos(), "call to val")
+					}
+				}
+				return true
+			})
+		}
+	},
+}
+
+func TestAllowDirectives(t *testing.T) {
+	pkg := loadSrc(t, `package p
+
+func val() int { return 1 }
+
+func suppressedLineAbove() int {
+	//ocht:allow(fake) the raw value is deliberate here
+	return val()
+}
+
+func missingJustification() int {
+	//ocht:allow(fake)
+	return val()
+}
+
+//ocht:allow(fake) stale directive: nothing in this function fires
+func stale() int { return 0 }
+
+//ocht:allow(fake) whole-body suppression via the doc comment
+func docSuppressed() int { return val() + val() }
+
+func unsuppressed() int { return val() }
+`)
+	diags := Run([]*Package{pkg}, []*Analyzer{fakeCallVet})
+	var got []string
+	for _, d := range diags {
+		got = append(got, d.Analyzer+": "+d.Message)
+	}
+	want := []struct{ analyzer, substr string }{
+		{AllowName, "missing its justification"},
+		{"fake", "call to val"}, // the justification-free allow suppresses nothing
+		{AllowName, "unused //ocht:allow(fake)"},
+		{"fake", "call to val"}, // unsuppressed()
+	}
+	if len(diags) != len(want) {
+		t.Fatalf("got %d diagnostics, want %d:\n%s", len(diags), len(want), strings.Join(got, "\n"))
+	}
+	for i, w := range want {
+		if diags[i].Analyzer != w.analyzer || !strings.Contains(diags[i].Message, w.substr) {
+			t.Errorf("diag[%d] = %s: %s, want analyzer %s containing %q",
+				i, diags[i].Analyzer, diags[i].Message, w.analyzer, w.substr)
+		}
+	}
+}
+
+// TestAllowUnusedOnlyForRanAnalyzers checks a -run subset does not flag
+// suppressions belonging to analyzers that did not run.
+func TestAllowUnusedOnlyForRanAnalyzers(t *testing.T) {
+	pkg := loadSrc(t, `package p
+
+func val() int { return 1 }
+
+func f() int {
+	//ocht:allow(otheranalyzer) justified elsewhere; its analyzer is not running
+	return 0
+}
+`)
+	diags := Run([]*Package{pkg}, []*Analyzer{fakeCallVet})
+	if len(diags) != 0 {
+		t.Fatalf("expected no diagnostics, got %v", diags)
+	}
+}

@@ -1,0 +1,89 @@
+// Package fixture seeds wire-error classification violations. Client and
+// Transient mirror the dist layer's wire client and classifier by name;
+// the virtual path puts the rule in scope.
+//
+//ocht:path ocht/internal/dist
+package fixture
+
+import "errors"
+
+// Client mirrors dist.Client: its methods are the wire boundary.
+type Client struct{}
+
+// ShardQuery is a wire call.
+func (c *Client) ShardQuery(shard string) (int, error) {
+	_ = shard
+	return 0, errors.New("boom")
+}
+
+// Push is a wire call with only an error result.
+func (c *Client) Push(shard string) error {
+	_ = shard
+	return errors.New("boom")
+}
+
+// Transient mirrors dist.Transient: the one place that classifies wire
+// errors into retryable and fatal.
+func Transient(err error) bool { return err == nil }
+
+// dropBare discards a wire error by calling for side effects only.
+func dropBare(c *Client) {
+	c.Push("a") // want "error from wire call Push discarded"
+}
+
+// dropBlank discards a wire error with a blank assignment.
+func dropBlank(c *Client) int {
+	n, _ := c.ShardQuery("a") // want "assigned to _"
+	return n
+}
+
+// retryNoClassify retries wire errors without asking what kind they are:
+// a fatal protocol error loops three times for nothing.
+func retryNoClassify(c *Client) int {
+	for i := 0; i < 3; i++ { // want "never consults Transient"
+		n, err := c.ShardQuery("a")
+		if err != nil {
+			continue
+		}
+		return n
+	}
+	return -1
+}
+
+// retryClassified is the sanctioned retry loop: fatal errors bail out.
+func retryClassified(c *Client) int {
+	for i := 0; i < 3; i++ {
+		n, err := c.ShardQuery("a")
+		if err != nil {
+			if !Transient(err) {
+				return -1
+			}
+			continue
+		}
+		return n
+	}
+	return -1
+}
+
+// pull wraps a wire call and returns its error: it inherits the wire
+// fact, so its callers face the same rules.
+func pull(c *Client) error { return c.Push("b") }
+
+// dropWrapped shows the fact propagating through the wrapper.
+func dropWrapped(c *Client) {
+	pull(c) // want "error from wire call pull discarded"
+}
+
+// forward neither drops nor blindly retries: fine.
+func forward(c *Client) error {
+	if err := c.Push("c"); err != nil {
+		return err
+	}
+	return nil
+}
+
+// suppressed documents a fire-and-forget probe.
+func suppressed(c *Client) {
+	//ocht:allow(errclass) warm-up probe; the caller only cares about side effects
+	c.Push("warmup")
+}

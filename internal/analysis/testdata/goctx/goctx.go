@@ -1,0 +1,97 @@
+// Package fixture seeds goroutine shutdown-discipline violations. The
+// virtual path places it in the dist layer, where the rule applies.
+//
+//ocht:path ocht/internal/dist
+package fixture
+
+import (
+	"context"
+	"sync"
+)
+
+var sink int
+
+// spin runs forever with no way to stop it.
+func spin() {
+	n := 0
+	for {
+		n++
+		sink = n
+	}
+}
+
+// leakLit spawns an unstoppable closure.
+func leakLit(work chan int) {
+	go func() { // want "no shutdown path"
+		for {
+			sink += <-work
+		}
+	}()
+}
+
+// leakNamed spawns an unstoppable named function.
+func leakNamed() {
+	go spin() // want "no shutdown path"
+}
+
+// stopAware selects on a stop channel: fine.
+func stopAware(stop chan struct{}, work chan int) {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			case w := <-work:
+				sink += w
+			}
+		}
+	}()
+}
+
+// ctxAware selects on ctx.Done(): fine.
+func ctxAware(ctx context.Context, work chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case w := <-work:
+				sink += w
+			}
+		}
+	}()
+}
+
+// joined is WaitGroup-bounded: the spawner's Wait joins it.
+func joined(wg *sync.WaitGroup, xs []int) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, x := range xs {
+			sink += x
+		}
+	}()
+}
+
+// ranged drains a channel until the sender closes it: fine.
+func ranged(work chan int) {
+	go func() {
+		for w := range work {
+			sink += w
+		}
+	}()
+}
+
+// bounded hands the goroutine a context: its work is cancellable
+// downstream even though the body is out of analysis reach.
+func bounded(ctx context.Context) {
+	go waitOn(ctx)
+}
+
+func waitOn(ctx context.Context) { <-ctx.Done() }
+
+// suppressed documents a process-lifetime goroutine.
+func suppressed() {
+	//ocht:allow(goctx) process-lifetime metrics pump; dies with the process
+	go spin()
+}

@@ -1,0 +1,74 @@
+// Package fixture seeds //ocht:guarded-by violations: annotated fields
+// accessed without the named mutex held.
+package fixture
+
+import "sync"
+
+type counterSet struct {
+	mu sync.Mutex
+	//ocht:guarded-by mu
+	counts map[string]int
+	name   string // unannotated: free access
+}
+
+// newCounterSet is a constructor: the value is not shared yet.
+func newCounterSet(name string) *counterSet {
+	c := &counterSet{counts: map[string]int{}}
+	c.counts["boot"] = 1
+	c.name = name
+	return c
+}
+
+// Inc locks before touching the guarded field: fine.
+func (c *counterSet) Inc(k string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.counts[k]++
+}
+
+// Peek reads the guarded map with no lock anywhere in sight.
+func (c *counterSet) Peek(k string) int {
+	return c.counts[k] // want "no c.mu.Lock()/RLock() precedes this access in Peek"
+}
+
+// incLocked relies on the caller holding mu, and says so.
+func (c *counterSet) incLocked(k string) {
+	//ocht:allow(guardedby) callers hold c.mu; only Inc and Merge reach here
+	c.counts[k]++
+}
+
+// Merge locks once and calls the locked-convention helper.
+func (c *counterSet) Merge(other map[string]int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k, v := range other {
+		for i := 0; i < v; i++ {
+			c.incLocked(k)
+		}
+	}
+}
+
+// construct builds a local value: under construction, no lock needed.
+func construct() map[string]int {
+	local := &counterSet{counts: map[string]int{}}
+	local.counts["x"] = 1
+	return local.counts
+}
+
+type gauge struct {
+	mu sync.RWMutex
+	//ocht:guarded-by mu
+	v int64
+}
+
+// Load takes the read lock: fine.
+func (g *gauge) Load() int64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.v
+}
+
+// bump forgets the lock entirely.
+func (g *gauge) bump() {
+	g.v++ // want "no g.mu.Lock()/RLock() precedes this access in bump"
+}

@@ -33,7 +33,7 @@ func HashBad(dst []uint64, keys []string) {
 	for i, k := range keys {
 		b := []byte(k) // want "string<->[]byte conversion allocates inside hot kernel HashBad"
 		_ = b
-		sink(i) // want "argument boxed into interface parameter inside hot kernel HashBad"
+		sink(i)             // want "argument boxed into interface parameter inside hot kernel HashBad"
 		v := interface{}(k) // want "interface conversion (boxing) inside hot kernel HashBad"
 		_ = v
 		dst[i] = uint64(len(k))

@@ -45,7 +45,7 @@ func OpDenseInit(dst *Vector, rows []int32) {
 
 // OpConstBounds exercises the vec.MaxLen bounds rules.
 func OpConstBounds(sel []int32) int32 {
-	sel[0] = 4096 // want "selection-vector entry 4096"
+	sel[0] = 4096    // want "selection-vector entry 4096"
 	return sel[1024] // want "selection vector indexed at constant 1024"
 }
 

@@ -76,8 +76,10 @@ type Coordinator struct {
 	cfg    Config
 	client *Client
 
-	mu     sync.Mutex
+	mu sync.Mutex
+	//ocht:guarded-by mu
 	routes map[string]tableRoute
+	//ocht:guarded-by mu
 	health []shardHealth
 }
 

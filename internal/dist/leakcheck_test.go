@@ -1,0 +1,48 @@
+package dist
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// leakCheck is the runtime twin of the goctx analyzer: it snapshots the
+// goroutine count and, at cleanup, polls until the count returns to the
+// snapshot (finished goroutines unwind asynchronously) or a deadline
+// passes — at which point some spawned goroutine had no working shutdown
+// path. Call it at the top of any test that exercises the fan-out or
+// replica background machinery.
+func leakCheck(t *testing.T) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(2 * time.Second)
+		for {
+			if runtime.NumGoroutine() <= before {
+				return
+			}
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<16)
+				n := runtime.Stack(buf, true)
+				t.Errorf("goroutine leak: %d before, %d after\n%s",
+					before, runtime.NumGoroutine(), buf[:n])
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	})
+}
+
+// TestReplicaRunStopNoLeak drives the replica poll loop against an
+// unreachable primary and checks Stop reclaims every goroutine Run
+// spawned — including the per-pass cancellation watcher.
+func TestReplicaRunStopNoLeak(t *testing.T) {
+	leakCheck(t)
+	r := &Replica{
+		Primary:  "http://127.0.0.1:1", // nothing listens: every pass errors
+		Interval: 5 * time.Millisecond,
+	}
+	go r.Run()
+	time.Sleep(50 * time.Millisecond)
+	r.Stop()
+}

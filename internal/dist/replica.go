@@ -25,9 +25,11 @@ type Replica struct {
 	// SegmentRows caps rows per pulled segment (0 = primary's default).
 	SegmentRows int
 
-	mu       sync.Mutex
+	mu sync.Mutex
+	//ocht:guarded-by mu
 	caughtUp bool
-	lastErr  string
+	//ocht:guarded-by mu
+	lastErr string
 
 	stopOnce sync.Once
 	stop     chan struct{}
@@ -89,8 +91,12 @@ func (r *Replica) note(caughtUp bool, err error) {
 	r.mu.Unlock()
 }
 
-// Run polls until Stop is called. Pull errors are recorded in the
-// status (the primary may be restarting) and retried next period.
+// Run polls until Stop is called. Transient pull errors (the primary may
+// be restarting) are recorded in the status and retried next period;
+// non-transient errors — a protocol mismatch, a rejected segment — still
+// retry (the replica has no other recovery path) but on a stretched
+// interval, so a wedged replica doesn't hammer the primary while the
+// status endpoint reports the error.
 func (r *Replica) Run() {
 	r.mu.Lock()
 	if r.stop == nil {
@@ -114,12 +120,16 @@ func (r *Replica) Run() {
 			case <-ctx.Done():
 			}
 		}()
-		_, _ = r.CatchUp(ctx)
+		_, err := r.CatchUp(ctx)
 		cancel()
+		wait := interval
+		if err != nil && !Transient(err) {
+			wait = interval * 8
+		}
 		select {
 		case <-stop:
 			return
-		case <-time.After(interval):
+		case <-time.After(wait):
 		}
 	}
 }

@@ -332,6 +332,9 @@ func cellValue(qc *QCtx, v *vec.Vector, t vec.Type, i int) Value {
 // survived filtering pay decompression. The scratch grows to the largest
 // batch and is then allocation-free.
 func ensurePlain(v *vec.Vector, rows []int32, bufp **vec.Vector, phys int) *vec.Vector {
+	// Runtime twin of the encswitch rule: a fourth encoding added to the
+	// enum must teach this boundary about itself (debug builds panic).
+	vec.AssertEncHandled(v, vec.EncPlain, vec.EncDict, vec.EncPacked)
 	if v.Enc == vec.EncPlain {
 		return v
 	}

@@ -136,6 +136,7 @@ func (s *Scan) Next(qc *QCtx) *vec.Batch {
 				bytes += s.blockLen * c.Type.Width()
 			} else {
 				n, refs, db := c.ViewBlock(bi, s.views[i], qc.Store, s.dictRefs[i])
+				//ocht:retain-checked the scan owns this scratch: refs is handed back to the next ViewBlock call for reuse and is never read after that call
 				s.dictRefs[i] = refs
 				s.blockLen = n
 				bytes += db

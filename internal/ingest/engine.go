@@ -127,8 +127,10 @@ type Engine struct {
 	cat *storage.Catalog
 	cfg Config
 
-	mu     sync.RWMutex
+	mu sync.RWMutex
+	//ocht:guarded-by mu
 	tables map[string]*tableState
+	//ocht:guarded-by mu
 	closed bool
 
 	sealCh    chan struct{}
@@ -327,6 +329,7 @@ func (e *Engine) recoverTable(name string) error {
 	st.sealedRows = persisted
 	st.persistedRows = persisted
 	st.tail = tail
+	//ocht:allow(guardedby) recovery runs from Open before the engine is shared with any other goroutine
 	e.tables[name] = st
 	e.cat.Add(storage.ExtendTable(sealed, buildTable(name, schema, tail)))
 	e.wg.Add(1)

@@ -54,3 +54,20 @@ func TestDebugAssertsEnabled(t *testing.T) {
 		t.Fatal("ocht_debug build must set DebugAsserts")
 	}
 }
+
+// TestAssertEncHandled checks the encswitch runtime twin: an encoding
+// outside the dispatch's handled set panics, members pass.
+func TestAssertEncHandled(t *testing.T) {
+	v := New(I64, 4)
+	AssertEncHandled(v, EncPlain, EncDict, EncPacked)
+	AssertEncHandled(v, EncPlain)
+	v.Enc = EncPacked
+	AssertEncHandled(v, EncPacked)
+	mustPanic(t, "packed not handled", func() {
+		AssertEncHandled(v, EncPlain, EncDict)
+	})
+	v.Enc = EncDict
+	mustPanic(t, "dict not handled", func() {
+		AssertEncHandled(v, EncPlain)
+	})
+}

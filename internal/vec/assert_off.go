@@ -9,3 +9,6 @@ const DebugAsserts = false
 
 // AssertSel is a no-op in release builds; see assert_on.go.
 func AssertSel(sel []int32, phys int) {}
+
+// AssertEncHandled is a no-op in release builds; see assert_on.go.
+func AssertEncHandled(v *Vector, handled ...Encoding) {}

@@ -31,3 +31,17 @@ func AssertSel(sel []int32, phys int) {
 		prev = r
 	}
 }
+
+// AssertEncHandled panics if v's encoding is not one of the listed
+// handled encodings. It is the runtime twin of the encswitch analyzer:
+// materialization boundaries (exec.ensurePlain) call it with the
+// encodings their dispatch covers, so a new encoding added to the enum
+// trips a debug-build panic at every dispatch the static check missed.
+func AssertEncHandled(v *Vector, handled ...Encoding) {
+	for _, e := range handled {
+		if v.Enc == e {
+			return
+		}
+	}
+	panic(fmt.Sprintf("vec: encoding %d not handled at this dispatch (handled: %v)", v.Enc, handled))
+}

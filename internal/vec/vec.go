@@ -200,6 +200,8 @@ func (v *Vector) Len() int {
 		return v.PackLen // bit-packed codes from a compressed sealed block
 	case EncPacked:
 		return v.PackLen
+	case EncPlain:
+		// length lives in the typed payload slice below
 	}
 	switch v.Typ {
 	case Bool:
