@@ -33,7 +33,7 @@ func main() {
 	flag.IntVar(&cfg.MaxCard, "maxcard", cfg.MaxCard, "Fig 8 maximum build cardinality")
 	flag.Int64Var(&cfg.Seed, "seed", cfg.Seed, "generator seed")
 	flag.IntVar(&cfg.Workers, "workers", cfg.Workers, "parallel workers for the scaling experiment")
-	jsonOut := flag.String("json-out", "", "write a machine-readable join/agg/scaling perf report to this file and exit")
+	jsonOut := flag.String("json-out", "", "write a machine-readable perf report to this file and exit (full join/agg/scaling/scan/compress report, or the standalone scaling report with -exp scaling)")
 	serveURL := flag.String("serve-url", "", "load-generator mode: base URL of a running ocht-serve")
 	clients := flag.Int("clients", 4, "loadgen concurrent clients")
 	duration := flag.Duration("duration", 10*time.Second, "loadgen run length")
@@ -67,7 +67,11 @@ func main() {
 			os.Exit(1)
 		}
 		defer f.Close()
-		if err := bench.PerfJSON(f, cfg); err != nil {
+		write := bench.PerfJSON
+		if *exp == "scaling" {
+			write = bench.ScalingJSON
+		}
+		if err := write(f, cfg); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

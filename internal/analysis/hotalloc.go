@@ -22,9 +22,11 @@ var hotPackages = []string{
 
 // hotNameRE is the primitive naming convention: the paper-style kernel
 // prefixes (OpSum, FullSum, PackWord, UnpackColumn, MatchRecords,
-// HashWords and their unexported spellings). Functions outside the
-// convention opt in with a //ocht:hot doc directive.
-var hotNameRE = regexp.MustCompile(`^(Op|Full|Pack|Unpack|Match|Hash|op|full|pack|unpack|match|hash)[A-Z0-9]`)
+// HashWords and their unexported spellings), plus the SWAR and
+// batch-hash kernel families (SwarCmpConst, Mix64Batch) and the
+// comparison kernels (CmpOp dispatchers, cmpPackedConst). Functions
+// outside the convention opt in with a //ocht:hot doc directive.
+var hotNameRE = regexp.MustCompile(`^(Op|Full|Pack|Unpack|Match|Hash|Swar|Mix|Cmp|op|full|pack|unpack|match|hash|swar|mix|cmp)[A-Z0-9]`)
 
 // HotAlloc flags heap allocations, interface conversions (boxing) and
 // closures inside hot kernels: functions in the kernel packages matching

@@ -63,3 +63,27 @@ func buildPlan(n int) (func(int64) int64, []int64) {
 	add := func(x int64) int64 { return x + int64(n) }
 	return add, scratch
 }
+
+// SwarBad is hot by the SWAR kernel naming convention.
+func SwarBad(words []uint64, out []bool) {
+	scratch := make([]uint64, 2) // want "make() inside hot kernel SwarBad"
+	_ = scratch
+	for i := range out {
+		out[i] = words[i/8]&1 == 1
+	}
+}
+
+// mixBatchBad is the unexported batch-hash spelling.
+func mixBatchBad(w, out []uint64) {
+	lanes := []uint64{0, 1} // want "slice/map literal allocation inside hot kernel mixBatchBad"
+	for i := range w {
+		out[i] = w[i] ^ lanes[i&1]
+	}
+}
+
+// cmpPackedish follows the comparison-kernel convention and stays clean.
+func cmpPackedish(words []uint64, c uint64, out []bool) {
+	for i := range out {
+		out[i] = words[i] >= c
+	}
+}

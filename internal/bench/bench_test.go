@@ -122,6 +122,47 @@ func TestTable4CompressionWins(t *testing.T) {
 	}
 }
 
+func TestScalingRunShape(t *testing.T) {
+	cfg := smokeConfig()
+	cfg.Workers = 2
+	// Enough rows that the wide-group estimate clears the
+	// PartitionMinGroups floor and the adaptive plan partitions.
+	rep := ScalingRun(cfg, 20_000)
+	if rep.Schema != "ocht-scaling/1" || rep.Cpus < 1 || rep.Gomaxprocs < 1 {
+		t.Fatalf("report header: %+v", rep)
+	}
+	if want := len(scalingPlans) * 3; len(rep.Points) != want {
+		t.Fatalf("%d points, want %d", len(rep.Points), want)
+	}
+	byPlan := map[string][]ScalePoint{}
+	for _, p := range rep.Points {
+		byPlan[p.Plan] = append(byPlan[p.Plan], p)
+		if p.Workers == 1 && p.Speedup != 1.0 {
+			t.Errorf("%s w1 speedup %v, want 1", p.Plan, p.Speedup)
+		}
+		if p.TimeMs <= 0 || p.Groups <= 0 || p.MRowsPerSec <= 0 {
+			t.Errorf("degenerate point %+v", p)
+		}
+	}
+	// The wide-group adaptive plan must actually take the owner-computes
+	// path under parallel workers; the low-cardinality Q1 plan must not.
+	for _, p := range byPlan["widegroup-partitioned"] {
+		if p.Workers > 1 && !p.PartitionWise {
+			t.Errorf("widegroup-partitioned w%d did not go partition-wise", p.Workers)
+		}
+	}
+	for _, p := range byPlan["q1-lowcard"] {
+		if p.PartitionWise {
+			t.Errorf("q1-lowcard w%d went partition-wise despite the floor", p.Workers)
+		}
+	}
+	for _, p := range byPlan["widegroup-merge"] {
+		if p.PartitionWise {
+			t.Errorf("widegroup-merge w%d went partition-wise despite bits=0", p.Workers)
+		}
+	}
+}
+
 func TestScalingSmoke(t *testing.T) {
 	var buf bytes.Buffer
 	Scaling(&buf, smokeConfig())

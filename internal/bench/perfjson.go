@@ -32,21 +32,16 @@ type AggPoint struct {
 	Groups        int     `json:"groups"`
 }
 
-// ScalePoint is one worker count of the parallel aggregation sweep.
-type ScalePoint struct {
-	Workers int     `json:"workers"`
-	TimeMs  float64 `json:"time_ms"`
-	Speedup float64 `json:"speedup"`
-}
-
 // PerfJSON runs the join/agg/scaling perf probes and writes the report.
+// The scaling section is the same sweep as the standalone
+// BENCH_scaling.json report, at the smaller BIRows scale.
 func PerfJSON(w io.Writer, cfg Config) error {
 	rep := PerfReport{
 		Schema:   "ocht-perf/1",
 		Seed:     cfg.Seed,
 		Join:     JoinSelRun(cfg),
 		Agg:      aggPoints(cfg),
-		Scaling:  scalePoints(cfg),
+		Scaling:  ScalingRun(cfg, cfg.BIRows).Points,
 		Scan:     ScanSelRun(cfg),
 		Compress: CompressRun(cfg),
 	}
@@ -83,33 +78,3 @@ func aggPoints(cfg Config) []AggPoint {
 	return out
 }
 
-func scalePoints(cfg Config) []ScalePoint {
-	fact := scalingFact(cfg.BIRows, cfg.Seed)
-	series := []int{1, 2, 4}
-	if cfg.Workers > 4 {
-		series = append(series, cfg.Workers)
-	}
-	var out []ScalePoint
-	var base time.Duration
-	for _, workers := range series {
-		bestD := time.Duration(1<<63 - 1)
-		for rep := 0; rep < cfg.Reps; rep++ {
-			qc := exec.NewQCtx(core.All())
-			qc.Workers = workers
-			start := time.Now()
-			exec.Run(qc, scalingPlan(fact, -1))
-			if el := time.Since(start); el < bestD {
-				bestD = el
-			}
-		}
-		if workers == 1 {
-			base = bestD
-		}
-		out = append(out, ScalePoint{
-			Workers: workers,
-			TimeMs:  float64(bestD.Microseconds()) / 1000,
-			Speedup: float64(base) / float64(bestD),
-		})
-	}
-	return out
-}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"runtime"
 	"time"
 
 	"ocht/internal/agg"
@@ -83,6 +84,136 @@ func Scaling(w io.Writer, cfg Config) {
 	}
 }
 
+// ScalingReport is the standalone machine-readable scaling record written
+// by `ocht-bench -exp scaling -json-out BENCH_scaling.json`. It pins down
+// the machine it ran on (cpus, GOMAXPROCS) so a flat curve from a
+// single-CPU container is distinguishable from a real parallel
+// regression: the CI scaling job regenerates it on a multi-core runner
+// and gates on the partition-wise 4-worker speedup there.
+type ScalingReport struct {
+	Schema     string       `json:"schema"`
+	Seed       int64        `json:"seed"`
+	Cpus       int          `json:"cpus"`
+	Gomaxprocs int          `json:"gomaxprocs"`
+	Rows       int          `json:"rows"`
+	Points     []ScalePoint `json:"points"`
+}
+
+// ScalePoint is one (plan, worker count) cell of the parallel aggregation
+// sweep. Speedup is relative to the same plan at workers=1.
+// PartitionWise records whether the owner-computes partition-wise driver
+// actually ran (the CtrPartitionWiseAggs counter), so the JSON is
+// self-describing about which merge strategy produced each number.
+type ScalePoint struct {
+	Plan          string  `json:"plan,omitempty"`
+	Workers       int     `json:"workers"`
+	PartitionBits int     `json:"partition_bits"`
+	PartitionWise bool    `json:"partition_wise"`
+	Groups        int     `json:"groups"`
+	TimeMs        float64 `json:"time_ms"`
+	Speedup       float64 `json:"speedup"`
+	MRowsPerSec   float64 `json:"mrows_per_sec"`
+}
+
+// scalingPlans are the sweep variants: the low-cardinality Q1 mix (6
+// groups — stays on the contended agg.Merge path by design, the adaptive
+// floor keeps it monolithic), the wide-group plan forced monolithic (the
+// merge-bottleneck baseline), and the same wide-group plan adaptive,
+// which partitions and goes owner-computes under parallel workers.
+var scalingPlans = []struct {
+	Name string
+	Bits int
+	Wide bool
+}{
+	{"q1-lowcard", -1, false},
+	{"widegroup-merge", 0, true},
+	{"widegroup-partitioned", -1, true},
+}
+
+// ScalingRun executes the scaling sweep over rows input rows and returns
+// the report. The fastest of Reps+1 runs is kept per cell.
+func ScalingRun(cfg Config, rows int) ScalingReport {
+	fact := scalingFact(rows, cfg.Seed)
+	series := []int{1, 2, 4}
+	if cfg.Workers > 4 {
+		series = append(series, cfg.Workers)
+	}
+	rep := ScalingReport{
+		Schema:     "ocht-scaling/1",
+		Seed:       cfg.Seed,
+		Cpus:       runtime.NumCPU(),
+		Gomaxprocs: runtime.GOMAXPROCS(0),
+		Rows:       rows,
+	}
+	for _, pl := range scalingPlans {
+		var base time.Duration
+		for _, workers := range series {
+			bestD := time.Duration(1<<63 - 1)
+			var bqc *exec.QCtx
+			groups := 0
+			for r := 0; r < cfg.Reps+1; r++ {
+				qc := exec.NewQCtx(core.All())
+				qc.Workers = workers
+				var op exec.Op
+				if pl.Wide {
+					op = scalingWidePlan(fact, pl.Bits)
+				} else {
+					op = scalingPlan(fact, pl.Bits)
+				}
+				start := time.Now()
+				res := exec.Run(qc, op)
+				if el := time.Since(start); el < bestD {
+					bestD, bqc, groups = el, qc, len(res.Rows)
+				}
+			}
+			if workers == 1 {
+				base = bestD
+			}
+			rep.Points = append(rep.Points, ScalePoint{
+				Plan:          pl.Name,
+				Workers:       workers,
+				PartitionBits: pl.Bits,
+				PartitionWise: bqc.Stats.Counter(exec.CtrPartitionWiseAggs) > 0,
+				Groups:        groups,
+				TimeMs:        float64(bestD.Microseconds()) / 1000,
+				Speedup:       float64(base) / float64(bestD),
+				MRowsPerSec:   float64(rows) / 1e6 / bestD.Seconds(),
+			})
+		}
+	}
+	return rep
+}
+
+// ScalingJSON writes the standalone scaling report for
+// `ocht-bench -exp scaling -json-out FILE`.
+func ScalingJSON(w io.Writer, cfg Config) error {
+	rep := ScalingRun(cfg, cfg.BIRows*10)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// scalingWidePlan aggregates the same filtered scan into ~100k suppkey
+// groups: far past the PartitionMinGroups floor, so the adaptive chooser
+// radix-partitions the group table and the parallel driver takes the
+// owner-computes partition-wise path.
+func scalingWidePlan(fact *storage.Table, bits int) exec.Op {
+	sc := exec.NewScan(fact, "suppkey", "quantity", "extendedprice", "shipdate")
+	m := sc.Meta()
+	fl := exec.NewFilter(sc, exec.Le(exec.Col(m, "shipdate"), exec.Int(19980902)))
+	fm := fl.Meta()
+	ha := exec.NewHashAgg(fl,
+		[]string{"suppkey"},
+		[]*exec.Expr{exec.Col(fm, "suppkey")},
+		[]exec.AggExpr{
+			{Func: agg.Sum, Arg: exec.Col(fm, "quantity"), Name: "sum_qty"},
+			{Func: agg.Sum, Arg: exec.Col(fm, "extendedprice"), Name: "sum_price"},
+			{Func: agg.CountStar, Name: "n"},
+		})
+	ha.PartitionBits = bits
+	return ha
+}
+
 // scalingPlan builds the Q1-style aggregation over the fact table with
 // the given radix width for the group table (-1 = adaptive).
 func scalingPlan(fact *storage.Table, bits int) exec.Op {
@@ -117,6 +248,7 @@ func scalingFact(rows int, seed int64) *storage.Table {
 	price := storage.NewColumn("extendedprice", vec.I32, false)
 	disc := storage.NewColumn("discount", vec.I8, false)
 	ship := storage.NewColumn("shipdate", vec.I32, false)
+	supp := storage.NewColumn("suppkey", vec.I32, false)
 	state := uint64(seed)*2862933555777941757 + 3037000493
 	next := func(n int) int {
 		state = state*2862933555777941757 + 3037000493
@@ -129,8 +261,9 @@ func scalingFact(rows int, seed int64) *storage.Table {
 		price.AppendInt(int64(100_000 + next(9_000_000)))
 		disc.AppendInt(int64(next(11)))
 		ship.AppendInt(int64(19920101 + next(70000)))
+		supp.AppendInt(int64(next(100_000)))
 	}
-	t := storage.NewTable("scaling_lineitem", rf, ls, qty, price, disc, ship)
+	t := storage.NewTable("scaling_lineitem", rf, ls, qty, price, disc, ship, supp)
 	t.Seal()
 	return t
 }

@@ -91,6 +91,29 @@ func NewPartTable(schema *KeySchema, hotExtra, coldExtra, capacityHint, bits int
 	return pt
 }
 
+// NewPartTableFromParts assembles a partitioned table from 2^bits
+// already-built partition Tables. The partition-wise parallel aggregation
+// driver uses it to install tables each owner worker built with its own
+// (layout-identical) KeySchema: record addressing, emission and footprint
+// accounting then work exactly as if the partitions had been built here,
+// while key matching inside each partition stayed on its owner's string
+// store. len(parts) must be a power of two <= 2^MaxPartitionBits.
+func NewPartTableFromParts(schema *KeySchema, parts []*Table) *PartTable {
+	bits := 0
+	for 1<<bits < len(parts) {
+		bits++
+	}
+	if 1<<bits != len(parts) || bits > MaxPartitionBits {
+		panic("core: NewPartTableFromParts needs a power-of-two partition count")
+	}
+	return &PartTable{
+		Schema:   schema,
+		bits:     uint(bits),
+		parts:    parts,
+		partRows: make([][]int32, len(parts)),
+	}
+}
+
 // Bits returns the radix bit count.
 func (pt *PartTable) Bits() int { return int(pt.bits) }
 

@@ -31,26 +31,28 @@ func cloneExpr(e *Expr) *Expr {
 }
 
 // clonePipeline copies the operator chain rooted at o for one worker.
-// Scans claim their blocks from morsels; HashJoins keep the original
-// (shared) build subtree but mark the already-built join table as prebuilt
-// so the clone's Open only prepares a private probe cursor. HashAgg clones
-// get a private hash table (skipBuild false), built from the clone's own
-// morsel stream and merged by the driver afterwards.
-func clonePipeline(o Op, morsels *storage.MorselQueue) Op {
+// Scans claim their blocks from morsels (as the given worker, so affinity
+// queues serve each clone its own contiguous range first); HashJoins keep
+// the original (shared) build subtree but mark the already-built join
+// table as prebuilt so the clone's Open only prepares a private probe
+// cursor. HashAgg clones get a private hash table (skipBuild false),
+// built from the clone's own morsel stream and merged by the driver
+// afterwards.
+func clonePipeline(o Op, morsels *storage.MorselQueue, worker int) Op {
 	switch t := o.(type) {
 	case *Scan:
-		return &Scan{Table: t.Table, Columns: t.Columns, Morsels: morsels, Zones: t.Zones}
+		return &Scan{Table: t.Table, Columns: t.Columns, Morsels: morsels, MorselWorker: worker, Zones: t.Zones}
 	case *Filter:
-		return NewFilter(clonePipeline(t.Child, morsels), cloneExpr(t.Pred))
+		return NewFilter(clonePipeline(t.Child, morsels, worker), cloneExpr(t.Pred))
 	case *Project:
-		return NewProject(clonePipeline(t.Child, morsels), t.Names, cloneExprs(t.Exprs))
+		return NewProject(clonePipeline(t.Child, morsels, worker), t.Names, cloneExprs(t.Exprs))
 	case *HashJoin:
 		if t.j == nil {
 			panic("exec: cloning a HashJoin whose build has not run")
 		}
 		return &HashJoin{
 			Build:         t.Build, // shared, never opened by the clone
-			Probe:         clonePipeline(t.Probe, morsels),
+			Probe:         clonePipeline(t.Probe, morsels, worker),
 			BuildKeys:     t.BuildKeys,
 			ProbeKeys:     t.ProbeKeys,
 			Payload:       t.Payload,
@@ -61,7 +63,7 @@ func clonePipeline(o Op, morsels *storage.MorselQueue) Op {
 			prebuilt:      t.j,
 		}
 	case *HashAgg:
-		c := NewHashAgg(clonePipeline(t.Child, morsels), t.KeyNames, cloneExprs(t.Keys), cloneAggs(t.Aggs))
+		c := NewHashAgg(clonePipeline(t.Child, morsels, worker), t.KeyNames, cloneExprs(t.Keys), cloneAggs(t.Aggs))
 		c.PartitionBits = t.PartitionBits
 		return c
 	default:

@@ -353,7 +353,11 @@ type SortKey struct {
 	Desc bool
 }
 
-// OrderBy sorts the result rows in place.
+// OrderBy sorts the result rows in place. Rows tying on every sort key
+// are ordered by their remaining columns (ascending, left to right):
+// group emission order is unspecified after a parallel merge, and a total
+// order keeps OrderBy+Limit pipelines deterministic across worker counts
+// and merge strategies.
 func (r *Result) OrderBy(keys ...SortKey) *Result {
 	sort.SliceStable(r.Rows, func(i, j int) bool {
 		for _, k := range keys {
@@ -363,6 +367,15 @@ func (r *Result) OrderBy(keys ...SortKey) *Result {
 			}
 			if b.Less(a) {
 				return k.Desc
+			}
+		}
+		for c := range r.Rows[i] {
+			a, b := r.Rows[i][c], r.Rows[j][c]
+			if a.Less(b) {
+				return true
+			}
+			if b.Less(a) {
+				return false
 			}
 		}
 		return false

@@ -2,6 +2,7 @@ package exec
 
 import (
 	"ocht/internal/i128"
+	"ocht/internal/pack"
 	"ocht/internal/vec"
 )
 
@@ -392,6 +393,19 @@ func (e *Expr) cmpPackedConst(l *vec.Vector, c int64, rows []int32, out *vec.Vec
 	}
 	cu := uint64(co)
 	op := e.op
+	if pack.DenseRows(rows) {
+		// Unfiltered batches take the SWAR kernel: one guard-bit subtract
+		// compares up to 32 packed lanes per word (CmpOp mirrors cmpOp's
+		// constant order). NULLs are cleared in a second pass.
+		n := len(rows)
+		pack.SwarCmpConst(l.Packed, l.PackBits, l.PackOff, n, cu, pack.CmpOp(op), out.Bool)
+		if l.Nulls != nil {
+			for i := 0; i < n; i++ {
+				out.Bool[i] = out.Bool[i] && !l.Nulls[i]
+			}
+		}
+		return
+	}
 	for _, i := range rows {
 		j := l.PackOff + int(i)
 		off := (l.Packed[j/per] >> (uint(j%per) * bits)) & mask

@@ -16,6 +16,13 @@ type Meta struct {
 	Type     vec.Type
 	Dom      domain.D
 	Nullable bool
+
+	// Distinct is an upper bound on the column's distinct value count, 0
+	// when unknown. Scans derive it from per-block dictionary sizes for
+	// string columns (whose Dom carries no cardinality); it feeds the
+	// group-count estimate behind partition-width choice and the
+	// partition-wise parallel aggregation gate, never result layouts.
+	Distinct int64
 }
 
 type exprKind uint8
@@ -79,6 +86,7 @@ type Expr struct {
 	typ      vec.Type
 	dom      domain.D
 	nullable bool
+	distinct int64 // column references: Meta.Distinct, else 0
 
 	buf *vec.Vector // reusable output buffer
 }
@@ -92,11 +100,17 @@ func (e *Expr) Dom() domain.D { return e.dom }
 // Nullable reports whether the expression can produce NULL.
 func (e *Expr) Nullable() bool { return e.nullable }
 
+// DistinctBound returns an upper bound on the expression's distinct value
+// count, 0 when unknown. Only column references carry one (from the
+// scan's per-block dictionary metadata); derived expressions estimate
+// through their domain instead.
+func (e *Expr) DistinctBound() int64 { return e.distinct }
+
 // Col references column i of the input schema.
 func Col(schema []Meta, name string) *Expr {
 	for i, m := range schema {
 		if m.Name == name {
-			return &Expr{kind: eCol, col: i, typ: m.Type, dom: m.Dom, nullable: m.Nullable}
+			return &Expr{kind: eCol, col: i, typ: m.Type, dom: m.Dom, nullable: m.Nullable, distinct: m.Distinct}
 		}
 	}
 	panic(fmt.Sprintf("exec: unknown column %q in schema %v", name, names(schema)))
@@ -105,7 +119,7 @@ func Col(schema []Meta, name string) *Expr {
 // ColIdx references column i of the input schema by position.
 func ColIdx(schema []Meta, i int) *Expr {
 	m := schema[i]
-	return &Expr{kind: eCol, col: i, typ: m.Type, dom: m.Dom, nullable: m.Nullable}
+	return &Expr{kind: eCol, col: i, typ: m.Type, dom: m.Dom, nullable: m.Nullable, distinct: m.Distinct}
 }
 
 func names(schema []Meta) []string {

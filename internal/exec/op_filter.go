@@ -91,6 +91,7 @@ func (p *Project) Meta() []Meta {
 				Type:     e.Type(),
 				Dom:      e.Dom(),
 				Nullable: e.Nullable(),
+				Distinct: e.DistinctBound(),
 			})
 		}
 	}

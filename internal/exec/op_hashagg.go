@@ -159,6 +159,40 @@ func (h *HashAgg) MaxRows() int64 {
 	return n
 }
 
+// PartitionMinGroups is the group-count estimate below which the adaptive
+// radix choice keeps the aggregation table monolithic (bits = 0): a
+// low-group-count aggregate (TPC-H Q1's 6 groups) is CPU-cache-resident
+// whatever its width, so radix routing and — under parallel execution —
+// partition-wise spilling only add overhead. Forcing PartitionBits
+// bypasses the floor. Exported for tests and experiments.
+var PartitionMinGroups = int64(1 << 13)
+
+// groupEstimate bounds the group count like MaxRows, but string key
+// columns, whose value domain carries no cardinality, fall back to the
+// scan's per-block dictionary bound (Meta.Distinct) before giving up.
+// Only partition-width choice and the partition-wise parallel gate
+// consume it; result layouts and the compression gate keep using MaxRows,
+// so plans are byte-compatible with the estimate-free engine.
+func (h *HashAgg) groupEstimate() int64 {
+	n := h.Child.MaxRows()
+	prod := int64(1)
+	for _, k := range h.Keys {
+		var card int64
+		if c := k.Dom().Cardinality(); c != 0 && c <= uint64(rowsCap) {
+			card = int64(c)
+		} else if d := k.DistinctBound(); d > 0 {
+			card = d
+		} else {
+			return n
+		}
+		prod = satMul(prod, card+1) // +1 for a possible NULL group
+	}
+	if prod < n {
+		return prod
+	}
+	return n
+}
+
 // Open implements Op: it drains the child and builds the table.
 func (h *HashAgg) Open(qc *QCtx) {
 	if h.driverOpened {
@@ -260,7 +294,17 @@ func (h *HashAgg) Open(qc *QCtx) {
 	}
 	bits := h.PartitionBits
 	if bits < 0 {
-		bits = core.ChoosePartitionBits(h.MaxRows(), h.schema.KeyBytes()+h.ag.HotBytes)
+		est := h.groupEstimate()
+		if est < PartitionMinGroups {
+			bits = 0 // cache-resident: radix routing cannot pay for itself
+		} else {
+			bits = core.ChoosePartitionBits(est, h.schema.KeyBytes()+h.ag.HotBytes)
+			// Partition-wise parallel aggregation assigns whole partitions
+			// to workers; give it enough of them to load-balance across.
+			for qc.Workers > 1 && 1<<bits < 4*qc.Workers && bits < core.MaxPartitionBits {
+				bits++
+			}
+		}
 	}
 	h.pt = core.NewPartTable(h.schema, h.ag.HotBytes, h.ag.ColdBytes, int(hint), bits)
 	for _, t := range h.pt.Parts() {

@@ -25,6 +25,12 @@ type Scan struct {
 	// When nil (serial execution) block order is exactly 0..Blocks-1.
 	Morsels *storage.MorselQueue
 
+	// MorselWorker identifies this scan's worker to an affinity morsel
+	// queue: claims drain the worker's own contiguous block range before
+	// stealing from others (storage.NewMorselQueueAffinity). Ignored by
+	// single-range queues.
+	MorselWorker int
+
 	// Zones holds conjunctive per-column value ranges pushed down from the
 	// predicate directly above the scan (Filter.Open derives and attaches
 	// them). A block whose zone map proves some range unsatisfiable is
@@ -66,6 +72,7 @@ func (s *Scan) Meta() []Meta {
 				Type:     c.Type,
 				Dom:      c.TotalDomain(),
 				Nullable: c.Nullable,
+				Distinct: c.DistinctBound(),
 			})
 		}
 	}
@@ -187,7 +194,7 @@ func (s *Scan) nextBlock() (int, bool) {
 		return 0, false
 	}
 	if s.Morsels != nil {
-		return s.Morsels.Next()
+		return s.Morsels.NextFor(s.MorselWorker)
 	}
 	if s.block >= s.cols[0].Blocks() {
 		return 0, false

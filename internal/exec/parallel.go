@@ -184,14 +184,24 @@ func spawn(n int, task func(i int)) {
 	}
 }
 
-// runParallelAgg is the frontier case: parallel partial aggregation into
-// per-worker tables, then a single-threaded merge into the template.
+// runParallelAgg is the frontier case. It opens the template frontier
+// with an empty table, freezes the USSR, and then picks the parallel
+// build strategy by the template's radix width:
+//
+//   - bits > 0: partition-wise owner-computes (partagg.go) — workers
+//     spill hash-routed rows during the scan, each partition is built
+//     whole by one owner worker, and the merge is a contention-free
+//     partition concatenation.
+//   - bits == 0 (cache-resident group count): per-worker private tables
+//     re-aggregated into the template through agg.Merge. With few groups
+//     the merge touches almost nothing, so the classic path stays the
+//     cheaper one.
 func runParallelAgg(qc *QCtx, root Op, sp spine) *Result {
 	tpl := sp.frontier
 
 	// 1. Open the frontier subtree serially with an empty table: this
 	// builds (and registers) every join hash table below the frontier and
-	// fixes the template's key schema and aggregate layout.
+	// fixes the template's key schema, aggregate layout and radix width.
 	tpl.skipBuild = true
 	tpl.Open(qc)
 	tpl.skipBuild = false
@@ -205,27 +215,35 @@ func runParallelAgg(qc *QCtx, root Op, sp spine) *Result {
 		qc.Store.U.Freeze()
 	}
 
-	// 4. Parallel phase: each worker drives a full clone of the frontier
-	// over the shared morsel queue. Opening a HashAgg drains its child, so
-	// Open alone builds the worker's partial table.
-	morsels := sp.scan.Table.Morsels()
-	clones := make([]*HashAgg, len(wqcs))
-	for i := range clones {
-		clones[i] = clonePipeline(tpl, morsels).(*HashAgg)
-	}
-	spawn(len(wqcs), func(i int) { clones[i].Open(wqcs[i]) })
-	joinCtx(qc, wqcs)
-
-	// 5. Merge phase: fold every worker's groups into the template table.
-	for _, c := range clones {
-		mergePartial(tpl, c)
+	if tpl.pt.Bits() > 0 {
+		runPartitionWiseAgg(qc, tpl, sp, wqcs)
+	} else {
+		runMergeAgg(qc, tpl, sp, wqcs)
 	}
 
-	// 6. Serial tail: the plan above the frontier runs exactly as before;
-	// the frontier's Open is short-circuited onto the merged table.
+	// Serial tail: the plan above the frontier runs exactly as before;
+	// the frontier's Open is short-circuited onto the built table.
 	tpl.driverOpened = true
 	root.Open(qc)
 	return materialize(qc, root)
+}
+
+// runMergeAgg is the classic parallel build: each worker drives a full
+// clone of the frontier over the shared affinity morsel queue (opening a
+// HashAgg drains its child, so Open alone builds the worker's partial
+// table), then the per-worker tables fold into the template serially.
+func runMergeAgg(qc *QCtx, tpl *HashAgg, sp spine, wqcs []*QCtx) {
+	n := len(wqcs)
+	morsels := sp.scan.Table.MorselsFor(n)
+	clones := make([]*HashAgg, n)
+	for i := range clones {
+		clones[i] = clonePipeline(tpl, morsels, i).(*HashAgg)
+	}
+	spawn(n, func(i int) { clones[i].Open(wqcs[i]) })
+	joinCtx(qc, wqcs)
+	for _, c := range clones {
+		mergePartial(tpl, c)
+	}
 }
 
 // mergePartial re-aggregates every group of a worker's partial table into
@@ -330,7 +348,7 @@ func runParallelPipeline(qc *QCtx, root Op, sp spine) *Result {
 	results := make([]*Result, n)
 	spawn(n, func(i int) {
 		lo, hi := i*blocks/n, (i+1)*blocks/n
-		clone := clonePipeline(root, storage.NewMorselQueueRange(lo, hi))
+		clone := clonePipeline(root, storage.NewMorselQueueRange(lo, hi), i)
 		clone.Open(wqcs[i])
 		results[i] = materialize(wqcs[i], clone)
 	})

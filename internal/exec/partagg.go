@@ -1,0 +1,368 @@
+package exec
+
+import (
+	"time"
+
+	"ocht/internal/core"
+	"ocht/internal/i128"
+	"ocht/internal/vec"
+)
+
+// Partition-wise parallel aggregation (DESIGN.md, "Partition-wise
+// parallel aggregation").
+//
+// The classic parallel-agg path has every worker build a whole private
+// group table and re-aggregates them serially through agg.Merge — the
+// merge phase grows with the total group count and throttles scaling.
+// This file is the owner-computes alternative the radix-partitioned
+// tables (PR 5) make possible:
+//
+//	Phase 1 (scan + spill):   every worker drains its morsels through a
+//	    private pipeline clone, evaluates/NULL-remaps keys and aggregate
+//	    arguments, hashes once, and routes each row by the top hash bits
+//	    into per-(worker, partition) columnar spill buffers. No hash
+//	    table is touched.
+//	Phase 2 (owner build):    each radix partition is assigned whole to
+//	    one worker. The owner replays every worker's spill for its
+//	    partitions — reusing the phase-1 hashes — into a partition table
+//	    built with the owner's own key schema, so find-or-insert, string
+//	    compares and aggregate updates run with zero cross-worker
+//	    synchronization (the ocht_debug owner assertion pins this).
+//	Phase 3 (concatenate):    the template adopts the built partitions
+//	    (core.NewPartTableFromParts) and its emission order becomes a
+//	    plain partition-major concatenation. No agg.Merge re-aggregation
+//	    happens anywhere on this path.
+//
+// Emission order is scheduling-dependent (as it already is for the merge
+// path, whose morsel-to-worker assignment is dynamic); parallel results
+// are order-normalized by their consumers.
+
+// aggSpill is one worker's phase-1 output: per radix partition, the
+// columnar key/argument values, NULL masks and key hashes of every row
+// the worker scanned into that partition.
+type aggSpill struct {
+	parts []spillPart
+}
+
+// spillPart accumulates the rows of one (worker, partition) pair.
+type spillPart struct {
+	rows   int
+	hashes []uint64
+	keys   []spillCol
+	args   []spillCol // indexed by spec; empty for arg-less specs
+	nulls  [][]bool   // indexed by spec; nil unless the arg is nullable
+}
+
+// spillCol is a typed columnar append buffer mirroring one plain vector.
+type spillCol struct {
+	typ  vec.Type
+	i64  []int64 // Bool and I8..I64, widened
+	f64  []float64
+	str  []vec.StrRef
+	i128 []i128.Int
+}
+
+// appendRows copies the active rows of v (a plain vector, as the
+// aggregation boundary produces) into the buffer.
+//
+//ocht:hot
+func (c *spillCol) appendRows(v *vec.Vector, rows []int32) {
+	c.typ = v.Typ
+	switch v.Typ {
+	case vec.F64:
+		for _, r := range rows {
+			c.f64 = append(c.f64, v.F64[r])
+		}
+	case vec.Str:
+		for _, r := range rows {
+			c.str = append(c.str, v.Str[r])
+		}
+	case vec.I128:
+		for _, r := range rows {
+			c.i128 = append(c.i128, v.I128[r])
+		}
+	default:
+		for _, r := range rows {
+			c.i64 = append(c.i64, v.Int64At(int(r)))
+		}
+	}
+}
+
+// fill materializes buffer positions [base, base+n) into dst[0..n).
+//
+//ocht:hot
+func (c *spillCol) fill(dst *vec.Vector, base, n int) {
+	switch c.typ {
+	case vec.F64:
+		copy(dst.F64, c.f64[base:base+n])
+	case vec.Str:
+		copy(dst.Str, c.str[base:base+n])
+	case vec.I128:
+		copy(dst.I128, c.i128[base:base+n])
+	default:
+		for i := 0; i < n; i++ {
+			dst.SetInt64(i, c.i64[base+i])
+		}
+	}
+}
+
+// newAggSpill sizes a worker's spill set for the template's shape.
+func newAggSpill(h *HashAgg) *aggSpill {
+	sp := &aggSpill{parts: make([]spillPart, h.pt.NParts())}
+	for pi := range sp.parts {
+		p := &sp.parts[pi]
+		p.keys = make([]spillCol, len(h.Keys))
+		p.args = make([]spillCol, len(h.specs))
+		p.nulls = make([][]bool, len(h.specs))
+	}
+	return sp
+}
+
+// appendBatch spills one batch's routed rows into partition pi.
+func (p *spillPart) appendBatch(h *HashAgg, g []int32) {
+	for ci := range h.scratch.keys {
+		p.keys[ci].appendRows(h.scratch.keys[ci], g)
+	}
+	for si := range h.specs {
+		arg := h.scratch.args[si]
+		if arg == nil {
+			continue
+		}
+		p.args[si].appendRows(arg, g)
+		if e := h.argOf[si]; e != nil && e.Nullable() {
+			nulls := p.nulls[si]
+			if arg.Nulls != nil {
+				for _, r := range g {
+					nulls = append(nulls, arg.Nulls[r])
+				}
+			} else {
+				for range g {
+					nulls = append(nulls, false)
+				}
+			}
+			p.nulls[si] = nulls
+		}
+	}
+	for _, r := range g {
+		p.hashes = append(p.hashes, h.scratch.hashes[r])
+	}
+	p.rows += len(g)
+}
+
+// spillBuild is the phase-1 worker loop: build()'s evaluation front end
+// with the table writes replaced by spill appends. The operator must have
+// been opened with skipBuild (schema, aggregator and routing table set
+// up, child open, no rows drained).
+func (h *HashAgg) spillBuild(qc *QCtx) *aggSpill {
+	sp := newAggSpill(h)
+	total := int64(0)
+	for {
+		qc.checkCancel()
+		b := h.Child.Next(qc)
+		if b == nil {
+			break
+		}
+		rows := b.Rows()
+		phys := physOf(b)
+		if phys > len(h.scratch.hashes) {
+			h.scratch.hashes = make([]uint64, phys)
+			h.scratch.recs = make([]int32, phys)
+		}
+		for i, k := range h.Keys {
+			v := k.Eval(qc, b)
+			h.scratch.keys[i] = h.remapKey(i, k, v, rows, phys)
+		}
+		for si := range h.specs {
+			if e := h.argOf[si]; e != nil {
+				h.scratch.args[si] = ensurePlain(e.Eval(qc, b), rows, &h.argBufs[si], phys)
+			} else {
+				h.scratch.args[si] = nil
+			}
+		}
+		p := h.schema.Prepare(h.scratch.keys, rows)
+		start := time.Now()
+		h.schema.Hash(p, rows, h.scratch.hashes)
+		qc.Stats.Add(StatHash, time.Since(start))
+
+		groups := h.pt.PartitionRows(h.scratch.hashes, rows)
+		for pi, g := range groups {
+			if len(g) == 0 {
+				continue
+			}
+			sp.parts[pi].appendBatch(h, g)
+		}
+		total += int64(len(rows))
+	}
+	qc.Stats.Count(CtrAggRowsSpilled, total)
+	return sp
+}
+
+// partReplay is the per-owner phase-2 scratch: reusable key/argument
+// vectors, dense row indices and hash/record buffers the spilled chunks
+// are replayed through.
+type partReplay struct {
+	keys   []*vec.Vector
+	args   []*vec.Vector
+	rows   []int32
+	subset []int32
+	hashes []uint64
+	recs   []int32
+}
+
+func newPartReplay(h *HashAgg) *partReplay {
+	rs := &partReplay{
+		keys:   make([]*vec.Vector, len(h.Keys)),
+		args:   make([]*vec.Vector, len(h.specs)),
+		rows:   make([]int32, vec.Size),
+		subset: make([]int32, 0, vec.Size),
+		hashes: make([]uint64, vec.Size),
+		recs:   make([]int32, vec.Size),
+	}
+	for i := range rs.rows {
+		rs.rows[i] = int32(i)
+	}
+	return rs
+}
+
+func (rs *partReplay) vecFor(slot []*vec.Vector, i int, typ vec.Type) *vec.Vector {
+	if v := slot[i]; v != nil && v.Typ == typ {
+		return v
+	}
+	slot[i] = vec.New(typ, vec.Size)
+	return slot[i]
+}
+
+// buildPartition replays every worker's spill for partition pi into a
+// fresh table built against h's (the owner clone's) key schema, so all
+// hashing, matching and string accounting stays on the owner's store.
+// The phase-1 hashes are reused — keys are re-packed for the insert path
+// but never re-hashed.
+func (h *HashAgg) buildPartition(qc *QCtx, pi, hint int, spills []*aggSpill, rs *partReplay) *core.Table {
+	t := core.NewTable(h.schema, h.ag.HotBytes, h.ag.ColdBytes, hint)
+	qc.register(t)
+	for _, sp := range spills {
+		p := &sp.parts[pi]
+		for base := 0; base < p.rows; base += vec.Size {
+			qc.checkCancel()
+			cnt := p.rows - base
+			if cnt > vec.Size {
+				cnt = vec.Size
+			}
+			rr := rs.rows[:cnt]
+			for ci := range p.keys {
+				kv := rs.vecFor(rs.keys, ci, p.keys[ci].typ)
+				p.keys[ci].fill(kv, base, cnt)
+				rs.keys[ci] = kv
+			}
+			copy(rs.hashes[:cnt], p.hashes[base:base+cnt])
+
+			prep := h.schema.Prepare(rs.keys, rr)
+			start := time.Now()
+			_, newRecs := t.FindOrInsert(prep, rs.hashes, rr, rs.recs)
+			qc.Stats.Add(StatLookup, time.Since(start))
+			h.ag.Init(t, newRecs)
+
+			for si := range h.specs {
+				var arg *vec.Vector
+				updateRows := rr
+				if h.argOf[si] != nil {
+					arg = rs.vecFor(rs.args, si, p.args[si].typ)
+					p.args[si].fill(arg, base, cnt)
+					if nulls := p.nulls[si]; nulls != nil {
+						// SQL semantics: NULL inputs do not contribute.
+						rs.subset = rs.subset[:0]
+						for i := 0; i < cnt; i++ {
+							if !nulls[base+i] {
+								rs.subset = append(rs.subset, int32(i))
+							}
+						}
+						updateRows = rs.subset
+					}
+				}
+				start = time.Now()
+				h.ag.Update(t, si, rs.recs, updateRows, arg)
+				qc.Stats.Add(StatAggregate, time.Since(start))
+			}
+		}
+	}
+	return t
+}
+
+// runPartitionWiseAgg is the owner-computes driver, entered by
+// runParallelAgg when the template table is radix-partitioned. The
+// template tpl has been opened with skipBuild and the USSR is frozen.
+func runPartitionWiseAgg(qc *QCtx, tpl *HashAgg, sp spine, wqcs []*QCtx) {
+	n := len(wqcs)
+	bits := tpl.pt.Bits()
+	nparts := tpl.pt.NParts()
+	morsels := sp.scan.Table.MorselsFor(n)
+
+	clones := make([]*HashAgg, n)
+	for i := range clones {
+		c := clonePipeline(tpl, morsels, i).(*HashAgg)
+		// Clones must route rows exactly like the template: pin the radix
+		// width (an adaptive clone could re-derive a different one).
+		c.PartitionBits = bits
+		clones[i] = c
+	}
+
+	// Phase 1: scan + spill. skipBuild sets up each clone's schema,
+	// aggregator and routing table without draining the child.
+	spills := make([]*aggSpill, n)
+	spawn(n, func(i int) {
+		c := clones[i]
+		c.skipBuild = true
+		c.Open(wqcs[i])
+		c.skipBuild = false
+		spills[i] = c.spillBuild(wqcs[i])
+	})
+
+	// Phase 2: owner-computes. Partition pi belongs to worker
+	// pi*n/nparts; owners build their partitions one at a time so each
+	// table stays cache-resident through its whole build.
+	owners := make([]int32, nparts)
+	for pi := range owners {
+		owners[pi] = int32(pi * n / nparts)
+	}
+	claims := newPartOwnerAssert(nparts)
+	hint := int(tpl.MaxRows())
+	if hint > 1<<12 {
+		hint = 1 << 12
+	}
+	hint >>= uint(bits)
+	parts := make([]*core.Table, nparts)
+	spawn(n, func(w int) {
+		rs := newPartReplay(clones[w])
+		for pi := 0; pi < nparts; pi++ {
+			if owners[pi] != int32(w) {
+				continue
+			}
+			debugAssertPartOwner(claims, pi, w)
+			parts[pi] = clones[w].buildPartition(wqcs[w], pi, hint, spills, rs)
+		}
+	})
+	joinCtx(qc, wqcs)
+
+	// Phase 3: the template adopts the partitions; emission order is the
+	// partition-major concatenation of their (insertion-ordered) records.
+	newPT := core.NewPartTableFromParts(tpl.schema, parts)
+	old := map[*core.Table]bool{}
+	for _, t := range tpl.pt.Parts() {
+		old[t] = true
+	}
+	kept := qc.tables[:0]
+	for _, t := range qc.tables {
+		if !old[t] {
+			kept = append(kept, t)
+		}
+	}
+	qc.tables = append(kept, parts...)
+	tpl.pt = newPT
+	tpl.order = tpl.order[:0]
+	for pi := 0; pi < nparts; pi++ {
+		for local := int32(0); local < int32(newPT.Part(pi).Len()); local++ {
+			tpl.order = append(tpl.order, newPT.EncodeRec(uint32(pi), local))
+		}
+	}
+	qc.Stats.Count(CtrPartitionWiseAggs, 1)
+}

@@ -1,0 +1,204 @@
+package exec
+
+import (
+	"fmt"
+	"testing"
+
+	"ocht/internal/agg"
+	"ocht/internal/core"
+	"ocht/internal/storage"
+	"ocht/internal/vec"
+)
+
+// nullableFixture spans several blocks and exercises every spill column
+// shape: a nullable int key, a nullable string key and a nullable int
+// argument.
+func nullableFixture(rows int) *storage.Table {
+	g := storage.NewColumn("g", vec.I32, true)
+	s := storage.NewColumn("s", vec.Str, true)
+	v := storage.NewColumn("v", vec.I64, true)
+	for i := 0; i < rows; i++ {
+		if i%11 == 3 {
+			g.AppendNull()
+		} else {
+			g.AppendInt(int64(i*2654435761) % 500)
+		}
+		if i%13 == 5 {
+			s.AppendNull()
+		} else {
+			s.AppendString(fmt.Sprintf("tag-%04d", (i*40503)%1500))
+		}
+		if i%7 == 2 {
+			v.AppendNull()
+		} else {
+			v.AppendInt(int64(i%9000) - 4500)
+		}
+	}
+	tab := storage.NewTable("nfact", g, s, v)
+	tab.Seal()
+	return tab
+}
+
+func nullableAggPlan(tab *storage.Table, bits int) *HashAgg {
+	sc := NewScan(tab, "g", "s", "v")
+	m := sc.Meta()
+	h := NewHashAgg(sc,
+		[]string{"g", "s"},
+		[]*Expr{Col(m, "g"), Col(m, "s")},
+		[]AggExpr{
+			{Func: agg.Sum, Arg: Col(m, "v"), Name: "sum_v"},
+			{Func: agg.Count, Arg: Col(m, "v"), Name: "n_v"},
+			{Func: agg.CountStar, Name: "n"},
+			{Func: agg.Min, Arg: Col(m, "v"), Name: "min_v"},
+			{Func: agg.Max, Arg: Col(m, "s"), Name: "max_s"},
+			{Func: Avg, Arg: Col(m, "v"), Name: "avg_v"},
+		})
+	h.PartitionBits = bits
+	return h
+}
+
+// TestPartitionWiseAggMatchesSerial pins the owner-computes path against
+// serial execution across forced radix widths, worker counts and flag
+// sets, on a fixture with NULLs in both keys and arguments.
+func TestPartitionWiseAggMatchesSerial(t *testing.T) {
+	tab := nullableFixture(200_000)
+	for fi, flags := range flagSets() {
+		serial := sortedRows(Run(NewQCtx(flags), nullableAggPlan(tab, DefaultPartitionBits)))
+		for _, bits := range []int{1, 3, 6} {
+			for _, workers := range []int{2, 4, 8} {
+				t.Run(fmt.Sprintf("flags%d/bits%d/w%d", fi, bits, workers), func(t *testing.T) {
+					qc := NewQCtx(flags)
+					qc.Workers = workers
+					got := sortedRows(Run(qc, nullableAggPlan(tab, bits)))
+					if qc.Stats.Counter(CtrPartitionWiseAggs) != 1 {
+						t.Fatalf("forced bits=%d must take the partition-wise path", bits)
+					}
+					if qc.Stats.Counter(CtrAggRowsSpilled) != int64(tab.Rows()) {
+						t.Fatalf("spilled %d rows, want %d",
+							qc.Stats.Counter(CtrAggRowsSpilled), tab.Rows())
+					}
+					if len(got) != len(serial) {
+						t.Fatalf("%d rows, serial %d", len(got), len(serial))
+					}
+					for i := range got {
+						if got[i] != serial[i] {
+							t.Fatalf("row %d:\n partition-wise %s\n serial         %s", i, got[i], serial[i])
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestPartitionWiseGate pins the path dispatch: forced monolithic tables
+// merge through agg.Merge, forced radix tables go owner-computes, and the
+// adaptive choice falls back to the merge path below PartitionMinGroups.
+func TestPartitionWiseGate(t *testing.T) {
+	fact, _ := buildFixture(150_000)
+	run := func(bits, workers int) (*QCtx, []string) {
+		sc := NewScan(fact, "d", "v")
+		m := sc.Meta()
+		h := NewHashAgg(sc, []string{"d"}, []*Expr{Col(m, "d")}, []AggExpr{
+			{Func: agg.Sum, Arg: Col(m, "v"), Name: "sum_v"},
+		})
+		h.PartitionBits = bits
+		qc := NewQCtx(core.All())
+		qc.Workers = workers
+		return qc, sortedRows(Run(qc, h))
+	}
+
+	_, serial := run(DefaultPartitionBits, 1)
+
+	// d has 100 distinct values: far below PartitionMinGroups, so the
+	// adaptive parallel plan must keep the merge path.
+	qc, got := run(DefaultPartitionBits, 4)
+	if qc.Stats.Counter(CtrPartitionWiseAggs) != 0 {
+		t.Fatal("low-cardinality adaptive plan must not partition")
+	}
+	for i := range got {
+		if got[i] != serial[i] {
+			t.Fatalf("merge path row %d: %s vs %s", i, got[i], serial[i])
+		}
+	}
+
+	// Forcing a radix width flips the same plan onto the owner-computes
+	// path.
+	qc, got = run(4, 4)
+	if qc.Stats.Counter(CtrPartitionWiseAggs) != 1 {
+		t.Fatal("forced bits=4 must take the partition-wise path")
+	}
+	for i := range got {
+		if got[i] != serial[i] {
+			t.Fatalf("partition-wise row %d: %s vs %s", i, got[i], serial[i])
+		}
+	}
+
+	// Dropping the floor lets the adaptive chooser partition even this
+	// aggregation under parallel workers.
+	defer func(old int64) { PartitionMinGroups = old }(PartitionMinGroups)
+	PartitionMinGroups = 0
+	qc, got = run(DefaultPartitionBits, 4)
+	if qc.Stats.Counter(CtrPartitionWiseAggs) != 1 {
+		t.Fatal("with no floor the adaptive parallel plan must partition")
+	}
+	for i := range got {
+		if got[i] != serial[i] {
+			t.Fatalf("floorless row %d: %s vs %s", i, got[i], serial[i])
+		}
+	}
+}
+
+// TestPartitionWiseJoinAgg runs the owner-computes path with a shared
+// read-only join build side below the spill frontier.
+func TestPartitionWiseJoinAgg(t *testing.T) {
+	fact, dim := buildFixture(150_000)
+	plan := func() Op {
+		h := joinAggPlan(fact, dim).(*HashAgg)
+		h.PartitionBits = 3
+		return h
+	}
+	for fi, flags := range flagSets() {
+		serial := sortedRows(Run(NewQCtx(flags), plan()))
+		t.Run(fmt.Sprintf("flags%d", fi), func(t *testing.T) {
+			qc := NewQCtx(flags)
+			qc.Workers = 4
+			got := sortedRows(Run(qc, plan()))
+			if qc.Stats.Counter(CtrPartitionWiseAggs) != 1 {
+				t.Fatal("forced bits must take the partition-wise path")
+			}
+			if len(got) != len(serial) {
+				t.Fatalf("%d rows, serial %d", len(got), len(serial))
+			}
+			for i := range got {
+				if got[i] != serial[i] {
+					t.Fatalf("row %d:\n partition-wise %s\n serial         %s", i, got[i], serial[i])
+				}
+			}
+		})
+	}
+}
+
+// TestPartitionWiseFootprint checks the installed partitions are accounted
+// to the query context: after a partition-wise run the frontier's table
+// bytes must appear in HashTableBytes.
+func TestPartitionWiseFootprint(t *testing.T) {
+	fact, _ := buildFixture(150_000)
+	h := aggPlan(fact).(*HashAgg)
+	h.PartitionBits = 3
+	qc := NewQCtx(core.All())
+	qc.Workers = 2
+	Run(qc, h)
+	if qc.Stats.Counter(CtrPartitionWiseAggs) != 1 {
+		t.Fatal("expected the partition-wise path")
+	}
+	if got, want := qc.HashTableBytes(), h.Tables(); true {
+		sum := 0
+		for _, tab := range want {
+			sum += tab.MemoryBytes()
+		}
+		if got < sum || sum == 0 {
+			t.Fatalf("HashTableBytes %d, frontier partitions hold %d", got, sum)
+		}
+	}
+}

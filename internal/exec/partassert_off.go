@@ -1,0 +1,10 @@
+//go:build !ocht_debug
+
+package exec
+
+// Release builds skip the partition-ownership bookkeeping entirely; see
+// partassert_on.go for the checked twin.
+
+func newPartOwnerAssert(n int) []int32 { return nil }
+
+func debugAssertPartOwner(claims []int32, pi, w int) {}

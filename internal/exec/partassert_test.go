@@ -1,0 +1,56 @@
+//go:build ocht_debug
+
+package exec
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestDebugAssertPartOwner pins the ocht_debug ownership contract: the
+// first claim of a partition succeeds, any second claim — same or
+// different worker — panics.
+func TestDebugAssertPartOwner(t *testing.T) {
+	claims := newPartOwnerAssert(4)
+	debugAssertPartOwner(claims, 2, 1)
+	for _, w := range []int{0, 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("double claim of partition 2 by worker %d must panic", w)
+				}
+			}()
+			debugAssertPartOwner(claims, 2, w)
+		}()
+	}
+	// Other partitions stay claimable.
+	debugAssertPartOwner(claims, 0, 0)
+	debugAssertPartOwner(claims, 3, 0)
+}
+
+// TestDebugAssertPartOwnerConcurrent races many claimants at one
+// partition: exactly one wins, all others panic.
+func TestDebugAssertPartOwnerConcurrent(t *testing.T) {
+	claims := newPartOwnerAssert(1)
+	const n = 8
+	var wg sync.WaitGroup
+	panics := make([]bool, n)
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			defer func() { panics[w] = recover() != nil }()
+			debugAssertPartOwner(claims, 0, w)
+		}(w)
+	}
+	wg.Wait()
+	losers := 0
+	for _, p := range panics {
+		if p {
+			losers++
+		}
+	}
+	if losers != n-1 {
+		t.Fatalf("%d of %d claimants panicked, want %d", losers, n, n-1)
+	}
+}

@@ -43,6 +43,15 @@ const (
 	CtrBytesDecompressed = "bytes decompressed"
 )
 
+// Partition-wise parallel aggregation counters. AggRowsSpilled counts the
+// rows routed through phase-1 spill buffers; PartitionWiseAggs counts
+// frontier aggregations that took the owner-computes path instead of the
+// agg.Merge path (tests assert on it to pin which path ran).
+const (
+	CtrAggRowsSpilled    = "agg rows spilled"
+	CtrPartitionWiseAggs = "partition-wise aggs"
+)
+
 // NewStats creates an empty breakdown.
 func NewStats() *Stats {
 	return &Stats{buckets: map[string]time.Duration{}, counters: map[string]int64{}}

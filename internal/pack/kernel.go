@@ -313,6 +313,16 @@ func HashWords(probeWords [][]uint64, rows []int32, out []uint64) {
 		return
 	}
 	w0 := probeWords[0]
+	if DenseRows(rows) {
+		// Unfiltered batches hash through the word-parallel four-chain
+		// kernels (bit-identical to the per-row loop below).
+		n := len(rows)
+		Mix64Batch(w0, out, n)
+		for _, pw := range probeWords[1:] {
+			Mix64BatchFold(pw, out, n)
+		}
+		return
+	}
 	for _, r := range rows {
 		out[r] = Mix64(w0[r])
 	}

@@ -1,0 +1,311 @@
+package pack
+
+// SWAR (SIMD-within-a-register) kernels over bit-packed words.
+//
+// A frame-of-reference packed vector stores per = 64/bits lanes per
+// 64-bit word, lane j at word j/per, shift (j%per)*bits (the layout of
+// vec.EncPacked and of the key words Plan.PackWord produces). Go has no
+// SIMD intrinsics, but a 64-bit integer IS a vector register for lanes
+// this narrow: one subtraction compares up to 32 packed keys at once
+// (Upscaledb's integer-key lesson, PAPERS.md). The kernels here evaluate
+// comparison verdicts and batch hashes word-parallel and are pinned
+// byte-identical to their scalar references by the property tests in
+// swar_test.go.
+//
+// The comparison trick is the classic guard-bit subtract. Active lanes
+// are split into even and odd groups so every active k-bit lane has (at
+// least) k zero bits above it; ORing a guard bit G at position (l+1)*k
+// and subtracting the broadcast constant C makes each lane's guard bit a
+// GE verdict:
+//
+//	field = a + 2^k          (guard ORed in; a, c <= mask < 2^k)
+//	field - c ∈ [2^k - mask, 2^k + mask]   — never borrows out, so
+//	guard(d) = 1  ⟺  a >= c                 lanes stay independent
+//
+// Equality uses the same subtract on z = a^c against the constant 1:
+// guard set ⟺ z >= 1 ⟺ a != c. GT is GE against c+1; LT/LE/NE are
+// complements. A lane whose guard bit would be bit 64 (the word's top
+// lane when per*bits == 64) is evaluated scalar.
+
+// CmpOp is a SWAR comparison operator.
+type CmpOp uint8
+
+// Comparison operators, in the order exec's expression compiler uses.
+const (
+	CmpEQ CmpOp = iota
+	CmpNE
+	CmpLT
+	CmpLE
+	CmpGT
+	CmpGE
+)
+
+// swarGroup is the precomputed per-word state for one even/odd lane
+// group: the lane mask, the broadcast guard bits, and the highest lane
+// index (exclusive) the guard-bit trick covers.
+type swarGroup struct {
+	lanes uint64 // OR of lane value masks
+	guard uint64 // OR of guard bits, one per covered lane
+}
+
+// SwarCmpConst writes out[i] = cmp(lane(off+i), c) for i in [0, n) over
+// the packed little-endian-lane layout described above. c is in the pack
+// domain and must satisfy c <= 2^bits - 1; out-of-domain constants
+// collapse to constant verdicts and belong to the caller. bits must be in
+// [1, 64]. The kernel is word-parallel for bits <= 32 and falls back to
+// the scalar reference for wider lanes, partial head/tail words and
+// guard-less top lanes.
+//
+//ocht:hot
+func SwarCmpConst(words []uint64, bits, off, n int, c uint64, op CmpOp, out []bool) {
+	if n <= 0 {
+		return
+	}
+	per := 64 / bits
+	if bits > 32 || per < 2 || n < 2*per {
+		swarCmpScalar(words, bits, off, 0, n, c, op, out)
+		return
+	}
+	// Canonicalize to one subtract + optional complement:
+	//   GE(c):  EQ/NE -> nonzero test, GT -> GE(c+1), LT/LE -> inverted.
+	mask := uint64(1)<<uint(bits) - 1
+	var cc uint64
+	eqMode, invert := false, false
+	switch op {
+	case CmpEQ:
+		eqMode, invert = true, true
+	case CmpNE:
+		eqMode = true
+	case CmpGE:
+		cc = c
+	case CmpLT:
+		cc, invert = c, true
+	case CmpGT:
+		if c == mask { // nothing exceeds the top of the domain
+			for i := 0; i < n; i++ {
+				out[i] = false
+			}
+			return
+		}
+		cc = c + 1
+	case CmpLE:
+		if c == mask {
+			for i := 0; i < n; i++ {
+				out[i] = true
+			}
+			return
+		}
+		cc, invert = c+1, true
+	}
+
+	// Head: lanes before the first word boundary.
+	i := 0
+	if r := off % per; r != 0 {
+		head := per - r
+		if head > n {
+			head = n
+		}
+		swarCmpScalar(words, bits, off, 0, head, c, op, out)
+		i = head
+	}
+
+	// Precompute the even/odd group constants once per call. The top
+	// lane's guard bit would be bit 64 when per*bits == 64; that lane is
+	// excluded from its group and handled scalar per word.
+	var groups [2]swarGroup
+	var cEq, cGe, ones [2]uint64
+	topScalar := per*bits == 64
+	for l := 0; l < per; l++ {
+		g := l & 1
+		if topScalar && l == per-1 {
+			continue
+		}
+		sh := uint(l * bits)
+		groups[g].lanes |= mask << sh
+		groups[g].guard |= 1 << (sh + uint(bits))
+		cEq[g] |= c << sh
+		cGe[g] |= cc << sh
+		ones[g] |= 1 << sh
+	}
+
+	// Middle: full words, two guard-bit subtracts each.
+	for ; i+per <= n; i += per {
+		w := words[(off+i)/per]
+		var verdicts uint64 // guard bit set per lane where cmp holds
+		for g := 0; g < 2; g++ {
+			x := w & groups[g].lanes
+			var d uint64
+			if eqMode {
+				d = ((x ^ cEq[g]) | groups[g].guard) - ones[g]
+			} else {
+				d = (x | groups[g].guard) - cGe[g]
+			}
+			verdicts |= d & groups[g].guard
+		}
+		if invert {
+			verdicts = ^verdicts
+		}
+		lanes := per
+		if topScalar {
+			lanes--
+		}
+		for l := 0; l < lanes; l++ {
+			out[i+l] = verdicts>>(uint(l+1)*uint(bits))&1 == 1
+		}
+		if topScalar {
+			a := w >> uint((per-1)*bits) & mask
+			out[i+per-1] = swarCmpOne(a, c, op)
+		}
+	}
+
+	// Tail: the final partial word.
+	if i < n {
+		swarCmpScalar(words, bits, off, i, n, c, op, out)
+	}
+}
+
+// swarCmpScalar is the scalar reference: it evaluates lanes [lo, hi) of
+// the same comparison one at a time. The property tests pin SwarCmpConst
+// against it; the fast path uses it for heads, tails and narrow batches.
+//
+//ocht:hot
+func swarCmpScalar(words []uint64, bits, off, lo, hi int, c uint64, op CmpOp, out []bool) {
+	if bits == 64 {
+		for i := lo; i < hi; i++ {
+			out[i] = swarCmpOne(words[off+i], c, op)
+		}
+		return
+	}
+	per := 64 / bits
+	mask := uint64(1)<<uint(bits) - 1
+	for i := lo; i < hi; i++ {
+		j := off + i
+		a := words[j/per] >> (uint(j%per) * uint(bits)) & mask
+		out[i] = swarCmpOne(a, c, op)
+	}
+}
+
+func swarCmpOne(a, c uint64, op CmpOp) bool {
+	switch op {
+	case CmpEQ:
+		return a == c
+	case CmpNE:
+		return a != c
+	case CmpLT:
+		return a < c
+	case CmpLE:
+		return a <= c
+	case CmpGT:
+		return a > c
+	case CmpGE:
+		return a >= c
+	}
+	return false
+}
+
+// Mix64Batch writes out[i] = Mix64(w[i]) for i in [0, n): the per-key
+// splitmix64 finalizer unrolled into four independent chains so the three
+// multiply/shift dependency chains of neighboring keys overlap in the
+// pipeline instead of serializing behind one another. Bit-identical to
+// calling Mix64 per key.
+//
+//ocht:hot
+func Mix64Batch(w, out []uint64, n int) {
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		x0, x1, x2, x3 := w[i], w[i+1], w[i+2], w[i+3]
+		x0 ^= x0 >> 30
+		x1 ^= x1 >> 30
+		x2 ^= x2 >> 30
+		x3 ^= x3 >> 30
+		x0 *= 0xbf58476d1ce4e5b9
+		x1 *= 0xbf58476d1ce4e5b9
+		x2 *= 0xbf58476d1ce4e5b9
+		x3 *= 0xbf58476d1ce4e5b9
+		x0 ^= x0 >> 27
+		x1 ^= x1 >> 27
+		x2 ^= x2 >> 27
+		x3 ^= x3 >> 27
+		x0 *= 0x94d049bb133111eb
+		x1 *= 0x94d049bb133111eb
+		x2 *= 0x94d049bb133111eb
+		x3 *= 0x94d049bb133111eb
+		x0 ^= x0 >> 31
+		x1 ^= x1 >> 31
+		x2 ^= x2 >> 31
+		x3 ^= x3 >> 31
+		out[i], out[i+1], out[i+2], out[i+3] = x0, x1, x2, x3
+	}
+	for ; i < n; i++ {
+		out[i] = Mix64(w[i])
+	}
+}
+
+// Mix64BatchFold writes out[i] = Mix64(out[i] ^ Mix64(w[i])), the
+// multi-word hash-combining step of HashWords, with the same four-chain
+// unroll as Mix64Batch.
+//
+//ocht:hot
+func Mix64BatchFold(w, out []uint64, n int) {
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		x0, x1, x2, x3 := w[i], w[i+1], w[i+2], w[i+3]
+		x0 ^= x0 >> 30
+		x1 ^= x1 >> 30
+		x2 ^= x2 >> 30
+		x3 ^= x3 >> 30
+		x0 *= 0xbf58476d1ce4e5b9
+		x1 *= 0xbf58476d1ce4e5b9
+		x2 *= 0xbf58476d1ce4e5b9
+		x3 *= 0xbf58476d1ce4e5b9
+		x0 ^= x0 >> 27
+		x1 ^= x1 >> 27
+		x2 ^= x2 >> 27
+		x3 ^= x3 >> 27
+		x0 *= 0x94d049bb133111eb
+		x1 *= 0x94d049bb133111eb
+		x2 *= 0x94d049bb133111eb
+		x3 *= 0x94d049bb133111eb
+		x0 ^= x0 >> 31
+		x1 ^= x1 >> 31
+		x2 ^= x2 >> 31
+		x3 ^= x3 >> 31
+		x0 ^= out[i]
+		x1 ^= out[i+1]
+		x2 ^= out[i+2]
+		x3 ^= out[i+3]
+		x0 ^= x0 >> 30
+		x1 ^= x1 >> 30
+		x2 ^= x2 >> 30
+		x3 ^= x3 >> 30
+		x0 *= 0xbf58476d1ce4e5b9
+		x1 *= 0xbf58476d1ce4e5b9
+		x2 *= 0xbf58476d1ce4e5b9
+		x3 *= 0xbf58476d1ce4e5b9
+		x0 ^= x0 >> 27
+		x1 ^= x1 >> 27
+		x2 ^= x2 >> 27
+		x3 ^= x3 >> 27
+		x0 *= 0x94d049bb133111eb
+		x1 *= 0x94d049bb133111eb
+		x2 *= 0x94d049bb133111eb
+		x3 *= 0x94d049bb133111eb
+		x0 ^= x0 >> 31
+		x1 ^= x1 >> 31
+		x2 ^= x2 >> 31
+		x3 ^= x3 >> 31
+		out[i], out[i+1], out[i+2], out[i+3] = x0, x1, x2, x3
+	}
+	for ; i < n; i++ {
+		out[i] = Mix64(out[i] ^ Mix64(w[i]))
+	}
+}
+
+// DenseRows reports whether rows is exactly the identity selection
+// 0..len(rows)-1, the shape unfiltered batches arrive in. Selection
+// vectors are strictly ascending (the selvec invariant), so checking the
+// endpoints suffices.
+func DenseRows(rows []int32) bool {
+	n := len(rows)
+	return n > 0 && rows[0] == 0 && int(rows[n-1]) == n-1
+}

@@ -101,3 +101,113 @@ func TestTableMorselsCoverAllBlocks(t *testing.T) {
 		t.Fatalf("dispensed %d blocks, want %d", n, c.Blocks())
 	}
 }
+
+// TestMorselQueueAffinityOwnRangeFirst checks that each worker drains its
+// own contiguous range in order before touching anyone else's.
+func TestMorselQueueAffinityOwnRangeFirst(t *testing.T) {
+	const blocks, workers = 12, 3
+	q := NewMorselQueueAffinity(blocks, workers)
+	for w := 0; w < workers; w++ {
+		lo, hi := w*blocks/workers, (w+1)*blocks/workers
+		for want := lo; want < hi; want++ {
+			bi, ok := q.NextFor(w)
+			if !ok || bi != want {
+				t.Fatalf("worker %d claim = %d,%v want %d,true", w, bi, ok, want)
+			}
+		}
+	}
+	for w := 0; w < workers; w++ {
+		if _, ok := q.NextFor(w); ok {
+			t.Fatalf("worker %d found blocks in a drained queue", w)
+		}
+	}
+}
+
+// TestMorselQueueAffinitySteal drains one worker's range and checks the
+// worker keeps claiming — from the most-loaded victim first — until the
+// whole table is exhausted.
+func TestMorselQueueAffinitySteal(t *testing.T) {
+	// Ranges: w0 [0,4) w1 [4,8) w2 [8,12). Drain w2's own range, then let
+	// it steal everything else.
+	const blocks, workers = 12, 3
+	q := NewMorselQueueAffinity(blocks, workers)
+	seen := make(map[int]int)
+	for i := 0; i < blocks; i++ {
+		bi, ok := q.NextFor(2)
+		if !ok {
+			t.Fatalf("queue dry after %d of %d blocks", i, blocks)
+		}
+		seen[bi]++
+	}
+	if _, ok := q.NextFor(2); ok {
+		t.Fatal("queue must be exhausted")
+	}
+	for bi := 0; bi < blocks; bi++ {
+		if seen[bi] != 1 {
+			t.Fatalf("block %d claimed %d times", bi, seen[bi])
+		}
+	}
+}
+
+// TestMorselQueueAffinityConcurrent checks exactly-once dispatch over an
+// affinity queue under contention, with more workers than ranges and a
+// block count that does not divide evenly.
+func TestMorselQueueAffinityConcurrent(t *testing.T) {
+	const blocks, ranges, goroutines = 997, 4, 8
+	q := NewMorselQueueAffinity(blocks, ranges)
+	var mu sync.Mutex
+	seen := make([]int, blocks)
+	var wg sync.WaitGroup
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var mine []int
+			for {
+				bi, ok := q.NextFor(w)
+				if !ok {
+					break
+				}
+				mine = append(mine, bi)
+			}
+			mu.Lock()
+			for _, bi := range mine {
+				seen[bi]++
+			}
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	for bi, n := range seen {
+		if n != 1 {
+			t.Fatalf("block %d claimed %d times", bi, n)
+		}
+	}
+}
+
+// TestMorselQueueAffinityClamp pins the worker-count clamps: more workers
+// than blocks collapses to one range per block, and zero workers still
+// yields a usable single-range queue.
+func TestMorselQueueAffinityClamp(t *testing.T) {
+	q := NewMorselQueueAffinity(2, 8)
+	seen := map[int]bool{}
+	for w := 0; w < 8; w++ {
+		if bi, ok := q.NextFor(w); ok {
+			seen[bi] = true
+		}
+	}
+	if len(seen) != 2 {
+		t.Fatalf("clamped queue dispensed %d distinct blocks, want 2", len(seen))
+	}
+	q = NewMorselQueueAffinity(3, 0)
+	n := 0
+	for {
+		if _, ok := q.NextFor(0); !ok {
+			break
+		}
+		n++
+	}
+	if n != 3 {
+		t.Fatalf("zero-worker queue dispensed %d blocks, want 3", n)
+	}
+}
